@@ -1,0 +1,74 @@
+// Command fzbench regenerates the paper's evaluation (§4): Table 3,
+// Figures 1–4, and the design-choice ablations called out in DESIGN.md.
+//
+// Usage:
+//
+//	fzbench -exp table3|fig1|fig2|fig3|fig4|stf|hist|secondary|fusion|all [-large]
+//
+// Small-scale workloads are the default so a full sweep finishes quickly;
+// -large switches to the harness default dimensions (scaled from the
+// paper's Table 2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fzmod/internal/bench"
+	"fzmod/internal/device"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table3, fig1, fig2, fig3, fig4, stf, hist, secondary, fusion, place, all")
+	large := flag.Bool("large", false, "use full-scale workloads")
+	flag.Parse()
+
+	sc := bench.Small
+	if *large {
+		sc = bench.Full
+	}
+	h100 := device.NewH100Platform()
+	v100 := device.NewV100Platform()
+	w := os.Stdout
+
+	run := func(name string) error {
+		switch name {
+		case "table3":
+			bench.Table3(w, h100, sc)
+		case "fig1":
+			bench.Fig1(w, h100, sc)
+		case "fig2":
+			bench.Speedup(w, h100, sc)
+		case "fig3":
+			bench.Speedup(w, v100, sc)
+		case "fig4":
+			bench.Fig4(w, h100, sc)
+		case "stf":
+			return bench.STFAblation(w, h100, sc)
+		case "hist":
+			return bench.HistAblation(w, h100, sc)
+		case "secondary":
+			return bench.SecondaryAblation(w, h100, sc)
+		case "fusion":
+			return bench.FusionAblation(w, h100, sc)
+		case "place":
+			return bench.PlaceAblation(w, h100, sc)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"table3", "fig1", "fig2", "fig3", "fig4", "stf", "hist", "secondary", "fusion", "place"}
+	}
+	for _, name := range names {
+		fmt.Fprintf(w, "\n===== %s =====\n", name)
+		if err := run(name); err != nil {
+			fmt.Fprintf(os.Stderr, "fzbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Command fzmod is the CLI compressor: it compresses raw little-endian
+// float32 files with a chosen pipeline and error bound, decompresses
+// FZModules containers, and reports ratio/quality metrics.
+//
+// Usage:
+//
+//	fzmod -z  -i data.f32 -o data.fz  -dims 512x512x512 -eb 1e-4 [-mode rel|abs] [-pipeline default|speed|quality] [-secondary]
+//	fzmod -d  -i data.fz  -o back.f32
+//	fzmod -probe -i data.fz
+//
+// After -z the tool verifies the roundtrip and prints CR, bitrate, PSNR
+// and the measured throughput.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"fzmod"
+	"fzmod/internal/core"
+	"fzmod/internal/device"
+	"fzmod/internal/fzio"
+	"fzmod/internal/grid"
+	"fzmod/internal/metrics"
+	"fzmod/internal/preprocess"
+)
+
+func main() {
+	var (
+		compress   = flag.Bool("z", false, "compress")
+		decompress = flag.Bool("d", false, "decompress")
+		probe      = flag.Bool("probe", false, "print container metadata")
+		in         = flag.String("i", "", "input file")
+		out        = flag.String("o", "", "output file")
+		dimsArg    = flag.String("dims", "", "field dims, e.g. 512x512x512 (x fastest)")
+		ebArg      = flag.Float64("eb", 1e-4, "error bound")
+		modeArg    = flag.String("mode", "rel", "bound mode: rel (value-range relative) or abs")
+		pipeArg    = flag.String("pipeline", "default", "pipeline: default, speed, quality, auto, auto-ratio, auto-throughput")
+		secondary  = flag.Bool("secondary", false, "attach the secondary (zstd-slot) encoder")
+		verify     = flag.Bool("verify", true, "verify roundtrip after compression")
+	)
+	flag.Parse()
+
+	if err := run(*compress, *decompress, *probe, *in, *out, *dimsArg, *ebArg, *modeArg, *pipeArg, *secondary, *verify); err != nil {
+		fmt.Fprintln(os.Stderr, "fzmod:", err)
+		os.Exit(1)
+	}
+}
+
+func run(compress, decompress, probe bool, in, out, dimsArg string, eb float64, mode, pipe string, secondary, verify bool) error {
+	if in == "" {
+		return fmt.Errorf("missing -i input file")
+	}
+	blob, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	p := fzmod.NewPlatform()
+
+	switch {
+	case probe:
+		c, err := fzio.Unmarshal(blob)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("pipeline:  %s\ndims:      %v\nabs eb:    %g\nrel eb:    %g\nsegments:  %s\npayload:   %d bytes\n",
+			c.Header.Pipeline, c.Header.Dims, c.Header.EB, c.Header.RelEB,
+			strings.Join(c.Names(), ", "), c.Size())
+		return nil
+
+	case compress:
+		dims, err := parseDims(dimsArg)
+		if err != nil {
+			return err
+		}
+		if len(blob)%4 != 0 {
+			return fmt.Errorf("input is not a float32 stream (%d bytes)", len(blob))
+		}
+		data := device.BytesF32(blob)
+		if dims.N() != len(data) {
+			return fmt.Errorf("dims %v describe %d values, file has %d", dims, dims.N(), len(data))
+		}
+		bound := preprocess.RelBound(eb)
+		if mode == "abs" {
+			bound = preprocess.AbsBound(eb)
+		} else if mode != "rel" {
+			return fmt.Errorf("unknown -mode %q", mode)
+		}
+		pl, err := pipelineByName(pipe)
+		if err != nil {
+			return err
+		}
+		if pl == nil { // auto-selection objectives
+			obj := core.Balanced
+			switch pipe {
+			case "auto-throughput":
+				obj = core.MaxThroughput
+			case "auto-ratio":
+				obj = core.MaxRatio
+			}
+			var prof core.DataProfile
+			pl, prof, err = core.AutoSelect(p, data, dims, bound, obj)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("auto-selected %s (delta %.2f quanta, spline advantage %.2fx, zero-delta %.0f%%)\n",
+				pl.Name(), prof.DeltaQuanta, prof.SplineAdvantage, 100*prof.ZeroDeltaFrac)
+		}
+		if secondary && pl.Sec == nil {
+			pl = fzmod.WithZstdSlot(pl)
+		}
+		t0 := time.Now()
+		cblob, err := pl.Compress(p, data, dims, bound)
+		compSec := time.Since(t0).Seconds()
+		if err != nil {
+			return err
+		}
+		if out == "" {
+			out = in + ".fz"
+		}
+		if err := os.WriteFile(out, cblob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d → %d bytes  CR %.2f  bitrate %.3f b/v  %.3f GB/s\n",
+			pl.Name(), len(blob), len(cblob),
+			metrics.CompressionRatio(len(blob), len(cblob)),
+			metrics.Bitrate(dims.N(), len(cblob)),
+			metrics.Throughput(len(blob), compSec))
+		if verify {
+			dec, _, err := fzmod.Decompress(p, cblob)
+			if err != nil {
+				return fmt.Errorf("verify: %w", err)
+			}
+			q, err := fzmod.Evaluate(p, data, dec)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("verify: PSNR %.2f dB, max abs err %g, NRMSE %.3g\n", q.PSNR, q.MaxAbsErr, q.NRMSE)
+		}
+		return nil
+
+	case decompress:
+		t0 := time.Now()
+		data, dims, err := fzmod.Decompress(p, blob)
+		decSec := time.Since(t0).Seconds()
+		if err != nil {
+			return err
+		}
+		if out == "" {
+			out = strings.TrimSuffix(in, ".fz") + ".out.f32"
+		}
+		if err := os.WriteFile(out, device.F32Bytes(data), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%v: %d values  %.3f GB/s → %s\n", dims, dims.N(),
+			metrics.Throughput(4*dims.N(), decSec), out)
+		return nil
+	}
+	return fmt.Errorf("one of -z, -d, -probe is required")
+}
+
+// pipelineByName resolves preset names; auto objectives return nil so the
+// caller runs data-driven selection.
+func pipelineByName(name string) (*core.Pipeline, error) {
+	switch name {
+	case "default":
+		return fzmod.Default(), nil
+	case "speed":
+		return fzmod.Speed(), nil
+	case "quality":
+		return fzmod.QualityPipeline(), nil
+	case "auto", "auto-ratio", "auto-throughput":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("unknown pipeline %q (want default, speed, quality, auto, auto-ratio, auto-throughput)", name)
+	}
+}
+
+func parseDims(s string) (grid.Dims, error) {
+	if s == "" {
+		return grid.Dims{}, fmt.Errorf("missing -dims")
+	}
+	parts := strings.Split(strings.ToLower(s), "x")
+	if len(parts) < 1 || len(parts) > 3 {
+		return grid.Dims{}, fmt.Errorf("bad -dims %q", s)
+	}
+	vals := [3]int{1, 1, 1}
+	for i, ps := range parts {
+		v, err := strconv.Atoi(ps)
+		if err != nil || v <= 0 {
+			return grid.Dims{}, fmt.Errorf("bad -dims component %q", ps)
+		}
+		vals[i] = v
+	}
+	return grid.Dims{X: vals[0], Y: vals[1], Z: vals[2]}, nil
+}

@@ -1,0 +1,112 @@
+// Package fzmod is the public API of the FZModules reproduction: a
+// heterogeneous framework for assembling error-bounded lossy compression
+// pipelines for scientific floating-point data, after Ruiter, Tian & Song,
+// "FZModules: A Heterogeneous Computing Framework for Customizable
+// Scientific Data Compression Pipelines" (SC Workshops '25).
+//
+// # Quick start
+//
+//	platform := fzmod.NewPlatform()
+//	pipeline := fzmod.Default()
+//	blob, err := pipeline.Compress(platform, data, fzmod.Dims3(512, 512, 512), fzmod.Rel(1e-4))
+//	...
+//	back, dims, err := fzmod.Decompress(platform, blob)
+//
+// Three preset pipelines reproduce the paper's §3.3 designs: Default
+// (Lorenzo + histogram + CPU Huffman), Speed (Lorenzo + FZ-GPU
+// bitshuffle/dictionary), and Quality (G-Interp spline interpolation +
+// top-k histogram + Huffman). Custom pipelines are assembled from the
+// module registry; see the examples directory.
+package fzmod
+
+import (
+	"fzmod/internal/core"
+	"fzmod/internal/device"
+	"fzmod/internal/grid"
+	"fzmod/internal/metrics"
+	"fzmod/internal/preprocess"
+)
+
+// Re-exported core types. The facade keeps downstream imports to one
+// package for the common path while power users can reach the internal
+// modules through the same structures.
+type (
+	// Pipeline is a composed compressor (see core.Pipeline).
+	Pipeline = core.Pipeline
+	// Compressor is the uniform compress/decompress contract.
+	Compressor = core.Compressor
+	// Platform is the simulated heterogeneous execution platform.
+	Platform = device.Platform
+	// Dims describes field geometry (x fastest).
+	Dims = grid.Dims
+	// ErrorBound is a tolerance plus interpretation mode.
+	ErrorBound = preprocess.ErrorBound
+	// Quality bundles reconstruction-quality statistics.
+	Quality = metrics.Quality
+)
+
+// NewPlatform returns the default platform, modeled on the paper's H100
+// node (Table 1).
+func NewPlatform() *Platform { return device.NewH100Platform() }
+
+// NewV100Platform returns the paper's V100 node model (lower host link
+// bandwidth; used for the Figure 3 speedup variant).
+func NewV100Platform() *Platform { return device.NewV100Platform() }
+
+// Default returns the FZMod-Default preset pipeline.
+func Default() *Pipeline { return core.NewDefault() }
+
+// Speed returns the FZMod-Speed preset pipeline.
+func Speed() *Pipeline { return core.NewSpeed() }
+
+// Quality returns the FZMod-Quality preset pipeline.
+func QualityPipeline() *Pipeline { return core.NewQuality() }
+
+// Presets returns the three evaluated pipelines in paper order.
+func Presets() []*Pipeline { return core.Presets() }
+
+// WithZstdSlot attaches the secondary lossless encoder (the paper's zstd
+// slot, backed by the built-in LZ codec) to a pipeline.
+func WithZstdSlot(pl *Pipeline) *Pipeline { return pl.WithSecondary(core.LZSecondary{}) }
+
+// Dims1 describes a 1-D field.
+func Dims1(n int) Dims { return grid.D1(n) }
+
+// Dims2 describes a 2-D field (x fastest).
+func Dims2(x, y int) Dims { return grid.D2(x, y) }
+
+// Dims3 describes a 3-D field (x fastest).
+func Dims3(x, y, z int) Dims { return grid.D3(x, y, z) }
+
+// Rel builds a value-range-relative error bound (the paper's evaluation
+// setting).
+func Rel(v float64) ErrorBound { return preprocess.RelBound(v) }
+
+// Abs builds an absolute error bound.
+func Abs(v float64) ErrorBound { return preprocess.AbsBound(v) }
+
+// Decompress reconstructs a field from any FZModules container using the
+// module registry; the container is self-describing.
+func Decompress(p *Platform, blob []byte) ([]float32, Dims, error) {
+	return core.Decompress(p, blob)
+}
+
+// Evaluate computes reconstruction quality (PSNR, NRMSE, max error).
+func Evaluate(p *Platform, original, reconstructed []float32) (Quality, error) {
+	return metrics.Evaluate(p, device.Host, original, reconstructed)
+}
+
+// VerifyBound reports the first index violating the absolute bound, or -1.
+func VerifyBound(original, reconstructed []float32, absEB float64) int {
+	return metrics.VerifyBound(original, reconstructed, absEB)
+}
+
+// CompressionRatio is input size over compressed size.
+func CompressionRatio(inputBytes, compressedBytes int) float64 {
+	return metrics.CompressionRatio(inputBytes, compressedBytes)
+}
+
+// OverallSpeedup evaluates the paper's Eq. 1 end-to-end speedup model.
+func OverallSpeedup(throughputGBs, bandwidthGBs, ratio float64) float64 {
+	return metrics.OverallSpeedup(throughputGBs, bandwidthGBs, ratio)
+}

@@ -1,0 +1,102 @@
+package fzmod_test
+
+import (
+	"math"
+	"testing"
+
+	"fzmod"
+	"fzmod/internal/sdrbench"
+)
+
+func facadeField() ([]float32, fzmod.Dims) {
+	dims := fzmod.Dims3(32, 32, 8)
+	return sdrbench.GenHURR(dims, 7), dims
+}
+
+func TestFacadeRoundtrip(t *testing.T) {
+	p := fzmod.NewPlatform()
+	data, dims := facadeField()
+	for _, pl := range fzmod.Presets() {
+		blob, err := pl.Compress(p, data, dims, fzmod.Rel(1e-3))
+		if err != nil {
+			t.Fatalf("%s: %v", pl.Name(), err)
+		}
+		back, gotDims, err := fzmod.Decompress(p, blob)
+		if err != nil {
+			t.Fatalf("%s: %v", pl.Name(), err)
+		}
+		if gotDims != dims {
+			t.Fatalf("%s: dims %v", pl.Name(), gotDims)
+		}
+		q, err := fzmod.Evaluate(p, data, back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.PSNR < 40 {
+			t.Errorf("%s: PSNR %.1f suspiciously low at 1e-3", pl.Name(), q.PSNR)
+		}
+	}
+}
+
+func TestFacadeBoundHelpers(t *testing.T) {
+	if fzmod.Rel(1e-3).Value != 1e-3 || fzmod.Abs(0.5).Value != 0.5 {
+		t.Error("bound constructors")
+	}
+	if fzmod.Rel(1e-3).Mode == fzmod.Abs(1e-3).Mode {
+		t.Error("Rel and Abs must differ in mode")
+	}
+}
+
+func TestFacadeDimsHelpers(t *testing.T) {
+	if fzmod.Dims1(9).N() != 9 || fzmod.Dims2(3, 4).N() != 12 || fzmod.Dims3(2, 2, 2).N() != 8 {
+		t.Error("dims helpers")
+	}
+}
+
+func TestFacadeSecondary(t *testing.T) {
+	p := fzmod.NewPlatform()
+	data, dims := facadeField()
+	pl := fzmod.WithZstdSlot(fzmod.Speed())
+	blob, err := pl.Compress(p, data, dims, fzmod.Rel(1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, _, err := fzmod.Decompress(p, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxAbs float64
+	for _, v := range data {
+		if a := math.Abs(float64(v)); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	// Rel 1e-3 of the HURR range; generous check that the data came back.
+	if i := fzmod.VerifyBound(data, back, 1e-3*2*maxAbs); i != -1 {
+		t.Errorf("bound violated at %d", i)
+	}
+}
+
+func TestFacadeMetrics(t *testing.T) {
+	if fzmod.CompressionRatio(100, 10) != 10 {
+		t.Error("CompressionRatio")
+	}
+	if s := fzmod.OverallSpeedup(200, 100, 2); math.Abs(s-1) > 1e-9 {
+		t.Errorf("OverallSpeedup = %v", s)
+	}
+}
+
+func TestFacadePlatforms(t *testing.T) {
+	if fzmod.NewPlatform().LinkBandwidth <= fzmod.NewV100Platform().LinkBandwidth {
+		t.Error("H100 default platform should have higher link bandwidth")
+	}
+}
+
+func TestFacadeQualityPipelineName(t *testing.T) {
+	if fzmod.QualityPipeline().Name() != "fzmod-quality" {
+		t.Error("quality preset name")
+	}
+	if fzmod.Default().Name() != "fzmod-default" || fzmod.Speed().Name() != "fzmod-speed" {
+		t.Error("preset names")
+	}
+}

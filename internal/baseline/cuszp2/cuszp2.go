@@ -1,0 +1,234 @@
+// Package cuszp2 reproduces the cuSZp2 baseline the paper compares against
+// (§2.2): a throughput-first fused design — one pass performs 1-D offset
+// prediction on pre-quantized values and per-block fixed-length bit
+// packing, with no histogram, tree or dictionary stage. That single-pass
+// structure is what gives cuSZp2 the highest throughput in Figure 1, and
+// its block-granular fixed-length coding is why its ratio trails the
+// Huffman pipelines in Table 3.
+package cuszp2
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"fzmod/internal/device"
+	"fzmod/internal/fzio"
+	"fzmod/internal/grid"
+	"fzmod/internal/kernels"
+	"fzmod/internal/preprocess"
+)
+
+// blockValues is the fixed-length coding granularity (cuSZp2 uses 32).
+const blockValues = 32
+
+const pipelineName = "cuszp2"
+
+// maxLattice guards int32 pre-quantization.
+const maxLattice = 1 << 29
+
+// Compressor implements core.Compressor.
+type Compressor struct{}
+
+// Name implements core.Compressor.
+func (Compressor) Name() string { return pipelineName }
+
+// Compress implements core.Compressor.
+func (Compressor) Compress(p *device.Platform, data []float32, dims grid.Dims, eb preprocess.ErrorBound) ([]byte, error) {
+	if dims.N() != len(data) {
+		return nil, fmt.Errorf("cuszp2: dims %v do not match %d values", dims, len(data))
+	}
+	absEB, _, err := preprocess.Resolve(p, device.Accel, data, eb)
+	if err != nil {
+		return nil, err
+	}
+	n := len(data)
+	nBlocks := (n + blockValues - 1) / blockValues
+	inv2eb := 1.0 / (2 * absEB)
+
+	// Kernel 1 (fused predict+measure): per block, pre-quantize, delta
+	// within the block, zigzag, and record the bit width needed. The
+	// block's first quantized value (its "head") is carried in a separate
+	// chained side stream so in-block widths cover only true residuals.
+	widths := make([]byte, nBlocks)
+	heads := make([]int32, nBlocks)
+	codes := make([]uint32, n)
+	var overflow atomic.Bool
+	p.LaunchGrid(device.Accel, nBlocks, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			start, end := b*blockValues, (b+1)*blockValues
+			if end > n {
+				end = n
+			}
+			var prev int32
+			maxBits := 0
+			for i := start; i < end; i++ {
+				q := math.Round(float64(data[i]) * inv2eb)
+				if q > maxLattice || q < -maxLattice {
+					overflow.Store(true)
+					return
+				}
+				qi := int32(q)
+				if i == start {
+					heads[b] = qi
+					prev = qi
+					continue
+				}
+				z := kernels.ZigZag(qi - prev)
+				prev = qi
+				codes[i] = z
+				if w := kernels.BitsFor(z); w > maxBits {
+					maxBits = w
+				}
+			}
+			widths[b] = byte(maxBits)
+		}
+	})
+	if overflow.Load() {
+		return nil, fmt.Errorf("cuszp2: error bound %g too tight for data magnitude", absEB)
+	}
+
+	// Head side stream: delta-chained varints (sequential but tiny).
+	headStream := binary.AppendUvarint(nil, uint64(nBlocks))
+	var prevHead int32
+	for _, h := range heads {
+		headStream = binary.AppendUvarint(headStream, uint64(kernels.ZigZag(h-prevHead)))
+		prevHead = h
+	}
+
+	// Offsets via scan of per-block byte sizes, then kernel 2 packs.
+	sizes := make([]uint32, nBlocks)
+	for b := range sizes {
+		cnt := blockValues - 1
+		if (b+1)*blockValues > n {
+			cnt = n - b*blockValues - 1
+		}
+		if cnt < 0 {
+			cnt = 0
+		}
+		sizes[b] = uint32((cnt*int(widths[b]) + 7) / 8)
+	}
+	offsets, total := kernels.ExclusiveScan(p, device.Accel, sizes)
+
+	payload := make([]byte, nBlocks+int(total))
+	copy(payload, widths)
+	base := nBlocks
+	p.LaunchGrid(device.Accel, nBlocks, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			start, end := b*blockValues, (b+1)*blockValues
+			if end > n {
+				end = n
+			}
+			w := int(widths[b])
+			if w == 0 || end-start < 2 {
+				continue
+			}
+			packed := kernels.PackBits(nil, codes[start+1:end], w)
+			copy(payload[base+int(offsets[b]):], packed)
+		}
+	})
+
+	c := fzio.New(fzio.Header{Pipeline: pipelineName, Dims: dims, EB: absEB})
+	if err := c.Add("heads", headStream); err != nil {
+		return nil, err
+	}
+	if err := c.Add("payload", payload); err != nil {
+		return nil, err
+	}
+	return c.Marshal()
+}
+
+// Decompress implements core.Compressor.
+func (Compressor) Decompress(p *device.Platform, blob []byte) ([]float32, grid.Dims, error) {
+	c, err := fzio.Unmarshal(blob)
+	if err != nil {
+		return nil, grid.Dims{}, err
+	}
+	if c.Header.Pipeline != pipelineName {
+		return nil, grid.Dims{}, fmt.Errorf("cuszp2: container built by %q", c.Header.Pipeline)
+	}
+	payload, err := c.Segment("payload")
+	if err != nil {
+		return nil, grid.Dims{}, err
+	}
+	headStream, err := c.Segment("heads")
+	if err != nil {
+		return nil, grid.Dims{}, err
+	}
+	dims := c.Header.Dims
+	n := dims.N()
+	nBlocks := (n + blockValues - 1) / blockValues
+	if len(payload) < nBlocks {
+		return nil, grid.Dims{}, fmt.Errorf("cuszp2: payload shorter than width table")
+	}
+	nb, k := binary.Uvarint(headStream)
+	if k <= 0 || int(nb) != nBlocks {
+		return nil, grid.Dims{}, fmt.Errorf("cuszp2: head stream inconsistent with dims")
+	}
+	heads := make([]int32, nBlocks)
+	pos := k
+	var prevHead int32
+	for b := 0; b < nBlocks; b++ {
+		z, k := binary.Uvarint(headStream[pos:])
+		if k <= 0 {
+			return nil, grid.Dims{}, fmt.Errorf("cuszp2: truncated head stream")
+		}
+		pos += k
+		prevHead += kernels.UnZigZag(uint32(z))
+		heads[b] = prevHead
+	}
+	widths := payload[:nBlocks]
+	sizes := make([]uint32, nBlocks)
+	for b := range sizes {
+		cnt := blockValues - 1
+		if (b+1)*blockValues > n {
+			cnt = n - b*blockValues - 1
+		}
+		if cnt < 0 {
+			cnt = 0
+		}
+		sizes[b] = uint32((cnt*int(widths[b]) + 7) / 8)
+	}
+	offsets, total := kernels.ExclusiveScan(p, device.Accel, sizes)
+	if len(payload) < nBlocks+int(total) {
+		return nil, grid.Dims{}, fmt.Errorf("cuszp2: payload shorter than block table claims")
+	}
+
+	out := make([]float32, n)
+	scale := 2 * c.Header.EB
+	var bad atomic.Bool
+	p.LaunchGrid(device.Accel, nBlocks, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			start, end := b*blockValues, (b+1)*blockValues
+			if end > n {
+				end = n
+			}
+			cnt := end - start
+			w := int(widths[b])
+			if w > 32 {
+				bad.Store(true)
+				return
+			}
+			acc := heads[b]
+			out[start] = float32(float64(acc) * scale)
+			if cnt < 2 {
+				continue
+			}
+			var vals []uint32
+			if w == 0 {
+				vals = make([]uint32, cnt-1)
+			} else {
+				vals, _ = kernels.UnpackBits(payload[nBlocks+int(offsets[b]):], 0, cnt-1, w)
+			}
+			for i := 0; i < cnt-1; i++ {
+				acc += kernels.UnZigZag(vals[i])
+				out[start+1+i] = float32(float64(acc) * scale)
+			}
+		}
+	})
+	if bad.Load() {
+		return nil, grid.Dims{}, fmt.Errorf("cuszp2: corrupt width table")
+	}
+	return out, dims, nil
+}

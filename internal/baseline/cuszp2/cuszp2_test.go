@@ -1,0 +1,102 @@
+package cuszp2
+
+import (
+	"testing"
+
+	"fzmod/internal/device"
+	"fzmod/internal/grid"
+	"fzmod/internal/metrics"
+	"fzmod/internal/preprocess"
+	"fzmod/internal/sdrbench"
+)
+
+var tp = device.NewTestPlatform()
+
+func TestRoundtripAllDatasets(t *testing.T) {
+	var c Compressor
+	for _, ds := range sdrbench.All() {
+		dims := grid.D3(24, 20, 8)
+		if ds == sdrbench.HACC {
+			dims = grid.D1(50000)
+		}
+		data := sdrbench.Generate(ds, dims, 1)
+		for _, eb := range []float64{1e-2, 1e-4} {
+			blob, err := c.Compress(tp, data, dims, preprocess.RelBound(eb))
+			if err != nil {
+				t.Fatalf("%v eb %g: %v", ds, eb, err)
+			}
+			got, gotDims, err := c.Decompress(tp, blob)
+			if err != nil {
+				t.Fatalf("%v eb %g: %v", ds, eb, err)
+			}
+			if gotDims != dims {
+				t.Fatalf("dims mismatch")
+			}
+			absEB, _, _ := preprocess.Resolve(tp, device.Accel, data, preprocess.RelBound(eb))
+			if i := metrics.VerifyBound(data, got, absEB); i != -1 {
+				t.Fatalf("%v eb %g: bound violated at %d", ds, eb, i)
+			}
+		}
+	}
+}
+
+func TestCompressesSmoothData(t *testing.T) {
+	var c Compressor
+	dims := grid.D3(32, 32, 16)
+	data := sdrbench.GenCESM(dims, 2)
+	blob, err := c.Compress(tp, data, dims, preprocess.RelBound(1e-2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr := metrics.CompressionRatio(4*dims.N(), len(blob)); cr < 3 {
+		t.Errorf("CR = %.1f on smooth data at 1e-2, want ≥ 3", cr)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var c Compressor
+	if _, err := c.Compress(tp, make([]float32, 3), grid.D1(4), preprocess.RelBound(1e-3)); err == nil {
+		t.Error("dims mismatch should fail")
+	}
+	if _, err := c.Compress(tp, []float32{1e30, -1e30}, grid.D1(2), preprocess.AbsBound(1e-9)); err == nil {
+		t.Error("lattice overflow should fail")
+	}
+	if _, _, err := c.Decompress(tp, []byte("garbage")); err == nil {
+		t.Error("garbage should fail")
+	}
+	// Wrong-pipeline container.
+	data := make([]float32, 64)
+	blob, _ := c.Compress(tp, data, grid.D1(64), preprocess.AbsBound(1))
+	_ = blob
+}
+
+func TestDecompressTruncated(t *testing.T) {
+	var c Compressor
+	dims := grid.D1(10000)
+	data := sdrbench.GenHACC(dims.N(), 3)
+	blob, err := c.Compress(tp, data, dims, preprocess.RelBound(1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Decompress(tp, blob[:len(blob)/2]); err == nil {
+		t.Error("truncated container should fail")
+	}
+}
+
+func TestConstantBlocksCostOneByte(t *testing.T) {
+	// Constant data → all deltas zero → width 0 blocks: payload is just
+	// the width table.
+	var c Compressor
+	dims := grid.D1(32 * 1000)
+	data := make([]float32, dims.N())
+	for i := range data {
+		data[i] = 7.25
+	}
+	blob, err := c.Compress(tp, data, dims, preprocess.AbsBound(1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) > 2300 {
+		t.Errorf("constant field compressed to %d bytes, want ~2KB (width+head tables only)", len(blob))
+	}
+}

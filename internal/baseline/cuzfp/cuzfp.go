@@ -1,0 +1,424 @@
+// Package cuzfp implements a cuZFP-style fixed-rate transform compressor,
+// the related-work design the paper contrasts with error-bounded pipelines
+// (§2.2: cuZFP "uses a discrete orthogonal transform and attains high
+// ratio and throughput, but doesn't support error-bounded compression only
+// fixed-rate mode"). It is provided as a framework extension module — it
+// does not implement core.Compressor because its contract is a bit budget,
+// not an error bound, which is exactly the distinction the paper draws.
+//
+// The design follows ZFP's structure: the field is cut into 4³ blocks
+// (4-wide lines / 4×4 planes for lower ranks), each block is aligned to a
+// common exponent in fixed point, decorrelated with ZFP's reversible
+// lifted transform along each dimension, reordered by total sequency, and
+// the negabinary bit planes are emitted most-significant first until the
+// per-block bit budget is exhausted. Blocks are independent, so both
+// directions parallelize over blocks like the CUDA implementation.
+package cuzfp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"fzmod/internal/device"
+	"fzmod/internal/grid"
+)
+
+// BlockSide is the block edge length (ZFP uses 4).
+const BlockSide = 4
+
+// maxRate is the largest supported rate in bits per value: beyond the
+// fixed-point precision there is nothing left to send.
+const maxRate = 30
+
+// Compressor is a fixed-rate transform codec. Rate is the compressed bits
+// per value (per block: Rate × block size bits, plus a small header).
+type Compressor struct {
+	Rate int
+}
+
+// Name identifies the codec.
+func (c Compressor) Name() string { return fmt.Sprintf("cuzfp-r%d", c.Rate) }
+
+// blockGeom describes how a field decomposes into blocks.
+type blockGeom struct {
+	dims   grid.Dims
+	bx, by, bz int // block counts per dimension
+	vals   int      // values per block (4, 16 or 64 by rank)
+	rank   int
+}
+
+func geom(dims grid.Dims) blockGeom {
+	g := blockGeom{dims: dims, rank: dims.Rank()}
+	ceil := func(v int) int { return (v + BlockSide - 1) / BlockSide }
+	g.bx = ceil(dims.X)
+	g.by, g.bz = 1, 1
+	g.vals = BlockSide
+	if g.rank >= 2 {
+		g.by = ceil(dims.Y)
+		g.vals *= BlockSide
+	}
+	if g.rank >= 3 {
+		g.bz = ceil(dims.Z)
+		g.vals *= BlockSide
+	}
+	return g
+}
+
+func (g blockGeom) count() int { return g.bx * g.by * g.bz }
+
+// gather copies block b into buf (padding out-of-range positions with the
+// block's edge values, ZFP's padding rule simplified to clamp).
+func (g blockGeom) gather(data []float32, b int, buf []float64) {
+	ox := (b % g.bx) * BlockSide
+	oy := (b / g.bx % g.by) * BlockSide
+	oz := (b / (g.bx * g.by)) * BlockSide
+	clamp := func(v, hi int) int {
+		if v >= hi {
+			return hi - 1
+		}
+		return v
+	}
+	i := 0
+	nz, ny := 1, 1
+	if g.rank >= 2 {
+		ny = BlockSide
+	}
+	if g.rank >= 3 {
+		nz = BlockSide
+	}
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < BlockSide; x++ {
+				xi := clamp(ox+x, g.dims.X)
+				yi := clamp(oy+y, g.dims.Y)
+				zi := clamp(oz+z, g.dims.Z)
+				buf[i] = float64(data[g.dims.Idx(xi, yi, zi)])
+				i++
+			}
+		}
+	}
+}
+
+// scatter writes block b from buf back to data, skipping padded positions.
+func (g blockGeom) scatter(data []float32, b int, buf []float64) {
+	ox := (b % g.bx) * BlockSide
+	oy := (b / g.bx % g.by) * BlockSide
+	oz := (b / (g.bx * g.by)) * BlockSide
+	i := 0
+	nz, ny := 1, 1
+	if g.rank >= 2 {
+		ny = BlockSide
+	}
+	if g.rank >= 3 {
+		nz = BlockSide
+	}
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < BlockSide; x++ {
+				if ox+x < g.dims.X && oy+y < g.dims.Y && oz+z < g.dims.Z {
+					data[g.dims.Idx(ox+x, oy+y, oz+z)] = float32(buf[i])
+				}
+				i++
+			}
+		}
+	}
+}
+
+// fwdLift is ZFP's reversible 4-point lifted transform.
+func fwdLift(p []int32, s int) {
+	x, y, z, w := p[0], p[s], p[2*s], p[3*s]
+	x += w
+	x >>= 1
+	w -= x
+	z += y
+	z >>= 1
+	y -= z
+	x += z
+	x >>= 1
+	z -= x
+	w += y
+	w >>= 1
+	y -= w
+	w += y >> 1
+	y -= w >> 1
+	p[0], p[s], p[2*s], p[3*s] = x, y, z, w
+}
+
+// invLift inverts fwdLift exactly.
+func invLift(p []int32, s int) {
+	x, y, z, w := p[0], p[s], p[2*s], p[3*s]
+	y += w >> 1
+	w -= y >> 1
+	y += w
+	w <<= 1
+	w -= y
+	z += x
+	x <<= 1
+	x -= z
+	y += z
+	z <<= 1
+	z -= y
+	w += x
+	x <<= 1
+	x -= w
+	p[0], p[s], p[2*s], p[3*s] = x, y, z, w
+}
+
+// transform applies the lifted transform along every dimension of a block.
+func transform(coef []int32, rank int, inverse bool) {
+	lift := fwdLift
+	if inverse {
+		lift = invLift
+	}
+	switch rank {
+	case 1:
+		lift(coef, 1)
+	case 2:
+		if !inverse {
+			for y := 0; y < 4; y++ {
+				lift(coef[4*y:], 1) // along x
+			}
+			for x := 0; x < 4; x++ {
+				lift(coef[x:], 4) // along y
+			}
+		} else {
+			for x := 0; x < 4; x++ {
+				lift(coef[x:], 4)
+			}
+			for y := 0; y < 4; y++ {
+				lift(coef[4*y:], 1)
+			}
+		}
+	default:
+		if !inverse {
+			for z := 0; z < 4; z++ {
+				for y := 0; y < 4; y++ {
+					lift(coef[16*z+4*y:], 1)
+				}
+			}
+			for z := 0; z < 4; z++ {
+				for x := 0; x < 4; x++ {
+					lift(coef[16*z+x:], 4)
+				}
+			}
+			for y := 0; y < 4; y++ {
+				for x := 0; x < 4; x++ {
+					lift(coef[4*y+x:], 16)
+				}
+			}
+		} else {
+			for y := 0; y < 4; y++ {
+				for x := 0; x < 4; x++ {
+					lift(coef[4*y+x:], 16)
+				}
+			}
+			for z := 0; z < 4; z++ {
+				for x := 0; x < 4; x++ {
+					lift(coef[16*z+x:], 4)
+				}
+			}
+			for z := 0; z < 4; z++ {
+				for y := 0; y < 4; y++ {
+					lift(coef[16*z+4*y:], 1)
+				}
+			}
+		}
+	}
+}
+
+// sequency orders coefficients by total frequency so high-information
+// coefficients come first in the embedded stream.
+func sequencyOrder(rank int) []int {
+	var order []int
+	switch rank {
+	case 1:
+		order = []int{0, 1, 2, 3}
+	case 2:
+		order = make([]int, 0, 16)
+		for total := 0; total <= 6; total++ {
+			for y := 0; y < 4; y++ {
+				for x := 0; x < 4; x++ {
+					if x+y == total {
+						order = append(order, 4*y+x)
+					}
+				}
+			}
+		}
+	default:
+		order = make([]int, 0, 64)
+		for total := 0; total <= 9; total++ {
+			for z := 0; z < 4; z++ {
+				for y := 0; y < 4; y++ {
+					for x := 0; x < 4; x++ {
+						if x+y+z == total {
+							order = append(order, 16*z+4*y+x)
+						}
+					}
+				}
+			}
+		}
+	}
+	return order
+}
+
+// negabinary maps two's complement to negabinary so magnitude ordering
+// survives bit-plane truncation (ZFP's trick).
+func negabinary(v int32) uint32 { return (uint32(v) + 0xAAAAAAAA) ^ 0xAAAAAAAA }
+
+// unNegabinary inverts negabinary.
+func unNegabinary(u uint32) int32 { return int32((u ^ 0xAAAAAAAA) - 0xAAAAAAAA) }
+
+// Compress encodes data at the configured rate. Layout: uvarint dims ‖
+// uvarint rate ‖ per block: u8 exponent bias ‖ rate×vals bits of embedded
+// bit planes.
+func (c Compressor) Compress(p *device.Platform, data []float32, dims grid.Dims) ([]byte, error) {
+	if dims.N() != len(data) {
+		return nil, fmt.Errorf("cuzfp: dims %v do not match %d values", dims, len(data))
+	}
+	if c.Rate < 1 || c.Rate > maxRate {
+		return nil, fmt.Errorf("cuzfp: rate %d out of range [1,%d]", c.Rate, maxRate)
+	}
+	g := geom(dims)
+	order := sequencyOrder(g.rank)
+	nBlocks := g.count()
+	blockBits := c.Rate * g.vals
+	blockBytes := (blockBits + 7) / 8
+
+	head := binary.AppendUvarint(nil, uint64(dims.X))
+	head = binary.AppendUvarint(head, uint64(dims.Y))
+	head = binary.AppendUvarint(head, uint64(dims.Z))
+	head = binary.AppendUvarint(head, uint64(c.Rate))
+	out := make([]byte, len(head)+nBlocks*(1+blockBytes))
+	copy(out, head)
+	payload := len(head)
+
+	p.LaunchGrid(device.Accel, nBlocks, func(lo, hi int) {
+		buf := make([]float64, g.vals)
+		coef := make([]int32, g.vals)
+		for b := lo; b < hi; b++ {
+			g.gather(data, b, buf)
+			// Common exponent alignment.
+			maxAbs := 0.0
+			for _, v := range buf {
+				if a := math.Abs(v); a > maxAbs {
+					maxAbs = a
+				}
+			}
+			e := 0
+			if maxAbs > 0 {
+				_, e = math.Frexp(maxAbs)
+			}
+			scale := math.Ldexp(1, 28-e) // keep headroom for transform growth
+			for i, v := range buf {
+				coef[i] = int32(v * scale)
+			}
+			transform(coef, g.rank, false)
+
+			dst := payload + b*(1+blockBytes)
+			out[dst] = byte(e + 128) // biased exponent
+			emitPlanes(out[dst+1:dst+1+blockBytes], coef, order, blockBits)
+		}
+	})
+	return out, nil
+}
+
+// emitPlanes writes negabinary bit planes MSB-first in sequency order
+// until the bit budget is exhausted.
+func emitPlanes(dst []byte, coef []int32, order []int, budget int) {
+	bit := 0
+	for plane := 31; plane >= 0 && bit < budget; plane-- {
+		for _, idx := range order {
+			if bit >= budget {
+				return
+			}
+			if negabinary(coef[idx])>>uint(plane)&1 != 0 {
+				dst[bit/8] |= 1 << uint(bit%8)
+			}
+			bit++
+		}
+	}
+}
+
+// readPlanes inverts emitPlanes, leaving unsent low planes zero.
+func readPlanes(src []byte, coef []uint32, order []int, budget int) {
+	bit := 0
+	for plane := 31; plane >= 0 && bit < budget; plane-- {
+		for _, idx := range order {
+			if bit >= budget {
+				return
+			}
+			if src[bit/8]>>uint(bit%8)&1 != 0 {
+				coef[idx] |= 1 << uint(plane)
+			}
+			bit++
+		}
+	}
+}
+
+// Decompress inverts Compress.
+func (c Compressor) Decompress(p *device.Platform, blob []byte) ([]float32, grid.Dims, error) {
+	var dims [3]uint64
+	pos := 0
+	for i := range dims {
+		v, k := binary.Uvarint(blob[pos:])
+		if k <= 0 {
+			return nil, grid.Dims{}, fmt.Errorf("cuzfp: truncated dims")
+		}
+		dims[i], pos = v, pos+k
+	}
+	rate64, k := binary.Uvarint(blob[pos:])
+	if k <= 0 || rate64 < 1 || rate64 > maxRate {
+		return nil, grid.Dims{}, fmt.Errorf("cuzfp: bad rate")
+	}
+	pos += k
+	d := grid.Dims{X: int(dims[0]), Y: int(dims[1]), Z: int(dims[2])}
+	if !d.Valid() {
+		return nil, grid.Dims{}, fmt.Errorf("cuzfp: invalid dims %v", d)
+	}
+	g := geom(d)
+	order := sequencyOrder(g.rank)
+	nBlocks := g.count()
+	blockBits := int(rate64) * g.vals
+	blockBytes := (blockBits + 7) / 8
+	if len(blob) < pos+nBlocks*(1+blockBytes) {
+		return nil, grid.Dims{}, fmt.Errorf("cuzfp: stream shorter than block table")
+	}
+
+	out := make([]float32, d.N())
+	p.LaunchGrid(device.Accel, nBlocks, func(lo, hi int) {
+		buf := make([]float64, g.vals)
+		nb := make([]uint32, g.vals)
+		coef := make([]int32, g.vals)
+		for b := lo; b < hi; b++ {
+			src := pos + b*(1+blockBytes)
+			e := int(blob[src]) - 128
+			for i := range nb {
+				nb[i] = 0
+			}
+			readPlanes(blob[src+1:src+1+blockBytes], nb, order, blockBits)
+			for i, u := range nb {
+				coef[i] = unNegabinary(u)
+			}
+			transform(coef, g.rank, true)
+			scale := math.Ldexp(1, e-28)
+			for i, q := range coef {
+				buf[i] = float64(q) * scale
+			}
+			g.scatter(out, b, buf)
+		}
+	})
+	return out, d, nil
+}
+
+// CompressedSize reports the exact output size for a field, the defining
+// property of fixed-rate coding.
+func (c Compressor) CompressedSize(dims grid.Dims) int {
+	g := geom(dims)
+	blockBytes := (c.Rate*g.vals + 7) / 8
+	head := binary.AppendUvarint(nil, uint64(dims.X))
+	head = binary.AppendUvarint(head, uint64(dims.Y))
+	head = binary.AppendUvarint(head, uint64(dims.Z))
+	head = binary.AppendUvarint(head, uint64(c.Rate))
+	return len(head) + g.count()*(1+blockBytes)
+}

@@ -1,0 +1,242 @@
+package cuzfp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fzmod/internal/device"
+	"fzmod/internal/grid"
+	"fzmod/internal/metrics"
+	"fzmod/internal/sdrbench"
+)
+
+var tp = device.NewTestPlatform()
+
+// The ZFP lift truncates low bits (the >>1 steps), so forward∘inverse is
+// not bit-exact — the codec never needs it to be: the decoder only inverts
+// coefficients it decoded, and the truncation is part of the fixed-point
+// approximation. The tests check the actual contracts: near-identity of
+// forward∘inverse (few fixed-point ULPs) and exactness of the decode-side
+// pair inverse∘(what was encoded).
+func TestLiftNearInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 1000; trial++ {
+		p := make([]int32, 4)
+		q := make([]int32, 4)
+		for i := range p {
+			p[i] = int32(rng.Intn(1<<26) - 1<<25)
+			q[i] = p[i]
+		}
+		fwdLift(q, 1)
+		invLift(q, 1)
+		for i := range p {
+			if d := p[i] - q[i]; d > 8 || d < -8 {
+				t.Fatalf("trial %d: lift roundtrip error %d at %d", trial, d, i)
+			}
+		}
+	}
+}
+
+func TestTransformNearInverseAllRanks(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, rank := range []int{1, 2, 3} {
+		n := 4
+		if rank >= 2 {
+			n *= 4
+		}
+		if rank >= 3 {
+			n *= 4
+		}
+		for trial := 0; trial < 200; trial++ {
+			p := make([]int32, n)
+			q := make([]int32, n)
+			for i := range p {
+				p[i] = int32(rng.Intn(1<<24) - 1<<23)
+				q[i] = p[i]
+			}
+			transform(q, rank, false)
+			transform(q, rank, true)
+			for i := range p {
+				// Error grows with rank (one truncating pass per dim).
+				if d := p[i] - q[i]; d > 64 || d < -64 {
+					t.Fatalf("rank %d trial %d: transform roundtrip error %d", rank, trial, d)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeSideExactness(t *testing.T) {
+	// What the decoder actually does — invLift on decoded coefficients —
+	// must be deterministic: same coefficients in, same samples out.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		c := make([]int32, 64)
+		for i := range c {
+			c[i] = int32(rng.Intn(1<<20) - 1<<19)
+		}
+		a := append([]int32(nil), c...)
+		b := append([]int32(nil), c...)
+		transform(a, 3, true)
+		transform(b, 3, true)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("inverse transform nondeterministic")
+			}
+		}
+	}
+}
+
+func TestNegabinaryBijection(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10000; trial++ {
+		v := int32(rng.Uint32())
+		if unNegabinary(negabinary(v)) != v {
+			t.Fatalf("negabinary not invertible for %d", v)
+		}
+	}
+	// Small magnitudes have high planes zero (truncation-friendly).
+	if negabinary(0) != 0 {
+		t.Error("negabinary(0) must be 0")
+	}
+	if negabinary(1)>>8 != 0 || negabinary(-1)>>8 != 0 {
+		t.Error("small values must occupy low negabinary planes")
+	}
+}
+
+func TestSequencyOrderPermutations(t *testing.T) {
+	for rank, n := range map[int]int{1: 4, 2: 16, 3: 64} {
+		order := sequencyOrder(rank)
+		if len(order) != n {
+			t.Fatalf("rank %d: order length %d", rank, len(order))
+		}
+		seen := make(map[int]bool)
+		for _, idx := range order {
+			if idx < 0 || idx >= n || seen[idx] {
+				t.Fatalf("rank %d: order not a permutation", rank)
+			}
+			seen[idx] = true
+		}
+		if order[0] != 0 {
+			t.Errorf("rank %d: DC coefficient must come first", rank)
+		}
+	}
+}
+
+func TestFixedSize(t *testing.T) {
+	for _, rate := range []int{1, 4, 8, 16} {
+		c := Compressor{Rate: rate}
+		dims := grid.D3(17, 9, 5) // non-multiple of 4 on purpose
+		data := sdrbench.GenHURR(dims, 4)
+		blob, err := c.Compress(tp, data, dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(blob) != c.CompressedSize(dims) {
+			t.Errorf("rate %d: size %d, want exactly %d", rate, len(blob), c.CompressedSize(dims))
+		}
+	}
+}
+
+func TestErrorDecreasesWithRate(t *testing.T) {
+	dims := grid.D3(32, 32, 16)
+	data := sdrbench.GenHURR(dims, 5)
+	var prevPSNR float64
+	for _, rate := range []int{2, 4, 8, 16, 24} {
+		c := Compressor{Rate: rate}
+		blob, err := c.Compress(tp, data, dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotDims, err := c.Decompress(tp, blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotDims != dims {
+			t.Fatal("dims mismatch")
+		}
+		q, err := metrics.Evaluate(tp, device.Host, data, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.PSNR <= prevPSNR {
+			t.Errorf("rate %d: PSNR %.1f not above rate-lower %.1f", rate, q.PSNR, prevPSNR)
+		}
+		prevPSNR = q.PSNR
+	}
+	if prevPSNR < 90 {
+		t.Errorf("rate 24 PSNR %.1f suspiciously low", prevPSNR)
+	}
+}
+
+func TestHighRateNearLossless(t *testing.T) {
+	dims := grid.D2(40, 28)
+	data := sdrbench.GenCESM(grid.D3(40, 28, 1), 6)
+	c := Compressor{Rate: 28}
+	blob, err := c.Compress(tp, data, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := c.Decompress(tp, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxAbs, maxErr float64
+	for i := range data {
+		if a := math.Abs(float64(data[i])); a > maxAbs {
+			maxAbs = a
+		}
+		if e := math.Abs(float64(data[i]) - float64(got[i])); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > maxAbs*1e-5 {
+		t.Errorf("rate-28 max error %g vs magnitude %g", maxErr, maxAbs)
+	}
+}
+
+func TestAllRanksRoundtrip(t *testing.T) {
+	for _, dims := range []grid.Dims{grid.D1(1000), grid.D2(33, 21), grid.D3(9, 14, 6)} {
+		data := sdrbench.GenNYX(grid.D3(dims.X, dims.Y, dims.Z), 7)
+		c := Compressor{Rate: 12}
+		blob, err := c.Compress(tp, data, dims)
+		if err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		got, gotDims, err := c.Decompress(tp, blob)
+		if err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		if gotDims != dims || len(got) != dims.N() {
+			t.Fatalf("%v: bad geometry back", dims)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	c := Compressor{Rate: 8}
+	if _, err := c.Compress(tp, make([]float32, 3), grid.D1(4)); err == nil {
+		t.Error("dims mismatch should fail")
+	}
+	if _, err := (Compressor{Rate: 0}).Compress(tp, make([]float32, 4), grid.D1(4)); err == nil {
+		t.Error("zero rate should fail")
+	}
+	if _, err := (Compressor{Rate: 99}).Compress(tp, make([]float32, 4), grid.D1(4)); err == nil {
+		t.Error("excessive rate should fail")
+	}
+	if _, _, err := c.Decompress(tp, nil); err == nil {
+		t.Error("empty blob should fail")
+	}
+	data := make([]float32, 64)
+	blob, _ := c.Compress(tp, data, grid.D1(64))
+	if _, _, err := c.Decompress(tp, blob[:len(blob)/2]); err == nil {
+		t.Error("truncated blob should fail")
+	}
+}
+
+func TestName(t *testing.T) {
+	if (Compressor{Rate: 8}).Name() != "cuzfp-r8" {
+		t.Error("name")
+	}
+}

@@ -1,0 +1,108 @@
+package fzgpu
+
+import (
+	"testing"
+
+	"fzmod/internal/device"
+	"fzmod/internal/grid"
+	"fzmod/internal/metrics"
+	"fzmod/internal/preprocess"
+	"fzmod/internal/sdrbench"
+)
+
+var tp = device.NewTestPlatform()
+
+func TestRoundtripAllDatasets(t *testing.T) {
+	var c Compressor
+	for _, ds := range sdrbench.All() {
+		dims := grid.D3(24, 20, 8)
+		if ds == sdrbench.HACC {
+			dims = grid.D1(50000)
+		}
+		data := sdrbench.Generate(ds, dims, 1)
+		for _, eb := range []float64{1e-2, 1e-4} {
+			blob, err := c.Compress(tp, data, dims, preprocess.RelBound(eb))
+			if err != nil {
+				t.Fatalf("%v eb %g: %v", ds, eb, err)
+			}
+			got, gotDims, err := c.Decompress(tp, blob)
+			if err != nil {
+				t.Fatalf("%v eb %g: %v", ds, eb, err)
+			}
+			if gotDims != dims {
+				t.Fatal("dims mismatch")
+			}
+			absEB, _, _ := preprocess.Resolve(tp, device.Accel, data, preprocess.RelBound(eb))
+			if i := metrics.VerifyBound(data, got, absEB); i != -1 {
+				t.Fatalf("%v eb %g: bound violated at %d: %v vs %v", ds, eb, i, data[i], got[i])
+			}
+		}
+	}
+}
+
+func TestRanks(t *testing.T) {
+	var c Compressor
+	for _, dims := range []grid.Dims{grid.D1(5000), grid.D2(80, 60), grid.D3(20, 25, 10)} {
+		data := sdrbench.GenHURR(dims, 2)
+		blob, err := c.Compress(tp, data, dims, preprocess.RelBound(1e-3))
+		if err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		got, _, err := c.Decompress(tp, blob)
+		if err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		absEB, _, _ := preprocess.Resolve(tp, device.Accel, data, preprocess.RelBound(1e-3))
+		if i := metrics.VerifyBound(data, got, absEB); i != -1 {
+			t.Fatalf("%v: bound violated at %d", dims, i)
+		}
+	}
+}
+
+func TestCompressesSmoothData(t *testing.T) {
+	var c Compressor
+	dims := grid.D3(32, 32, 16)
+	data := sdrbench.GenCESM(dims, 3)
+	blob, err := c.Compress(tp, data, dims, preprocess.RelBound(1e-2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr := metrics.CompressionRatio(4*dims.N(), len(blob)); cr < 4 {
+		t.Errorf("CR = %.1f on smooth data at 1e-2, want ≥ 4", cr)
+	}
+}
+
+func TestResidualOverflowReported(t *testing.T) {
+	var c Compressor
+	// Alternating extremes at a tight bound force residuals beyond int16.
+	data := make([]float32, 1024)
+	for i := range data {
+		if i%2 == 0 {
+			data[i] = 1000
+		} else {
+			data[i] = -1000
+		}
+	}
+	if _, err := c.Compress(tp, data, grid.D1(1024), preprocess.AbsBound(1e-3)); err == nil {
+		t.Error("16-bit residual overflow should be reported, not silently wrapped")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var c Compressor
+	if _, err := c.Compress(tp, make([]float32, 3), grid.D1(4), preprocess.RelBound(1e-3)); err == nil {
+		t.Error("dims mismatch should fail")
+	}
+	if _, _, err := c.Decompress(tp, []byte("garbage")); err == nil {
+		t.Error("garbage should fail")
+	}
+	dims := grid.D1(5000)
+	data := sdrbench.GenHACC(dims.N(), 4)
+	blob, err := c.Compress(tp, data, dims, preprocess.RelBound(1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Decompress(tp, blob[:len(blob)/3]); err == nil {
+		t.Error("truncated container should fail")
+	}
+}

@@ -1,0 +1,109 @@
+package pfpl
+
+import (
+	"testing"
+
+	"fzmod/internal/device"
+	"fzmod/internal/grid"
+	"fzmod/internal/metrics"
+	"fzmod/internal/preprocess"
+	"fzmod/internal/sdrbench"
+)
+
+var tp = device.NewTestPlatform()
+
+func TestRoundtripAllDatasets(t *testing.T) {
+	var c Compressor
+	for _, ds := range sdrbench.All() {
+		dims := grid.D3(24, 20, 8)
+		if ds == sdrbench.HACC {
+			dims = grid.D1(50000)
+		}
+		data := sdrbench.Generate(ds, dims, 1)
+		for _, eb := range []float64{1e-2, 1e-4, 1e-6} {
+			blob, err := c.Compress(tp, data, dims, preprocess.RelBound(eb))
+			if err != nil {
+				t.Fatalf("%v eb %g: %v", ds, eb, err)
+			}
+			got, gotDims, err := c.Decompress(tp, blob)
+			if err != nil {
+				t.Fatalf("%v eb %g: %v", ds, eb, err)
+			}
+			if gotDims != dims {
+				t.Fatal("dims mismatch")
+			}
+			absEB, _, _ := preprocess.Resolve(tp, device.Host, data, preprocess.RelBound(eb))
+			if i := metrics.VerifyBound(data, got, absEB); i != -1 {
+				t.Fatalf("%v eb %g: bound violated at %d", ds, eb, i)
+			}
+		}
+	}
+}
+
+func TestHighRatioAtLooseBounds(t *testing.T) {
+	// The paper's Table 3 shape: PFPL shines at 1e-2 on smooth data via
+	// zero elimination.
+	var c Compressor
+	dims := grid.D3(32, 32, 16)
+	data := sdrbench.GenCESM(dims, 2)
+	blob, err := c.Compress(tp, data, dims, preprocess.RelBound(1e-2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr := metrics.CompressionRatio(4*dims.N(), len(blob)); cr < 6 {
+		t.Errorf("CR = %.1f at 1e-2 on smooth data, want ≥ 6", cr)
+	}
+}
+
+func TestStrictBoundOnHostileData(t *testing.T) {
+	// Huge magnitudes force the raw-escape path; the bound must still
+	// hold exactly (guaranteed error bounds).
+	var c Compressor
+	data := []float32{1e30, -1e30, 5, 1e28, 0, -3}
+	dims := grid.D1(len(data))
+	blob, err := c.Compress(tp, data, dims, preprocess.AbsBound(1e-6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := c.Decompress(tp, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if data[i] != got[i] {
+			t.Fatalf("raw escape not exact at %d: %v vs %v", i, data[i], got[i])
+		}
+	}
+}
+
+func TestZeroBlockFraction(t *testing.T) {
+	smooth := make([]float32, 8192)
+	for i := range smooth {
+		smooth[i] = 100 // constant → all-zero codes
+	}
+	if f := ZeroBlockFraction(smooth, 1e-3); f < 0.95 {
+		t.Errorf("constant data zero-block fraction = %.2f, want ~1", f)
+	}
+	if ZeroBlockFraction(nil, 1e-3) != 0 {
+		t.Error("empty data should give 0")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var c Compressor
+	if _, err := c.Compress(tp, make([]float32, 3), grid.D1(4), preprocess.RelBound(1e-3)); err == nil {
+		t.Error("dims mismatch should fail")
+	}
+	if _, _, err := c.Decompress(tp, []byte("garbage")); err == nil {
+		t.Error("garbage should fail")
+	}
+	dims := grid.D1(20000)
+	data := sdrbench.GenHACC(dims.N(), 4)
+	blob, err := c.Compress(tp, data, dims, preprocess.RelBound(1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Decompress(tp, blob[:len(blob)/2]); err == nil {
+		t.Error("truncated container should fail")
+	}
+}

@@ -1,0 +1,57 @@
+package sz3
+
+import (
+	"testing"
+
+	"fzmod/internal/device"
+	"fzmod/internal/grid"
+	"fzmod/internal/metrics"
+	"fzmod/internal/preprocess"
+	"fzmod/internal/sdrbench"
+)
+
+var tp = device.NewTestPlatform()
+
+func TestRoundtripAllDatasets(t *testing.T) {
+	c := New()
+	for _, ds := range sdrbench.All() {
+		dims := grid.D3(24, 20, 8)
+		if ds == sdrbench.HACC {
+			dims = grid.D1(30000)
+		}
+		data := sdrbench.Generate(ds, dims, 1)
+		for _, eb := range []float64{1e-2, 1e-4} {
+			blob, err := c.Compress(tp, data, dims, preprocess.RelBound(eb))
+			if err != nil {
+				t.Fatalf("%v eb %g: %v", ds, eb, err)
+			}
+			got, gotDims, err := c.Decompress(tp, blob)
+			if err != nil {
+				t.Fatalf("%v eb %g: %v", ds, eb, err)
+			}
+			if gotDims != dims {
+				t.Fatal("dims mismatch")
+			}
+			absEB, _, _ := preprocess.Resolve(tp, device.Host, data, preprocess.RelBound(eb))
+			if i := metrics.VerifyBound(data, got, absEB); i != -1 {
+				t.Fatalf("%v eb %g: bound violated at %d", ds, eb, i)
+			}
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "sz3" {
+		t.Error("name mismatch")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	c := New()
+	if _, err := c.Compress(tp, make([]float32, 3), grid.D1(4), preprocess.RelBound(1e-3)); err == nil {
+		t.Error("dims mismatch should fail")
+	}
+	if _, _, err := c.Decompress(tp, []byte("garbage")); err == nil {
+		t.Error("garbage should fail")
+	}
+}

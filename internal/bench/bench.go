@@ -1,0 +1,352 @@
+// Package bench is the evaluation harness: it regenerates every table and
+// figure of the paper's §4 against the synthetic SDRBench stand-ins. Both
+// cmd/fzbench and the root testing.B benchmarks drive these entry points,
+// so the printed rows and the benchmark measurements come from one
+// implementation.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"fzmod/internal/baseline/cuszp2"
+	"fzmod/internal/baseline/fzgpu"
+	"fzmod/internal/baseline/pfpl"
+	"fzmod/internal/baseline/sz3"
+	"fzmod/internal/core"
+	"fzmod/internal/device"
+	"fzmod/internal/grid"
+	"fzmod/internal/metrics"
+	"fzmod/internal/preprocess"
+	"fzmod/internal/sdrbench"
+)
+
+// Scale selects workload size.
+type Scale int
+
+const (
+	// Small quarters each dimension — quick CI-grade runs.
+	Small Scale = iota
+	// Full uses the harness defaults from sdrbench.DefaultDims.
+	Full
+)
+
+// EBs are the paper's three evaluation bounds (Table 3, Figures 1–3).
+var EBs = []float64{1e-2, 1e-4, 1e-6}
+
+// Dims returns the workload geometry for a dataset at a scale.
+func Dims(ds sdrbench.Dataset, sc Scale) grid.Dims {
+	d := sdrbench.DefaultDims(ds)
+	if sc == Small {
+		q := func(v int) int {
+			v /= 4
+			if v < 8 {
+				v = 8
+			}
+			return v
+		}
+		switch d.Rank() {
+		case 1:
+			return grid.D1(d.X / 16)
+		case 2:
+			return grid.D2(q(d.X), q(d.Y))
+		default:
+			return grid.D3(q(d.X), q(d.Y), q(d.Z))
+		}
+	}
+	return d
+}
+
+// Compressors returns the evaluated compressors in the paper's figure
+// legend order: FZ-GPU, FZMod-default, FZMod-quality, FZMod-speed, PFPL,
+// cuSZp2, with SZ3 appended for the CR/rate-distortion experiments.
+func Compressors() []core.Compressor {
+	return append(GPUCompressors(), sz3.New())
+}
+
+// GPUCompressors returns the throughput-comparison set (paper Figures 1–3
+// exclude SZ3 as the low-throughput CPU reference).
+func GPUCompressors() []core.Compressor {
+	return []core.Compressor{
+		fzgpu.Compressor{},
+		core.NewDefault(),
+		core.NewQuality(),
+		core.NewSpeed(),
+		pfpl.Compressor{},
+		cuszp2.Compressor{},
+	}
+}
+
+// Result is one (compressor, dataset, eb) measurement.
+type Result struct {
+	Compressor string
+	Dataset    string
+	EB         float64
+	CR         float64
+	Bitrate    float64 // bits per value
+	PSNR       float64
+	CompGBs    float64 // compression throughput
+	DecompGBs  float64 // decompression throughput
+	CompErr    error   // non-nil when the compressor rejected the setting
+}
+
+// datasets are generated once per (dataset, dims) and cached: generation
+// costs more than compression at full scale.
+var (
+	cacheMu sync.Mutex
+	cache   = map[string][]float32{}
+)
+
+// Data returns the (cached) primary synthetic field for a dataset.
+func Data(ds sdrbench.Dataset, sc Scale) ([]float32, grid.Dims) {
+	return DataField(ds, sc, 0)
+}
+
+// fieldSeeds generates distinct fields of the same dataset: Table 3
+// reports ratios averaged over a dataset's fields (Table 2: 33/6/20/6
+// fields), which this harness approximates with three.
+var fieldSeeds = []int64{42, 1042, 90042}
+
+// DataField returns the (cached) synthetic field with the given field
+// index.
+func DataField(ds sdrbench.Dataset, sc Scale, field int) ([]float32, grid.Dims) {
+	dims := Dims(ds, sc)
+	seed := fieldSeeds[field%len(fieldSeeds)]
+	key := fmt.Sprintf("%v-%v-%d", ds, dims, seed)
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if d, ok := cache[key]; ok {
+		return d, dims
+	}
+	d := sdrbench.Generate(ds, dims, seed)
+	cache[key] = d
+	return d, dims
+}
+
+// RunOne measures one compressor on one dataset at one bound: timed
+// compression, timed decompression, bound verification, and quality.
+func RunOne(p *device.Platform, c core.Compressor, data []float32, dims grid.Dims, eb float64) Result {
+	r := Result{Compressor: c.Name(), EB: eb}
+	inBytes := 4 * dims.N()
+
+	t0 := time.Now()
+	blob, err := c.Compress(p, data, dims, preprocess.RelBound(eb))
+	compSec := time.Since(t0).Seconds()
+	if err != nil {
+		// Matches the paper's Table 3 footnote: some pipelines reject
+		// some (dataset, eb) combinations; the cell is reported empty.
+		r.CompErr = err
+		return r
+	}
+	t0 = time.Now()
+	dec, _, err := c.Decompress(p, blob)
+	decompSec := time.Since(t0).Seconds()
+	if err != nil {
+		r.CompErr = fmt.Errorf("decompress: %w", err)
+		return r
+	}
+	absEB, _, _ := preprocess.Resolve(p, device.Host, data, preprocess.RelBound(eb))
+	if i := metrics.VerifyBound(data, dec, absEB); i != -1 {
+		r.CompErr = fmt.Errorf("bound violated at index %d", i)
+		return r
+	}
+	q, err := metrics.Evaluate(p, device.Host, data, dec)
+	if err != nil {
+		r.CompErr = err
+		return r
+	}
+	r.CR = metrics.CompressionRatio(inBytes, len(blob))
+	r.Bitrate = metrics.Bitrate(dims.N(), len(blob))
+	r.PSNR = q.PSNR
+	r.CompGBs = metrics.Throughput(inBytes, compSec)
+	r.DecompGBs = metrics.Throughput(inBytes, decompSec)
+	return r
+}
+
+// Table3 regenerates the compression-ratio table: datasets × bounds ×
+// compressors, with each cell the average over the dataset's fields, as in
+// the paper ("Average Compression Ratios"). A compressor that rejects any
+// field at a bound gets an empty cell, mirroring the paper's dropped HACC
+// entries.
+func Table3(w io.Writer, p *device.Platform, sc Scale) []Result {
+	cs := Compressors()
+	fmt.Fprintf(w, "Table 3: average compression ratios over %d fields (synthetic SDRBench stand-ins)\n", len(fieldSeeds))
+	fmt.Fprintf(w, "%-10s %-8s", "Dataset", "eb")
+	for _, c := range cs {
+		fmt.Fprintf(w, " %14s", c.Name())
+	}
+	fmt.Fprintln(w)
+	var out []Result
+	for _, ds := range sdrbench.All() {
+		for _, eb := range EBs {
+			fmt.Fprintf(w, "%-10s %-8.0e", ds, eb)
+			row := make([]Result, len(cs))
+			for i, c := range cs {
+				var sum float64
+				ok := true
+				for field := range fieldSeeds {
+					data, dims := DataField(ds, sc, field)
+					r := RunOne(p, c, data, dims, eb)
+					if field == 0 {
+						row[i] = r
+						row[i].Dataset = ds.String()
+					}
+					if r.CompErr != nil {
+						row[i].CompErr = r.CompErr
+						ok = false
+						break
+					}
+					sum += r.CR
+				}
+				if !ok {
+					fmt.Fprintf(w, " %14s", "–")
+					continue
+				}
+				row[i].CR = sum / float64(len(fieldSeeds))
+				fmt.Fprintf(w, " %14.1f", row[i].CR)
+			}
+			fmt.Fprintln(w)
+			out = append(out, row...)
+		}
+	}
+	return out
+}
+
+// Fig1 regenerates the compression/decompression throughput figure.
+func Fig1(w io.Writer, p *device.Platform, sc Scale) []Result {
+	cs := GPUCompressors()
+	fmt.Fprintf(w, "Figure 1: throughput in GB/s (shape comparison; absolute values are single-core Go)\n")
+	var out []Result
+	for _, dir := range []string{"compression", "decompression"} {
+		fmt.Fprintf(w, "[%s]\n%-10s %-8s", dir, "Dataset", "eb")
+		for _, c := range cs {
+			fmt.Fprintf(w, " %14s", c.Name())
+		}
+		fmt.Fprintln(w)
+		for _, ds := range sdrbench.All() {
+			data, dims := Data(ds, sc)
+			for _, eb := range EBs {
+				fmt.Fprintf(w, "%-10s %-8.0e", ds, eb)
+				for _, c := range cs {
+					r := RunOne(p, c, data, dims, eb)
+					r.Dataset = ds.String()
+					if dir == "compression" {
+						out = append(out, r)
+					}
+					v := r.CompGBs
+					if dir == "decompression" {
+						v = r.DecompGBs
+					}
+					if r.CompErr != nil {
+						fmt.Fprintf(w, " %14s", "–")
+					} else {
+						fmt.Fprintf(w, " %14.3f", v)
+					}
+				}
+				fmt.Fprintln(w)
+			}
+		}
+	}
+	return out
+}
+
+// paperPeakGBs is cuSZp2's approximate peak compression throughput on the
+// paper's H100 (Figure 1 top row, ~600 GB/s). It anchors the bandwidth
+// calibration below.
+const paperPeakGBs = 600.0
+
+// Speedup regenerates Figures 2 (H100 model) and 3 (V100 model): Eq. 1
+// with the platform's measured-bandwidth figure from Table 1.
+//
+// Eq. 1 depends only on the ratio T/BW and on CR. Our compressors run on
+// one Go core, so absolute T is ~3 orders of magnitude below the paper's
+// GPUs; applying the paper's BW directly would make every speedup ~0 and
+// erase the figure's shape. Instead the link bandwidth is rescaled by a
+// single calibration factor — the ratio of our fastest measured compressor
+// to cuSZp2's paper throughput — which preserves every T/BW ratio and
+// therefore the figure's who-wins-where structure. The factor is printed
+// with the table.
+func Speedup(w io.Writer, p *device.Platform, sc Scale) []Result {
+	cs := GPUCompressors()
+
+	// Pass 1: measure everything.
+	rows := make(map[string][]Result)
+	var order []string
+	peak := 0.0
+	for _, ds := range sdrbench.All() {
+		data, dims := Data(ds, sc)
+		for _, eb := range EBs {
+			key := fmt.Sprintf("%-10s %-8.0e", ds, eb)
+			order = append(order, key)
+			for _, c := range cs {
+				r := RunOne(p, c, data, dims, eb)
+				r.Dataset = ds.String()
+				rows[key] = append(rows[key], r)
+				if r.CompGBs > peak {
+					peak = r.CompGBs
+				}
+			}
+		}
+	}
+	scale := peak / paperPeakGBs
+	bwGBs := p.LinkBandwidth / 1e9 * scale
+
+	fmt.Fprintf(w, "Overall speedup (Eq. 1), BW=%.2f GB/s (Table 1) x calibration %.3g = %.4f GB/s (%s)\n",
+		p.LinkBandwidth/1e9, scale, bwGBs, p.Name)
+	fmt.Fprintf(w, "%-10s %-8s", "Dataset", "eb")
+	for _, c := range cs {
+		fmt.Fprintf(w, " %14s", c.Name())
+	}
+	fmt.Fprintln(w)
+	var out []Result
+	for _, key := range order {
+		fmt.Fprint(w, key)
+		for _, r := range rows[key] {
+			out = append(out, r)
+			if r.CompErr != nil {
+				fmt.Fprintf(w, " %14s", "–")
+				continue
+			}
+			sp := metrics.OverallSpeedup(r.CompGBs, bwGBs, r.CR)
+			fmt.Fprintf(w, " %14.2f", sp)
+		}
+		fmt.Fprintln(w)
+	}
+	return out
+}
+
+// Fig4EBs is the rate–distortion sweep grid.
+var Fig4EBs = []float64{1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6}
+
+// Fig4 regenerates the rate–distortion curves: (bitrate, PSNR) series per
+// compressor per dataset over the bound sweep.
+func Fig4(w io.Writer, p *device.Platform, sc Scale) []Result {
+	cs := Compressors()
+	fmt.Fprintf(w, "Figure 4: rate-distortion (bitrate bits/value → PSNR dB)\n")
+	var out []Result
+	for _, ds := range sdrbench.All() {
+		data, dims := Data(ds, sc)
+		fmt.Fprintf(w, "[%s]\n", ds)
+		for _, c := range cs {
+			fmt.Fprintf(w, "  %-16s", c.Name())
+			series := make([]Result, 0, len(Fig4EBs))
+			for _, eb := range Fig4EBs {
+				r := RunOne(p, c, data, dims, eb)
+				r.Dataset = ds.String()
+				if r.CompErr == nil {
+					series = append(series, r)
+				}
+				out = append(out, r)
+			}
+			sort.Slice(series, func(i, j int) bool { return series[i].Bitrate < series[j].Bitrate })
+			for _, r := range series {
+				fmt.Fprintf(w, " (%.2f, %.1f)", r.Bitrate, r.PSNR)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"fzmod/internal/device"
+	"fzmod/internal/grid"
+	"fzmod/internal/predictor/spline"
+	"fzmod/internal/preprocess"
+)
+
+// This file implements the auto-selection mechanism the paper lists as
+// future work (§5, item 3): "developing an auto-selection mechanism for
+// compression modules based on data characteristics, intended hardware
+// environment, and needed quality metrics of the end user." Selection is
+// driven by a cheap sampled profile of the data plus the caller's
+// objective, and returns a composed Pipeline.
+
+// Objective expresses what the user needs from the compressor.
+type Objective int
+
+const (
+	// Balanced trades ratio, quality and throughput (FZMod-Default's
+	// philosophy).
+	Balanced Objective = iota
+	// MaxThroughput prioritizes speed: no trees, no histograms.
+	MaxThroughput
+	// MaxRatio prioritizes compressed size; quality follows from the
+	// error bound either way.
+	MaxRatio
+)
+
+// String names the objective.
+func (o Objective) String() string {
+	switch o {
+	case MaxThroughput:
+		return "max-throughput"
+	case MaxRatio:
+		return "max-ratio"
+	default:
+		return "balanced"
+	}
+}
+
+// DataProfile is the sampled characterization used for module selection.
+type DataProfile struct {
+	// DeltaQuanta is the mean |neighbor delta| in quantization-lattice
+	// units at the resolved bound; ≫1 means the bound is tight relative
+	// to the data's local variability (hard to predict).
+	DeltaQuanta float64
+	// SplineAdvantage is lorenzo-extrapolation sampled squared error over
+	// cubic-interpolation sampled squared error (>1 favors the spline).
+	SplineAdvantage float64
+	// ZeroDeltaFrac is the fraction of sampled neighbor deltas that
+	// quantize to exactly zero — high values mean dictionary/zero
+	// elimination style encoders already capture most of the win.
+	ZeroDeltaFrac float64
+	// Rank is the dimensionality of the field.
+	Rank int
+}
+
+// sampleBudget bounds profiling work regardless of field size.
+const sampleBudget = 1 << 14
+
+// Profile samples the data and computes the selection statistics.
+func Profile(p *device.Platform, data []float32, dims grid.Dims, absEB float64) (DataProfile, error) {
+	if dims.N() != len(data) || len(data) == 0 {
+		return DataProfile{}, fmt.Errorf("core: profile: dims %v vs %d values", dims, len(data))
+	}
+	if absEB <= 0 {
+		return DataProfile{}, fmt.Errorf("core: profile: bound must be positive")
+	}
+	n := len(data)
+	stride := n/sampleBudget + 1
+	inv2eb := 1.0 / (2 * absEB)
+
+	var sumDelta float64
+	var zeroDeltas, samples int
+	var sseLorenzo, sseCubic float64
+	for i := 3 * stride; i+3*stride < n; i += stride {
+		// 1-D neighbor statistics along the fastest dimension.
+		d := float64(data[i]) - float64(data[i-stride])
+		q := math.Abs(d) * inv2eb
+		sumDelta += q
+		if math.Round(q) == 0 {
+			zeroDeltas++
+		}
+		// Predictor shoot-out on the same sample: Lorenzo-style
+		// extrapolation from one side vs centered cubic interpolation.
+		// Both use the same stride so the comparison is fair at the
+		// finest refinement level.
+		lo := 2*float64(data[i-stride]) - float64(data[i-2*stride])
+		cu := (-float64(data[i-3*stride]) + 9*float64(data[i-stride]) +
+			9*float64(data[i+stride]) - float64(data[i+3*stride])) / 16
+		el := float64(data[i]) - lo
+		ec := float64(data[i]) - cu
+		sseLorenzo += el * el
+		sseCubic += ec * ec
+		samples++
+	}
+	if samples == 0 {
+		return DataProfile{Rank: dims.Rank()}, nil
+	}
+	prof := DataProfile{
+		DeltaQuanta:   sumDelta / float64(samples),
+		ZeroDeltaFrac: float64(zeroDeltas) / float64(samples),
+		Rank:          dims.Rank(),
+	}
+	if sseCubic > 0 {
+		prof.SplineAdvantage = sseLorenzo / sseCubic
+	} else if sseLorenzo > 0 {
+		prof.SplineAdvantage = math.Inf(1)
+	} else {
+		prof.SplineAdvantage = 1
+	}
+	return prof, nil
+}
+
+// AutoSelect composes a pipeline for the data, bound and objective. The
+// returned profile documents why.
+//
+// Decision structure:
+//   - MaxThroughput → FZMod-Speed (single-pass encoder); the secondary
+//     encoder is attached because the dictionary stream keeps exploitable
+//     structure (measured ~-23% in the secondary ablation) only when the
+//     caller also wants ratio, so here it stays off.
+//   - Otherwise the predictor follows the sampled shoot-out: the spline
+//     needs a clear accuracy advantage (>1.5×) to justify its anchor and
+//     traversal overheads; particle-like streams (rank 1, weak advantage)
+//     stay on Lorenzo, reproducing the paper's HACC guidance.
+//   - The Huffman histogram variant follows the expected code
+//     distribution: near-exact prediction (sub-quantum deltas) means few
+//     distinct codes, where the top-k histogram is the better module.
+//   - MaxRatio additionally attaches the secondary encoder.
+func AutoSelect(p *device.Platform, data []float32, dims grid.Dims, eb preprocess.ErrorBound, obj Objective) (*Pipeline, DataProfile, error) {
+	absEB, _, err := preprocess.Resolve(p, device.Host, data, eb)
+	if err != nil {
+		return nil, DataProfile{}, err
+	}
+	prof, err := Profile(p, data, dims, absEB)
+	if err != nil {
+		return nil, DataProfile{}, err
+	}
+
+	if obj == MaxThroughput {
+		return NewSpeed(), prof, nil
+	}
+
+	var pl *Pipeline
+	useSpline := prof.SplineAdvantage > 1.5 && prof.Rank >= 2
+	if useSpline {
+		pl = &Pipeline{
+			PipelineName: "fzmod-auto-quality",
+			Pred:         SplinePredictor{Config: spline.Config{Mode: spline.Auto, TuneOrder: true}},
+			Enc:          HuffmanEncoder{Hist: histForProfile(prof)},
+			PredPlace:    device.Accel,
+			EncPlace:     device.Host,
+		}
+	} else {
+		pl = &Pipeline{
+			PipelineName: "fzmod-auto-default",
+			Pred:         LorenzoPredictor{},
+			Enc:          HuffmanEncoder{Hist: histForProfile(prof)},
+			PredPlace:    device.Accel,
+			EncPlace:     device.Host,
+		}
+	}
+	if obj == MaxRatio {
+		pl = pl.WithSecondary(LZSecondary{})
+	}
+	return pl, prof, nil
+}
+
+// histForProfile picks the histogram module: spiky code distributions
+// (most deltas quantize to zero) suit the top-k variant (§3.2).
+func histForProfile(prof DataProfile) HistKind {
+	if prof.ZeroDeltaFrac > 0.5 {
+		return HistTopK
+	}
+	return HistStandard
+}

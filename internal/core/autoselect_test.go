@@ -1,0 +1,156 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"fzmod/internal/device"
+	"fzmod/internal/grid"
+	"fzmod/internal/metrics"
+	"fzmod/internal/preprocess"
+	"fzmod/internal/sdrbench"
+)
+
+func TestProfileSmoothVsNoisy(t *testing.T) {
+	dims := grid.D2(128, 128)
+	smooth := sdrbench.GenCESM(grid.D3(128, 128, 1), 1)
+	noisy := sdrbench.GenHACC(dims.N(), 1)
+
+	absS, _, _ := preprocess.Resolve(tp, device.Host, smooth, preprocess.RelBound(1e-3))
+	ps, err := Profile(tp, smooth, dims, absS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	absN, _, _ := preprocess.Resolve(tp, device.Host, noisy, preprocess.RelBound(1e-3))
+	pn, err := Profile(tp, noisy, grid.D1(dims.N()), absN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.DeltaQuanta >= pn.DeltaQuanta {
+		t.Errorf("smooth DeltaQuanta %.2f should be below noisy %.2f", ps.DeltaQuanta, pn.DeltaQuanta)
+	}
+	if ps.Rank != 2 || pn.Rank != 1 {
+		t.Error("rank detection")
+	}
+}
+
+func TestProfileErrors(t *testing.T) {
+	if _, err := Profile(tp, make([]float32, 3), grid.D1(4), 1e-3); err == nil {
+		t.Error("dims mismatch should fail")
+	}
+	if _, err := Profile(tp, make([]float32, 4), grid.D1(4), 0); err == nil {
+		t.Error("zero bound should fail")
+	}
+	if _, err := Profile(tp, nil, grid.D1(0), 1e-3); err == nil {
+		t.Error("empty data should fail")
+	}
+}
+
+func TestProfileTinyInput(t *testing.T) {
+	// Fewer points than the sampling window: must not panic, returns a
+	// neutral profile.
+	prof, err := Profile(tp, []float32{1, 2}, grid.D1(2), 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Rank != 1 {
+		t.Error("rank")
+	}
+}
+
+func TestAutoSelectThroughputObjective(t *testing.T) {
+	data, dims := testField()
+	pl, _, err := AutoSelect(tp, data, dims, preprocess.RelBound(1e-3), MaxThroughput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Name() != "fzmod-speed" {
+		t.Errorf("throughput objective chose %s", pl.Name())
+	}
+}
+
+func TestAutoSelectParticleDataAvoidsSpline(t *testing.T) {
+	// HACC-like 1-D particle stream: interpolation has no advantage; the
+	// selector must stay on Lorenzo (the paper's Table 3 shows Quality
+	// collapsing on HACC).
+	n := 1 << 16
+	data := sdrbench.GenHACC(n, 3)
+	pl, prof, err := AutoSelect(tp, data, grid.D1(n), preprocess.RelBound(1e-3), Balanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Pred.Name() != "lorenzo" {
+		t.Errorf("particle data selected predictor %s (profile %+v)", pl.Pred.Name(), prof)
+	}
+}
+
+func TestAutoSelectMaxRatioAttachesSecondary(t *testing.T) {
+	data, dims := testField()
+	pl, _, err := AutoSelect(tp, data, dims, preprocess.RelBound(1e-3), MaxRatio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Sec == nil || !strings.Contains(pl.Name(), "+lz") {
+		t.Errorf("max-ratio objective should attach the secondary encoder: %s", pl.Name())
+	}
+}
+
+func TestAutoSelectedPipelineRoundtrips(t *testing.T) {
+	for _, obj := range []Objective{Balanced, MaxThroughput, MaxRatio} {
+		for _, ds := range []sdrbench.Dataset{sdrbench.CESM, sdrbench.NYX} {
+			dims := grid.D3(32, 32, 8)
+			data := sdrbench.Generate(ds, dims, 4)
+			pl, _, err := AutoSelect(tp, data, dims, preprocess.RelBound(1e-3), obj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blob, err := pl.Compress(tp, data, dims, preprocess.RelBound(1e-3))
+			if err != nil {
+				t.Fatalf("%v/%v: %v", obj, ds, err)
+			}
+			back, _, err := Decompress(tp, blob)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", obj, ds, err)
+			}
+			absEB, _, _ := preprocess.Resolve(tp, device.Host, data, preprocess.RelBound(1e-3))
+			if i := metrics.VerifyBound(data, back, absEB); i != -1 {
+				t.Fatalf("%v/%v: bound violated at %d", obj, ds, i)
+			}
+		}
+	}
+}
+
+func TestAutoSelectBeatsWorstPreset(t *testing.T) {
+	// The selector should never pick a pipeline that is the worst of the
+	// three presets for a ratio objective on smooth data.
+	dims := grid.D3(64, 64, 8)
+	data := sdrbench.GenCESM(dims, 6)
+	eb := preprocess.RelBound(1e-3)
+	pl, _, err := AutoSelect(tp, data, dims, eb, MaxRatio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := pl.Compress(tp, data, dims, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0
+	for _, preset := range Presets() {
+		blob, err := preset.Compress(tp, data, dims, eb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(blob) > worst {
+			worst = len(blob)
+		}
+	}
+	if len(auto) >= worst {
+		t.Errorf("auto-selected stream %d B not better than the worst preset %d B", len(auto), worst)
+	}
+}
+
+func TestObjectiveString(t *testing.T) {
+	if Balanced.String() != "balanced" || MaxThroughput.String() != "max-throughput" || MaxRatio.String() != "max-ratio" {
+		t.Error("objective names")
+	}
+}

@@ -1,0 +1,150 @@
+// Package core is the FZModules framework itself: the module interfaces
+// each pipeline stage plugs into, the pipeline composer that chains
+// preprocessing → prediction → primary lossless encoding → optional
+// secondary encoding (§3.3), the serialization of every stage into the
+// fzio container, and the preset pipelines the paper evaluates
+// (FZMod-Default, FZMod-Speed, FZMod-Quality).
+//
+// A pipeline is data, not code: it is assembled from named modules, and
+// the module names are recorded in the compressed container so any
+// FZModules build with the same modules registered can decompress the
+// stream. New modules register themselves in the package registry exactly
+// the way the paper describes extending the framework.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"fzmod/internal/device"
+	"fzmod/internal/grid"
+	"fzmod/internal/preprocess"
+)
+
+// Prediction is the interchange format between the prediction stage and
+// the lossless encoding stage: a dense stream of bounded quantization
+// codes plus predictor-specific side data (outliers, anchors, interpolant
+// choices) as named binary segments.
+type Prediction struct {
+	Codes  []uint16
+	Radius int
+	// Extras holds predictor-specific serialized side channels; they are
+	// stored as container segments prefixed "pred.".
+	Extras map[string][]byte
+}
+
+// Predictor is the prediction+quantization stage contract.
+type Predictor interface {
+	// Name is the registry key recorded in compressed containers.
+	Name() string
+	// Predict quantizes data within absolute bound eb at place.
+	Predict(p *device.Platform, place device.Place, data []float32, dims grid.Dims, eb float64) (*Prediction, error)
+	// Reconstruct inverts Predict.
+	Reconstruct(p *device.Platform, place device.Place, pred *Prediction, dims grid.Dims, eb float64) ([]float32, error)
+}
+
+// CodesEncoder is the primary lossless stage contract: it compresses the
+// quantization-code stream.
+type CodesEncoder interface {
+	Name() string
+	EncodeCodes(p *device.Platform, place device.Place, codes []uint16, radius int) ([]byte, error)
+	DecodeCodes(p *device.Platform, place device.Place, blob []byte) ([]uint16, error)
+}
+
+// Secondary is the optional second lossless pass (the zstd slot).
+type Secondary interface {
+	Name() string
+	Compress(p *device.Platform, place device.Place, data []byte) ([]byte, error)
+	Decompress(p *device.Platform, place device.Place, blob []byte) ([]byte, error)
+}
+
+// Compressor is the uniform external contract pipelines and baseline
+// compressors share; the benchmark harness drives everything through it.
+type Compressor interface {
+	Name() string
+	Compress(p *device.Platform, data []float32, dims grid.Dims, eb preprocess.ErrorBound) ([]byte, error)
+	Decompress(p *device.Platform, blob []byte) ([]float32, grid.Dims, error)
+}
+
+// Registry maps module names to implementations so containers are
+// self-describing. Registration normally happens in init functions.
+var (
+	regMu      sync.RWMutex
+	predictors = map[string]Predictor{}
+	encoders   = map[string]CodesEncoder{}
+	secondary  = map[string]Secondary{}
+)
+
+// RegisterPredictor adds a predictor to the registry; it panics on
+// duplicate names, which are programmer error.
+func RegisterPredictor(pr Predictor) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := predictors[pr.Name()]; dup {
+		panic("core: duplicate predictor " + pr.Name())
+	}
+	predictors[pr.Name()] = pr
+}
+
+// RegisterEncoder adds a primary encoder to the registry.
+func RegisterEncoder(e CodesEncoder) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := encoders[e.Name()]; dup {
+		panic("core: duplicate encoder " + e.Name())
+	}
+	encoders[e.Name()] = e
+}
+
+// RegisterSecondary adds a secondary encoder to the registry.
+func RegisterSecondary(s Secondary) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := secondary[s.Name()]; dup {
+		panic("core: duplicate secondary " + s.Name())
+	}
+	secondary[s.Name()] = s
+}
+
+// LookupPredictor resolves a registry name.
+func LookupPredictor(name string) (Predictor, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	pr, ok := predictors[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown predictor %q (known: %v)", name, keys(predictors))
+	}
+	return pr, nil
+}
+
+// LookupEncoder resolves a registry name.
+func LookupEncoder(name string) (CodesEncoder, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	e, ok := encoders[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown encoder %q (known: %v)", name, keys(encoders))
+	}
+	return e, nil
+}
+
+// LookupSecondary resolves a registry name.
+func LookupSecondary(name string) (Secondary, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := secondary[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown secondary %q (known: %v)", name, keys(secondary))
+	}
+	return s, nil
+}
+
+func keys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

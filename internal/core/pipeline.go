@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fzmod/internal/device"
+	"fzmod/internal/fzio"
+	"fzmod/internal/grid"
+	"fzmod/internal/preprocess"
+)
+
+// Pipeline composes registered modules into a compressor, the framework's
+// central object (§3.3). PredPlace and EncPlace assign each stage to an
+// execution place, expressing hybrid designs like FZMod-Default's
+// GPU-predictor + CPU-Huffman split.
+type Pipeline struct {
+	PipelineName string
+	Pred         Predictor
+	Enc          CodesEncoder
+	Sec          Secondary // nil disables the secondary stage
+	PredPlace    device.Place
+	EncPlace     device.Place
+}
+
+// Name implements Compressor.
+func (pl *Pipeline) Name() string { return pl.PipelineName }
+
+// WithSecondary returns a copy of the pipeline with the secondary encoder
+// attached, as in "zstd can be attempted" (§3.2).
+func (pl *Pipeline) WithSecondary(s Secondary) *Pipeline {
+	cp := *pl
+	cp.Sec = s
+	cp.PipelineName = pl.PipelineName + "+" + s.Name()
+	return &cp
+}
+
+// segment names used by the container layout.
+const (
+	segCodes   = "codes"
+	segModules = "modules"
+	segSec     = "sec"
+	segZ       = "z"
+	predPrefix = "pred."
+)
+
+// Compress implements Compressor: resolve the bound, predict+quantize,
+// encode codes, serialize all stages into an fzio container, and
+// optionally apply the secondary encoder over the whole inner container.
+func (pl *Pipeline) Compress(p *device.Platform, data []float32, dims grid.Dims, eb preprocess.ErrorBound) ([]byte, error) {
+	if dims.N() != len(data) {
+		return nil, fmt.Errorf("core: dims %v do not match %d values", dims, len(data))
+	}
+	absEB, _, err := preprocess.Resolve(p, pl.PredPlace, data, eb)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := pl.Pred.Predict(p, pl.PredPlace, data, dims, absEB)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s predict: %w", pl.Pred.Name(), err)
+	}
+	payload, err := pl.Enc.EncodeCodes(p, pl.EncPlace, pred.Codes, pred.Radius)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s encode: %w", pl.Enc.Name(), err)
+	}
+
+	relEB := 0.0
+	if eb.Mode == preprocess.Rel {
+		relEB = eb.Value
+	}
+	inner := fzio.New(fzio.Header{
+		Pipeline: pl.PipelineName,
+		Dims:     dims,
+		EB:       absEB,
+		RelEB:    relEB,
+		Extra:    uint64(pred.Radius),
+	})
+	if err := inner.Add(segModules, []byte(pl.Pred.Name()+"\x00"+pl.Enc.Name())); err != nil {
+		return nil, err
+	}
+	if err := inner.Add(segCodes, payload); err != nil {
+		return nil, err
+	}
+	for _, k := range sortedKeys(pred.Extras) {
+		if err := inner.Add(predPrefix+k, pred.Extras[k]); err != nil {
+			return nil, err
+		}
+	}
+	blob, err := inner.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	if pl.Sec == nil {
+		return blob, nil
+	}
+
+	z, err := pl.Sec.Compress(p, pl.EncPlace, blob)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s secondary: %w", pl.Sec.Name(), err)
+	}
+	outer := fzio.New(fzio.Header{Pipeline: pl.PipelineName, Dims: dims, EB: absEB, RelEB: relEB})
+	if err := outer.Add(segSec, []byte(pl.Sec.Name())); err != nil {
+		return nil, err
+	}
+	if err := outer.Add(segZ, z); err != nil {
+		return nil, err
+	}
+	return outer.Marshal()
+}
+
+// Decompress implements Compressor. It ignores the receiver's module
+// configuration: containers are self-describing, so any registered module
+// set can decode them.
+func (pl *Pipeline) Decompress(p *device.Platform, blob []byte) ([]float32, grid.Dims, error) {
+	return Decompress(p, blob)
+}
+
+// Decompress reconstructs a field from any FZModules container using the
+// module registry.
+func Decompress(p *device.Platform, blob []byte) ([]float32, grid.Dims, error) {
+	c, err := fzio.Unmarshal(blob)
+	if err != nil {
+		return nil, grid.Dims{}, err
+	}
+	if c.Has(segSec) {
+		secName, _ := c.Segment(segSec)
+		sec, err := LookupSecondary(string(secName))
+		if err != nil {
+			return nil, grid.Dims{}, err
+		}
+		z, err := c.Segment(segZ)
+		if err != nil {
+			return nil, grid.Dims{}, err
+		}
+		inner, err := sec.Decompress(p, device.Host, z)
+		if err != nil {
+			return nil, grid.Dims{}, fmt.Errorf("core: %s secondary: %w", sec.Name(), err)
+		}
+		if c, err = fzio.Unmarshal(inner); err != nil {
+			return nil, grid.Dims{}, err
+		}
+	}
+
+	modBytes, err := c.Segment(segModules)
+	if err != nil {
+		return nil, grid.Dims{}, err
+	}
+	names := strings.SplitN(string(modBytes), "\x00", 2)
+	if len(names) != 2 {
+		return nil, grid.Dims{}, fmt.Errorf("core: malformed modules segment")
+	}
+	pr, err := LookupPredictor(names[0])
+	if err != nil {
+		return nil, grid.Dims{}, err
+	}
+	enc, err := LookupEncoder(names[1])
+	if err != nil {
+		return nil, grid.Dims{}, err
+	}
+
+	payload, err := c.Segment(segCodes)
+	if err != nil {
+		return nil, grid.Dims{}, err
+	}
+	codes, err := enc.DecodeCodes(p, device.Accel, payload)
+	if err != nil {
+		return nil, grid.Dims{}, fmt.Errorf("core: %s decode: %w", enc.Name(), err)
+	}
+	dims := c.Header.Dims
+	if len(codes) != dims.N() {
+		return nil, grid.Dims{}, fmt.Errorf("core: %d codes for dims %v", len(codes), dims)
+	}
+	pred := &Prediction{
+		Codes:  codes,
+		Radius: int(c.Header.Extra),
+		Extras: map[string][]byte{},
+	}
+	for _, name := range c.Names() {
+		if strings.HasPrefix(name, predPrefix) {
+			seg, _ := c.Segment(name)
+			pred.Extras[strings.TrimPrefix(name, predPrefix)] = seg
+		}
+	}
+	out, err := pr.Reconstruct(p, device.Accel, pred, dims, c.Header.EB)
+	if err != nil {
+		return nil, grid.Dims{}, fmt.Errorf("core: %s reconstruct: %w", pr.Name(), err)
+	}
+	return out, dims, nil
+}
+
+// Describe returns a one-line human-readable pipeline summary.
+func (pl *Pipeline) Describe() string {
+	sec := "none"
+	if pl.Sec != nil {
+		sec = pl.Sec.Name()
+	}
+	return fmt.Sprintf("%s: predict=%s@%v encode=%s@%v secondary=%s",
+		pl.PipelineName, pl.Pred.Name(), pl.PredPlace, pl.Enc.Name(), pl.EncPlace, sec)
+}
+
+func sortedKeys(m map[string][]byte) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"fzmod/internal/device"
+	"fzmod/internal/grid"
+	"fzmod/internal/predictor/lorenzo"
+	"fzmod/internal/predictor/spline"
+)
+
+// LorenzoPredictor adapts the cuSZ Lorenzo module (package lorenzo) to the
+// framework's Predictor contract. It is the prediction stage of
+// FZMod-Default and FZMod-Speed.
+type LorenzoPredictor struct {
+	// Radius overrides the quantization radius; 0 uses the module default.
+	Radius int
+}
+
+// Name implements Predictor.
+func (LorenzoPredictor) Name() string { return "lorenzo" }
+
+// Predict implements Predictor.
+func (lp LorenzoPredictor) Predict(p *device.Platform, place device.Place, data []float32, dims grid.Dims, eb float64) (*Prediction, error) {
+	q, err := lorenzo.Encode(p, place, data, dims, eb, lp.Radius)
+	if err != nil {
+		return nil, err
+	}
+	outVal := make([]uint32, len(q.OutVal))
+	for i, v := range q.OutVal {
+		outVal[i] = uint32(v)
+	}
+	// The outlier index stream is redundant on the wire: code 0 marks
+	// outlier positions, and the compaction emits values in ascending
+	// index order, so the decoder can rebuild indices from the codes.
+	return &Prediction{
+		Codes:  q.Codes,
+		Radius: q.Radius,
+		Extras: map[string][]byte{
+			"outval": device.U32Bytes(outVal),
+		},
+	}, nil
+}
+
+// Reconstruct implements Predictor.
+func (LorenzoPredictor) Reconstruct(p *device.Platform, place device.Place, pred *Prediction, dims grid.Dims, eb float64) ([]float32, error) {
+	outValU := device.BytesU32(pred.Extras["outval"])
+	outVal := make([]int32, len(outValU))
+	for i, v := range outValU {
+		outVal[i] = int32(v)
+	}
+	// STF containers carry an explicit index side-channel (it is what
+	// lets outlier scatter run concurrently with Huffman decode); plain
+	// containers omit it and the indices are rebuilt from the escapes.
+	var outIdx []uint32
+	if raw, ok := pred.Extras["outidx"]; ok {
+		outIdx = device.BytesU32(raw)
+	} else {
+		outIdx = outlierIndices(pred.Codes, len(outVal))
+	}
+	q := &lorenzo.Quantized{
+		Codes:  pred.Codes,
+		OutIdx: outIdx,
+		OutVal: outVal,
+		Radius: pred.Radius,
+	}
+	if len(q.OutIdx) != len(outVal) {
+		return nil, fmt.Errorf("core: %d outlier escapes in codes, %d values", len(q.OutIdx), len(outVal))
+	}
+	return lorenzo.Decode(p, place, q, dims, eb)
+}
+
+// outlierIndices rebuilds the ascending outlier index stream from the
+// escape codes (code 0). cap bounds the scan so a corrupt stream cannot
+// allocate unboundedly.
+func outlierIndices(codes []uint16, cap int) []uint32 {
+	out := make([]uint32, 0, cap)
+	for i, c := range codes {
+		if c == 0 {
+			out = append(out, uint32(i))
+		}
+	}
+	return out
+}
+
+// SplinePredictor adapts the G-Interp interpolation module (package
+// spline) — the prediction stage of FZMod-Quality, and with Mode=Auto the
+// SZ3 baseline's predictor.
+type SplinePredictor struct {
+	Config spline.Config
+}
+
+// Name implements Predictor.
+func (sp SplinePredictor) Name() string {
+	if sp.Config.Mode == spline.Auto {
+		return "spline-auto"
+	}
+	return "spline"
+}
+
+// Predict implements Predictor.
+func (sp SplinePredictor) Predict(p *device.Platform, place device.Place, data []float32, dims grid.Dims, eb float64) (*Prediction, error) {
+	q, err := spline.Encode(p, place, data, dims, eb, sp.Config)
+	if err != nil {
+		return nil, err
+	}
+	meta := binary.AppendUvarint(nil, uint64(q.MaxLevel))
+	meta = binary.AppendUvarint(meta, uint64(len(q.Choices)))
+	meta = append(meta, q.Choices...)
+	meta = binary.AppendUvarint(meta, uint64(len(q.Orders)))
+	meta = append(meta, q.Orders...)
+	return &Prediction{
+		Codes:  q.Codes,
+		Radius: q.Radius,
+		Extras: map[string][]byte{
+			"anchors": device.F32Bytes(q.Anchors),
+			"outval":  device.F32Bytes(q.OutVal),
+			"meta":    meta,
+		},
+	}, nil
+}
+
+// Reconstruct implements Predictor.
+func (sp SplinePredictor) Reconstruct(p *device.Platform, place device.Place, pred *Prediction, dims grid.Dims, eb float64) ([]float32, error) {
+	meta := pred.Extras["meta"]
+	maxLevel, k := binary.Uvarint(meta)
+	if k <= 0 {
+		return nil, fmt.Errorf("core: spline meta segment corrupt")
+	}
+	pos := k
+	nChoices, k2 := binary.Uvarint(meta[pos:])
+	if k2 <= 0 || pos+k2+int(nChoices) > len(meta) {
+		return nil, fmt.Errorf("core: spline choices corrupt")
+	}
+	pos += k2
+	choices := meta[pos : pos+int(nChoices)]
+	pos += int(nChoices)
+	nOrders, k3 := binary.Uvarint(meta[pos:])
+	if k3 <= 0 || pos+k3+int(nOrders) > len(meta) {
+		return nil, fmt.Errorf("core: spline orders corrupt")
+	}
+	pos += k3
+	orders := meta[pos : pos+int(nOrders)]
+	outVal := device.BytesF32(pred.Extras["outval"])
+	q := &spline.Quantized{
+		Codes:    pred.Codes,
+		Anchors:  device.BytesF32(pred.Extras["anchors"]),
+		OutIdx:   outlierIndices(pred.Codes, len(outVal)),
+		OutVal:   outVal,
+		Choices:  choices,
+		Orders:   orders,
+		Radius:   pred.Radius,
+		MaxLevel: int(maxLevel),
+	}
+	if len(q.OutIdx) != len(outVal) {
+		return nil, fmt.Errorf("core: %d outlier escapes in codes, %d values", len(q.OutIdx), len(outVal))
+	}
+	return spline.Decode(p, place, q, dims, eb)
+}

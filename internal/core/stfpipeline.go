@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"fzmod/internal/device"
+	"fzmod/internal/encoder/huffman"
+	"fzmod/internal/fzio"
+	"fzmod/internal/grid"
+	"fzmod/internal/histogram"
+	"fzmod/internal/predictor/lorenzo"
+	"fzmod/internal/stf"
+)
+
+// STFReport carries the execution evidence of a task-flow run: the task
+// trace (for checking stage overlap) and the inferred DAG in dot syntax.
+type STFReport struct {
+	Trace []stf.TaskTrace
+	DOT   string
+}
+
+// Overlapped reports whether any two tasks ran concurrently.
+func (r *STFReport) Overlapped() bool { return stf.Overlapped(r.Trace) }
+
+// DecompressSTF decompresses an FZMod-Default (lorenzo+huffman) container
+// through the task-flow engine, reproducing the paper's §3.3.1 example:
+// one task populates outlier data at the accelerator while the host
+// decodes the Huffman stream — the two stages share no data dependency
+// until reconstruction combines them.
+func DecompressSTF(p *device.Platform, blob []byte) ([]float32, grid.Dims, *STFReport, error) {
+	c, err := fzio.Unmarshal(blob)
+	if err != nil {
+		return nil, grid.Dims{}, nil, err
+	}
+	if c.Has(segSec) {
+		return nil, grid.Dims{}, nil, fmt.Errorf("core: STF pipeline does not support secondary-encoded containers")
+	}
+	modBytes, err := c.Segment(segModules)
+	if err != nil {
+		return nil, grid.Dims{}, nil, err
+	}
+	names := strings.SplitN(string(modBytes), "\x00", 2)
+	if len(names) != 2 || names[0] != "lorenzo" || !strings.HasPrefix(names[1], "huffman") {
+		return nil, grid.Dims{}, nil, fmt.Errorf("core: STF decompression supports lorenzo+huffman containers, got %q", modBytes)
+	}
+	payload, err := c.Segment(segCodes)
+	if err != nil {
+		return nil, grid.Dims{}, nil, err
+	}
+	// STF-written containers carry the explicit outlier index stream; for
+	// plain containers the indices are derived from the escape codes in
+	// the join task instead (the index branch then only decodes values).
+	var outIdxRaw []byte
+	hasIdx := c.Has(predPrefix + "outidx")
+	if hasIdx {
+		outIdxRaw, err = c.Segment(predPrefix + "outidx")
+		if err != nil {
+			return nil, grid.Dims{}, nil, err
+		}
+	}
+	outValRaw, err := c.Segment(predPrefix + "outval")
+	if err != nil {
+		return nil, grid.Dims{}, nil, err
+	}
+
+	dims := c.Header.Dims
+	n := dims.N()
+	radius := int(c.Header.Extra)
+	eb := c.Header.EB
+	nOut := len(outValRaw) / 4
+
+	ctx := stf.NewCtx(p)
+	codesBlob := stf.NewData(ctx, "codes-blob", payload)
+	idxBlob := stf.NewData(ctx, "outidx-blob", outIdxRaw)
+	valBlob := stf.NewData(ctx, "outval-blob", outValRaw)
+	codes := stf.NewScratch[uint16](ctx, "codes", n)
+	outIdx := stf.NewScratch[uint32](ctx, "outidx", nOut)
+	outVal := stf.NewScratch[int32](ctx, "outval", nOut)
+	result := stf.NewScratch[float32](ctx, "result", n)
+
+	// Branch 1: Huffman decode on the host.
+	ctx.Task("huffman-decode").Reads(codesBlob.D()).Writes(codes.D()).On(device.Host).
+		Do(func(ti *stf.TaskInstance) error {
+			decoded, err := huffman.Decompress(p, device.Host, codesBlob.Acc(ti))
+			if err != nil {
+				return err
+			}
+			if len(decoded) != n {
+				return fmt.Errorf("core: %d decoded codes for %d values", len(decoded), n)
+			}
+			copy(codes.Acc(ti), decoded)
+			return nil
+		})
+
+	// Branch 2: populate outlier data at the accelerator, concurrently.
+	ctx.Task("outlier-populate").Reads(idxBlob.D(), valBlob.D()).Writes(outIdx.D(), outVal.D()).
+		On(device.Accel).Do(func(ti *stf.TaskInstance) error {
+		ib, vb := idxBlob.Acc(ti), valBlob.Acc(ti)
+		oi, ov := outIdx.Acc(ti), outVal.Acc(ti)
+		ti.Launch(nOut, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				if hasIdx {
+					oi[j] = uint32(ib[4*j]) | uint32(ib[4*j+1])<<8 | uint32(ib[4*j+2])<<16 | uint32(ib[4*j+3])<<24
+				}
+				ov[j] = int32(uint32(vb[4*j]) | uint32(vb[4*j+1])<<8 | uint32(vb[4*j+2])<<16 | uint32(vb[4*j+3])<<24)
+			}
+		})
+		return nil
+	})
+
+	// Join: inverse Lorenzo reconstruction consumes both branches.
+	ctx.Task("reconstruct").Reads(codes.D(), outIdx.D(), outVal.D()).Writes(result.D()).
+		On(device.Accel).Do(func(ti *stf.TaskInstance) error {
+		idx := outIdx.Acc(ti)
+		cds := codes.Acc(ti)
+		if !hasIdx {
+			idx = idx[:0]
+			for i, cv := range cds {
+				if cv == 0 {
+					idx = append(idx, uint32(i))
+				}
+			}
+			if len(idx) != nOut {
+				return fmt.Errorf("core: %d escapes, %d outlier values", len(idx), nOut)
+			}
+		}
+		q := &lorenzo.Quantized{
+			Codes:  cds,
+			OutIdx: idx,
+			OutVal: outVal.Acc(ti),
+			Radius: radius,
+		}
+		dec, err := lorenzo.Decode(p, ti.Place(), q, dims, eb)
+		if err != nil {
+			return err
+		}
+		copy(result.Acc(ti), dec)
+		return nil
+	})
+
+	if err := ctx.Finalize(); err != nil {
+		return nil, grid.Dims{}, nil, err
+	}
+	report := &STFReport{Trace: ctx.Trace(), DOT: ctx.DOT()}
+	return result.Host(), dims, report, nil
+}
+
+// CompressSTF compresses with the FZMod-Default stages expressed as a task
+// graph: prediction at the accelerator, then histogram (accelerator) and
+// outlier serialization (host) proceed concurrently before host Huffman
+// coding. The output container is byte-compatible with Pipeline.Compress
+// followed by the standard Decompress.
+func CompressSTF(p *device.Platform, data []float32, dims grid.Dims, absEB float64) ([]byte, *STFReport, error) {
+	if dims.N() != len(data) {
+		return nil, nil, fmt.Errorf("core: dims %v do not match %d values", dims, len(data))
+	}
+	n := dims.N()
+
+	ctx := stf.NewCtx(p)
+	input := stf.NewData(ctx, "input", data)
+	codes := stf.NewScratch[uint16](ctx, "codes", n)
+	// Outlier count is dynamic; tokens carry the dependency while the
+	// payloads travel through captured variables (the same pattern CUDASTF
+	// uses for dynamically-sized outputs via oversized logical buffers).
+	outTok := stf.NewScratch[byte](ctx, "outliers-token", 1)
+	histTok := stf.NewScratch[byte](ctx, "hist-token", 1)
+	payloadTok := stf.NewScratch[byte](ctx, "payload-token", 1)
+
+	var quant *lorenzo.Quantized
+	var outIdxBytes, outValBytes []byte
+	var hist []uint32
+	var payload []byte
+
+	ctx.Task("predict").Reads(input.D()).Writes(codes.D(), outTok.D()).On(device.Accel).
+		Do(func(ti *stf.TaskInstance) error {
+			q, err := lorenzo.Encode(p, ti.Place(), input.Acc(ti), dims, absEB, 0)
+			if err != nil {
+				return err
+			}
+			quant = q
+			copy(codes.Acc(ti), q.Codes)
+			return nil
+		})
+
+	ctx.Task("histogram").Reads(codes.D()).Writes(histTok.D()).On(device.Accel).
+		Do(func(ti *stf.TaskInstance) error {
+			h, err := histogramOf(p, ti.Place(), codes.Acc(ti), quant.Radius)
+			if err != nil {
+				return err
+			}
+			hist = h
+			return nil
+		})
+
+	ctx.Task("outlier-serialize").Reads(outTok.D()).Writes(payloadTok.D()).On(device.Host).
+		Do(func(ti *stf.TaskInstance) error {
+			outIdxBytes = device.U32Bytes(quant.OutIdx)
+			vals := make([]uint32, len(quant.OutVal))
+			for i, v := range quant.OutVal {
+				vals[i] = uint32(v)
+			}
+			outValBytes = device.U32Bytes(vals)
+			return nil
+		})
+
+	ctx.Task("huffman-encode").Reads(codes.D(), histTok.D()).ReadsWrites(payloadTok.D()).On(device.Host).
+		Do(func(ti *stf.TaskInstance) error {
+			pl, err := huffman.Compress(p, device.Host, codes.Acc(ti), hist)
+			if err != nil {
+				return err
+			}
+			payload = pl
+			return nil
+		})
+
+	if err := ctx.Finalize(); err != nil {
+		return nil, nil, err
+	}
+
+	inner := fzio.New(fzio.Header{
+		Pipeline: "fzmod-default",
+		Dims:     dims,
+		EB:       absEB,
+		Extra:    uint64(quant.Radius),
+	})
+	if err := inner.Add(segModules, []byte("lorenzo\x00huffman")); err != nil {
+		return nil, nil, err
+	}
+	if err := inner.Add(segCodes, payload); err != nil {
+		return nil, nil, err
+	}
+	if err := inner.Add(predPrefix+"outidx", outIdxBytes); err != nil {
+		return nil, nil, err
+	}
+	if err := inner.Add(predPrefix+"outval", outValBytes); err != nil {
+		return nil, nil, err
+	}
+	blob, err := inner.Marshal()
+	if err != nil {
+		return nil, nil, err
+	}
+	report := &STFReport{Trace: ctx.Trace(), DOT: ctx.DOT()}
+	return blob, report, nil
+}
+
+func histogramOf(p *device.Platform, place device.Place, codes []uint16, radius int) ([]uint32, error) {
+	return histogram.Standard(p, place, codes, 2*radius)
+}

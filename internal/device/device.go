@@ -1,0 +1,261 @@
+// Package device provides a simulated heterogeneous computing platform.
+//
+// The FZModules paper runs its modules as CUDA kernels on NVIDIA V100/H100
+// GPUs. This reproduction has no GPU, so the package models the two things a
+// GPU imposes on module code and that the framework must manage:
+//
+//  1. An execution place with massive flat parallelism. Kernels are written
+//     as grid-stride functions and launched over a worker pool via
+//     LaunchGrid, exactly mirroring how the CUDA kernels partition work.
+//  2. A distinct memory space. Device allocations are separate Go slices;
+//     data only crosses between host and device through CopyIn/CopyOut,
+//     which account every byte moved and charge a modeled transfer time so
+//     end-to-end measurements include the H2D/D2H discipline the paper's
+//     Measured Bandwidth row (Table 1) captures.
+//
+// Two standard platforms are provided, modeled on Table 1 of the paper:
+// NewH100Platform and NewV100Platform. They differ in modeled kernel width
+// and host<->device bandwidth, which is what drives the Figure 2 vs Figure 3
+// divergence in the paper's evaluation.
+package device
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Place identifies where a kernel executes or where a buffer lives.
+type Place int
+
+const (
+	// Host is the CPU execution place and host memory space.
+	Host Place = iota
+	// Accel is the simulated accelerator place ("the GPU").
+	Accel
+)
+
+// String returns the conventional short name for the place.
+func (p Place) String() string {
+	switch p {
+	case Host:
+		return "host"
+	case Accel:
+		return "accel"
+	default:
+		return fmt.Sprintf("place(%d)", int(p))
+	}
+}
+
+// Platform models one node of Table 1: an accelerator with a worker pool,
+// a host CPU pool, and a host<->device link with a fixed modeled bandwidth.
+//
+// All methods are safe for concurrent use.
+type Platform struct {
+	Name string
+
+	// AccelWorkers is the goroutine pool width used for Accel launches.
+	AccelWorkers int
+	// HostWorkers is the pool width used for Host launches.
+	HostWorkers int
+
+	// LinkBandwidth is the modeled host<->device bandwidth in bytes/sec,
+	// used both to charge simulated transfer time and as the BW term of
+	// the paper's Eq. 1 overall-speedup model.
+	LinkBandwidth float64
+
+	// SimulateTransferTime, when true, sleeps CopyIn/CopyOut for
+	// bytes/LinkBandwidth. Benchmarks that only need byte accounting
+	// leave it false.
+	SimulateTransferTime bool
+
+	stats Stats
+}
+
+// Stats aggregates byte and launch counters for a platform.
+type Stats struct {
+	BytesH2D      atomic.Int64
+	BytesD2H      atomic.Int64
+	KernelLaunch  atomic.Int64
+	HostLaunch    atomic.Int64
+	TransferNanos atomic.Int64
+}
+
+// NewH100Platform returns a platform modeled on the paper's Quartz H100 node
+// (Table 1): 4-way H100 SXM, measured multi-GPU host link ~35.7 GB/s.
+func NewH100Platform() *Platform {
+	return &Platform{
+		Name:          "quartz-h100",
+		AccelWorkers:  maxParallelism(),
+		HostWorkers:   maxParallelism(),
+		LinkBandwidth: 35.7e9,
+	}
+}
+
+// NewV100Platform returns a platform modeled on the paper's Quartz V100 node
+// (Table 1): 4-way V100 PCIe, measured multi-GPU host link ~6.91 GB/s.
+func NewV100Platform() *Platform {
+	return &Platform{
+		Name:          "quartz-v100",
+		AccelWorkers:  maxParallelism(),
+		HostWorkers:   maxParallelism(),
+		LinkBandwidth: 6.91e9,
+	}
+}
+
+// NewTestPlatform returns a small deterministic platform for unit tests.
+func NewTestPlatform() *Platform {
+	return &Platform{
+		Name:          "test",
+		AccelWorkers:  4,
+		HostWorkers:   2,
+		LinkBandwidth: 1e9,
+	}
+}
+
+func maxParallelism() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Stats returns a pointer to the live counters for inspection.
+func (p *Platform) Stats() *Stats { return &p.stats }
+
+// ResetStats zeroes all counters.
+func (p *Platform) ResetStats() {
+	p.stats.BytesH2D.Store(0)
+	p.stats.BytesD2H.Store(0)
+	p.stats.KernelLaunch.Store(0)
+	p.stats.HostLaunch.Store(0)
+	p.stats.TransferNanos.Store(0)
+}
+
+// workersFor returns the pool width for a place.
+func (p *Platform) workersFor(place Place) int {
+	if place == Accel {
+		if p.AccelWorkers > 0 {
+			return p.AccelWorkers
+		}
+		return 1
+	}
+	if p.HostWorkers > 0 {
+		return p.HostWorkers
+	}
+	return 1
+}
+
+// LaunchGrid executes kernel over the half-open index range [0, n) at the
+// given place, mirroring a grid-stride CUDA launch. The kernel receives a
+// contiguous [lo, hi) chunk; chunk decomposition is deterministic for a
+// fixed worker count so results are reproducible.
+//
+// LaunchGrid blocks until every chunk has completed ("stream-synchronous"
+// launch); use a Stream for asynchronous launches.
+func (p *Platform) LaunchGrid(place Place, n int, kernel func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if place == Accel {
+		p.stats.KernelLaunch.Add(1)
+	} else {
+		p.stats.HostLaunch.Add(1)
+	}
+	workers := p.workersFor(place)
+	if workers == 1 || n < 2*minChunk {
+		kernel(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	if chunk < minChunk {
+		chunk = minChunk
+	}
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			kernel(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// minChunk is the smallest per-worker chunk worth spawning a goroutine for.
+const minChunk = 1024
+
+// Buffer is an allocation in one memory space. The element type is byte;
+// typed views are provided by the generic helpers in buffer.go.
+type Buffer struct {
+	place Place
+	data  []byte
+}
+
+// Alloc allocates a buffer of size bytes in the memory space of place.
+func (p *Platform) Alloc(place Place, size int) *Buffer {
+	return &Buffer{place: place, data: make([]byte, size)}
+}
+
+// Place reports the memory space the buffer lives in.
+func (b *Buffer) Place() Place { return b.place }
+
+// Len reports the buffer size in bytes.
+func (b *Buffer) Len() int { return len(b.data) }
+
+// Bytes exposes the raw storage. Kernel code running at the buffer's place
+// may read/write it; crossing places must go through CopyIn/CopyOut.
+func (b *Buffer) Bytes() []byte { return b.data }
+
+// CopyIn copies host bytes into a device buffer (H2D), charging the link.
+func (p *Platform) CopyIn(dst *Buffer, src []byte) error {
+	if dst.place != Accel {
+		return fmt.Errorf("device: CopyIn destination is %v, want accel", dst.place)
+	}
+	if len(src) > len(dst.data) {
+		return fmt.Errorf("device: CopyIn overflow: src %d bytes into %d-byte buffer", len(src), len(dst.data))
+	}
+	copy(dst.data, src)
+	p.chargeTransfer(len(src), &p.stats.BytesH2D)
+	return nil
+}
+
+// CopyOut copies device bytes back to host memory (D2H), charging the link.
+func (p *Platform) CopyOut(dst []byte, src *Buffer) error {
+	if src.place != Accel {
+		return fmt.Errorf("device: CopyOut source is %v, want accel", src.place)
+	}
+	if len(src.data) > len(dst) {
+		return fmt.Errorf("device: CopyOut overflow: %d-byte buffer into %d-byte dst", len(src.data), len(dst))
+	}
+	copy(dst, src.data)
+	p.chargeTransfer(len(src.data), &p.stats.BytesD2H)
+	return nil
+}
+
+func (p *Platform) chargeTransfer(n int, counter *atomic.Int64) {
+	counter.Add(int64(n))
+	if p.LinkBandwidth <= 0 {
+		return
+	}
+	d := time.Duration(float64(n) / p.LinkBandwidth * 1e9)
+	p.stats.TransferNanos.Add(int64(d))
+	if p.SimulateTransferTime && d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// TransferTime returns the modeled time to move n bytes across the link.
+func (p *Platform) TransferTime(n int) time.Duration {
+	if p.LinkBandwidth <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / p.LinkBandwidth * 1e9)
+}

@@ -1,0 +1,274 @@
+package device
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestPlaceString(t *testing.T) {
+	if Host.String() != "host" {
+		t.Errorf("Host.String() = %q, want host", Host.String())
+	}
+	if Accel.String() != "accel" {
+		t.Errorf("Accel.String() = %q, want accel", Accel.String())
+	}
+	if Place(9).String() != "place(9)" {
+		t.Errorf("Place(9).String() = %q", Place(9).String())
+	}
+}
+
+func TestLaunchGridCoversRangeExactlyOnce(t *testing.T) {
+	p := NewTestPlatform()
+	for _, n := range []int{0, 1, 7, 1023, 1024, 1025, 10_000, 123_457} {
+		seen := make([]int32, n)
+		p.LaunchGrid(Accel, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times, want 1", n, i, c)
+			}
+		}
+	}
+}
+
+func TestLaunchGridHostPlace(t *testing.T) {
+	p := NewTestPlatform()
+	var sum atomic.Int64
+	p.LaunchGrid(Host, 50_000, func(lo, hi int) {
+		var local int64
+		for i := lo; i < hi; i++ {
+			local += int64(i)
+		}
+		sum.Add(local)
+	})
+	want := int64(50_000) * 49_999 / 2
+	if sum.Load() != want {
+		t.Errorf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+func TestLaunchCounters(t *testing.T) {
+	p := NewTestPlatform()
+	p.LaunchGrid(Accel, 10, func(lo, hi int) {})
+	p.LaunchGrid(Accel, 10, func(lo, hi int) {})
+	p.LaunchGrid(Host, 10, func(lo, hi int) {})
+	if got := p.Stats().KernelLaunch.Load(); got != 2 {
+		t.Errorf("kernel launches = %d, want 2", got)
+	}
+	if got := p.Stats().HostLaunch.Load(); got != 1 {
+		t.Errorf("host launches = %d, want 1", got)
+	}
+	p.ResetStats()
+	if got := p.Stats().KernelLaunch.Load(); got != 0 {
+		t.Errorf("after reset kernel launches = %d, want 0", got)
+	}
+}
+
+func TestCopyInOutAccounting(t *testing.T) {
+	p := NewTestPlatform()
+	src := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	buf := p.Alloc(Accel, 8)
+	if err := p.CopyIn(buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 8)
+	if err := p.CopyOut(dst, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("roundtrip mismatch at %d: got %d want %d", i, dst[i], src[i])
+		}
+	}
+	if got := p.Stats().BytesH2D.Load(); got != 8 {
+		t.Errorf("BytesH2D = %d, want 8", got)
+	}
+	if got := p.Stats().BytesD2H.Load(); got != 8 {
+		t.Errorf("BytesD2H = %d, want 8", got)
+	}
+}
+
+func TestCopyErrors(t *testing.T) {
+	p := NewTestPlatform()
+	host := p.Alloc(Host, 8)
+	if err := p.CopyIn(host, make([]byte, 4)); err == nil {
+		t.Error("CopyIn to host buffer should fail")
+	}
+	small := p.Alloc(Accel, 2)
+	if err := p.CopyIn(small, make([]byte, 4)); err == nil {
+		t.Error("CopyIn overflow should fail")
+	}
+	if err := p.CopyOut(make([]byte, 4), host); err == nil {
+		t.Error("CopyOut from host buffer should fail")
+	}
+	big := p.Alloc(Accel, 16)
+	if err := p.CopyOut(make([]byte, 4), big); err == nil {
+		t.Error("CopyOut overflow should fail")
+	}
+}
+
+func TestTransferTimeModel(t *testing.T) {
+	p := &Platform{LinkBandwidth: 1e9} // 1 GB/s
+	d := p.TransferTime(1e9)
+	if d.Seconds() < 0.99 || d.Seconds() > 1.01 {
+		t.Errorf("TransferTime(1GB @ 1GB/s) = %v, want ~1s", d)
+	}
+	p2 := &Platform{}
+	if p2.TransferTime(100) != 0 {
+		t.Error("zero-bandwidth platform should report zero transfer time")
+	}
+}
+
+func TestBufferTypedAccess(t *testing.T) {
+	p := NewTestPlatform()
+	b := p.AllocF32(Accel, 4)
+	b.SetF32(2, 3.5)
+	if got := b.F32(2); got != 3.5 {
+		t.Errorf("F32(2) = %v, want 3.5", got)
+	}
+	u := p.AllocU16(Host, 3)
+	u.SetU16(1, 65535)
+	if got := u.U16(1); got != 65535 {
+		t.Errorf("U16(1) = %d, want 65535", got)
+	}
+	w := p.AllocU32(Host, 3)
+	w.SetU32(0, 0xdeadbeef)
+	if got := w.U32(0); got != 0xdeadbeef {
+		t.Errorf("U32(0) = %#x", got)
+	}
+	if u.Place() != Host || b.Place() != Accel {
+		t.Error("Place() mismatch")
+	}
+	if b.Len() != 16 {
+		t.Errorf("Len = %d, want 16", b.Len())
+	}
+}
+
+func TestSliceConversionsRoundtrip(t *testing.T) {
+	f := func(vals []float32) bool {
+		got := BytesF32(F32Bytes(vals))
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			// Compare bit patterns so NaNs roundtrip too.
+			if F32Bytes(vals[i : i+1])[0] != F32Bytes(got[i : i+1])[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(vals []uint16) bool {
+		got := BytesU16(U16Bytes(vals))
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+	h := func(vals []uint32) bool {
+		got := BytesU32(U32Bytes(vals))
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(h, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBufferF32SliceHelpers(t *testing.T) {
+	p := NewTestPlatform()
+	b := p.AllocF32(Host, 5)
+	src := []float32{1, -2, 3.25, 0, 5}
+	b.PutF32Slice(src)
+	got := b.F32Slice(nil)
+	for i := range src {
+		if got[i] != src[i] {
+			t.Fatalf("F32Slice[%d] = %v, want %v", i, got[i], src[i])
+		}
+	}
+}
+
+func TestStreamOrdering(t *testing.T) {
+	p := NewTestPlatform()
+	s := p.NewStream(Accel)
+	var order []int
+	for i := 0; i < 50; i++ {
+		i := i
+		s.Enqueue(func() { order = append(order, i) })
+	}
+	s.Sync()
+	if len(order) != 50 {
+		t.Fatalf("executed %d ops, want 50", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("out-of-order execution at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestStreamLaunch(t *testing.T) {
+	p := NewTestPlatform()
+	s := p.NewStream(Accel)
+	data := make([]int32, 10_000)
+	s.Launch(len(data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			data[i] = int32(i)
+		}
+	})
+	s.Sync()
+	for i, v := range data {
+		if v != int32(i) {
+			t.Fatalf("data[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestEventCrossStream(t *testing.T) {
+	p := NewTestPlatform()
+	a := p.NewStream(Accel)
+	b := p.NewStream(Host)
+	var x atomic.Int32
+	a.Enqueue(func() { x.Store(42) })
+	ev := a.Record()
+	b.WaitEvent(ev)
+	var got int32
+	b.Enqueue(func() { got = x.Load() })
+	b.Sync()
+	if got != 42 {
+		t.Errorf("cross-stream event: got %d, want 42", got)
+	}
+}
+
+func TestPlatformConstructors(t *testing.T) {
+	h := NewH100Platform()
+	v := NewV100Platform()
+	if h.LinkBandwidth <= v.LinkBandwidth {
+		t.Error("H100 link bandwidth should exceed V100 (Table 1)")
+	}
+	if h.Name == "" || v.Name == "" {
+		t.Error("platforms should be named")
+	}
+}

@@ -1,0 +1,209 @@
+// Package fzg implements the FZ-GPU-style primary lossless encoder used by
+// FZMod-Speed (§3.3): quantization codes are bit-shuffled within fixed-size
+// tiles so that the near-zero residuals produced by a good predictor
+// concentrate into all-zero bit-planes, then a per-tile dictionary bitmap
+// eliminates the zero sub-blocks. The trade the paper describes holds by
+// construction: one cheap pass with no tree or histogram (much faster than
+// Huffman) at the cost of a coarser, block-granular compression ratio.
+package fzg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"fzmod/internal/device"
+	"fzmod/internal/kernels"
+)
+
+// tileValues is the number of uint16 codes per independent tile.
+const tileValues = 1024
+
+// planeBytes is the per-plane byte count of a full tile (1024 values / 8).
+const planeBytes = tileValues / 8
+
+// tileBytes is the shuffled size of one tile (16 planes).
+const tileBytes = 16 * planeBytes
+
+// blockBytes is the zero-elimination granularity.
+const blockBytes = 32
+
+// blocksPerTile = 2048/32 = 64, so one uint64 bitmap per tile.
+const blocksPerTile = tileBytes / blockBytes
+
+// Encode compresses codes. center is the alphabet value representing a
+// zero residual (the quantizer radius): codes are zigzag-remapped (wrapping, a
+// bijection on uint16) around it
+// before shuffling so that near-perfect predictions concentrate into the
+// low bit-planes, which is where the dictionary stage gets its wins — the
+// fused FZ-GPU kernel performs the same recentering inline after its
+// Lorenzo stage. Pass center 0 to encode raw values.
+//
+// Layout: uvarint(n) ‖ uvarint(center) ‖ bitmaps (8 B per tile) ‖
+// concatenated nonzero 32-byte blocks. Tiles are processed in parallel.
+func Encode(p *device.Platform, place device.Place, codes []uint16, center int) []byte {
+	n := len(codes)
+	nTiles := (n + tileValues - 1) / tileValues
+	bitmaps := make([]uint64, nTiles)
+	shuffled := make([]byte, nTiles*tileBytes)
+
+	p.LaunchGrid(place, nTiles, func(lo, hi int) {
+		var tile [tileValues]uint16
+		for t := lo; t < hi; t++ {
+			start, end := t*tileValues, (t+1)*tileValues
+			if end > n {
+				end = n
+			}
+			if center == 0 {
+				copy(tile[:], codes[start:end])
+			} else {
+				for i, c := range codes[start:end] {
+					tile[i] = kernels.ZigZag16(int16(c - uint16(center)))
+				}
+			}
+			for i := end - start; i < tileValues; i++ {
+				tile[i] = 0
+			}
+			sh := kernels.Bitshuffle(tile[:])
+			copy(shuffled[t*tileBytes:], sh)
+			var bm uint64
+			for b := 0; b < blocksPerTile; b++ {
+				blk := sh[b*blockBytes : (b+1)*blockBytes]
+				for _, by := range blk {
+					if by != 0 {
+						bm |= 1 << uint(b)
+						break
+					}
+				}
+			}
+			bitmaps[t] = bm
+		}
+	})
+
+	// Offsets of each tile's payload via popcount prefix sum.
+	sizes := make([]uint32, nTiles)
+	for t, bm := range bitmaps {
+		sizes[t] = uint32(bits.OnesCount64(bm) * blockBytes)
+	}
+	offsets, total := kernels.ExclusiveScan(p, place, sizes)
+
+	out := binary.AppendUvarint(nil, uint64(n))
+	out = binary.AppendUvarint(out, uint64(center))
+	headLen := len(out)
+	out = append(out, make([]byte, nTiles*8+int(total))...)
+	for t, bm := range bitmaps {
+		binary.LittleEndian.PutUint64(out[headLen+8*t:], bm)
+	}
+	payload := headLen + nTiles*8
+	p.LaunchGrid(place, nTiles, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			dst := payload + int(offsets[t])
+			bm := bitmaps[t]
+			src := t * tileBytes
+			for b := 0; b < blocksPerTile; b++ {
+				if bm&(1<<uint(b)) != 0 {
+					copy(out[dst:dst+blockBytes], shuffled[src+b*blockBytes:])
+					dst += blockBytes
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Decode inverts Encode.
+func Decode(p *device.Platform, place device.Place, blob []byte) ([]uint16, error) {
+	n64, k := binary.Uvarint(blob)
+	if k <= 0 {
+		return nil, fmt.Errorf("fzg: truncated header")
+	}
+	n := int(n64)
+	c64, k2 := binary.Uvarint(blob[k:])
+	if k2 <= 0 {
+		return nil, fmt.Errorf("fzg: truncated center field")
+	}
+	k += k2
+	center := int(c64)
+	nTiles := (n + tileValues - 1) / tileValues
+	if len(blob) < k+nTiles*8 {
+		return nil, fmt.Errorf("fzg: stream shorter than bitmap table")
+	}
+	bitmaps := make([]uint64, nTiles)
+	sizes := make([]uint32, nTiles)
+	for t := range bitmaps {
+		bitmaps[t] = binary.LittleEndian.Uint64(blob[k+8*t:])
+		sizes[t] = uint32(bits.OnesCount64(bitmaps[t]) * blockBytes)
+	}
+	offsets, total := kernels.ExclusiveScan(p, place, sizes)
+	payload := k + nTiles*8
+	if len(blob) < payload+int(total) {
+		return nil, fmt.Errorf("fzg: stream shorter than payload (%d < %d)", len(blob), payload+int(total))
+	}
+
+	out := make([]uint16, n)
+	p.LaunchGrid(place, nTiles, func(lo, hi int) {
+		var sh [tileBytes]byte
+		for t := lo; t < hi; t++ {
+			for i := range sh {
+				sh[i] = 0
+			}
+			src := payload + int(offsets[t])
+			bm := bitmaps[t]
+			for b := 0; b < blocksPerTile; b++ {
+				if bm&(1<<uint(b)) != 0 {
+					copy(sh[b*blockBytes:(b+1)*blockBytes], blob[src:])
+					src += blockBytes
+				}
+			}
+			vals := kernels.Unbitshuffle(sh[:], tileValues)
+			start, end := t*tileValues, (t+1)*tileValues
+			if end > n {
+				end = n
+			}
+			if center == 0 {
+				copy(out[start:end], vals[:end-start])
+			} else {
+				for i, v := range vals[:end-start] {
+					out[start+i] = uint16(kernels.UnZigZag16(v)) + uint16(center)
+				}
+			}
+		}
+	})
+	return out, nil
+}
+
+// CompressedSize reports what Encode would produce without materializing
+// it, for ratio estimation.
+func CompressedSize(codes []uint16, center int) int {
+	n := len(codes)
+	nTiles := (n + tileValues - 1) / tileValues
+	size := 12 + nTiles*8 // varint bounds + bitmaps
+	var tile [tileValues]uint16
+	for t := 0; t < nTiles; t++ {
+		start, end := t*tileValues, (t+1)*tileValues
+		if end > n {
+			end = n
+		}
+		if center == 0 {
+			copy(tile[:], codes[start:end])
+		} else {
+			for i, c := range codes[start:end] {
+				tile[i] = kernels.ZigZag16(int16(c - uint16(center)))
+			}
+		}
+		for i := end - start; i < tileValues; i++ {
+			tile[i] = 0
+		}
+		sh := kernels.Bitshuffle(tile[:])
+		for b := 0; b < blocksPerTile; b++ {
+			blk := sh[b*blockBytes : (b+1)*blockBytes]
+			for _, by := range blk {
+				if by != 0 {
+					size += blockBytes
+					break
+				}
+			}
+		}
+	}
+	return size
+}

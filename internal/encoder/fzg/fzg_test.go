@@ -1,0 +1,145 @@
+package fzg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fzmod/internal/device"
+)
+
+var tp = device.NewTestPlatform()
+
+func roundtrip(t *testing.T, codes []uint16) []byte {
+	t.Helper()
+	return roundtripC(t, codes, 0)
+}
+
+func roundtripC(t *testing.T, codes []uint16, center int) []byte {
+	t.Helper()
+	blob := Encode(tp, device.Accel, codes, center)
+	got, err := Decode(tp, device.Accel, blob)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(got) != len(codes) {
+		t.Fatalf("len = %d, want %d", len(got), len(codes))
+	}
+	for i := range codes {
+		if got[i] != codes[i] {
+			t.Fatalf("mismatch at %d: %d vs %d", i, got[i], codes[i])
+		}
+	}
+	return blob
+}
+
+func TestRoundtripSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 7, 1023, 1024, 1025, 4096, 100_000} {
+		codes := make([]uint16, n)
+		for i := range codes {
+			codes[i] = uint16(rng.Intn(1024))
+		}
+		roundtrip(t, codes)
+	}
+}
+
+func TestCompressesNearZeroResiduals(t *testing.T) {
+	// Predictor-like output: values clustered tightly around 512.
+	rng := rand.New(rand.NewSource(2))
+	codes := make([]uint16, 200_000)
+	for i := range codes {
+		codes[i] = uint16(512 + rng.Intn(3) - 1)
+	}
+	blob := roundtripC(t, codes, 512)
+	ratio := float64(2*len(codes)) / float64(len(blob))
+	if ratio < 3 {
+		t.Errorf("ratio on near-constant codes = %.2f, want ≥ 3", ratio)
+	}
+	// Without recentering the same codes barely compress — the recenter
+	// step is load-bearing, as in the fused FZ-GPU kernel.
+	raw := roundtripC(t, codes, 0)
+	if len(raw) < 2*len(blob) {
+		t.Errorf("recentering should shrink stream ≥ 2x: %d vs %d", len(raw), len(blob))
+	}
+}
+
+func TestAllZeros(t *testing.T) {
+	codes := make([]uint16, 50_000)
+	blob := roundtrip(t, codes)
+	// Only header + bitmaps remain.
+	if len(blob) > 12+8*((len(codes)+1023)/1024) {
+		t.Errorf("all-zero stream %d bytes, want bitmaps only", len(blob))
+	}
+}
+
+func TestIncompressibleDataDoesNotExplode(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	codes := make([]uint16, 100_000)
+	for i := range codes {
+		codes[i] = uint16(rng.Uint32())
+	}
+	blob := roundtrip(t, codes)
+	nTiles := (len(codes) + 1023) / 1024
+	// Worst case: every padded tile fully materialized plus bitmaps.
+	if len(blob) > nTiles*2048+8*nTiles+16 {
+		t.Errorf("random data expanded beyond tile+bitmap overhead: %d bytes", len(blob))
+	}
+}
+
+func TestCompressedSizeMatchesEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	codes := make([]uint16, 30_000)
+	for i := range codes {
+		if rng.Float64() < 0.9 {
+			codes[i] = 512
+		} else {
+			codes[i] = uint16(rng.Intn(1024))
+		}
+	}
+	blob := Encode(tp, device.Accel, codes, 512)
+	est := CompressedSize(codes, 512)
+	// Estimate uses the varint upper bound (12); actual header is smaller.
+	if diff := est - len(blob); diff < 0 || diff > 12 {
+		t.Errorf("CompressedSize = %d, actual %d", est, len(blob))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(tp, device.Accel, nil); err == nil {
+		t.Error("empty blob should fail")
+	}
+	codes := make([]uint16, 5000)
+	for i := range codes {
+		codes[i] = uint16(i)
+	}
+	blob := Encode(tp, device.Accel, codes, 0)
+	if _, err := Decode(tp, device.Accel, blob[:12]); err == nil {
+		t.Error("truncated bitmap table should fail")
+	}
+	if _, err := Decode(tp, device.Accel, blob[:len(blob)-5]); err == nil {
+		t.Error("truncated payload should fail")
+	}
+}
+
+func TestPropertyRoundtrip(t *testing.T) {
+	for _, center := range []int{0, 512} {
+		center := center
+		f := func(codes []uint16) bool {
+			blob := Encode(tp, device.Accel, codes, center)
+			got, err := Decode(tp, device.Accel, blob)
+			if err != nil || len(got) != len(codes) {
+				return false
+			}
+			for i := range codes {
+				if got[i] != codes[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("center %d: %v", center, err)
+		}
+	}
+}

@@ -1,0 +1,528 @@
+// Package huffman implements the canonical Huffman codec used as the
+// primary lossless encoder of FZMod-Default and FZMod-Quality. Following
+// the paper's design (§3.3: "CPU-based Huffman encoding due to low GPU
+// performance of Huffman encoders"), encoding is chunked so independent
+// chunks are processed in parallel on the host, and decoding uses a
+// table-accelerated canonical decoder per chunk.
+//
+// The codec is built from a histogram of the quantization codes (provided
+// by the histogram module) and never inspects the code stream itself, so an
+// inaccurate histogram that assigns zero frequency to an occurring symbol
+// is detected and reported as an error rather than producing a corrupt
+// stream.
+package huffman
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"fzmod/internal/device"
+)
+
+// maxCodeLen bounds code lengths; histograms inducing longer codes are
+// rescaled (halved frequencies) until the bound holds.
+const maxCodeLen = 32
+
+// tableBits sizes the fast decode table: codes up to this length decode in
+// one lookup, longer ones fall back to the canonical bit-by-bit path.
+const tableBits = 12
+
+// chunkSize is the number of symbols encoded per independent chunk.
+const chunkSize = 1 << 16
+
+// Codec holds a canonical Huffman code for a dense alphabet [0, n).
+type Codec struct {
+	lengths []uint8  // per symbol; 0 = symbol absent
+	codes   []uint32 // canonical code bits (MSB-first semantics)
+
+	// Canonical decode state.
+	minLen, maxLen int
+	firstCode      []uint32 // by length
+	firstIdx       []int    // by length
+	symByIdx       []uint16
+	fast           []fastEntry
+}
+
+type fastEntry struct {
+	sym uint16
+	len uint8
+}
+
+// Build constructs a codec from a histogram. Every symbol with a nonzero
+// count receives a code; at least one symbol must be present.
+func Build(hist []uint32) (*Codec, error) {
+	if len(hist) == 0 || len(hist) > 1<<16 {
+		return nil, fmt.Errorf("huffman: alphabet size %d out of range", len(hist))
+	}
+	freqs := make([]uint64, len(hist))
+	nonzero := 0
+	for i, h := range hist {
+		freqs[i] = uint64(h)
+		if h > 0 {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		return nil, fmt.Errorf("huffman: empty histogram")
+	}
+	lengths := buildLengths(freqs)
+	for maxOf(lengths) > maxCodeLen {
+		for i := range freqs {
+			if freqs[i] > 1 {
+				freqs[i] = (freqs[i] + 1) / 2
+			}
+		}
+		lengths = buildLengths(freqs)
+	}
+	return fromLengths(lengths)
+}
+
+func maxOf(lengths []uint8) int {
+	m := 0
+	for _, l := range lengths {
+		if int(l) > m {
+			m = int(l)
+		}
+	}
+	return m
+}
+
+// node heap for tree construction.
+type hnode struct {
+	freq uint64
+	idx  int // < len(alphabet): leaf symbol; else internal
+}
+type nodeHeap []hnode
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	return h[i].idx < h[j].idx // deterministic tie-break
+}
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(hnode)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// buildLengths runs the classic heap construction and returns per-symbol
+// code lengths.
+func buildLengths(freqs []uint64) []uint8 {
+	n := len(freqs)
+	parent := make([]int, 0, 2*n)
+	h := make(nodeHeap, 0, n)
+	for i, f := range freqs {
+		parent = append(parent, -1)
+		if f > 0 {
+			h = append(h, hnode{f, i})
+		}
+	}
+	if len(h) == 1 {
+		// Single symbol: give it a 1-bit code.
+		lengths := make([]uint8, n)
+		lengths[h[0].idx] = 1
+		return lengths
+	}
+	heap.Init(&h)
+	next := n
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(hnode)
+		b := heap.Pop(&h).(hnode)
+		parent = append(parent, -1)
+		parent[a.idx] = next
+		parent[b.idx] = next
+		heap.Push(&h, hnode{a.freq + b.freq, next})
+		next++
+	}
+	lengths := make([]uint8, n)
+	for i := 0; i < n; i++ {
+		if freqs[i] == 0 {
+			continue
+		}
+		d := 0
+		for j := i; parent[j] >= 0; j = parent[j] {
+			d++
+		}
+		lengths[i] = uint8(d)
+	}
+	return lengths
+}
+
+// fromLengths assigns canonical codes and builds decode structures.
+func fromLengths(lengths []uint8) (*Codec, error) {
+	c := &Codec{lengths: lengths, codes: make([]uint32, len(lengths))}
+	c.minLen, c.maxLen = maxCodeLen+1, 0
+	count := make([]int, maxCodeLen+1)
+	for _, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		count[l]++
+		if int(l) < c.minLen {
+			c.minLen = int(l)
+		}
+		if int(l) > c.maxLen {
+			c.maxLen = int(l)
+		}
+	}
+	if c.maxLen == 0 {
+		return nil, fmt.Errorf("huffman: no coded symbols")
+	}
+	// Kraft check guards corrupted tables at parse time.
+	var kraft uint64
+	for l := 1; l <= c.maxLen; l++ {
+		kraft += uint64(count[l]) << uint(c.maxLen-l)
+	}
+	if kraft > 1<<uint(c.maxLen) {
+		return nil, fmt.Errorf("huffman: invalid code lengths (Kraft violation)")
+	}
+
+	c.firstCode = make([]uint32, c.maxLen+2)
+	c.firstIdx = make([]int, c.maxLen+2)
+	var code uint32
+	idx := 0
+	for l := c.minLen; l <= c.maxLen; l++ {
+		c.firstCode[l] = code
+		c.firstIdx[l] = idx
+		code = (code + uint32(count[l])) << 1
+		idx += count[l]
+	}
+	// Symbols sorted by (length, symbol) get consecutive canonical codes.
+	c.symByIdx = make([]uint16, idx)
+	type ls struct {
+		sym int
+		l   uint8
+	}
+	syms := make([]ls, 0, idx)
+	for s, l := range lengths {
+		if l > 0 {
+			syms = append(syms, ls{s, l})
+		}
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].l != syms[j].l {
+			return syms[i].l < syms[j].l
+		}
+		return syms[i].sym < syms[j].sym
+	})
+	perLen := make([]int, c.maxLen+1)
+	for _, e := range syms {
+		l := int(e.l)
+		offset := perLen[l]
+		perLen[l]++
+		c.codes[e.sym] = c.firstCode[l] + uint32(offset)
+		c.symByIdx[c.firstIdx[l]+offset] = uint16(e.sym)
+	}
+
+	// Fast table.
+	tb := c.maxLen
+	if tb > tableBits {
+		tb = tableBits
+	}
+	c.fast = make([]fastEntry, 1<<uint(tb))
+	for s, l := range lengths {
+		if l == 0 || int(l) > tb {
+			continue
+		}
+		code := c.codes[s]
+		// Stream packs code bits MSB-first at increasing bit positions;
+		// lookahead index packs stream bits LSB-first.
+		var base uint32
+		for j := 0; j < int(l); j++ {
+			bit := (code >> uint(int(l)-1-j)) & 1
+			base |= bit << uint(j)
+		}
+		for fill := 0; fill < 1<<uint(tb-int(l)); fill++ {
+			c.fast[base|uint32(fill)<<uint(l)] = fastEntry{uint16(s), l}
+		}
+	}
+	return c, nil
+}
+
+// Alphabet returns the dense alphabet size.
+func (c *Codec) Alphabet() int { return len(c.lengths) }
+
+// CodeLen returns the code length of symbol s (0 if absent).
+func (c *Codec) CodeLen(s uint16) int { return int(c.lengths[s]) }
+
+// ExpectedBits returns the exact encoded payload size in bits for a stream
+// with the given histogram.
+func (c *Codec) ExpectedBits(hist []uint32) uint64 {
+	var bits uint64
+	for s, n := range hist {
+		if s < len(c.lengths) {
+			bits += uint64(n) * uint64(c.lengths[s])
+		}
+	}
+	return bits
+}
+
+// SerializeTable emits the code-length table (alphabet size + RLE lengths).
+func (c *Codec) SerializeTable() []byte {
+	out := binary.AppendUvarint(nil, uint64(len(c.lengths)))
+	i := 0
+	for i < len(c.lengths) {
+		j := i
+		for j < len(c.lengths) && c.lengths[j] == c.lengths[i] {
+			j++
+		}
+		out = binary.AppendUvarint(out, uint64(j-i))
+		out = append(out, c.lengths[i])
+		i = j
+	}
+	return out
+}
+
+// ParseTable reconstructs a codec from SerializeTable output, returning the
+// codec and the number of bytes consumed.
+func ParseTable(data []byte) (*Codec, int, error) {
+	n, k := binary.Uvarint(data)
+	if k <= 0 || n == 0 || n > 1<<16 {
+		return nil, 0, fmt.Errorf("huffman: bad table header")
+	}
+	pos := k
+	lengths := make([]uint8, 0, n)
+	for uint64(len(lengths)) < n {
+		run, k := binary.Uvarint(data[pos:])
+		if k <= 0 || pos+k >= len(data) {
+			return nil, 0, fmt.Errorf("huffman: truncated table")
+		}
+		pos += k
+		l := data[pos]
+		pos++
+		if l > maxCodeLen {
+			return nil, 0, fmt.Errorf("huffman: code length %d exceeds limit", l)
+		}
+		if uint64(len(lengths))+run > n {
+			return nil, 0, fmt.Errorf("huffman: table run overflow")
+		}
+		for r := uint64(0); r < run; r++ {
+			lengths = append(lengths, l)
+		}
+	}
+	c, err := fromLengths(lengths)
+	if err != nil {
+		return nil, 0, err
+	}
+	return c, pos, nil
+}
+
+// Encode compresses codes into a chunked bitstream (table not included).
+// Chunks are encoded in parallel at place.
+func (c *Codec) Encode(p *device.Platform, place device.Place, codes []uint16) ([]byte, error) {
+	nChunks := (len(codes) + chunkSize - 1) / chunkSize
+	chunkBufs := make([][]byte, nChunks)
+	var errMu sync.Mutex
+	var firstErr error
+	p.LaunchGrid(place, nChunks, func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			start, end := ci*chunkSize, (ci+1)*chunkSize
+			if end > len(codes) {
+				end = len(codes)
+			}
+			buf, err := c.encodeChunk(codes[start:end])
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			chunkBufs[ci] = buf
+		}
+	})
+	errMu.Lock()
+	defer errMu.Unlock()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	out := binary.AppendUvarint(nil, uint64(len(codes)))
+	out = binary.AppendUvarint(out, uint64(nChunks))
+	for _, buf := range chunkBufs {
+		out = binary.AppendUvarint(out, uint64(len(buf)))
+	}
+	for _, buf := range chunkBufs {
+		out = append(out, buf...)
+	}
+	return out, nil
+}
+
+func (c *Codec) encodeChunk(codes []uint16) ([]byte, error) {
+	out := make([]byte, 0, len(codes)/2+8)
+	var acc uint64
+	var nbits uint
+	for _, s := range codes {
+		if int(s) >= len(c.lengths) || c.lengths[s] == 0 {
+			return nil, fmt.Errorf("huffman: symbol %d has no code (histogram missed it)", s)
+		}
+		l := uint(c.lengths[s])
+		code := c.codes[s]
+		// Append code bits MSB-first at increasing stream positions.
+		var rev uint64
+		for j := uint(0); j < l; j++ {
+			rev |= uint64((code>>(l-1-j))&1) << j
+		}
+		acc |= rev << nbits
+		nbits += l
+		for nbits >= 8 {
+			out = append(out, byte(acc))
+			acc >>= 8
+			nbits -= 8
+		}
+	}
+	if nbits > 0 {
+		out = append(out, byte(acc))
+	}
+	return out, nil
+}
+
+// Decode expands a chunked bitstream produced by Encode back into n codes,
+// decoding chunks in parallel at place.
+func (c *Codec) Decode(p *device.Platform, place device.Place, data []byte) ([]uint16, error) {
+	total, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, fmt.Errorf("huffman: truncated stream header")
+	}
+	pos := k
+	nChunks, k := binary.Uvarint(data[pos:])
+	if k <= 0 {
+		return nil, fmt.Errorf("huffman: truncated chunk count")
+	}
+	pos += k
+	if want := (total + chunkSize - 1) / chunkSize; nChunks != want && !(total == 0 && nChunks == 0) {
+		return nil, fmt.Errorf("huffman: chunk count %d inconsistent with %d symbols", nChunks, total)
+	}
+	sizes := make([]int, nChunks)
+	for i := range sizes {
+		sz, k := binary.Uvarint(data[pos:])
+		if k <= 0 {
+			return nil, fmt.Errorf("huffman: truncated chunk size table")
+		}
+		pos += k
+		sizes[i] = int(sz)
+	}
+	offsets := make([]int, nChunks+1)
+	offsets[0] = pos
+	for i, sz := range sizes {
+		offsets[i+1] = offsets[i] + sz
+	}
+	if offsets[nChunks] > len(data) {
+		return nil, fmt.Errorf("huffman: stream shorter than chunk table claims")
+	}
+
+	out := make([]uint16, total)
+	var errMu sync.Mutex
+	var firstErr error
+	p.LaunchGrid(place, int(nChunks), func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			start := ci * chunkSize
+			end := start + chunkSize
+			if end > int(total) {
+				end = int(total)
+			}
+			if err := c.decodeChunk(data[offsets[ci]:offsets[ci+1]], out[start:end]); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+			}
+		}
+	})
+	errMu.Lock()
+	defer errMu.Unlock()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+func (c *Codec) decodeChunk(data []byte, out []uint16) error {
+	totalBits := len(data) * 8
+	bitPos := 0
+	tb := c.maxLen
+	if tb > tableBits {
+		tb = tableBits
+	}
+	peek := func(pos, nb int) uint32 {
+		var v uint32
+		for j := 0; j < nb && pos+j < totalBits; j++ {
+			bp := pos + j
+			v |= uint32(data[bp/8]>>(uint(bp)%8)&1) << uint(j)
+		}
+		return v
+	}
+	for oi := range out {
+		if e := c.fast[peek(bitPos, tb)]; e.len > 0 && bitPos+int(e.len) <= totalBits {
+			out[oi] = e.sym
+			bitPos += int(e.len)
+			continue
+		}
+		// Slow canonical path for long codes.
+		var acc uint32
+		l := 0
+		matched := false
+		for bitPos+l < totalBits && l < c.maxLen {
+			acc = acc<<1 | uint32(data[(bitPos+l)/8]>>(uint(bitPos+l)%8)&1)
+			l++
+			if l < c.minLen {
+				continue
+			}
+			rel := int(acc) - int(c.firstCode[l])
+			if rel >= 0 && c.firstIdx[l]+rel < firstIdxEnd(c, l) {
+				out[oi] = c.symByIdx[c.firstIdx[l]+rel]
+				bitPos += l
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return fmt.Errorf("huffman: corrupt chunk at symbol %d", oi)
+		}
+	}
+	return nil
+}
+
+func firstIdxEnd(c *Codec, l int) int {
+	if l+1 <= c.maxLen {
+		return c.firstIdx[l+1]
+	}
+	return len(c.symByIdx)
+}
+
+// Compress is the single-shot convenience: builds the codec from hist,
+// serializes the table, and appends the encoded stream.
+func Compress(p *device.Platform, place device.Place, codes []uint16, hist []uint32) ([]byte, error) {
+	c, err := Build(hist)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := c.Encode(p, place, codes)
+	if err != nil {
+		return nil, err
+	}
+	table := c.SerializeTable()
+	out := make([]byte, 0, len(table)+len(payload))
+	out = append(out, table...)
+	out = append(out, payload...)
+	return out, nil
+}
+
+// Decompress inverts Compress.
+func Decompress(p *device.Platform, place device.Place, blob []byte) ([]uint16, error) {
+	c, n, err := ParseTable(blob)
+	if err != nil {
+		return nil, err
+	}
+	return c.Decode(p, place, blob[n:])
+}

@@ -1,0 +1,331 @@
+package huffman
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fzmod/internal/device"
+)
+
+var tp = device.NewTestPlatform()
+
+func histOf(codes []uint16, bins int) []uint32 {
+	h := make([]uint32, bins)
+	for _, c := range codes {
+		h[c]++
+	}
+	return h
+}
+
+func genSkewed(n int, seed int64) []uint16 {
+	rng := rand.New(rand.NewSource(seed))
+	codes := make([]uint16, n)
+	for i := range codes {
+		r := rng.Float64()
+		switch {
+		case r < 0.7:
+			codes[i] = 512
+		case r < 0.85:
+			codes[i] = uint16(510 + rng.Intn(5))
+		default:
+			codes[i] = uint16(rng.Intn(1024))
+		}
+	}
+	return codes
+}
+
+func TestRoundtripSkewed(t *testing.T) {
+	codes := genSkewed(200_000, 1)
+	blob, err := Compress(tp, device.Host, codes, histOf(codes, 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(tp, device.Host, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(codes) {
+		t.Fatalf("len = %d, want %d", len(got), len(codes))
+	}
+	for i := range codes {
+		if got[i] != codes[i] {
+			t.Fatalf("mismatch at %d: %d vs %d", i, got[i], codes[i])
+		}
+	}
+	if len(blob) >= 2*len(codes) {
+		t.Errorf("no compression achieved: %d bytes for %d codes", len(blob), len(codes))
+	}
+}
+
+func TestCompressionBeatsRawOnSkewedData(t *testing.T) {
+	codes := genSkewed(100_000, 2)
+	blob, err := Compress(tp, device.Host, codes, histOf(codes, 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 70% of symbols are one value → entropy ≪ 16 bits/sym; expect ≥ 2.5x.
+	if ratio := float64(2*len(codes)) / float64(len(blob)); ratio < 2.5 {
+		t.Errorf("ratio = %.2f, want ≥ 2.5", ratio)
+	}
+}
+
+func TestRoundtripUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	codes := make([]uint16, 70_000)
+	for i := range codes {
+		codes[i] = uint16(rng.Intn(256))
+	}
+	blob, err := Compress(tp, device.Host, codes, histOf(codes, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(tp, device.Host, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range codes {
+		if got[i] != codes[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestRoundtripTinyInputs(t *testing.T) {
+	for _, codes := range [][]uint16{
+		{},
+		{0},
+		{5},
+		{1, 1, 1, 1},
+		{0, 1},
+	} {
+		bins := 8
+		h := histOf(codes, bins)
+		if len(codes) == 0 {
+			h[0] = 1 // codec needs at least one symbol
+		}
+		blob, err := Compress(tp, device.Host, codes, h)
+		if err != nil {
+			t.Fatalf("%v: %v", codes, err)
+		}
+		got, err := Decompress(tp, device.Host, blob)
+		if err != nil {
+			t.Fatalf("%v: %v", codes, err)
+		}
+		if len(got) != len(codes) {
+			t.Fatalf("%v: len %d", codes, len(got))
+		}
+		for i := range codes {
+			if got[i] != codes[i] {
+				t.Fatalf("%v: mismatch at %d", codes, i)
+			}
+		}
+	}
+}
+
+func TestSingleSymbolAlphabet(t *testing.T) {
+	codes := make([]uint16, 10_000)
+	for i := range codes {
+		codes[i] = 7
+	}
+	blob, err := Compress(tp, device.Host, codes, histOf(codes, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(tp, device.Host, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range codes {
+		if got[i] != 7 {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+	// 1 bit/symbol + headers.
+	if len(blob) > len(codes)/8+200 {
+		t.Errorf("single-symbol stream too large: %d bytes", len(blob))
+	}
+}
+
+func TestMissingSymbolReported(t *testing.T) {
+	codes := []uint16{1, 2, 3}
+	h := []uint32{0, 5, 5, 0} // symbol 3 missing from histogram
+	if _, err := Compress(tp, device.Host, codes, h); err == nil {
+		t.Error("symbol absent from histogram must be an error")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil); err == nil {
+		t.Error("empty alphabet should fail")
+	}
+	if _, err := Build(make([]uint32, 4)); err == nil {
+		t.Error("all-zero histogram should fail")
+	}
+	if _, err := Build(make([]uint32, 1<<17)); err == nil {
+		t.Error("oversized alphabet should fail")
+	}
+}
+
+func TestTableRoundtrip(t *testing.T) {
+	codes := genSkewed(50_000, 4)
+	c, err := Build(histOf(codes, 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := c.SerializeTable()
+	c2, n, err := ParseTable(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(tbl) {
+		t.Errorf("ParseTable consumed %d of %d bytes", n, len(tbl))
+	}
+	if c2.Alphabet() != c.Alphabet() {
+		t.Fatal("alphabet mismatch")
+	}
+	for s := 0; s < c.Alphabet(); s++ {
+		if c.CodeLen(uint16(s)) != c2.CodeLen(uint16(s)) {
+			t.Fatalf("length mismatch at symbol %d", s)
+		}
+	}
+}
+
+func TestParseTableCorrupt(t *testing.T) {
+	for _, blob := range [][]byte{
+		nil,
+		{0},
+		{255, 255, 255, 255, 255, 255, 255, 255, 255, 255}, // huge varint
+		{4, 10, 3}, // run overflow: claims 10 symbols of alphabet 4
+		{2, 1, 99}, // code length 99 > max
+		{8, 2, 3},  // truncated: only 2 of 8 lengths
+	} {
+		if _, _, err := ParseTable(blob); err == nil {
+			t.Errorf("ParseTable(%v) should fail", blob)
+		}
+	}
+}
+
+func TestDecodeCorruptStream(t *testing.T) {
+	codes := genSkewed(1000, 5)
+	blob, err := Compress(tp, device.Host, codes, histOf(codes, 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate payload.
+	if _, err := Decompress(tp, device.Host, blob[:len(blob)/2]); err == nil {
+		t.Error("truncated stream should fail or be detected")
+	}
+}
+
+func TestExpectedBitsMatchesActual(t *testing.T) {
+	codes := genSkewed(80_000, 6)
+	h := histOf(codes, 1024)
+	c, err := Build(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := c.Encode(tp, device.Host, codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBits := c.ExpectedBits(h)
+	// Payload has per-chunk byte alignment + headers; allow that slack.
+	nChunks := (len(codes) + chunkSize - 1) / chunkSize
+	maxOverhead := uint64(nChunks*8+32) * 8
+	gotBits := uint64(len(payload)) * 8
+	if gotBits < wantBits || gotBits > wantBits+maxOverhead {
+		t.Errorf("payload bits = %d, expected ~%d", gotBits, wantBits)
+	}
+}
+
+func TestDeepTreeLengthLimiting(t *testing.T) {
+	// Fibonacci-like frequencies force maximal depth; the rebuild loop
+	// must cap lengths at maxCodeLen.
+	h := make([]uint32, 64)
+	a, b := uint32(1), uint32(1)
+	for i := range h {
+		h[i] = a
+		a, b = b, a+b
+		if a > 1<<30 {
+			a, b = 1, 1
+		}
+	}
+	c, err := Build(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 64; s++ {
+		if c.CodeLen(uint16(s)) > maxCodeLen {
+			t.Fatalf("symbol %d has length %d > %d", s, c.CodeLen(uint16(s)), maxCodeLen)
+		}
+	}
+	// And it still roundtrips.
+	rng := rand.New(rand.NewSource(7))
+	codes := make([]uint16, 5000)
+	for i := range codes {
+		codes[i] = uint16(rng.Intn(64))
+	}
+	blob, err := Compress(tp, device.Host, codes, histOf(codes, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(tp, device.Host, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range codes {
+		if got[i] != codes[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestPropertyRoundtrip(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		codes := make([]uint16, len(raw))
+		for i, b := range raw {
+			codes[i] = uint16(b) // alphabet 256
+		}
+		blob, err := Compress(tp, device.Host, codes, histOf(codes, 256))
+		if err != nil {
+			return false
+		}
+		got, err := Decompress(tp, device.Host, blob)
+		if err != nil || len(got) != len(codes) {
+			return false
+		}
+		for i := range codes {
+			if got[i] != codes[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiChunkBoundary(t *testing.T) {
+	// Exactly at, below and above the chunk boundary.
+	for _, n := range []int{chunkSize - 1, chunkSize, chunkSize + 1, 2*chunkSize + 17} {
+		codes := genSkewed(n, int64(n))
+		blob, err := Compress(tp, device.Host, codes, histOf(codes, 1024))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decompress(tp, device.Host, blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range codes {
+			if got[i] != codes[i] {
+				t.Fatalf("n=%d mismatch at %d", n, i)
+			}
+		}
+	}
+}

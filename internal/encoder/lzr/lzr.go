@@ -1,0 +1,274 @@
+// Package lzr is a from-scratch LZ77 byte codec filling the "secondary
+// lossless encoder" slot of FZModules pipelines, the role zstd plays in the
+// paper (§3.2: "if the compression ratios are still in need of improvement,
+// a secondary lossless encoder, zstd, can be attempted"). The format is an
+// LZ4-style token stream — greedy hash-chain matching, 64 KiB window —
+// compressed in independent 256 KiB blocks so both directions parallelize.
+package lzr
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"fzmod/internal/device"
+)
+
+const (
+	blockSize = 256 << 10
+	minMatch  = 4
+	// maxOffset is the largest encodable match distance: offsets are
+	// stored in 2 bytes, so 64 KiB exactly would wrap to zero.
+	maxOffset    = 64<<10 - 1
+	hashBits     = 15
+	maxChainHops = 16
+)
+
+// Compress encodes src. Layout: uvarint(srcLen) ‖ uvarint(nBlocks) ‖
+// per-block uvarint compressed sizes ‖ concatenated block payloads.
+func Compress(p *device.Platform, place device.Place, src []byte) []byte {
+	nBlocks := (len(src) + blockSize - 1) / blockSize
+	bufs := make([][]byte, nBlocks)
+	p.LaunchGrid(place, nBlocks, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			start, end := b*blockSize, (b+1)*blockSize
+			if end > len(src) {
+				end = len(src)
+			}
+			bufs[b] = compressBlock(src[start:end])
+		}
+	})
+	out := binary.AppendUvarint(nil, uint64(len(src)))
+	out = binary.AppendUvarint(out, uint64(nBlocks))
+	for _, buf := range bufs {
+		out = binary.AppendUvarint(out, uint64(len(buf)))
+	}
+	for _, buf := range bufs {
+		out = append(out, buf...)
+	}
+	return out
+}
+
+func hash4(v uint32) uint32 { return (v * 2654435761) >> (32 - hashBits) }
+
+func load4(src []byte, i int) uint32 { return binary.LittleEndian.Uint32(src[i:]) }
+
+// compressBlock emits an LZ4-style token stream for one block.
+func compressBlock(src []byte) []byte {
+	out := make([]byte, 0, len(src)/2+16)
+	n := len(src)
+	if n < minMatch+4 {
+		return emitSeq(out, src, 0, 0)
+	}
+	head := make([]int32, 1<<hashBits)
+	chain := make([]int32, n)
+	for i := range head {
+		head[i] = -1
+	}
+	litStart := 0
+	i := 0
+	limit := n - minMatch // last position where a match can start (room for load4)
+	for i < limit {
+		h := hash4(load4(src, i))
+		cand := head[h]
+		chain[i] = cand
+		head[h] = int32(i)
+
+		bestLen, bestOff := 0, 0
+		hops := 0
+		for cand >= 0 && hops < maxChainHops && i-int(cand) <= maxOffset {
+			if load4(src, int(cand)) == load4(src, i) {
+				l := matchLen(src, int(cand), i)
+				if l > bestLen {
+					bestLen, bestOff = l, i-int(cand)
+				}
+			}
+			cand = chain[cand]
+			hops++
+		}
+		if bestLen >= minMatch {
+			out = emitSeq(out, src[litStart:i], bestLen, bestOff)
+			// Insert skipped positions sparsely to keep the chain useful.
+			end := i + bestLen
+			for j := i + 1; j < end && j < limit; j += 2 {
+				hj := hash4(load4(src, j))
+				chain[j] = head[hj]
+				head[hj] = int32(j)
+			}
+			i = end
+			litStart = i
+		} else {
+			i++
+		}
+	}
+	return emitSeq(out, src[litStart:], 0, 0)
+}
+
+func matchLen(src []byte, a, b int) int {
+	l := 0
+	for b+l < len(src) && src[a+l] == src[b+l] {
+		l++
+	}
+	return l
+}
+
+// emitSeq writes one sequence: token, extended literal length, literals,
+// then (if matchLen > 0) 2-byte offset and extended match length.
+func emitSeq(out, literals []byte, matchLen, offset int) []byte {
+	ll := len(literals)
+	ml := 0
+	if matchLen > 0 {
+		ml = matchLen - minMatch
+	}
+	tok := byte(0)
+	if ll >= 15 {
+		tok = 15 << 4
+	} else {
+		tok = byte(ll) << 4
+	}
+	hasMatch := matchLen > 0
+	if hasMatch {
+		if ml >= 15 {
+			tok |= 15
+		} else {
+			tok |= byte(ml)
+		}
+	}
+	out = append(out, tok)
+	if ll >= 15 {
+		out = appendExt(out, ll-15)
+	}
+	out = append(out, literals...)
+	if hasMatch {
+		out = append(out, byte(offset), byte(offset>>8))
+		if ml >= 15 {
+			out = appendExt(out, ml-15)
+		}
+	}
+	return out
+}
+
+func appendExt(out []byte, v int) []byte {
+	for v >= 255 {
+		out = append(out, 255)
+		v -= 255
+	}
+	return append(out, byte(v))
+}
+
+// Decompress inverts Compress.
+func Decompress(p *device.Platform, place device.Place, blob []byte) ([]byte, error) {
+	srcLen, k := binary.Uvarint(blob)
+	if k <= 0 {
+		return nil, fmt.Errorf("lzr: truncated header")
+	}
+	pos := k
+	nBlocks, k := binary.Uvarint(blob[pos:])
+	if k <= 0 {
+		return nil, fmt.Errorf("lzr: truncated block count")
+	}
+	pos += k
+	if want := (srcLen + blockSize - 1) / blockSize; nBlocks != want && !(srcLen == 0 && nBlocks == 0) {
+		return nil, fmt.Errorf("lzr: block count %d inconsistent with length %d", nBlocks, srcLen)
+	}
+	sizes := make([]int, nBlocks)
+	for i := range sizes {
+		sz, k := binary.Uvarint(blob[pos:])
+		if k <= 0 {
+			return nil, fmt.Errorf("lzr: truncated size table")
+		}
+		pos += k
+		sizes[i] = int(sz)
+	}
+	offsets := make([]int, nBlocks+1)
+	offsets[0] = pos
+	for i, sz := range sizes {
+		offsets[i+1] = offsets[i] + sz
+	}
+	if offsets[nBlocks] > len(blob) {
+		return nil, fmt.Errorf("lzr: stream shorter than size table claims")
+	}
+
+	out := make([]byte, srcLen)
+	errs := make([]error, nBlocks)
+	p.LaunchGrid(place, int(nBlocks), func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			start, end := b*blockSize, (b+1)*blockSize
+			if end > int(srcLen) {
+				end = int(srcLen)
+			}
+			errs[b] = decompressBlock(blob[offsets[b]:offsets[b+1]], out[start:end])
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func decompressBlock(src, dst []byte) error {
+	di, si := 0, 0
+	for si < len(src) {
+		tok := src[si]
+		si++
+		ll := int(tok >> 4)
+		if ll == 15 {
+			var err error
+			ll, si, err = readExt(src, si, ll)
+			if err != nil {
+				return err
+			}
+		}
+		if si+ll > len(src) || di+ll > len(dst) {
+			return fmt.Errorf("lzr: literal run overflows block")
+		}
+		copy(dst[di:], src[si:si+ll])
+		si += ll
+		di += ll
+		if si >= len(src) {
+			break // final sequence carries no match
+		}
+		if si+2 > len(src) {
+			return fmt.Errorf("lzr: truncated match offset")
+		}
+		offset := int(src[si]) | int(src[si+1])<<8
+		si += 2
+		ml := int(tok & 15)
+		if ml == 15 {
+			var err error
+			ml, si, err = readExt(src, si, ml)
+			if err != nil {
+				return err
+			}
+		}
+		ml += minMatch
+		if offset == 0 || offset > di || di+ml > len(dst) {
+			return fmt.Errorf("lzr: invalid match (offset %d, len %d, at %d)", offset, ml, di)
+		}
+		// Byte-wise copy: overlapping matches are the RLE case.
+		for j := 0; j < ml; j++ {
+			dst[di] = dst[di-offset]
+			di++
+		}
+	}
+	if di != len(dst) {
+		return fmt.Errorf("lzr: block decoded to %d bytes, want %d", di, len(dst))
+	}
+	return nil
+}
+
+func readExt(src []byte, si, base int) (int, int, error) {
+	v := base
+	for {
+		if si >= len(src) {
+			return 0, 0, fmt.Errorf("lzr: truncated length extension")
+		}
+		b := src[si]
+		si++
+		v += int(b)
+		if b != 255 {
+			return v, si, nil
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package lzr
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fzmod/internal/device"
+)
+
+var tp = device.NewTestPlatform()
+
+func roundtrip(t *testing.T, src []byte) []byte {
+	t.Helper()
+	blob := Compress(tp, device.Host, src)
+	got, err := Decompress(tp, device.Host, blob)
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("roundtrip mismatch: %d bytes in, %d out", len(src), len(got))
+	}
+	return blob
+}
+
+func TestRoundtripEmpty(t *testing.T)  { roundtrip(t, nil) }
+func TestRoundtripSingle(t *testing.T) { roundtrip(t, []byte{42}) }
+
+func TestRoundtripShortInputs(t *testing.T) {
+	for n := 0; n < 40; n++ {
+		src := make([]byte, n)
+		for i := range src {
+			src[i] = byte(i * 7)
+		}
+		roundtrip(t, src)
+	}
+}
+
+func TestCompressesRepetitiveData(t *testing.T) {
+	src := bytes.Repeat([]byte("scientific data reduction "), 10_000)
+	blob := roundtrip(t, src)
+	if ratio := float64(len(src)) / float64(len(blob)); ratio < 20 {
+		t.Errorf("ratio on repetitive text = %.1f, want ≥ 20", ratio)
+	}
+}
+
+func TestCompressesZeros(t *testing.T) {
+	src := make([]byte, 500_000)
+	blob := roundtrip(t, src)
+	if ratio := float64(len(src)) / float64(len(blob)); ratio < 100 {
+		t.Errorf("ratio on zeros = %.1f, want ≥ 100", ratio)
+	}
+}
+
+func TestRandomDataDoesNotExplode(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]byte, 300_000)
+	rng.Read(src)
+	blob := roundtrip(t, src)
+	if len(blob) > len(src)+len(src)/100+64 {
+		t.Errorf("random data expanded: %d → %d", len(src), len(blob))
+	}
+}
+
+func TestMultiBlockBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{blockSize - 1, blockSize, blockSize + 1, 2*blockSize + 333} {
+		src := make([]byte, n)
+		for i := range src {
+			if rng.Float64() < 0.7 && i > 0 {
+				src[i] = src[i-1]
+			} else {
+				src[i] = byte(rng.Intn(256))
+			}
+		}
+		roundtrip(t, src)
+	}
+}
+
+func TestOverlappingMatchesRLE(t *testing.T) {
+	// "abcabcabc..." forces overlapping match copies.
+	src := bytes.Repeat([]byte("abc"), 50_000)
+	roundtrip(t, src)
+}
+
+func TestQuantCodeBytesCompressWell(t *testing.T) {
+	// Typical secondary-encoder input: Huffman/fzg output has structure;
+	// simulate with low-entropy bytes.
+	rng := rand.New(rand.NewSource(3))
+	src := make([]byte, 200_000)
+	for i := range src {
+		src[i] = byte(rng.Intn(4))
+	}
+	blob := roundtrip(t, src)
+	// LZ token coding is not entropy coding; ~1.5x on 2-bit-entropy noise
+	// is the realistic floor (zstd's edge comes from its FSE stage).
+	if float64(len(src))/float64(len(blob)) < 1.5 {
+		t.Errorf("low-entropy bytes should compress ≥ 1.5x, got %.2f",
+			float64(len(src))/float64(len(blob)))
+	}
+}
+
+func TestDecompressErrors(t *testing.T) {
+	for _, blob := range [][]byte{
+		nil,
+		{200},                  // truncated varint
+		{10},                   // missing block count
+		{10, 5},                // block count inconsistent with length
+		{10, 1},                // missing size table
+		{10, 1, 50},            // size table claims more than present
+		{10, 1, 2, 0xFF, 0xFF}, // garbage payload
+	} {
+		if _, err := Decompress(tp, device.Host, blob); err == nil {
+			t.Errorf("Decompress(%v) should fail", blob)
+		}
+	}
+}
+
+func TestCorruptPayloadDetected(t *testing.T) {
+	src := bytes.Repeat([]byte("hello world "), 1000)
+	blob := Compress(tp, device.Host, src)
+	// Flip bytes in the payload region; decoder must not crash, and for
+	// structural corruption should usually error.
+	for i := len(blob) / 2; i < len(blob)/2+8 && i < len(blob); i++ {
+		mut := append([]byte(nil), blob...)
+		mut[i] ^= 0xFF
+		got, err := Decompress(tp, device.Host, mut)
+		if err == nil && bytes.Equal(got, src) {
+			continue // flip landed in literals; output differs elsewhere
+		}
+	}
+}
+
+func TestPropertyRoundtrip(t *testing.T) {
+	f := func(src []byte) bool {
+		blob := Compress(tp, device.Host, src)
+		got, err := Decompress(tp, device.Host, blob)
+		return err == nil && bytes.Equal(got, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyStructuredRoundtrip(t *testing.T) {
+	// Random-walk bytes exercise match-heavy paths better than uniform.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(100_000)
+		src := make([]byte, n)
+		v := byte(0)
+		for i := range src {
+			if rng.Float64() < 0.1 {
+				v = byte(rng.Intn(256))
+			}
+			src[i] = v
+		}
+		roundtrip(t, src)
+	}
+}
+
+func TestMatchAtExactWindowBoundary(t *testing.T) {
+	// Regression: a match at distance exactly 64 KiB used to be emitted
+	// with a wrapped 2-byte offset of 0 (caught by the module benchmark on
+	// quantization-code bytes). Construct a block with an identical run at
+	// precisely that distance.
+	src := make([]byte, maxOffset+256)
+	pattern := []byte("0123456789abcdefghijklmnop")
+	copy(src, pattern)
+	copy(src[maxOffset:], pattern)
+	roundtrip(t, src)
+}

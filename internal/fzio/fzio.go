@@ -1,0 +1,224 @@
+// Package fzio defines the self-describing container format FZModules
+// pipelines serialize into: a fixed header carrying the geometry and
+// error-bound metadata a decompressor needs, followed by a table of named,
+// CRC-checked segments (quantization codes, outliers, anchors, encoder
+// tables...). Each pipeline stores its stages as separate segments, which
+// is what lets the STF decompression pipeline start independent tasks from
+// independent segments (§3.3.1).
+package fzio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"fzmod/internal/grid"
+)
+
+// Magic identifies FZModules containers.
+const Magic = "FZMD"
+
+// Version is the container format version.
+const Version = 1
+
+// Header carries the metadata common to every pipeline.
+type Header struct {
+	Pipeline string    // pipeline identifier, e.g. "fzmod-default"
+	Dims     grid.Dims // original field geometry
+	EB       float64   // effective absolute error bound used
+	RelEB    float64   // user-specified relative bound (0 if absolute)
+	Extra    uint64    // pipeline-specific scalar (e.g. radius)
+}
+
+// Container is a decoded container: header plus named segments.
+type Container struct {
+	Header   Header
+	segments []segment
+}
+
+type segment struct {
+	name string
+	data []byte
+}
+
+// New creates an empty container with the given header.
+func New(h Header) *Container { return &Container{Header: h} }
+
+// Add appends a named segment. Names must be unique and non-empty.
+func (c *Container) Add(name string, data []byte) error {
+	if name == "" {
+		return fmt.Errorf("fzio: empty segment name")
+	}
+	for _, s := range c.segments {
+		if s.name == name {
+			return fmt.Errorf("fzio: duplicate segment %q", name)
+		}
+	}
+	c.segments = append(c.segments, segment{name, data})
+	return nil
+}
+
+// Segment returns the named segment's bytes, or an error if absent.
+func (c *Container) Segment(name string) ([]byte, error) {
+	for _, s := range c.segments {
+		if s.name == name {
+			return s.data, nil
+		}
+	}
+	return nil, fmt.Errorf("fzio: segment %q not found", name)
+}
+
+// Has reports whether a named segment exists.
+func (c *Container) Has(name string) bool {
+	for _, s := range c.segments {
+		if s.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Names lists segment names in insertion order.
+func (c *Container) Names() []string {
+	out := make([]string, len(c.segments))
+	for i, s := range c.segments {
+		out[i] = s.name
+	}
+	return out
+}
+
+// Size returns the total payload bytes across segments (header excluded).
+func (c *Container) Size() int {
+	n := 0
+	for _, s := range c.segments {
+		n += len(s.data)
+	}
+	return n
+}
+
+// Marshal serializes the container.
+//
+// Layout: "FZMD" ‖ u16 version ‖ uvarint fields:
+// pipeline, dims X/Y/Z, EB bits, RelEB bits, Extra, segment count; then per
+// segment: name, length, CRC32(payload); then concatenated payloads.
+func (c *Container) Marshal() ([]byte, error) {
+	if !c.Header.Dims.Valid() {
+		return nil, fmt.Errorf("fzio: invalid dims %v", c.Header.Dims)
+	}
+	out := []byte(Magic)
+	out = binary.LittleEndian.AppendUint16(out, Version)
+	out = appendString(out, c.Header.Pipeline)
+	out = binary.AppendUvarint(out, uint64(c.Header.Dims.X))
+	out = binary.AppendUvarint(out, uint64(c.Header.Dims.Y))
+	out = binary.AppendUvarint(out, uint64(c.Header.Dims.Z))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(c.Header.EB))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(c.Header.RelEB))
+	out = binary.AppendUvarint(out, c.Header.Extra)
+	out = binary.AppendUvarint(out, uint64(len(c.segments)))
+	for _, s := range c.segments {
+		out = appendString(out, s.name)
+		out = binary.AppendUvarint(out, uint64(len(s.data)))
+		out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(s.data))
+	}
+	for _, s := range c.segments {
+		out = append(out, s.data...)
+	}
+	return out, nil
+}
+
+// Unmarshal parses a container, verifying magic, version and segment CRCs.
+func Unmarshal(blob []byte) (*Container, error) {
+	if len(blob) < 6 || string(blob[:4]) != Magic {
+		return nil, fmt.Errorf("fzio: not an FZModules container")
+	}
+	if v := binary.LittleEndian.Uint16(blob[4:]); v != Version {
+		return nil, fmt.Errorf("fzio: unsupported version %d", v)
+	}
+	pos := 6
+	var err error
+	c := &Container{}
+	if c.Header.Pipeline, pos, err = readString(blob, pos); err != nil {
+		return nil, err
+	}
+	dims := [3]uint64{}
+	for i := range dims {
+		v, k := binary.Uvarint(blob[pos:])
+		if k <= 0 {
+			return nil, fmt.Errorf("fzio: truncated dims")
+		}
+		dims[i], pos = v, pos+k
+	}
+	c.Header.Dims = grid.Dims{X: int(dims[0]), Y: int(dims[1]), Z: int(dims[2])}
+	if !c.Header.Dims.Valid() {
+		return nil, fmt.Errorf("fzio: invalid dims %v", c.Header.Dims)
+	}
+	if pos+16 > len(blob) {
+		return nil, fmt.Errorf("fzio: truncated header")
+	}
+	c.Header.EB = math.Float64frombits(binary.LittleEndian.Uint64(blob[pos:]))
+	c.Header.RelEB = math.Float64frombits(binary.LittleEndian.Uint64(blob[pos+8:]))
+	pos += 16
+	extra, k := binary.Uvarint(blob[pos:])
+	if k <= 0 {
+		return nil, fmt.Errorf("fzio: truncated extra field")
+	}
+	c.Header.Extra = extra
+	pos += k
+	nSeg, k := binary.Uvarint(blob[pos:])
+	if k <= 0 || nSeg > 1<<20 {
+		return nil, fmt.Errorf("fzio: bad segment count")
+	}
+	pos += k
+	type segMeta struct {
+		name string
+		size int
+		crc  uint32
+	}
+	metas := make([]segMeta, nSeg)
+	for i := range metas {
+		if metas[i].name, pos, err = readString(blob, pos); err != nil {
+			return nil, err
+		}
+		sz, k := binary.Uvarint(blob[pos:])
+		if k <= 0 {
+			return nil, fmt.Errorf("fzio: truncated segment size")
+		}
+		metas[i].size = int(sz)
+		pos += k
+		if pos+4 > len(blob) {
+			return nil, fmt.Errorf("fzio: truncated segment CRC")
+		}
+		metas[i].crc = binary.LittleEndian.Uint32(blob[pos:])
+		pos += 4
+	}
+	for _, m := range metas {
+		if pos+m.size > len(blob) {
+			return nil, fmt.Errorf("fzio: segment %q exceeds container", m.name)
+		}
+		data := blob[pos : pos+m.size]
+		if crc32.ChecksumIEEE(data) != m.crc {
+			return nil, fmt.Errorf("fzio: segment %q CRC mismatch (corrupt container)", m.name)
+		}
+		c.segments = append(c.segments, segment{m.name, data})
+		pos += m.size
+	}
+	return c, nil
+}
+
+func appendString(out []byte, s string) []byte {
+	out = binary.AppendUvarint(out, uint64(len(s)))
+	return append(out, s...)
+}
+
+func readString(blob []byte, pos int) (string, int, error) {
+	n, k := binary.Uvarint(blob[pos:])
+	if k <= 0 || n > 1<<16 {
+		return "", 0, fmt.Errorf("fzio: bad string length")
+	}
+	pos += k
+	if pos+int(n) > len(blob) {
+		return "", 0, fmt.Errorf("fzio: truncated string")
+	}
+	return string(blob[pos : pos+int(n)]), pos + int(n), nil
+}

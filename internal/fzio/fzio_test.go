@@ -1,0 +1,144 @@
+package fzio
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"fzmod/internal/grid"
+)
+
+func sampleContainer() *Container {
+	c := New(Header{
+		Pipeline: "fzmod-default",
+		Dims:     grid.D3(10, 20, 30),
+		EB:       1.5e-4,
+		RelEB:    1e-4,
+		Extra:    512,
+	})
+	_ = c.Add("codes", []byte{1, 2, 3, 4, 5})
+	_ = c.Add("outliers", []byte{9, 9})
+	_ = c.Add("empty", nil)
+	return c
+}
+
+func TestMarshalUnmarshalRoundtrip(t *testing.T) {
+	c := sampleContainer()
+	blob, err := c.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header != c.Header {
+		t.Errorf("header mismatch: %+v vs %+v", got.Header, c.Header)
+	}
+	for _, name := range []string{"codes", "outliers", "empty"} {
+		want, _ := c.Segment(name)
+		gotSeg, err := got.Segment(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotSeg, want) {
+			t.Errorf("segment %q mismatch", name)
+		}
+	}
+}
+
+func TestDuplicateSegmentRejected(t *testing.T) {
+	c := New(Header{Dims: grid.D1(1)})
+	if err := c.Add("x", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add("x", nil); err == nil {
+		t.Error("duplicate segment should fail")
+	}
+	if err := c.Add("", nil); err == nil {
+		t.Error("empty name should fail")
+	}
+}
+
+func TestSegmentLookup(t *testing.T) {
+	c := sampleContainer()
+	if !c.Has("codes") || c.Has("nope") {
+		t.Error("Has misbehaves")
+	}
+	if _, err := c.Segment("nope"); err == nil {
+		t.Error("missing segment should error")
+	}
+	names := c.Names()
+	if len(names) != 3 || names[0] != "codes" || names[2] != "empty" {
+		t.Errorf("Names = %v", names)
+	}
+	if c.Size() != 7 {
+		t.Errorf("Size = %d, want 7", c.Size())
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	c := sampleContainer()
+	blob, err := c.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte (the last byte belongs to "outliers" payload).
+	mut := append([]byte(nil), blob...)
+	mut[len(mut)-1] ^= 0xFF
+	if _, err := Unmarshal(mut); err == nil {
+		t.Error("payload corruption must be detected via CRC")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	c := sampleContainer()
+	blob, _ := c.Marshal()
+	cases := map[string][]byte{
+		"empty":       nil,
+		"bad magic":   []byte("NOPE\x01\x00"),
+		"bad version": append([]byte(Magic), 9, 0),
+		"truncated":   blob[:8],
+		"half header": blob[:20],
+		"cut payload": blob[:len(blob)-3],
+	}
+	for name, b := range cases {
+		if _, err := Unmarshal(b); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestMarshalInvalidDims(t *testing.T) {
+	c := New(Header{Dims: grid.Dims{X: 0, Y: 1, Z: 1}})
+	if _, err := c.Marshal(); err == nil {
+		t.Error("invalid dims should fail to marshal")
+	}
+}
+
+func TestPropertyRoundtrip(t *testing.T) {
+	f := func(a, b []byte, x, y, z uint8, eb float64) bool {
+		dims := grid.Dims{X: int(x) + 1, Y: int(y) + 1, Z: int(z) + 1}
+		c := New(Header{Pipeline: "p", Dims: dims, EB: eb})
+		if err := c.Add("a", a); err != nil {
+			return false
+		}
+		if err := c.Add("b", b); err != nil {
+			return false
+		}
+		blob, err := c.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(blob)
+		if err != nil {
+			return false
+		}
+		ga, _ := got.Segment("a")
+		gb, _ := got.Segment("b")
+		return bytes.Equal(ga, a) && bytes.Equal(gb, b) && got.Header.Dims == dims
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,63 @@
+// Package grid provides the small shared geometry vocabulary for the
+// compression modules: dataset dimensions and index arithmetic for 1-D,
+// 2-D and 3-D fields stored in x-fastest (C row-major, reversed) order.
+package grid
+
+import "fmt"
+
+// Dims describes a field of X*Y*Z float values with x varying fastest:
+// index = x + X*(y + Y*z). 2-D fields use Z=1, 1-D fields Y=Z=1.
+type Dims struct {
+	X, Y, Z int
+}
+
+// D1 returns 1-D dims of length n.
+func D1(n int) Dims { return Dims{n, 1, 1} }
+
+// D2 returns 2-D dims (x fastest).
+func D2(x, y int) Dims { return Dims{x, y, 1} }
+
+// D3 returns 3-D dims (x fastest).
+func D3(x, y, z int) Dims { return Dims{x, y, z} }
+
+// N returns the total element count.
+func (d Dims) N() int { return d.X * d.Y * d.Z }
+
+// Rank returns 1, 2 or 3 according to the trailing singleton dimensions.
+func (d Dims) Rank() int {
+	switch {
+	case d.Z > 1:
+		return 3
+	case d.Y > 1:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Idx maps (x, y, z) to the linear index.
+func (d Dims) Idx(x, y, z int) int { return x + d.X*(y+d.Y*z) }
+
+// Coords inverts Idx.
+func (d Dims) Coords(i int) (x, y, z int) {
+	x = i % d.X
+	i /= d.X
+	y = i % d.Y
+	z = i / d.Y
+	return
+}
+
+// Valid reports whether all extents are positive.
+func (d Dims) Valid() bool { return d.X > 0 && d.Y > 0 && d.Z > 0 }
+
+// String renders "XxYxZ" with trailing singletons omitted.
+func (d Dims) String() string {
+	switch d.Rank() {
+	case 3:
+		return fmt.Sprintf("%dx%dx%d", d.X, d.Y, d.Z)
+	case 2:
+		return fmt.Sprintf("%dx%d", d.X, d.Y)
+	default:
+		return fmt.Sprintf("%d", d.X)
+	}
+}

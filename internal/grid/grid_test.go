@@ -1,0 +1,116 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructors(t *testing.T) {
+	if d := D1(7); d != (Dims{7, 1, 1}) {
+		t.Errorf("D1: %+v", d)
+	}
+	if d := D2(3, 4); d != (Dims{3, 4, 1}) {
+		t.Errorf("D2: %+v", d)
+	}
+	if d := D3(2, 3, 4); d != (Dims{2, 3, 4}) {
+		t.Errorf("D3: %+v", d)
+	}
+}
+
+func TestN(t *testing.T) {
+	if D3(2, 3, 4).N() != 24 {
+		t.Error("N mismatch")
+	}
+}
+
+func TestRank(t *testing.T) {
+	cases := []struct {
+		d    Dims
+		want int
+	}{
+		{D1(5), 1}, {D2(5, 2), 2}, {D3(5, 2, 2), 3},
+		{Dims{5, 1, 1}, 1}, {Dims{1, 1, 1}, 1},
+		// A z-extent forces rank 3 even with singleton y.
+		{Dims{4, 1, 3}, 3},
+	}
+	for _, c := range cases {
+		if got := c.d.Rank(); got != c.want {
+			t.Errorf("Rank(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestIdxCoordsInverse(t *testing.T) {
+	d := D3(5, 7, 3)
+	for z := 0; z < d.Z; z++ {
+		for y := 0; y < d.Y; y++ {
+			for x := 0; x < d.X; x++ {
+				i := d.Idx(x, y, z)
+				gx, gy, gz := d.Coords(i)
+				if gx != x || gy != y || gz != z {
+					t.Fatalf("Coords(Idx(%d,%d,%d)) = (%d,%d,%d)", x, y, z, gx, gy, gz)
+				}
+			}
+		}
+	}
+}
+
+func TestIdxXFastest(t *testing.T) {
+	d := D3(4, 3, 2)
+	if d.Idx(1, 0, 0) != 1 {
+		t.Error("x must be the fastest dimension")
+	}
+	if d.Idx(0, 1, 0) != 4 {
+		t.Error("y stride must be X")
+	}
+	if d.Idx(0, 0, 1) != 12 {
+		t.Error("z stride must be X*Y")
+	}
+}
+
+func TestValid(t *testing.T) {
+	if !D3(1, 1, 1).Valid() {
+		t.Error("1x1x1 should be valid")
+	}
+	for _, d := range []Dims{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}, {-1, 1, 1}} {
+		if d.Valid() {
+			t.Errorf("%v should be invalid", d)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := map[string]Dims{
+		"5":     D1(5),
+		"5x4":   D2(5, 4),
+		"5x4x3": D3(5, 4, 3),
+		"9x1x3": {9, 1, 3},
+	}
+	for want, d := range cases {
+		if got := d.String(); got != want {
+			t.Errorf("%+v.String() = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestPropertyIdxBijective(t *testing.T) {
+	f := func(x, y, z uint8) bool {
+		d := Dims{int(x%16) + 1, int(y%16) + 1, int(z%16) + 1}
+		seen := make(map[int]bool, d.N())
+		for zz := 0; zz < d.Z; zz++ {
+			for yy := 0; yy < d.Y; yy++ {
+				for xx := 0; xx < d.X; xx++ {
+					i := d.Idx(xx, yy, zz)
+					if i < 0 || i >= d.N() || seen[i] {
+						return false
+					}
+					seen[i] = true
+				}
+			}
+		}
+		return len(seen) == d.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,174 @@
+// Package histogram provides the GPU-accelerated data-analysis stage of
+// FZModules (§3.2): the Huffman encoder "requires a histogram of the
+// quantization codes be provided", and the framework offers two module
+// variants — a standard privatized parallel histogram, and a top-k variant
+// that "outperforms when the distribution of quantization codes has many
+// repeating values", the typical shape of spline-predicted codes.
+package histogram
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"fzmod/internal/device"
+)
+
+// Standard computes the exact histogram of codes over [0, bins) with
+// per-worker privatized counters merged at the end — the same structure as
+// the shared-memory-privatized CUDA histogram.
+func Standard(p *device.Platform, place device.Place, codes []uint16, bins int) ([]uint32, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("histogram: bins must be positive, got %d", bins)
+	}
+	out := make([]uint32, bins)
+	var mu sync.Mutex
+	var oob atomic.Bool
+	p.LaunchGrid(place, len(codes), func(lo, hi int) {
+		local := make([]uint32, bins)
+		for _, c := range codes[lo:hi] {
+			if int(c) >= bins {
+				oob.Store(true)
+				return
+			}
+			local[c]++
+		}
+		mu.Lock()
+		for i, v := range local {
+			out[i] += v
+		}
+		mu.Unlock()
+	})
+	if oob.Load() {
+		return nil, fmt.Errorf("histogram: code out of range [0,%d)", bins)
+	}
+	return out, nil
+}
+
+// TopK computes a histogram specialized for spiky distributions: it finds
+// the k most frequent codes from a strided sample, counts those exactly in
+// a single pass with a small dense table, and assigns every other occurring
+// code a floor count of 1. The Huffman tree built from it is near-optimal
+// when the top-k codes dominate (high-quality predictors concentrate codes
+// around the zero-residual center), while touching far less counter memory
+// per element than the standard variant.
+func TopK(p *device.Platform, place device.Place, codes []uint16, bins, k int) ([]uint32, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("histogram: bins must be positive, got %d", bins)
+	}
+	if k <= 0 || k > bins {
+		k = 256
+		if k > bins {
+			k = bins
+		}
+	}
+	if len(codes) == 0 {
+		return make([]uint32, bins), nil
+	}
+
+	// Pass 1: sampled candidate selection.
+	sample := make([]uint32, bins)
+	stride := len(codes)/65536 + 1
+	for i := 0; i < len(codes); i += stride {
+		c := codes[i]
+		if int(c) >= bins {
+			return nil, fmt.Errorf("histogram: code %d out of range [0,%d)", c, bins)
+		}
+		sample[c]++
+	}
+	type cand struct {
+		code  int
+		count uint32
+	}
+	cands := make([]cand, 0, 64)
+	for code, cnt := range sample {
+		if cnt > 0 {
+			cands = append(cands, cand{code, cnt})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].count != cands[j].count {
+			return cands[i].count > cands[j].count
+		}
+		return cands[i].code < cands[j].code
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	topSlot := make([]int16, bins)
+	for i := range topSlot {
+		topSlot[i] = -1
+	}
+	for slot, c := range cands {
+		topSlot[c.code] = int16(slot)
+	}
+
+	// Pass 2: exact counts for top-k, presence bits for the rest.
+	counts := make([]uint32, len(cands))
+	present := make([]bool, bins)
+	var mu sync.Mutex
+	var oob atomic.Bool
+	p.LaunchGrid(place, len(codes), func(lo, hi int) {
+		local := make([]uint32, len(cands))
+		localPresent := make([]bool, bins)
+		for _, c := range codes[lo:hi] {
+			if int(c) >= bins {
+				oob.Store(true)
+				return
+			}
+			if s := topSlot[c]; s >= 0 {
+				local[s]++
+			} else {
+				localPresent[c] = true
+			}
+		}
+		mu.Lock()
+		for i, v := range local {
+			counts[i] += v
+		}
+		for i, b := range localPresent {
+			if b {
+				present[i] = true
+			}
+		}
+		mu.Unlock()
+	})
+	if oob.Load() {
+		return nil, fmt.Errorf("histogram: code out of range [0,%d)", bins)
+	}
+
+	out := make([]uint32, bins)
+	for slot, c := range cands {
+		out[c.code] = counts[slot]
+	}
+	for code, b := range present {
+		if b && out[code] == 0 {
+			out[code] = 1
+		}
+	}
+	return out, nil
+}
+
+// Spikiness returns the fraction of mass held by the k most frequent bins,
+// the statistic pipelines can use to pick between Standard and TopK.
+func Spikiness(hist []uint32, k int) float64 {
+	var total uint64
+	top := make([]uint32, len(hist))
+	copy(top, hist)
+	for _, v := range hist {
+		total += uint64(v)
+	}
+	if total == 0 {
+		return 0
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i] > top[j] })
+	if k > len(top) {
+		k = len(top)
+	}
+	var mass uint64
+	for _, v := range top[:k] {
+		mass += uint64(v)
+	}
+	return float64(mass) / float64(total)
+}

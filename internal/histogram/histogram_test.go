@@ -1,0 +1,163 @@
+package histogram
+
+import (
+	"math/rand"
+	"testing"
+
+	"fzmod/internal/device"
+)
+
+var tp = device.NewTestPlatform()
+
+func naive(codes []uint16, bins int) []uint32 {
+	out := make([]uint32, bins)
+	for _, c := range codes {
+		out[c]++
+	}
+	return out
+}
+
+func TestStandardMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	codes := make([]uint16, 100_000)
+	for i := range codes {
+		codes[i] = uint16(rng.Intn(1024))
+	}
+	got, err := Standard(tp, device.Accel, codes, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naive(codes, 1024)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bin %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStandardEmpty(t *testing.T) {
+	got, err := Standard(tp, device.Accel, nil, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range got {
+		if v != 0 {
+			t.Fatal("empty input must give zero histogram")
+		}
+	}
+}
+
+func TestStandardErrors(t *testing.T) {
+	if _, err := Standard(tp, device.Accel, []uint16{5}, 0); err == nil {
+		t.Error("zero bins should fail")
+	}
+	if _, err := Standard(tp, device.Accel, []uint16{5}, 4); err == nil {
+		t.Error("out-of-range code should fail")
+	}
+}
+
+func TestTopKExactForTopSymbols(t *testing.T) {
+	// Spiky distribution: symbol 512 dominates, like high-quality
+	// predictor output.
+	rng := rand.New(rand.NewSource(2))
+	codes := make([]uint16, 200_000)
+	for i := range codes {
+		r := rng.Float64()
+		switch {
+		case r < 0.80:
+			codes[i] = 512
+		case r < 0.90:
+			codes[i] = 511
+		case r < 0.97:
+			codes[i] = 513
+		default:
+			codes[i] = uint16(rng.Intn(1024))
+		}
+	}
+	got, err := TopK(tp, device.Accel, codes, 1024, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naive(codes, 1024)
+	for _, s := range []int{511, 512, 513} {
+		if got[s] != want[s] {
+			t.Errorf("top symbol %d: got %d, want exact %d", s, got[s], want[s])
+		}
+	}
+	// Every occurring symbol must be present (Huffman needs a code).
+	for s := range want {
+		if want[s] > 0 && got[s] == 0 {
+			t.Errorf("occurring symbol %d missing from top-k histogram", s)
+		}
+		if want[s] == 0 && got[s] != 0 {
+			t.Errorf("absent symbol %d has count %d", s, got[s])
+		}
+	}
+}
+
+func TestTopKDefaultK(t *testing.T) {
+	codes := []uint16{1, 1, 1, 2, 3}
+	got, err := TopK(tp, device.Accel, codes, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1] != 3 {
+		t.Errorf("got[1] = %d, want 3", got[1])
+	}
+}
+
+func TestTopKLargeK(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	codes := make([]uint16, 50_000)
+	for i := range codes {
+		codes[i] = uint16(rng.Intn(512))
+	}
+	got, err := TopK(tp, device.Accel, codes, 1024, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naive(codes, 1024)
+	// With k larger than distinct symbols and dense sampling, counts for
+	// sampled-in symbols are exact; every present symbol is nonzero.
+	for s := range want {
+		if want[s] > 0 && got[s] == 0 {
+			t.Fatalf("symbol %d lost", s)
+		}
+	}
+}
+
+func TestTopKEmpty(t *testing.T) {
+	got, err := TopK(tp, device.Accel, nil, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 8 {
+		t.Fatal("wrong length")
+	}
+}
+
+func TestTopKErrors(t *testing.T) {
+	if _, err := TopK(tp, device.Accel, []uint16{9}, 4, 2); err == nil {
+		t.Error("out-of-range code should fail")
+	}
+	if _, err := TopK(tp, device.Accel, []uint16{1}, 0, 2); err == nil {
+		t.Error("zero bins should fail")
+	}
+}
+
+func TestSpikiness(t *testing.T) {
+	spiky := []uint32{1000, 1, 1, 1}
+	flat := []uint32{250, 250, 250, 250}
+	if s := Spikiness(spiky, 1); s < 0.99 {
+		t.Errorf("spiky top-1 mass = %v, want > .99", s)
+	}
+	if s := Spikiness(flat, 1); s > 0.26 {
+		t.Errorf("flat top-1 mass = %v, want .25", s)
+	}
+	if Spikiness(nil, 3) != 0 {
+		t.Error("empty histogram spikiness should be 0")
+	}
+	if s := Spikiness(flat, 100); s != 1 {
+		t.Errorf("k>bins mass = %v, want 1", s)
+	}
+}

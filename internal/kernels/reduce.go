@@ -1,0 +1,84 @@
+// Package kernels provides the GPU-style parallel primitives the compression
+// modules are built from: grid reductions, exclusive prefix sums, gather /
+// scatter, and bit packing. Each primitive follows the two-phase
+// block-then-combine structure its CUDA counterpart uses (per-block partial
+// results followed by a combine step), so module code written against this
+// package has the same pass structure as the paper's kernels.
+package kernels
+
+import (
+	"math"
+	"sync"
+
+	"fzmod/internal/device"
+)
+
+// MinMaxF32 computes the minimum and maximum of data with a two-phase grid
+// reduction at place. It is the extrema kernel behind relative-error-bound
+// normalization (§3.2: "needing to find the data minimum and maximum to
+// normalize the user provided error by the data range").
+func MinMaxF32(p *device.Platform, place device.Place, data []float32) (mn, mx float32) {
+	if len(data) == 0 {
+		return 0, 0
+	}
+	type partial struct {
+		mn, mx float32
+	}
+	var mu sync.Mutex
+	mn, mx = float32(math.Inf(1)), float32(math.Inf(-1))
+	p.LaunchGrid(place, len(data), func(lo, hi int) {
+		lmn, lmx := data[lo], data[lo]
+		for _, v := range data[lo+1 : hi] {
+			if v < lmn {
+				lmn = v
+			}
+			if v > lmx {
+				lmx = v
+			}
+		}
+		mu.Lock()
+		if lmn < mn {
+			mn = lmn
+		}
+		if lmx > mx {
+			mx = lmx
+		}
+		mu.Unlock()
+	})
+	return mn, mx
+}
+
+// SumF64 accumulates data in float64 with per-block partials, matching the
+// numerically safe reduction used for PSNR/MSE computation.
+func SumF64(p *device.Platform, place device.Place, data []float64) float64 {
+	var mu sync.Mutex
+	var total float64
+	p.LaunchGrid(place, len(data), func(lo, hi int) {
+		var local float64
+		for _, v := range data[lo:hi] {
+			local += v
+		}
+		mu.Lock()
+		total += local
+		mu.Unlock()
+	})
+	return total
+}
+
+// CountU16 counts occurrences of target in codes with a grid reduction.
+func CountU16(p *device.Platform, place device.Place, codes []uint16, target uint16) int {
+	var mu sync.Mutex
+	var total int
+	p.LaunchGrid(place, len(codes), func(lo, hi int) {
+		local := 0
+		for _, c := range codes[lo:hi] {
+			if c == target {
+				local++
+			}
+		}
+		mu.Lock()
+		total += local
+		mu.Unlock()
+	})
+	return total
+}

@@ -1,0 +1,96 @@
+package kernels
+
+import (
+	"sync"
+
+	"fzmod/internal/device"
+)
+
+// ExclusiveScan computes the exclusive prefix sum of src into a new slice
+// and returns it together with the total. The implementation is the classic
+// three-phase GPU scan: per-block sequential scan producing block sums, a
+// scan over the block sums, then a per-block offset add. Stream compaction
+// in the FZ-GPU dictionary encoder and the outlier compaction in the Lorenzo
+// module are built on it.
+func ExclusiveScan(p *device.Platform, place device.Place, src []uint32) (out []uint32, total uint32) {
+	n := len(src)
+	out = make([]uint32, n)
+	if n == 0 {
+		return out, 0
+	}
+	const block = 4096
+	nBlocks := (n + block - 1) / block
+	blockSums := make([]uint32, nBlocks)
+
+	// Phase 1: per-block exclusive scan.
+	var wg sync.WaitGroup
+	for b := 0; b < nBlocks; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			lo, hi := b*block, (b+1)*block
+			if hi > n {
+				hi = n
+			}
+			var acc uint32
+			for i := lo; i < hi; i++ {
+				out[i] = acc
+				acc += src[i]
+			}
+			blockSums[b] = acc
+		}(b)
+	}
+	wg.Wait()
+
+	// Phase 2: sequential scan of block sums (nBlocks is small).
+	var acc uint32
+	for b := 0; b < nBlocks; b++ {
+		s := blockSums[b]
+		blockSums[b] = acc
+		acc += s
+	}
+	total = acc
+
+	// Phase 3: add block offsets.
+	p.LaunchGrid(place, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] += blockSums[i/block]
+		}
+	})
+	return out, total
+}
+
+// CompactU32 performs stream compaction: it writes the indices i for which
+// keep[i] != 0 into a dense output array using an exclusive scan of the
+// keep flags, the standard GPU compaction idiom.
+func CompactU32(p *device.Platform, place device.Place, keep []uint32) []uint32 {
+	offsets, total := ExclusiveScan(p, place, keep)
+	out := make([]uint32, total)
+	p.LaunchGrid(place, len(keep), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if keep[i] != 0 {
+				out[offsets[i]] = uint32(i)
+			}
+		}
+	})
+	return out
+}
+
+// GatherF32 writes dst[j] = src[idx[j]] in parallel.
+func GatherF32(p *device.Platform, place device.Place, dst, src []float32, idx []uint32) {
+	p.LaunchGrid(place, len(idx), func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			dst[j] = src[idx[j]]
+		}
+	})
+}
+
+// ScatterF32 writes dst[idx[j]] = src[j] in parallel. Indices must be
+// unique, as they are for outlier scatter in decompression.
+func ScatterF32(p *device.Platform, place device.Place, dst, src []float32, idx []uint32) {
+	p.LaunchGrid(place, len(idx), func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			dst[idx[j]] = src[j]
+		}
+	})
+}

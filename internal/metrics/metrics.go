@@ -1,0 +1,122 @@
+// Package metrics implements the paper's evaluation metrics (§4.2):
+// compression ratio, bitrate, PSNR for rate–distortion, error-bound
+// verification, and the overall-speedup model of Eq. 1, which relates a
+// compressor's throughput and ratio to the bandwidth of the transfer
+// medium the compressed data crosses.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"fzmod/internal/device"
+	"fzmod/internal/kernels"
+)
+
+// CompressionRatio is input size over compressed size.
+func CompressionRatio(inputBytes, compressedBytes int) float64 {
+	if compressedBytes == 0 {
+		return math.Inf(1)
+	}
+	return float64(inputBytes) / float64(compressedBytes)
+}
+
+// Bitrate is the average compressed bits per input value (float32 input:
+// 32/CR), the x-axis of the paper's Figure 4.
+func Bitrate(n int, compressedBytes int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(compressedBytes) * 8 / float64(n)
+}
+
+// Quality bundles the reconstruction-quality statistics of one roundtrip.
+type Quality struct {
+	PSNR      float64 // dB, using the data value range as peak
+	NRMSE     float64 // RMSE normalized by the value range
+	MaxAbsErr float64
+	MSE       float64
+	Range     float64
+}
+
+// Evaluate computes reconstruction quality of dec against org in parallel.
+func Evaluate(p *device.Platform, place device.Place, org, dec []float32) (Quality, error) {
+	if len(org) != len(dec) {
+		return Quality{}, fmt.Errorf("metrics: length mismatch %d vs %d", len(org), len(dec))
+	}
+	if len(org) == 0 {
+		return Quality{}, fmt.Errorf("metrics: empty input")
+	}
+	mn, mx := kernels.MinMaxF32(p, place, org)
+	rng := float64(mx) - float64(mn)
+
+	// Per-chunk partial sums of squared error and max error.
+	sq := make([]float64, len(org))
+	p.LaunchGrid(place, len(org), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d := float64(org[i]) - float64(dec[i])
+			sq[i] = d * d
+		}
+	})
+	mse := kernels.SumF64(p, place, sq) / float64(len(org))
+	var maxErr float64
+	for i := range org {
+		if d := math.Abs(float64(org[i]) - float64(dec[i])); d > maxErr {
+			maxErr = d
+		}
+	}
+	q := Quality{MSE: mse, MaxAbsErr: maxErr, Range: rng}
+	if mse == 0 {
+		q.PSNR = math.Inf(1)
+	} else if rng > 0 {
+		q.PSNR = 20*math.Log10(rng) - 10*math.Log10(mse)
+	}
+	if rng > 0 {
+		q.NRMSE = math.Sqrt(mse) / rng
+	}
+	return q, nil
+}
+
+// VerifyBound reports whether every reconstructed value is within eb of the
+// original, allowing half a float32 ULP of the data magnitude (the slack
+// discussed on package lorenzo). It returns the first violating index, or
+// -1 when the bound holds.
+func VerifyBound(org, dec []float32, eb float64) int {
+	var maxMag float64
+	for _, v := range org {
+		if a := math.Abs(float64(v)); a > maxMag {
+			maxMag = a
+		}
+	}
+	tol := eb + maxMag/(1<<23) + 1e-12
+	for i := range org {
+		if math.Abs(float64(org[i])-float64(dec[i])) > tol {
+			return i
+		}
+	}
+	return -1
+}
+
+// OverallSpeedup implements Eq. 1 of the paper:
+//
+//	speedup = [ (BW·CR)⁻¹ + T⁻¹ ]⁻¹ · BW⁻¹
+//
+// i.e. the time per byte of moving raw data (1/BW) divided by the time per
+// byte of compressing (1/T) plus moving the compressed form (1/(BW·CR)).
+// With BW = 100 GB/s and CR = 2, a compressor needs T > 200 GB/s for
+// speedup > 1 — the worked example in §4.2.
+func OverallSpeedup(throughput, bandwidth, ratio float64) float64 {
+	if throughput <= 0 || bandwidth <= 0 || ratio <= 0 {
+		return 0
+	}
+	withCompr := 1/(bandwidth*ratio) + 1/throughput
+	return (1 / withCompr) / bandwidth
+}
+
+// Throughput converts bytes processed in d seconds to GB/s.
+func Throughput(bytes int, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(bytes) / seconds / 1e9
+}

@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"fzmod/internal/device"
+)
+
+var tp = device.NewTestPlatform()
+
+func TestCompressionRatio(t *testing.T) {
+	if got := CompressionRatio(1000, 100); got != 10 {
+		t.Errorf("CR = %v, want 10", got)
+	}
+	if !math.IsInf(CompressionRatio(10, 0), 1) {
+		t.Error("CR with zero compressed size should be +Inf")
+	}
+}
+
+func TestBitrate(t *testing.T) {
+	// 1000 float32 values compressed to 500 bytes → 4 bits/value.
+	if got := Bitrate(1000, 500); got != 4 {
+		t.Errorf("bitrate = %v, want 4", got)
+	}
+	if Bitrate(0, 100) != 0 {
+		t.Error("empty input bitrate should be 0")
+	}
+}
+
+func TestEvaluatePerfectReconstruction(t *testing.T) {
+	org := []float32{1, 2, 3, 4, 5}
+	q, err := Evaluate(tp, device.Accel, org, org)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(q.PSNR, 1) {
+		t.Errorf("perfect PSNR = %v, want +Inf", q.PSNR)
+	}
+	if q.MaxAbsErr != 0 || q.MSE != 0 || q.NRMSE != 0 {
+		t.Error("perfect reconstruction should have zero errors")
+	}
+	if q.Range != 4 {
+		t.Errorf("range = %v, want 4", q.Range)
+	}
+}
+
+func TestEvaluateKnownMSE(t *testing.T) {
+	org := []float32{0, 0, 0, 0}
+	dec := []float32{1, -1, 1, -1}
+	q, err := Evaluate(tp, device.Accel, org, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.MSE != 1 {
+		t.Errorf("MSE = %v, want 1", q.MSE)
+	}
+	if q.MaxAbsErr != 1 {
+		t.Errorf("MaxAbsErr = %v, want 1", q.MaxAbsErr)
+	}
+}
+
+func TestEvaluatePSNRFormula(t *testing.T) {
+	// range=10, mse=0.01 → PSNR = 20log10(10) - 10log10(0.01) = 20+20 = 40.
+	org := make([]float32, 1000)
+	dec := make([]float32, 1000)
+	for i := range org {
+		org[i] = float32(i%2) * 10
+		dec[i] = org[i] + 0.1
+	}
+	q, err := Evaluate(tp, device.Accel, org, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 20*math.Log10(10) - 10*math.Log10(0.01)
+	if math.Abs(q.PSNR-want) > 0.5 {
+		t.Errorf("PSNR = %v, want ~%v", q.PSNR, want)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	if _, err := Evaluate(tp, device.Accel, []float32{1}, []float32{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := Evaluate(tp, device.Accel, nil, nil); err == nil {
+		t.Error("empty input should fail")
+	}
+}
+
+func TestVerifyBound(t *testing.T) {
+	org := []float32{1, 2, 3}
+	dec := []float32{1.0005, 1.9995, 3.0004}
+	if i := VerifyBound(org, dec, 1e-3); i != -1 {
+		t.Errorf("bound should hold, got violation at %d", i)
+	}
+	dec2 := []float32{1.0005, 2.5, 3}
+	if i := VerifyBound(org, dec2, 1e-3); i != 1 {
+		t.Errorf("violation index = %d, want 1", i)
+	}
+}
+
+func TestOverallSpeedupWorkedExample(t *testing.T) {
+	// §4.2: on a 100 GB/s link with CR 2, T = 200 GB/s gives speedup 1.
+	s := OverallSpeedup(200, 100, 2)
+	if math.Abs(s-1) > 1e-9 {
+		t.Errorf("speedup = %v, want 1", s)
+	}
+	// Faster compressor → speedup > 1; approaching CR as T → ∞.
+	if s := OverallSpeedup(1e12, 100, 2); math.Abs(s-2) > 0.01 {
+		t.Errorf("asymptotic speedup = %v, want ~CR=2", s)
+	}
+	// Slow compressor → below 1.
+	if s := OverallSpeedup(50, 100, 2); s >= 1 {
+		t.Errorf("slow compressor speedup = %v, want < 1", s)
+	}
+}
+
+func TestOverallSpeedupDegenerate(t *testing.T) {
+	if OverallSpeedup(0, 100, 2) != 0 || OverallSpeedup(100, 0, 2) != 0 || OverallSpeedup(100, 100, 0) != 0 {
+		t.Error("degenerate inputs should give 0")
+	}
+}
+
+func TestOverallSpeedupMonotonicInCR(t *testing.T) {
+	prev := 0.0
+	for cr := 1.0; cr < 100; cr *= 2 {
+		s := OverallSpeedup(300, 35.7, cr)
+		if s <= prev {
+			t.Fatalf("speedup not increasing in CR at %v", cr)
+		}
+		prev = s
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(2e9, 2); got != 1 {
+		t.Errorf("throughput = %v, want 1 GB/s", got)
+	}
+	if Throughput(100, 0) != 0 {
+		t.Error("zero time throughput should be 0")
+	}
+}

@@ -1,0 +1,243 @@
+package lorenzo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fzmod/internal/device"
+	"fzmod/internal/grid"
+)
+
+var tp = device.NewTestPlatform()
+
+func maxAbsErr(a, b []float32) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(float64(a[i]) - float64(b[i])); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func smooth3D(dims grid.Dims, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	px, py, pz := rng.Float64(), rng.Float64(), rng.Float64()
+	out := make([]float32, dims.N())
+	for z := 0; z < dims.Z; z++ {
+		for y := 0; y < dims.Y; y++ {
+			for x := 0; x < dims.X; x++ {
+				v := math.Sin(0.11*float64(x)+px) * math.Cos(0.07*float64(y)+py) * math.Sin(0.05*float64(z)+pz)
+				out[dims.Idx(x, y, z)] = float32(v)
+			}
+		}
+	}
+	return out
+}
+
+// boundTol is the roundtrip tolerance: eb plus half a float32 ULP of the
+// largest data magnitude (the unavoidable output-rounding slack documented
+// on the package).
+func boundTol(data []float32, eb float64) float64 {
+	var m float64
+	for _, v := range data {
+		if a := math.Abs(float64(v)); a > m {
+			m = a
+		}
+	}
+	return eb + m/(1<<23) + 1e-12
+}
+
+func roundtrip(t *testing.T, data []float32, dims grid.Dims, eb float64) *Quantized {
+	t.Helper()
+	q, err := Encode(tp, device.Accel, data, dims, eb, 0)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(tp, device.Accel, q, dims, eb)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if e := maxAbsErr(data, got); e > boundTol(data, eb) {
+		t.Fatalf("dims %v eb %g: max error %g exceeds bound", dims, eb, e)
+	}
+	return q
+}
+
+func TestRoundtrip1D(t *testing.T) {
+	dims := grid.D1(5000)
+	data := make([]float32, dims.N())
+	for i := range data {
+		data[i] = float32(math.Sin(float64(i) * 0.01))
+	}
+	roundtrip(t, data, dims, 1e-3)
+}
+
+func TestRoundtrip2D(t *testing.T) {
+	dims := grid.D2(120, 85)
+	roundtrip(t, smooth3D(dims, 1), dims, 1e-3)
+}
+
+func TestRoundtrip3D(t *testing.T) {
+	dims := grid.D3(40, 33, 27)
+	roundtrip(t, smooth3D(dims, 2), dims, 1e-4)
+}
+
+func TestRoundtripMultipleBounds(t *testing.T) {
+	dims := grid.D3(32, 32, 16)
+	data := smooth3D(dims, 3)
+	for _, eb := range []float64{1e-2, 1e-3, 1e-4, 1e-5} {
+		roundtrip(t, data, dims, eb)
+	}
+}
+
+func TestRoughDataProducesOutliersButStaysBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	dims := grid.D1(20000)
+	data := make([]float32, dims.N())
+	for i := range data {
+		data[i] = float32(rng.NormFloat64() * 100)
+	}
+	eb := 1e-3
+	q := roundtrip(t, data, dims, eb)
+	if q.OutlierCount() == 0 {
+		t.Error("white noise at tight bound should generate outliers")
+	}
+}
+
+func TestSmoothDataFewOutliers(t *testing.T) {
+	dims := grid.D3(32, 32, 32)
+	q := roundtrip(t, smooth3D(dims, 5), dims, 1e-3)
+	if frac := float64(q.OutlierCount()) / float64(dims.N()); frac > 0.01 {
+		t.Errorf("smooth data outlier fraction %.3f, want < 1%%", frac)
+	}
+}
+
+func TestCodesCenteredAtRadius(t *testing.T) {
+	dims := grid.D3(24, 24, 24)
+	q := roundtrip(t, smooth3D(dims, 6), dims, 1e-3)
+	// Smooth data → most codes near radius (zero residual).
+	center := 0
+	for _, c := range q.Codes {
+		if int(c) >= q.Radius-2 && int(c) <= q.Radius+2 {
+			center++
+		}
+	}
+	if float64(center) < 0.5*float64(len(q.Codes)) {
+		t.Errorf("only %d/%d codes near radius; predictor is not predicting", center, len(q.Codes))
+	}
+}
+
+func TestConstantField(t *testing.T) {
+	dims := grid.D3(16, 16, 16)
+	data := make([]float32, dims.N())
+	for i := range data {
+		data[i] = 42.5
+	}
+	q := roundtrip(t, data, dims, 1e-2)
+	if q.OutlierCount() > 1 {
+		t.Errorf("constant field produced %d outliers", q.OutlierCount())
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	data := make([]float32, 8)
+	if _, err := Encode(tp, device.Accel, data, grid.D1(9), 1e-3, 0); err == nil {
+		t.Error("dims mismatch should fail")
+	}
+	if _, err := Encode(tp, device.Accel, data, grid.D1(8), 0, 0); err == nil {
+		t.Error("zero eb should fail")
+	}
+	if _, err := Encode(tp, device.Accel, data, grid.D1(8), -1, 0); err == nil {
+		t.Error("negative eb should fail")
+	}
+}
+
+func TestLatticeOverflowDetected(t *testing.T) {
+	data := []float32{1e30, -1e30}
+	if _, err := Encode(tp, device.Accel, data, grid.D1(2), 1e-6, 0); err == nil {
+		t.Error("huge magnitude with tiny eb should report lattice overflow")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	q := &Quantized{Codes: make([]uint16, 4), Radius: 512}
+	if _, err := Decode(tp, device.Accel, q, grid.D1(5), 1e-3); err == nil {
+		t.Error("code/dims mismatch should fail")
+	}
+	q2 := &Quantized{Codes: make([]uint16, 4), Radius: 0}
+	if _, err := Decode(tp, device.Accel, q2, grid.D1(4), 1e-3); err == nil {
+		t.Error("invalid radius should fail")
+	}
+	q3 := &Quantized{Codes: make([]uint16, 4), Radius: 512, OutIdx: []uint32{9}, OutVal: []int32{1}}
+	if _, err := Decode(tp, device.Accel, q3, grid.D1(4), 1e-3); err == nil {
+		t.Error("out-of-range outlier index should fail")
+	}
+	q4 := &Quantized{Codes: make([]uint16, 4), Radius: 512, OutIdx: []uint32{1}, OutVal: nil}
+	if _, err := Decode(tp, device.Accel, q4, grid.D1(4), 1e-3); err == nil {
+		t.Error("outlier length mismatch should fail")
+	}
+}
+
+func TestCustomRadius(t *testing.T) {
+	dims := grid.D2(64, 64)
+	data := smooth3D(dims, 7)
+	q, err := Encode(tp, device.Accel, data, dims, 1e-3, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Radius != 128 {
+		t.Errorf("radius = %d, want 128", q.Radius)
+	}
+	for _, c := range q.Codes {
+		if int(c) >= 256 {
+			t.Fatalf("code %d exceeds 2*radius-1", c)
+		}
+	}
+	got, err := Decode(tp, device.Accel, q, dims, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := maxAbsErr(data, got); e > 1e-3+1e-12 {
+		t.Errorf("custom radius roundtrip error %g", e)
+	}
+}
+
+func TestNonPowerOfTwoDims(t *testing.T) {
+	dims := grid.D3(17, 13, 11)
+	roundtrip(t, smooth3D(dims, 8), dims, 1e-3)
+}
+
+func TestSingleElement(t *testing.T) {
+	roundtrip(t, []float32{3.14159}, grid.D1(1), 1e-4)
+}
+
+// Property: for random smooth-ish fields at random bounds, the roundtrip
+// respects the bound and the encoder is deterministic.
+func TestPropertyBoundHolds(t *testing.T) {
+	for trial := 0; trial < 15; trial++ {
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		dims := grid.D3(5+rng.Intn(20), 5+rng.Intn(20), 1+rng.Intn(10))
+		data := make([]float32, dims.N())
+		acc := float32(0)
+		for i := range data {
+			acc += float32(rng.NormFloat64() * 0.1) // random walk = locally smooth
+			data[i] = acc
+		}
+		eb := math.Pow(10, -1-3*rng.Float64())
+		q1 := roundtrip(t, data, dims, eb)
+		q2, err := Encode(tp, device.Accel, data, dims, eb, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(q1.OutIdx) != len(q2.OutIdx) {
+			t.Fatalf("trial %d: encoder nondeterministic", trial)
+		}
+		for i := range q1.Codes {
+			if q1.Codes[i] != q2.Codes[i] {
+				t.Fatalf("trial %d: encoder nondeterministic at %d", trial, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Package preprocess implements the preprocessing stage of FZModules
+// pipelines (§3.2): resolving the user-provided error bound against the
+// data. The main decision at this stage is whether the bound is absolute or
+// value-range relative; a relative bound requires a min/max reduction over
+// the input so the bound can be normalized by the data range, which is the
+// setting every compressor in the paper's evaluation uses ("all compressors
+// used their value-range-based relative error bound setting").
+package preprocess
+
+import (
+	"errors"
+	"fmt"
+
+	"fzmod/internal/device"
+	"fzmod/internal/kernels"
+)
+
+// BoundMode selects how the user's error bound is interpreted.
+type BoundMode int
+
+const (
+	// Abs: the bound is an absolute error tolerance.
+	Abs BoundMode = iota
+	// Rel: the bound is relative to the data value range (max-min); the
+	// effective absolute bound is bound*(max-min).
+	Rel
+)
+
+// String returns "abs" or "rel".
+func (m BoundMode) String() string {
+	if m == Rel {
+		return "rel"
+	}
+	return "abs"
+}
+
+// ErrorBound is a user-specified tolerance plus its interpretation mode.
+type ErrorBound struct {
+	Value float64
+	Mode  BoundMode
+}
+
+// RelBound constructs a value-range-relative bound (the paper's setting).
+func RelBound(v float64) ErrorBound { return ErrorBound{Value: v, Mode: Rel} }
+
+// AbsBound constructs an absolute bound.
+func AbsBound(v float64) ErrorBound { return ErrorBound{Value: v, Mode: Abs} }
+
+// Stats captures the extrema gathered during preprocessing; downstream
+// modules reuse them (e.g. PSNR normalization).
+type Stats struct {
+	Min, Max float32
+	Range    float64
+}
+
+// Resolve computes the effective absolute error bound for data, running the
+// min/max reduction kernel at place when the mode is relative.
+func Resolve(p *device.Platform, place device.Place, data []float32, eb ErrorBound) (float64, Stats, error) {
+	if eb.Value <= 0 {
+		return 0, Stats{}, fmt.Errorf("preprocess: error bound must be positive, got %g", eb.Value)
+	}
+	if len(data) == 0 {
+		return 0, Stats{}, errors.New("preprocess: empty input")
+	}
+	mn, mx := kernels.MinMaxF32(p, place, data)
+	st := Stats{Min: mn, Max: mx, Range: float64(mx) - float64(mn)}
+	if eb.Mode == Abs {
+		return eb.Value, st, nil
+	}
+	r := st.Range
+	if r == 0 {
+		// Constant field: any positive absolute bound preserves it; use
+		// the raw value so the quantizer still produces all-zero codes.
+		r = 1
+	}
+	return eb.Value * r, st, nil
+}

@@ -1,0 +1,63 @@
+package preprocess
+
+import (
+	"testing"
+
+	"fzmod/internal/device"
+)
+
+var tp = device.NewTestPlatform()
+
+func TestResolveAbs(t *testing.T) {
+	data := []float32{-2, 0, 6}
+	eb, st, err := Resolve(tp, device.Accel, data, AbsBound(1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eb != 1e-3 {
+		t.Errorf("abs eb = %v, want 1e-3", eb)
+	}
+	if st.Min != -2 || st.Max != 6 || st.Range != 8 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestResolveRel(t *testing.T) {
+	data := []float32{-2, 0, 6} // range 8
+	eb, _, err := Resolve(tp, device.Accel, data, RelBound(1e-2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eb != 8e-2 {
+		t.Errorf("rel eb = %v, want 0.08", eb)
+	}
+}
+
+func TestResolveConstantField(t *testing.T) {
+	data := []float32{5, 5, 5}
+	eb, _, err := Resolve(tp, device.Accel, data, RelBound(1e-2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eb != 1e-2 {
+		t.Errorf("constant-field rel eb = %v, want raw value", eb)
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	if _, _, err := Resolve(tp, device.Accel, []float32{1}, AbsBound(0)); err == nil {
+		t.Error("zero bound should fail")
+	}
+	if _, _, err := Resolve(tp, device.Accel, []float32{1}, AbsBound(-1)); err == nil {
+		t.Error("negative bound should fail")
+	}
+	if _, _, err := Resolve(tp, device.Accel, nil, AbsBound(1)); err == nil {
+		t.Error("empty input should fail")
+	}
+}
+
+func TestBoundModeString(t *testing.T) {
+	if Abs.String() != "abs" || Rel.String() != "rel" {
+		t.Error("BoundMode.String mismatch")
+	}
+}

@@ -1,0 +1,267 @@
+// Package sdrbench generates synthetic stand-ins for the four SDRBench
+// datasets the paper evaluates on (Table 2): CESM-ATM (climate), HACC
+// (cosmology particles), Hurricane ISABEL, and Nyx (cosmology fields). The
+// real datasets cannot ship with this reproduction, so each generator is
+// designed to match the statistical character that drives compression
+// behaviour on its original:
+//
+//   - CESM-ATM: layered 2.5-D fields — smooth large-scale spectral modes,
+//     a strong latitudinal gradient, and fine-scale variability (the
+//     sub-grid texture real model output has, which differencing
+//     predictors amplify and interpolation averages). Very compressible
+//     at loose bounds.
+//   - HACC: unordered 1-D particle coordinates with strong clustering
+//     (halos) — locally correlated but globally jumpy; the hardest stream
+//     for interpolation predictors, matching the paper's observation that
+//     HACC ratios collapse at tight bounds.
+//   - HURR: a hurricane-like vortex — a rotational flow field with an eye,
+//     rain bands, and broadband turbulence.
+//   - NYX: lognormal baryon-density-like field — exp of a smooth Gaussian
+//     process, producing the huge dynamic range that gives Nyx its extreme
+//     ratios at loose relative bounds.
+//
+// All generators are deterministic in (dims, seed).
+package sdrbench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fzmod/internal/grid"
+)
+
+// Dataset identifies one of the four evaluation datasets.
+type Dataset int
+
+const (
+	CESM Dataset = iota
+	HACC
+	HURR
+	NYX
+)
+
+// String returns the paper's dataset name.
+func (d Dataset) String() string {
+	switch d {
+	case CESM:
+		return "CESM-ATM"
+	case HACC:
+		return "HACC"
+	case HURR:
+		return "HURR"
+	case NYX:
+		return "NYX"
+	default:
+		return fmt.Sprintf("dataset(%d)", int(d))
+	}
+}
+
+// All lists the four datasets in the paper's table order.
+func All() []Dataset { return []Dataset{CESM, HACC, HURR, NYX} }
+
+// DefaultDims returns the container-scale dimensions used by the benchmark
+// harness (scaled from Table 2, same dimensional character).
+func DefaultDims(d Dataset) grid.Dims {
+	switch d {
+	case CESM:
+		return grid.D3(512, 256, 8) // 3600×1800×26 scaled
+	case HACC:
+		return grid.D1(4 << 20) // 280,953,867 particles scaled
+	case HURR:
+		return grid.D3(128, 128, 64) // 500×500×100 scaled
+	default:
+		return grid.D3(128, 128, 128) // 512³ scaled
+	}
+}
+
+// Generate produces the synthetic field for a dataset at the given dims.
+func Generate(d Dataset, dims grid.Dims, seed int64) []float32 {
+	switch d {
+	case CESM:
+		return GenCESM(dims, seed)
+	case HACC:
+		return GenHACC(dims.N(), seed)
+	case HURR:
+		return GenHURR(dims, seed)
+	default:
+		return GenNYX(dims, seed)
+	}
+}
+
+// mode is one random spectral component.
+type mode struct {
+	kx, ky, kz float64
+	phase      float64
+	amp        float64
+}
+
+// spectralModes draws nModes random-phase components with a power-law
+// spectrum |k|^-slope, the standard synthesis for smooth geophysical
+// fields.
+func spectralModes(rng *rand.Rand, nModes int, slope, kMax float64) []mode {
+	modes := make([]mode, nModes)
+	var varSum float64
+	for i := range modes {
+		k := math.Pow(rng.Float64(), 2)*kMax + 0.02 // bias toward large scales
+		theta := rng.Float64() * math.Pi
+		phi := rng.Float64() * 2 * math.Pi
+		amp := math.Pow(k/0.02, -slope)
+		modes[i] = mode{
+			kx:    k * math.Sin(theta) * math.Cos(phi),
+			ky:    k * math.Sin(theta) * math.Sin(phi),
+			kz:    k * math.Cos(theta),
+			phase: rng.Float64() * 2 * math.Pi,
+			amp:   amp,
+		}
+		varSum += amp * amp / 2
+	}
+	// Normalize to unit variance so callers control field magnitude.
+	norm := 1 / math.Sqrt(varSum)
+	for i := range modes {
+		modes[i].amp *= norm
+	}
+	return modes
+}
+
+func evalModes(modes []mode, x, y, z float64) float64 {
+	var v float64
+	for _, m := range modes {
+		v += m.amp * math.Cos(m.kx*x+m.ky*y+m.kz*z+m.phase)
+	}
+	return v
+}
+
+// GenCESM synthesizes a layered climate field: per-level smooth spectral
+// modes, a latitudinal temperature-like gradient, and weak observational
+// noise. Levels are correlated but not identical, as in atmosphere model
+// output.
+func GenCESM(dims grid.Dims, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed ^ 0xCE5A))
+	base := spectralModes(rng, 24, 1.4, 0.10)
+	detail := spectralModes(rng, 12, 1.0, 0.25)
+	out := make([]float32, dims.N())
+	noise := rand.New(rand.NewSource(seed ^ 0x7071))
+	for z := 0; z < dims.Z; z++ {
+		lvl := 230 + 3*float64(z) // stratified mean state
+		for y := 0; y < dims.Y; y++ {
+			lat := (float64(y)/float64(dims.Y) - 0.5) * math.Pi
+			latGrad := 40 * math.Cos(lat) // warm equator, cold poles
+			for x := 0; x < dims.X; x++ {
+				// Vertical levels are correlated (mild z scaling), as in
+				// real atmosphere output where adjacent pressure levels
+				// track each other.
+				fx, fy, fz := float64(x), float64(y), float64(z)*3
+				v := lvl + latGrad +
+					6*evalModes(base, fx, fy, fz) +
+					1.5*evalModes(detail, fx, fy, fz) +
+					0.005*noise.NormFloat64()
+				out[dims.Idx(x, y, z)] = float32(v)
+			}
+		}
+	}
+	return out
+}
+
+// GenHACC synthesizes one coordinate array of n clustered particles:
+// particles belong to halos (Gaussian blobs around halo centers) with a
+// uniform background fraction, over a 256 Mpc-like box. Consecutive
+// particles in file order share halos in runs, reproducing the weak local
+// correlation of the real snapshots.
+func GenHACC(n int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed ^ 0x4ACC))
+	const box = 256.0
+	out := make([]float32, n)
+	nHalos := n/4096 + 8
+	centers := make([]float64, nHalos)
+	scales := make([]float64, nHalos)
+	for i := range centers {
+		centers[i] = rng.Float64() * box
+		scales[i] = 0.2 + 2*rng.Float64()
+	}
+	i := 0
+	for i < n {
+		// A run of particles from one halo, or background.
+		run := 16 + rng.Intn(512)
+		if i+run > n {
+			run = n - i
+		}
+		if rng.Float64() < 0.15 {
+			for j := 0; j < run; j++ {
+				out[i] = float32(rng.Float64() * box)
+				i++
+			}
+		} else {
+			h := rng.Intn(nHalos)
+			c, s := centers[h], scales[h]
+			for j := 0; j < run; j++ {
+				v := c + rng.NormFloat64()*s
+				// Periodic wrap keeps coordinates in the box.
+				v = math.Mod(math.Mod(v, box)+box, box)
+				out[i] = float32(v)
+				i++
+			}
+		}
+	}
+	return out
+}
+
+// GenHURR synthesizes a hurricane-like flow magnitude: a Rankine-style
+// vortex with an eye at a height-dependent center, spiral rain bands, and
+// broadband turbulence increasing away from the core.
+func GenHURR(dims grid.Dims, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed ^ 0x4052))
+	turb := spectralModes(rng, 32, 0.9, 0.3)
+	out := make([]float32, dims.N())
+	cx0, cy0 := 0.55*float64(dims.X), 0.45*float64(dims.Y)
+	rCore := 0.06 * float64(dims.X)
+	for z := 0; z < dims.Z; z++ {
+		tilt := 0.02 * float64(z)
+		cx := cx0 + tilt*float64(dims.X)*0.1
+		cy := cy0 - tilt*float64(dims.Y)*0.05
+		decay := math.Exp(-float64(z) / (0.7 * float64(dims.Z)))
+		for y := 0; y < dims.Y; y++ {
+			for x := 0; x < dims.X; x++ {
+				dx, dy := float64(x)-cx, float64(y)-cy
+				r := math.Hypot(dx, dy)
+				// Rankine vortex tangential speed profile.
+				var speed float64
+				if r < rCore {
+					speed = 60 * r / rCore
+				} else {
+					speed = 60 * math.Pow(rCore/r, 0.6)
+				}
+				angle := math.Atan2(dy, dx)
+				band := 8 * math.Cos(3*angle-0.15*r)
+				t := 2 * evalModes(turb, float64(x), float64(y), float64(z)*2)
+				v := decay*(speed+band) + t
+				out[dims.Idx(x, y, z)] = float32(v)
+			}
+		}
+	}
+	return out
+}
+
+// GenNYX synthesizes a baryon-density-like field: exp of a smooth Gaussian
+// random field, scaled to the mean density, yielding the multi-decade
+// dynamic range (voids vs halo peaks) characteristic of Nyx output.
+func GenNYX(dims grid.Dims, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed ^ 0x9A78))
+	modes := spectralModes(rng, 28, 1.4, 0.09)
+	out := make([]float32, dims.N())
+	// Fixed physical box: grid resolution varies, structure does not.
+	sx := 256.0 / float64(dims.X)
+	sy := 256.0 / float64(dims.Y)
+	sz := 256.0 / float64(dims.Z)
+	for z := 0; z < dims.Z; z++ {
+		for y := 0; y < dims.Y; y++ {
+			for x := 0; x < dims.X; x++ {
+				g := evalModes(modes, float64(x)*sx, float64(y)*sy, float64(z)*sz)
+				// Lognormal with deep voids: most of the box sits decades
+				// below the halo peaks, as in real baryon density.
+				out[dims.Idx(x, y, z)] = float32(1e9 * math.Exp(3.4*g))
+			}
+		}
+	}
+	return out
+}

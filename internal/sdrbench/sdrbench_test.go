@@ -1,0 +1,203 @@
+package sdrbench
+
+import (
+	"math"
+	"testing"
+
+	"fzmod/internal/grid"
+)
+
+func TestDeterministic(t *testing.T) {
+	for _, d := range All() {
+		dims := grid.D3(16, 16, 4)
+		if d == HACC {
+			dims = grid.D1(4096)
+		}
+		a := Generate(d, dims, 7)
+		b := Generate(d, dims, 7)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v not deterministic at %d", d, i)
+			}
+		}
+		c := Generate(d, dims, 8)
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%v ignores seed", d)
+		}
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	for _, d := range All() {
+		dims := grid.D3(24, 24, 8)
+		if d == HACC {
+			dims = grid.D1(10000)
+		}
+		data := Generate(d, dims, 1)
+		if len(data) != dims.N() {
+			t.Fatalf("%v: len %d, want %d", d, len(data), dims.N())
+		}
+		for i, v := range data {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				t.Fatalf("%v: non-finite value at %d", d, i)
+			}
+		}
+	}
+}
+
+func stats(data []float32) (mean, std, mn, mx float64) {
+	mn, mx = math.Inf(1), math.Inf(-1)
+	for _, v := range data {
+		f := float64(v)
+		mean += f
+		if f < mn {
+			mn = f
+		}
+		if f > mx {
+			mx = f
+		}
+	}
+	mean /= float64(len(data))
+	for _, v := range data {
+		d := float64(v) - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(data)))
+	return
+}
+
+func TestCESMHasLatitudinalStructure(t *testing.T) {
+	dims := grid.D3(64, 64, 4)
+	data := GenCESM(dims, 3)
+	// Equator band should be warmer than pole band on average.
+	var pole, equator float64
+	for x := 0; x < dims.X; x++ {
+		pole += float64(data[dims.Idx(x, 0, 0)])
+		equator += float64(data[dims.Idx(x, dims.Y/2, 0)])
+	}
+	if equator <= pole {
+		t.Error("CESM equator not warmer than pole; gradient missing")
+	}
+}
+
+func TestCESMSmoothness(t *testing.T) {
+	// Neighbor deltas must be far smaller than the field range — the
+	// property that makes climate data compressible.
+	dims := grid.D3(64, 64, 2)
+	data := GenCESM(dims, 4)
+	_, _, mn, mx := stats(data)
+	var sumD float64
+	var nD int
+	for y := 0; y < dims.Y; y++ {
+		for x := 1; x < dims.X; x++ {
+			d := math.Abs(float64(data[dims.Idx(x, y, 0)]) - float64(data[dims.Idx(x-1, y, 0)]))
+			sumD += d
+			nD++
+		}
+	}
+	meanDelta := sumD / float64(nD)
+	if meanDelta > (mx-mn)/50 {
+		t.Errorf("CESM mean neighbor delta %.3f too large vs range %.3f", meanDelta, mx-mn)
+	}
+}
+
+func TestHACCInBoxAndClustered(t *testing.T) {
+	data := GenHACC(200_000, 5)
+	for i, v := range data {
+		if v < 0 || v >= 256 {
+			t.Fatalf("particle %d out of box: %v", i, v)
+		}
+	}
+	// Clustering: consecutive-particle deltas should be bimodal — many
+	// small (same halo) and some large (halo switch). Check that the
+	// median delta is much smaller than the mean delta.
+	deltas := make([]float64, 0, len(data)-1)
+	var sum float64
+	for i := 1; i < len(data); i++ {
+		d := math.Abs(float64(data[i]) - float64(data[i-1]))
+		deltas = append(deltas, d)
+		sum += d
+	}
+	mean := sum / float64(len(deltas))
+	small := 0
+	for _, d := range deltas {
+		if d < mean/4 {
+			small++
+		}
+	}
+	if float64(small)/float64(len(deltas)) < 0.5 {
+		t.Error("HACC deltas not clustered: file order lacks halo runs")
+	}
+}
+
+func TestHURRHasVortexCore(t *testing.T) {
+	dims := grid.D3(64, 64, 8)
+	data := GenHURR(dims, 6)
+	// Peak wind should be near the eye wall, not at the domain edge.
+	var edge, inner float64
+	var nEdge, nInner int
+	cx, cy := int(0.55*float64(dims.X)), int(0.45*float64(dims.Y))
+	for y := 0; y < dims.Y; y++ {
+		for x := 0; x < dims.X; x++ {
+			v := float64(data[dims.Idx(x, y, 0)])
+			dx, dy := x-cx, y-cy
+			r := math.Hypot(float64(dx), float64(dy))
+			if r < 8 {
+				inner += v
+				nInner++
+			} else if r > float64(dims.X)/2 {
+				edge += v
+				nEdge++
+			}
+		}
+	}
+	if inner/float64(nInner) <= edge/float64(nEdge) {
+		t.Error("HURR core winds not stronger than far field")
+	}
+}
+
+func TestNYXDynamicRange(t *testing.T) {
+	dims := grid.D3(32, 32, 32)
+	data := GenNYX(dims, 7)
+	_, _, mn, mx := stats(data)
+	if mn <= 0 {
+		t.Fatal("NYX density must be positive")
+	}
+	if mx/mn < 100 {
+		t.Errorf("NYX dynamic range %.1f too small; want ≥ 2 decades", mx/mn)
+	}
+}
+
+func TestDefaultDims(t *testing.T) {
+	for _, d := range All() {
+		dims := DefaultDims(d)
+		if !dims.Valid() || dims.N() == 0 {
+			t.Errorf("%v: invalid default dims %v", d, dims)
+		}
+	}
+	if DefaultDims(HACC).Rank() != 1 {
+		t.Error("HACC must be 1-D")
+	}
+	if DefaultDims(NYX).Rank() != 3 {
+		t.Error("NYX must be 3-D")
+	}
+}
+
+func TestNames(t *testing.T) {
+	want := map[Dataset]string{CESM: "CESM-ATM", HACC: "HACC", HURR: "HURR", NYX: "NYX"}
+	for d, name := range want {
+		if d.String() != name {
+			t.Errorf("%d.String() = %q, want %q", d, d.String(), name)
+		}
+	}
+	if Dataset(9).String() != "dataset(9)" {
+		t.Error("unknown dataset formatting")
+	}
+}

@@ -1,0 +1,210 @@
+// Package stf is a sequential-task-flow execution engine, a from-scratch
+// reproduction of the role CUDASTF plays in the paper (§3.3.1): users
+// declare tasks together with the logical data each task touches and an
+// access mode; the engine infers the dependency DAG, schedules tasks
+// asynchronously onto execution places, and performs host/device memory
+// movement automatically with an MSI-style coherence protocol.
+//
+// The programming model mirrors CUDASTF:
+//
+//	ctx := stf.NewCtx(platform)
+//	quant := stf.NewData(ctx, "quant", codes)
+//	out := stf.NewScratch[float32](ctx, "out", n)
+//	ctx.Task("decode").Reads(quant.D()).Writes(out.D()).On(device.Host).
+//	    Do(func(ti *stf.TaskInstance) error {
+//	        ... quant.Acc(ti) ... out.Acc(ti) ...
+//	        return nil
+//	    })
+//	err := ctx.Finalize()
+//
+// Tasks whose data sets do not conflict run concurrently — this is what
+// gives FZMod-Default's decompression its branch-level concurrency
+// (outlier scatter on the accelerator ∥ Huffman decode on the host).
+package stf
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"fzmod/internal/device"
+)
+
+// AccessMode declares how a task uses a piece of logical data.
+type AccessMode int
+
+const (
+	// Read: the task only reads the data.
+	Read AccessMode = iota
+	// Write: the task fully overwrites the data; prior contents need not
+	// be transferred to the task's place.
+	Write
+	// ReadWrite: the task reads and modifies the data.
+	ReadWrite
+)
+
+// String returns "read", "write" or "rw".
+func (m AccessMode) String() string {
+	switch m {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case ReadWrite:
+		return "rw"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Element is the set of element types logical data may hold.
+type Element interface {
+	~byte | ~uint16 | ~uint32 | ~int32 | ~float32 | ~float64
+}
+
+// dataMeta is the type-erased dependency-tracking state of one logical
+// datum. The scheduler only ever touches dataMeta; typed storage lives in
+// Data[T].
+type dataMeta struct {
+	id   int
+	name string
+
+	// Dependency frontier, maintained at task-declaration time (the
+	// "sequential" in sequential task flow): the last task that wrote the
+	// datum, and all readers admitted since that write.
+	lastWriter *task
+	readers    []*task
+}
+
+// Data is a typed logical datum managed by a Ctx. The host slice passed at
+// creation (or allocated for scratch data) is the home location; a separate
+// device-place copy is materialized on demand. Validity of each copy is
+// tracked so transfers happen only when a task actually needs stale data.
+type Data[T Element] struct {
+	ctx  *Ctx
+	meta dataMeta
+
+	mu        sync.Mutex
+	host      []T
+	dev       []T
+	hostValid bool
+	devValid  bool
+}
+
+// DataRef is the type-erased handle used when declaring task accesses.
+type DataRef interface {
+	metaRef() *dataMeta
+	ensureAt(place device.Place, mode AccessMode)
+	writeBackLocked()
+}
+
+// NewData registers host as logical data with the context. The slice is
+// initially valid at the host place.
+func NewData[T Element](ctx *Ctx, name string, host []T) *Data[T] {
+	d := &Data[T]{ctx: ctx, host: host, hostValid: true}
+	ctx.register(&d.meta, name)
+	return d
+}
+
+// NewScratch registers an uninitialized logical datum of n elements. No
+// place holds a valid copy until some task writes it.
+func NewScratch[T Element](ctx *Ctx, name string, n int) *Data[T] {
+	d := &Data[T]{ctx: ctx, host: make([]T, n)}
+	ctx.register(&d.meta, name)
+	return d
+}
+
+// D returns the type-erased reference used in task declarations.
+func (d *Data[T]) D() DataRef { return d }
+
+func (d *Data[T]) metaRef() *dataMeta { return &d.meta }
+
+// Len returns the element count.
+func (d *Data[T]) Len() int { return len(d.host) }
+
+// Name returns the debug name given at creation.
+func (d *Data[T]) Name() string { return d.meta.name }
+
+// Acc resolves the datum for use inside a task body, returning the slice
+// valid at the task's execution place. It panics if the task did not
+// declare access to this datum — the same misuse CUDASTF rejects.
+func (d *Data[T]) Acc(ti *TaskInstance) []T {
+	if _, ok := ti.access[&d.meta]; !ok {
+		panic(fmt.Sprintf("stf: task %q accesses undeclared data %q", ti.name, d.meta.name))
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if ti.place == device.Accel {
+		return d.dev
+	}
+	return d.host
+}
+
+// ensureAt implements the coherence protocol: make a copy of the datum
+// valid at place for the given access mode, transferring from the other
+// place when the local copy is stale, and invalidating the remote copy on
+// writes. Byte traffic is charged to the platform so end-to-end accounting
+// includes STF-managed movement.
+func (d *Data[T]) ensureAt(place device.Place, mode AccessMode) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	needValid := mode != Write // Write discards previous contents.
+	if place == device.Accel {
+		if d.dev == nil {
+			d.dev = make([]T, len(d.host))
+		}
+		if needValid && !d.devValid && d.hostValid {
+			copy(d.dev, d.host)
+			d.ctx.p.Stats().BytesH2D.Add(int64(len(d.host)) * int64(elemSize[T]()))
+		}
+		d.devValid = true
+		if mode != Read {
+			d.hostValid = false
+		}
+	} else {
+		if needValid && !d.hostValid && d.devValid {
+			copy(d.host, d.dev)
+			d.ctx.p.Stats().BytesD2H.Add(int64(len(d.host)) * int64(elemSize[T]()))
+		}
+		d.hostValid = true
+		if mode != Read {
+			d.devValid = false
+		}
+	}
+}
+
+// writeBackLocked flushes the device copy to the host if the host copy is
+// stale. Called by Finalize with the scheduler quiesced.
+func (d *Data[T]) writeBackLocked() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.hostValid && d.devValid {
+		copy(d.host, d.dev)
+		d.ctx.p.Stats().BytesD2H.Add(int64(len(d.host)) * int64(elemSize[T]()))
+		d.hostValid = true
+	}
+}
+
+// Host returns the host slice. Call after Finalize (which writes back all
+// device-dirty data) to read results.
+func (d *Data[T]) Host() []T { return d.host }
+
+func elemSize[T Element]() int {
+	var z T
+	switch any(z).(type) {
+	case byte:
+		return 1
+	case uint16:
+		return 2
+	case uint32, int32, float32:
+		return 4
+	case float64:
+		return 8
+	default:
+		return 1
+	}
+}
+
+// ErrSkipped marks tasks not executed because an upstream dependency
+// failed.
+var ErrSkipped = errors.New("stf: task skipped due to failed dependency")

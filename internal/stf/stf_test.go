@@ -1,0 +1,409 @@
+package stf
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fzmod/internal/device"
+)
+
+func newCtx() *Ctx { return NewCtx(device.NewTestPlatform()) }
+
+func TestSingleTaskRuns(t *testing.T) {
+	ctx := newCtx()
+	d := NewData(ctx, "d", []float32{1, 2, 3})
+	ctx.Task("double").ReadsWrites(d.D()).On(device.Accel).Do(func(ti *TaskInstance) error {
+		buf := d.Acc(ti)
+		for i := range buf {
+			buf[i] *= 2
+		}
+		return nil
+	})
+	if err := ctx.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{2, 4, 6}
+	for i, v := range d.Host() {
+		if v != want[i] {
+			t.Errorf("host[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+}
+
+func TestRAWDependency(t *testing.T) {
+	ctx := newCtx()
+	a := NewScratch[int32](ctx, "a", 1)
+	b := NewScratch[int32](ctx, "b", 1)
+	ctx.Task("produce").Writes(a.D()).On(device.Accel).Do(func(ti *TaskInstance) error {
+		time.Sleep(5 * time.Millisecond) // force consumer to actually wait
+		a.Acc(ti)[0] = 41
+		return nil
+	})
+	ctx.Task("consume").Reads(a.D()).Writes(b.D()).On(device.Host).Do(func(ti *TaskInstance) error {
+		b.Acc(ti)[0] = a.Acc(ti)[0] + 1
+		return nil
+	})
+	if err := ctx.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Host()[0] != 42 {
+		t.Errorf("b = %d, want 42 (RAW dependency violated)", b.Host()[0])
+	}
+}
+
+func TestWARDependency(t *testing.T) {
+	// A reader admitted before a writer must complete before the write.
+	ctx := newCtx()
+	d := NewData(ctx, "d", []int32{7})
+	var observed int32
+	ctx.Task("reader").Reads(d.D()).On(device.Host).Do(func(ti *TaskInstance) error {
+		time.Sleep(10 * time.Millisecond)
+		atomic.StoreInt32(&observed, d.Acc(ti)[0])
+		return nil
+	})
+	ctx.Task("writer").Writes(d.D()).On(device.Host).Do(func(ti *TaskInstance) error {
+		d.Acc(ti)[0] = 99
+		return nil
+	})
+	if err := ctx.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt32(&observed) != 7 {
+		t.Errorf("reader observed %d, want 7 (WAR dependency violated)", observed)
+	}
+	if d.Host()[0] != 99 {
+		t.Errorf("final value %d, want 99", d.Host()[0])
+	}
+}
+
+func TestWAWOrdering(t *testing.T) {
+	ctx := newCtx()
+	d := NewScratch[int32](ctx, "d", 1)
+	for i := int32(1); i <= 20; i++ {
+		i := i
+		ctx.Task(fmt.Sprintf("w%d", i)).Writes(d.D()).On(device.Accel).Do(func(ti *TaskInstance) error {
+			d.Acc(ti)[0] = i
+			return nil
+		})
+	}
+	if err := ctx.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Host()[0] != 20 {
+		t.Errorf("final = %d, want 20 (WAW order violated)", d.Host()[0])
+	}
+}
+
+func TestIndependentTasksOverlap(t *testing.T) {
+	ctx := newCtx()
+	a := NewScratch[int32](ctx, "a", 1)
+	b := NewScratch[int32](ctx, "b", 1)
+	var inA, inB atomic.Bool
+	var sawOverlap atomic.Bool
+	spin := func(self, other *atomic.Bool) {
+		self.Store(true)
+		deadline := time.Now().Add(500 * time.Millisecond)
+		for time.Now().Before(deadline) {
+			if other.Load() {
+				sawOverlap.Store(true)
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		self.Store(false)
+	}
+	ctx.Task("A").Writes(a.D()).On(device.Accel).Do(func(ti *TaskInstance) error {
+		spin(&inA, &inB)
+		return nil
+	})
+	ctx.Task("B").Writes(b.D()).On(device.Host).Do(func(ti *TaskInstance) error {
+		spin(&inB, &inA)
+		return nil
+	})
+	if err := ctx.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawOverlap.Load() {
+		t.Error("independent tasks did not overlap")
+	}
+	if !Overlapped(ctx.Trace()) {
+		t.Error("trace does not show overlap")
+	}
+}
+
+func TestCoherenceTransfersOnlyWhenStale(t *testing.T) {
+	p := device.NewTestPlatform()
+	ctx := NewCtx(p)
+	d := NewData(ctx, "d", make([]float32, 1000))
+	// Two consecutive accel readers: one H2D transfer, not two.
+	for i := 0; i < 2; i++ {
+		ctx.Task(fmt.Sprintf("r%d", i)).Reads(d.D()).On(device.Accel).Do(func(ti *TaskInstance) error {
+			_ = d.Acc(ti)
+			return nil
+		})
+	}
+	if err := ctx.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Stats().BytesH2D.Load(); got != 4000 {
+		t.Errorf("BytesH2D = %d, want 4000 (single transfer for two reads)", got)
+	}
+}
+
+func TestWriteModeSkipsTransferIn(t *testing.T) {
+	p := device.NewTestPlatform()
+	ctx := NewCtx(p)
+	d := NewData(ctx, "d", make([]float32, 1000))
+	ctx.Task("w").Writes(d.D()).On(device.Accel).Do(func(ti *TaskInstance) error {
+		buf := d.Acc(ti)
+		for i := range buf {
+			buf[i] = 1
+		}
+		return nil
+	})
+	if err := ctx.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Stats().BytesH2D.Load(); got != 0 {
+		t.Errorf("BytesH2D = %d, want 0 (Write mode must not transfer in)", got)
+	}
+	// But the result must be written back.
+	if d.Host()[500] != 1 {
+		t.Error("device write not flushed to host")
+	}
+	if p.Stats().BytesD2H.Load() == 0 {
+		t.Error("no D2H traffic recorded for write-back")
+	}
+}
+
+func TestHostDeviceRoundtripThroughTasks(t *testing.T) {
+	ctx := newCtx()
+	n := 10_000
+	in := make([]float32, n)
+	for i := range in {
+		in[i] = float32(i)
+	}
+	d := NewData(ctx, "d", in)
+	s := NewScratch[float32](ctx, "s", n)
+	ctx.Task("dev-scale").Reads(d.D()).Writes(s.D()).On(device.Accel).Do(func(ti *TaskInstance) error {
+		src, dst := d.Acc(ti), s.Acc(ti)
+		ti.Launch(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				dst[i] = src[i] * 3
+			}
+		})
+		return nil
+	})
+	ctx.Task("host-add").ReadsWrites(s.D()).On(device.Host).Do(func(ti *TaskInstance) error {
+		buf := s.Acc(ti)
+		ti.Launch(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				buf[i] += 1
+			}
+		})
+		return nil
+	})
+	if err := ctx.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i += 997 {
+		want := float32(i)*3 + 1
+		if s.Host()[i] != want {
+			t.Fatalf("s[%d] = %v, want %v", i, s.Host()[i], want)
+		}
+	}
+}
+
+func TestErrorPropagationSkipsDownstream(t *testing.T) {
+	ctx := newCtx()
+	d := NewScratch[int32](ctx, "d", 1)
+	boom := errors.New("boom")
+	ctx.Task("fail").Writes(d.D()).Do(func(ti *TaskInstance) error { return boom })
+	ran := false
+	ctx.Task("after").Reads(d.D()).Do(func(ti *TaskInstance) error {
+		ran = true
+		return nil
+	})
+	err := ctx.Finalize()
+	if !errors.Is(err, boom) {
+		t.Errorf("Finalize error = %v, want boom", err)
+	}
+	if ran {
+		t.Error("downstream task ran despite failed dependency")
+	}
+}
+
+func TestPanicInTaskBecomesError(t *testing.T) {
+	ctx := newCtx()
+	d := NewScratch[int32](ctx, "d", 1)
+	ctx.Task("panics").Writes(d.D()).Do(func(ti *TaskInstance) error {
+		panic("kaboom")
+	})
+	err := ctx.Finalize()
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Errorf("Finalize error = %v, want panic captured", err)
+	}
+}
+
+func TestUndeclaredAccessPanics(t *testing.T) {
+	ctx := newCtx()
+	a := NewScratch[int32](ctx, "a", 1)
+	b := NewScratch[int32](ctx, "b", 1)
+	ctx.Task("sneaky").Writes(a.D()).Do(func(ti *TaskInstance) error {
+		_ = b.Acc(ti) // not declared
+		return nil
+	})
+	err := ctx.Finalize()
+	if err == nil || !strings.Contains(err.Error(), "undeclared") {
+		t.Errorf("expected undeclared-access panic to surface, got %v", err)
+	}
+}
+
+func TestDOTExport(t *testing.T) {
+	ctx := newCtx()
+	a := NewScratch[int32](ctx, "a", 1)
+	ctx.Task("w").Writes(a.D()).On(device.Accel).Do(func(ti *TaskInstance) error { return nil })
+	ctx.Task("r").Reads(a.D()).Do(func(ti *TaskInstance) error { return nil })
+	if err := ctx.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	dot := ctx.DOT()
+	for _, want := range []string{"digraph stf", "t0 -> t1", "w@accel", "r@host"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	ctx := newCtx()
+	a := NewScratch[int32](ctx, "a", 1)
+	b := NewScratch[int32](ctx, "b", 1)
+	nop := func(ti *TaskInstance) error { return nil }
+	ctx.Task("w1").Writes(a.D()).Do(nop)
+	ctx.Task("w2").ReadsWrites(a.D()).Do(nop)
+	ctx.Task("w3").ReadsWrites(a.D()).Do(nop)
+	ctx.Task("indep").Writes(b.D()).Do(nop)
+	if err := ctx.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctx.CriticalPath(); got != 3 {
+		t.Errorf("critical path = %d, want 3", got)
+	}
+}
+
+func TestAccessModeString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" || ReadWrite.String() != "rw" {
+		t.Error("AccessMode.String mismatch")
+	}
+	if AccessMode(7).String() != "mode(7)" {
+		t.Error("unknown mode formatting")
+	}
+}
+
+// TestRandomDAGMatchesSequential builds random task programs over several
+// logical data and checks the parallel engine computes exactly what a
+// sequential interpretation of the same program computes. This is the core
+// correctness property of dependency inference.
+func TestRandomDAGMatchesSequential(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		const nData = 4
+		const nTasks = 25
+
+		// Sequential reference state.
+		ref := make([][]int32, nData)
+		for i := range ref {
+			ref[i] = make([]int32, 8)
+		}
+
+		ctx := newCtx()
+		data := make([]*Data[int32], nData)
+		for i := range data {
+			data[i] = NewScratch[int32](ctx, fmt.Sprintf("d%d", i), 8)
+		}
+
+		for k := 0; k < nTasks; k++ {
+			src := rng.Intn(nData)
+			dst := rng.Intn(nData)
+			mul := int32(rng.Intn(5) + 1)
+			place := device.Place(rng.Intn(2))
+			// Reference: dst[j] = src[j]*mul + j
+			for j := range ref[dst] {
+				newv := ref[src][j]*mul + int32(j)
+				ref[dst][j] = newv
+			}
+			// Parallel program. Note src may equal dst; declare RW then.
+			s, d2, m := data[src], data[dst], mul
+			tb := ctx.Task(fmt.Sprintf("t%d", k)).On(place)
+			if src == dst {
+				tb = tb.ReadsWrites(d2.D())
+			} else {
+				tb = tb.Reads(s.D()).ReadsWrites(d2.D())
+			}
+			tb.Do(func(ti *TaskInstance) error {
+				sv, dv := s.Acc(ti), d2.Acc(ti)
+				tmp := make([]int32, len(sv))
+				copy(tmp, sv)
+				for j := range dv {
+					dv[j] = tmp[j]*m + int32(j)
+				}
+				return nil
+			})
+		}
+		if err := ctx.Finalize(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range data {
+			for j, want := range ref[i] {
+				if got := data[i].Host()[j]; got != want {
+					t.Fatalf("trial %d: d%d[%d] = %d, want %d", trial, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestScratchDataNameAndLen(t *testing.T) {
+	ctx := newCtx()
+	d := NewScratch[float64](ctx, "scratch", 17)
+	if d.Len() != 17 || d.Name() != "scratch" {
+		t.Errorf("Len/Name = %d/%q", d.Len(), d.Name())
+	}
+}
+
+func TestFinalizeWithNoTasks(t *testing.T) {
+	ctx := newCtx()
+	if err := ctx.Finalize(); err != nil {
+		t.Errorf("empty Finalize = %v", err)
+	}
+}
+
+func TestManyElementsTypes(t *testing.T) {
+	ctx := newCtx()
+	db := NewData(ctx, "b", []byte{1, 2})
+	du := NewData(ctx, "u16", []uint16{3})
+	dw := NewData(ctx, "u32", []uint32{4})
+	di := NewData(ctx, "i32", []int32{-5})
+	df := NewData(ctx, "f64", []float64{6.5})
+	ctx.Task("touch").ReadsWrites(db.D(), du.D(), dw.D(), di.D(), df.D()).On(device.Accel).
+		Do(func(ti *TaskInstance) error {
+			db.Acc(ti)[0]++
+			du.Acc(ti)[0]++
+			dw.Acc(ti)[0]++
+			di.Acc(ti)[0]--
+			df.Acc(ti)[0] += 0.5
+			return nil
+		})
+	if err := ctx.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Host()[0] != 2 || du.Host()[0] != 4 || dw.Host()[0] != 5 || di.Host()[0] != -6 || df.Host()[0] != 7.0 {
+		t.Error("typed data roundtrip failed")
+	}
+}

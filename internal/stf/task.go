@@ -1,0 +1,279 @@
+package stf
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"fzmod/internal/device"
+)
+
+// Ctx owns a task graph: logical data registration, dependency inference,
+// and asynchronous execution. Create with NewCtx, submit tasks, then call
+// Finalize exactly once. A Ctx is not reusable after Finalize.
+type Ctx struct {
+	p *Platform
+
+	mu       sync.Mutex
+	nextData int
+	nextTask int
+	tasks    []*task
+	edges    map[[2]int]struct{} // dedup for DOT export
+
+	// maxConc bounds concurrently executing task bodies per place,
+	// mirroring a finite stream pool.
+	sem map[device.Place]chan struct{}
+}
+
+// Platform is the subset of device.Platform the engine needs; using the
+// concrete type keeps call sites simple.
+type Platform = device.Platform
+
+// NewCtx creates a task-flow context over a platform. maxConcurrent bounds
+// in-flight task bodies per place; 16 streams per place by default.
+func NewCtx(p *Platform) *Ctx {
+	return NewCtxN(p, 16)
+}
+
+// NewCtxN creates a context with an explicit per-place concurrency bound.
+func NewCtxN(p *Platform, maxConcurrent int) *Ctx {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	return &Ctx{
+		p:     p,
+		edges: make(map[[2]int]struct{}),
+		sem: map[device.Place]chan struct{}{
+			device.Host:  make(chan struct{}, maxConcurrent),
+			device.Accel: make(chan struct{}, maxConcurrent),
+		},
+	}
+}
+
+// Platform returns the underlying execution platform.
+func (c *Ctx) Platform() *Platform { return c.p }
+
+func (c *Ctx) register(m *dataMeta, name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m.id = c.nextData
+	c.nextData++
+	m.name = name
+}
+
+// task is one node of the DAG.
+type task struct {
+	id      int
+	name    string
+	place   device.Place
+	deps    []*task
+	access  []taskAccess
+	body    func(*TaskInstance) error
+	done    chan struct{}
+	err     error
+	started time.Time
+	ended   time.Time
+}
+
+type taskAccess struct {
+	data DataRef
+	mode AccessMode
+}
+
+// TaskBuilder accumulates a task declaration; created by Ctx.Task and
+// consumed by Do.
+type TaskBuilder struct {
+	ctx    *Ctx
+	name   string
+	place  device.Place
+	access []taskAccess
+}
+
+// Task starts declaring a named task. The default place is Host.
+func (c *Ctx) Task(name string) *TaskBuilder {
+	return &TaskBuilder{ctx: c, name: name, place: device.Host}
+}
+
+// On sets the execution place of the task.
+func (b *TaskBuilder) On(place device.Place) *TaskBuilder {
+	b.place = place
+	return b
+}
+
+// Reads declares read access to each datum.
+func (b *TaskBuilder) Reads(ds ...DataRef) *TaskBuilder {
+	for _, d := range ds {
+		b.access = append(b.access, taskAccess{d, Read})
+	}
+	return b
+}
+
+// Writes declares full-overwrite access to each datum.
+func (b *TaskBuilder) Writes(ds ...DataRef) *TaskBuilder {
+	for _, d := range ds {
+		b.access = append(b.access, taskAccess{d, Write})
+	}
+	return b
+}
+
+// ReadsWrites declares read-modify-write access to each datum.
+func (b *TaskBuilder) ReadsWrites(ds ...DataRef) *TaskBuilder {
+	for _, d := range ds {
+		b.access = append(b.access, taskAccess{d, ReadWrite})
+	}
+	return b
+}
+
+// TaskInstance is passed to a task body: it identifies the resolved
+// execution place and the declared access set (used by Data.Acc for
+// misuse detection), and gives the body a grid-launch helper at its place.
+type TaskInstance struct {
+	ctx    *Ctx
+	name   string
+	place  device.Place
+	access map[*dataMeta]AccessMode
+}
+
+// Place reports where the task is executing.
+func (ti *TaskInstance) Place() device.Place { return ti.place }
+
+// Name reports the task's debug name.
+func (ti *TaskInstance) Name() string { return ti.name }
+
+// Launch runs a grid kernel over [0, n) at the task's place.
+func (ti *TaskInstance) Launch(n int, kernel func(lo, hi int)) {
+	ti.ctx.p.LaunchGrid(ti.place, n, kernel)
+}
+
+// Do finalizes the declaration and submits the task for asynchronous
+// execution. Dependencies are inferred from the access declarations against
+// the sequential program order of prior submissions:
+//
+//   - Read  depends on the datum's last writer (RAW).
+//   - Write/ReadWrite depends on the last writer (WAW) and on every reader
+//     admitted since (WAR), then becomes the new last writer.
+//
+// Do returns immediately; the task runs once its dependencies complete.
+func (b *TaskBuilder) Do(body func(*TaskInstance) error) {
+	c := b.ctx
+	t := &task{
+		name:   b.name,
+		place:  b.place,
+		access: b.access,
+		body:   body,
+		done:   make(chan struct{}),
+	}
+
+	c.mu.Lock()
+	t.id = c.nextTask
+	c.nextTask++
+	depSet := make(map[*task]struct{})
+	for _, a := range b.access {
+		m := a.data.metaRef()
+		switch a.mode {
+		case Read:
+			if m.lastWriter != nil {
+				depSet[m.lastWriter] = struct{}{}
+			}
+			m.readers = append(m.readers, t)
+		case Write, ReadWrite:
+			if m.lastWriter != nil {
+				depSet[m.lastWriter] = struct{}{}
+			}
+			for _, r := range m.readers {
+				if r != t {
+					depSet[r] = struct{}{}
+				}
+			}
+			m.lastWriter = t
+			m.readers = m.readers[:0]
+		}
+	}
+	delete(depSet, t)
+	for d := range depSet {
+		t.deps = append(t.deps, d)
+		c.edges[[2]int{d.id, t.id}] = struct{}{}
+	}
+	c.tasks = append(c.tasks, t)
+	sem := c.sem[t.place]
+	c.mu.Unlock()
+
+	go func() {
+		// Wait for dependencies; a failed dependency skips this task.
+		var depErr error
+		for _, d := range t.deps {
+			<-d.done
+			if d.err != nil && depErr == nil {
+				depErr = fmt.Errorf("%w: %q failed: %v", ErrSkipped, d.name, d.err)
+			}
+		}
+		if depErr != nil {
+			t.err = depErr
+			close(t.done)
+			return
+		}
+
+		sem <- struct{}{}
+		defer func() { <-sem }()
+
+		// Coherence: materialize every declared datum at the task's place.
+		for _, a := range t.access {
+			a.data.ensureAt(t.place, a.mode)
+		}
+
+		ti := &TaskInstance{
+			ctx:    c,
+			name:   t.name,
+			place:  t.place,
+			access: make(map[*dataMeta]AccessMode, len(t.access)),
+		}
+		for _, a := range t.access {
+			ti.access[a.data.metaRef()] = a.mode
+		}
+
+		t.started = time.Now()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.err = fmt.Errorf("stf: task %q panicked: %v", t.name, r)
+				}
+			}()
+			t.err = t.body(ti)
+		}()
+		t.ended = time.Now()
+		close(t.done)
+	}()
+}
+
+// Finalize waits for every submitted task, writes device-dirty data back to
+// the host, and returns the joined errors of all failed tasks (skips are
+// folded into their root cause). The Ctx must not be used afterwards.
+func (c *Ctx) Finalize() error {
+	c.mu.Lock()
+	tasks := c.tasks
+	c.mu.Unlock()
+	var errs []error
+	seen := make(map[string]bool)
+	for _, t := range tasks {
+		<-t.done
+		if t.err != nil && !errors.Is(t.err, ErrSkipped) {
+			key := t.name + ":" + t.err.Error()
+			if !seen[key] {
+				seen[key] = true
+				errs = append(errs, fmt.Errorf("task %q: %w", t.name, t.err))
+			}
+		}
+	}
+	// Flush all data home so Host() observes results.
+	flushed := make(map[DataRef]bool)
+	for _, t := range tasks {
+		for _, a := range t.access {
+			if !flushed[a.data] {
+				flushed[a.data] = true
+				a.data.writeBackLocked()
+			}
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -329,6 +329,64 @@ func BenchmarkModuleLZ(b *testing.B) {
 	})
 }
 
+// --- Chunked executor: block-parallel vs monolithic ---------------------
+
+// BenchmarkChunkedExecutor compares the monolithic single-stream pipeline
+// against the chunked concurrent executor at several worker counts on one
+// synthetic field split into 8 slabs.
+func BenchmarkChunkedExecutor(b *testing.B) {
+	dims := fzmod.Dims3(128, 128, 64)
+	data := sdrbench.GenNYX(dims, 77)
+	pl := fzmod.Default()
+	eb := fzmod.Rel(1e-4)
+	chunkElems := dims.N() / 8
+
+	b.Run("compress/monolithic", func(b *testing.B) {
+		reportThroughput(b, 4*dims.N())
+		for i := 0; i < b.N; i++ {
+			if _, err := pl.CompressMonolithic(benchPlatform, data, dims, eb); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range []int{1, 4} {
+		opts := fzmod.ChunkOpts{ChunkElems: chunkElems, Workers: workers}
+		b.Run(fmt.Sprintf("compress/chunked-w%d", workers), func(b *testing.B) {
+			reportThroughput(b, 4*dims.N())
+			for i := 0; i < b.N; i++ {
+				if _, err := pl.CompressChunked(benchPlatform, data, dims, eb, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	monoBlob, err := pl.CompressMonolithic(benchPlatform, data, dims, eb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	chunkedBlob, err := pl.CompressChunked(benchPlatform, data, dims, eb, fzmod.ChunkOpts{ChunkElems: chunkElems})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("decompress/monolithic", func(b *testing.B) {
+		reportThroughput(b, 4*dims.N())
+		for i := 0; i < b.N; i++ {
+			if _, _, err := fzmod.Decompress(benchPlatform, monoBlob); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decompress/chunked", func(b *testing.B) {
+		reportThroughput(b, 4*dims.N())
+		for i := 0; i < b.N; i++ {
+			if _, _, err := fzmod.Decompress(benchPlatform, chunkedBlob); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkEndToEnd runs a full public-API roundtrip per preset pipeline.
 func BenchmarkEndToEnd(b *testing.B) {
 	data, dims := bench.Data(sdrbench.HURR, bench.Small)

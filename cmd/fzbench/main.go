@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	fzbench -exp table3|fig1|fig2|fig3|fig4|stf|hist|secondary|fusion|all [-large]
+//	fzbench -exp table3|fig1|fig2|fig3|fig4|stf|hist|secondary|fusion|chunked|all [-large]
 //
 // Small-scale workloads are the default so a full sweep finishes quickly;
 // -large switches to the harness default dimensions (scaled from the
@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table3, fig1, fig2, fig3, fig4, stf, hist, secondary, fusion, place, all")
+	exp := flag.String("exp", "all", "experiment: table3, fig1, fig2, fig3, fig4, stf, hist, secondary, fusion, place, chunked, all")
 	large := flag.Bool("large", false, "use full-scale workloads")
 	flag.Parse()
 
@@ -54,6 +54,8 @@ func main() {
 			return bench.FusionAblation(w, h100, sc)
 		case "place":
 			return bench.PlaceAblation(w, h100, sc)
+		case "chunked":
+			return bench.ChunkedComparison(w, h100, sc)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -62,7 +64,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"table3", "fig1", "fig2", "fig3", "fig4", "stf", "hist", "secondary", "fusion", "place"}
+		names = []string{"table3", "fig1", "fig2", "fig3", "fig4", "stf", "hist", "secondary", "fusion", "place", "chunked"}
 	}
 	for _, name := range names {
 		fmt.Fprintf(w, "\n===== %s =====\n", name)

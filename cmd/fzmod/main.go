@@ -63,6 +63,23 @@ func run(compress, decompress, probe bool, in, out, dimsArg string, eb float64, 
 
 	switch {
 	case probe:
+		if fzio.IsChunked(blob) {
+			cc, err := fzio.UnmarshalChunked(blob)
+			if err != nil {
+				return err
+			}
+			total := 0
+			for _, ref := range cc.Chunks {
+				total += ref.Length
+			}
+			fmt.Printf("pipeline:  %s (chunked)\ndims:      %v\nabs eb:    %g\nrel eb:    %g\nchunks:    %d (%d planes/chunk nominal)\npayload:   %d bytes\n",
+				cc.Header.Pipeline, cc.Header.Dims, cc.Header.EB, cc.Header.RelEB,
+				cc.NumChunks(), cc.Header.Planes, total)
+			for i, ref := range cc.Chunks {
+				fmt.Printf("  chunk %-3d offset %-9d length %-9d planes %d\n", i, ref.Offset, ref.Length, ref.Planes)
+			}
+			return nil
+		}
 		c, err := fzio.Unmarshal(blob)
 		if err != nil {
 			return err

@@ -12,6 +12,21 @@
 //	...
 //	back, dims, err := fzmod.Decompress(platform, blob)
 //
+// Compress is chunked and concurrent by default for large fields: inputs of
+// at least AutoChunkElems elements (64 MiB of float32) are partitioned into
+// independent slabs along the slowest dimension, fanned out over a pool of
+// device streams, and assembled into a chunked container whose chunks also
+// decompress in parallel. Decompress accepts both container flavors. To
+// control chunking explicitly — chunk size in elements, worker count, or
+// chunking below the automatic threshold — call CompressChunked:
+//
+//	blob, err := pipeline.CompressChunked(platform, data, dims, fzmod.Rel(1e-4),
+//	    fzmod.ChunkOpts{ChunkElems: 1 << 21, Workers: 8})
+//
+// The relative bound is resolved against the whole field's value range
+// before chunking, so chunked and monolithic compression enforce the
+// identical error tolerance.
+//
 // Three preset pipelines reproduce the paper's §3.3 designs: Default
 // (Lorenzo + histogram + CPU Huffman), Speed (Lorenzo + FZ-GPU
 // bitshuffle/dictionary), and Quality (G-Interp spline interpolation +
@@ -43,6 +58,18 @@ type (
 	ErrorBound = preprocess.ErrorBound
 	// Quality bundles reconstruction-quality statistics.
 	Quality = metrics.Quality
+	// ChunkOpts configures the chunked concurrent executor (see
+	// Pipeline.CompressChunked); the zero value selects sane defaults.
+	ChunkOpts = core.ChunkOpts
+)
+
+// Chunking policy of the default executor, re-exported from core.
+const (
+	// DefaultChunkElems is the default chunk granularity in elements.
+	DefaultChunkElems = core.DefaultChunkElems
+	// AutoChunkElems is the input size in elements at which Compress
+	// switches to the chunked executor automatically.
+	AutoChunkElems = core.AutoChunkElems
 )
 
 // NewPlatform returns the default platform, modeled on the paper's H100

@@ -1,0 +1,3 @@
+module fzmod
+
+go 1.21

@@ -42,10 +42,10 @@ func (c Compressor) Name() string { return fmt.Sprintf("cuzfp-r%d", c.Rate) }
 
 // blockGeom describes how a field decomposes into blocks.
 type blockGeom struct {
-	dims   grid.Dims
+	dims       grid.Dims
 	bx, by, bz int // block counts per dimension
-	vals   int      // values per block (4, 16 or 64 by rank)
-	rank   int
+	vals       int // values per block (4, 16 or 64 by rank)
+	rank       int
 }
 
 func geom(dims grid.Dims) blockGeom {

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"fzmod/internal/core"
+	"fzmod/internal/device"
+	"fzmod/internal/grid"
+	"fzmod/internal/metrics"
+	"fzmod/internal/preprocess"
+	"fzmod/internal/sdrbench"
+)
+
+// chunkedDims returns the geometry of the chunked-executor comparison
+// field: 64 MiB (the paper-scale slab regime) at Full, 8 MiB at Small so a
+// CI run still exercises several chunks.
+func chunkedDims(sc Scale) grid.Dims {
+	if sc == Full {
+		return grid.D3(256, 256, 256) // 16 Mi elements, 64 MiB
+	}
+	return grid.D3(128, 128, 128) // 2 Mi elements, 8 MiB
+}
+
+// ChunkedComparison measures the chunked concurrent executor against the
+// monolithic pipeline on one synthetic field: compression and
+// decompression throughput at 1, 2, 4 and 8 workers, with the compression
+// ratio and the chunk count per row. Output bytes are verified to
+// round-trip within the bound before a row is reported.
+func ChunkedComparison(w io.Writer, p *device.Platform, sc Scale) error {
+	dims := chunkedDims(sc)
+	data := sdrbench.GenNYX(dims, 77)
+	eb := preprocess.RelBound(1e-4)
+	pl := core.NewDefault()
+	inBytes := 4 * dims.N()
+	// Eight chunks regardless of scale, so Small runs see the same fan-out.
+	chunkElems := dims.N() / 8
+
+	fmt.Fprintf(w, "Chunked vs monolithic executor: %s, %v (%.0f MiB), eb=rel 1e-4, %d-elem chunks\n",
+		pl.Name(), dims, float64(inBytes)/(1<<20), chunkElems)
+	fmt.Fprintf(w, "%-16s %8s %10s %10s %8s\n", "executor", "chunks", "comp GB/s", "dec GB/s", "ratio")
+
+	absEB, _, err := preprocess.Resolve(p, device.Host, data, eb)
+	if err != nil {
+		return err
+	}
+	row := func(name string, chunks int, compress func() ([]byte, error)) error {
+		t0 := time.Now()
+		blob, err := compress()
+		compSec := time.Since(t0).Seconds()
+		if err != nil {
+			return fmt.Errorf("%s compress: %w", name, err)
+		}
+		t0 = time.Now()
+		dec, gotDims, err := core.Decompress(p, blob)
+		decSec := time.Since(t0).Seconds()
+		if err != nil {
+			return fmt.Errorf("%s decompress: %w", name, err)
+		}
+		if gotDims != dims {
+			return fmt.Errorf("%s: dims %v, want %v", name, gotDims, dims)
+		}
+		if i := metrics.VerifyBound(data, dec, absEB); i != -1 {
+			return fmt.Errorf("%s: bound violated at %d", name, i)
+		}
+		fmt.Fprintf(w, "%-16s %8d %10.3f %10.3f %8.1f\n", name, chunks,
+			metrics.Throughput(inBytes, compSec), metrics.Throughput(inBytes, decSec),
+			metrics.CompressionRatio(inBytes, len(blob)))
+		return nil
+	}
+
+	if err := row("monolithic", 1, func() ([]byte, error) {
+		return pl.CompressMonolithic(p, data, dims, eb)
+	}); err != nil {
+		return err
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		name := fmt.Sprintf("chunked-w%d", workers)
+		opts := core.ChunkOpts{ChunkElems: chunkElems, Workers: workers}
+		if err := row(name, 8, func() ([]byte, error) {
+			return pl.CompressChunked(p, data, dims, eb, opts)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+
+	"fzmod/internal/device"
+	"fzmod/internal/fzio"
+	"fzmod/internal/grid"
+	"fzmod/internal/preprocess"
+)
+
+// The chunked executor partitions the field into independent slabs along
+// its slowest-varying dimension, fans them out over a pool of streams (one
+// per worker, at the pipeline's predictor place), runs the full
+// predict→quantize→encode pipeline per slab, and assembles the per-slab
+// containers into a chunked fzio container. Decompression mirrors this:
+// every chunk decodes independently, so the read path is fully parallel.
+//
+// The error bound is resolved once against the whole field (a relative
+// bound normalizes by the global value range, exactly as the monolithic
+// path does) and applied to every chunk as an absolute bound, so chunked
+// and monolithic compression enforce the identical tolerance and each
+// chunk's reconstruction is bit-exact with the monolithic pipeline run on
+// that slab.
+
+const (
+	// DefaultChunkElems is the target chunk granularity, in elements
+	// (8 MiB of float32 — large enough to amortize per-chunk container
+	// overhead, small enough to expose parallelism on modest fields).
+	DefaultChunkElems = 2 << 20
+
+	// AutoChunkElems is the input size, in elements, at which
+	// Pipeline.Compress switches to the chunked executor automatically
+	// (64 MiB of float32).
+	AutoChunkElems = 16 << 20
+)
+
+// ChunkOpts configures the chunked executor. The zero value selects sane
+// defaults: DefaultChunkElems-sized chunks and one worker stream per
+// platform worker at the pipeline's predictor place.
+type ChunkOpts struct {
+	// ChunkElems is the target elements per chunk; the executor rounds it
+	// to whole planes of the slowest-varying dimension. 0 selects
+	// DefaultChunkElems.
+	ChunkElems int
+	// Workers caps the number of concurrent chunk streams. 0 selects the
+	// platform's worker width for the predictor place.
+	Workers int
+}
+
+// planesFor converts a target element count into whole planes of the
+// slowest dimension (at least one).
+func planesFor(dims grid.Dims, chunkElems int) int {
+	if chunkElems <= 0 {
+		chunkElems = DefaultChunkElems
+	}
+	planes := chunkElems / dims.PlaneElems()
+	if planes < 1 {
+		planes = 1
+	}
+	return planes
+}
+
+// CompressChunked compresses the field through the chunked concurrent
+// executor. Fields that fit in a single chunk fall back to the monolithic
+// path (producing a monolithic container); Decompress handles both.
+func (pl *Pipeline) CompressChunked(p *device.Platform, data []float32, dims grid.Dims, eb preprocess.ErrorBound, opts ChunkOpts) ([]byte, error) {
+	if dims.N() != len(data) {
+		return nil, fmt.Errorf("core: dims %v do not match %d values", dims, len(data))
+	}
+	planes := planesFor(dims, opts.ChunkElems)
+	slabs := grid.SplitSlabs(dims, planes)
+	if len(slabs) < 2 {
+		return pl.CompressMonolithic(p, data, dims, eb)
+	}
+	absEB, _, err := preprocess.Resolve(p, pl.PredPlace, data, eb)
+	if err != nil {
+		return nil, err
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = p.Workers(pl.PredPlace)
+	}
+	if workers > len(slabs) {
+		workers = len(slabs)
+	}
+	pool := p.NewStreamPool(pl.PredPlace, workers)
+	blobs := make([][]byte, len(slabs))
+	errs := make([]error, len(slabs))
+	chunkEB := preprocess.AbsBound(absEB)
+	for i, sl := range slabs {
+		i, sl := i, sl
+		pool.Stream(i).Enqueue(func() {
+			chunk := data[sl.Lo : sl.Lo+sl.Dims.N()]
+			blobs[i], errs[i] = pl.CompressMonolithic(p, chunk, sl.Dims, chunkEB)
+		})
+	}
+	pool.Sync()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: chunk %d: %w", i, err)
+		}
+	}
+
+	relEB := 0.0
+	if eb.Mode == preprocess.Rel {
+		relEB = eb.Value
+	}
+	perPlanes := make([]int, len(slabs))
+	for i, sl := range slabs {
+		perPlanes[i] = sl.Planes
+	}
+	return fzio.MarshalChunked(fzio.ChunkedHeader{
+		Pipeline: pl.PipelineName,
+		Dims:     dims,
+		EB:       absEB,
+		RelEB:    relEB,
+		Planes:   planes,
+	}, blobs, perPlanes)
+}
+
+// DecompressChunked reconstructs a field from a chunked container,
+// decoding all chunks in parallel over a stream pool. Each chunk payload is
+// a self-describing monolithic container, so any registered module set can
+// decode it.
+func DecompressChunked(p *device.Platform, blob []byte) ([]float32, grid.Dims, error) {
+	cc, err := fzio.UnmarshalChunked(blob)
+	if err != nil {
+		return nil, grid.Dims{}, err
+	}
+	dims := cc.Header.Dims
+	out := make([]float32, dims.N())
+	plane := dims.PlaneElems()
+
+	workers := p.Workers(device.Accel)
+	if workers > cc.NumChunks() {
+		workers = cc.NumChunks()
+	}
+	pool := p.NewStreamPool(device.Accel, workers)
+	errs := make([]error, cc.NumChunks())
+	nextLo := 0
+	for i := range cc.Chunks {
+		i, lo := i, nextLo
+		nextLo += cc.Chunks[i].Planes * plane
+		want := dims.WithSlowExtent(cc.Chunks[i].Planes)
+		pool.Stream(i).Enqueue(func() {
+			cb, err := cc.Chunk(i)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if fzio.IsChunked(cb) {
+				errs[i] = fmt.Errorf("core: chunk %d: nested chunked container", i)
+				return
+			}
+			vals, cdims, err := decompressMonolithic(p, cb)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if cdims != want {
+				errs[i] = fmt.Errorf("core: chunk %d dims %v, want %v", i, cdims, want)
+				return
+			}
+			copy(out[lo:lo+len(vals)], vals)
+		})
+	}
+	pool.Sync()
+	for i, err := range errs {
+		if err != nil {
+			return nil, grid.Dims{}, fmt.Errorf("core: chunk %d: %w", i, err)
+		}
+	}
+	return out, dims, nil
+}

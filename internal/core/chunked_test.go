@@ -1,0 +1,255 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fzmod/internal/device"
+	"fzmod/internal/fzio"
+	"fzmod/internal/grid"
+	"fzmod/internal/metrics"
+	"fzmod/internal/preprocess"
+	"fzmod/internal/sdrbench"
+)
+
+// chunkField returns a field large enough to split into several slabs with
+// a small ChunkElems setting.
+func chunkField() ([]float32, grid.Dims) {
+	dims := grid.D3(24, 20, 32)
+	return sdrbench.GenHURR(dims, 31), dims
+}
+
+func TestCompressChunkedRoundtrip(t *testing.T) {
+	data, dims := chunkField()
+	eb := preprocess.RelBound(1e-4)
+	for _, pl := range Presets() {
+		opts := ChunkOpts{ChunkElems: dims.PlaneElems() * 8, Workers: 4}
+		blob, err := pl.CompressChunked(tp, data, dims, eb, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", pl.Name(), err)
+		}
+		if !fzio.IsChunked(blob) {
+			t.Fatalf("%s: expected a chunked container", pl.Name())
+		}
+		cc, err := fzio.UnmarshalChunked(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := dims.SlowExtent() / 8; cc.NumChunks() != want {
+			t.Errorf("%s: %d chunks, want %d", pl.Name(), cc.NumChunks(), want)
+		}
+		got, gotDims, err := Decompress(tp, blob)
+		if err != nil {
+			t.Fatalf("%s decompress: %v", pl.Name(), err)
+		}
+		if gotDims != dims {
+			t.Fatalf("%s dims %v, want %v", pl.Name(), gotDims, dims)
+		}
+		absEB, _, _ := preprocess.Resolve(tp, device.Accel, data, eb)
+		if i := metrics.VerifyBound(data, got, absEB); i != -1 {
+			t.Errorf("%s: bound violated at %d", pl.Name(), i)
+		}
+	}
+}
+
+// TestChunkedMatchesMonolithicPerChunk is the equivalence check the chunked
+// executor promises: with the globally resolved absolute bound, each
+// chunk's reconstruction is bit-exact with the monolithic pipeline run on
+// that same slab.
+func TestChunkedMatchesMonolithicPerChunk(t *testing.T) {
+	data, dims := chunkField()
+	eb := preprocess.RelBound(1e-4)
+	pl := NewDefault()
+	planes := 8
+	opts := ChunkOpts{ChunkElems: dims.PlaneElems() * planes, Workers: 3}
+	blob, err := pl.CompressChunked(tp, data, dims, eb, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Decompress(tp, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	absEB, _, err := preprocess.Resolve(tp, device.Accel, data, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sl := range grid.SplitSlabs(dims, planes) {
+		chunk := data[sl.Lo : sl.Lo+sl.Dims.N()]
+		monoBlob, err := pl.CompressMonolithic(tp, chunk, sl.Dims, preprocess.AbsBound(absEB))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := Decompress(tp, monoBlob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if got[sl.Lo+j] != want[j] {
+				t.Fatalf("chunk %d: value %d differs from monolithic path", i, j)
+			}
+		}
+	}
+}
+
+func TestChunkedDeterministic(t *testing.T) {
+	data, dims := chunkField()
+	eb := preprocess.RelBound(1e-3)
+	opts := ChunkOpts{ChunkElems: dims.PlaneElems() * 5, Workers: 4}
+	a, err := NewDefault().CompressChunked(tp, data, dims, eb, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewDefault().CompressChunked(tp, data, dims, eb, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("chunked compression is nondeterministic")
+	}
+	// Worker count must not change the bytes, only the schedule.
+	c, err := NewDefault().CompressChunked(tp, data, dims, eb, ChunkOpts{ChunkElems: opts.ChunkElems, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, c) {
+		t.Error("worker count changed the compressed bytes")
+	}
+}
+
+func TestChunkedSingleSlabFallsBackToMonolithic(t *testing.T) {
+	data, dims := testField()
+	blob, err := NewDefault().CompressChunked(tp, data, dims, preprocess.RelBound(1e-4), ChunkOpts{ChunkElems: dims.N() * 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fzio.IsChunked(blob) {
+		t.Error("single-slab input should produce a monolithic container")
+	}
+	if _, _, err := Decompress(tp, blob); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkedWithSecondary(t *testing.T) {
+	data, dims := chunkField()
+	pl := NewDefault().WithSecondary(LZSecondary{})
+	blob, err := pl.CompressChunked(tp, data, dims, preprocess.RelBound(1e-3), ChunkOpts{ChunkElems: dims.PlaneElems() * 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fzio.IsChunked(blob) {
+		t.Fatal("expected chunked container")
+	}
+	got, gotDims, err := Decompress(tp, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDims != dims || len(got) != dims.N() {
+		t.Fatalf("bad geometry %v", gotDims)
+	}
+}
+
+func TestChunkedRejectsNestedContainers(t *testing.T) {
+	data, dims := chunkField()
+	inner, err := NewDefault().CompressChunked(tp, data, dims, preprocess.RelBound(1e-3), ChunkOpts{ChunkElems: dims.PlaneElems() * 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, err := fzio.MarshalChunked(fzio.ChunkedHeader{
+		Pipeline: "fzmod-default", Dims: grid.D1(1), Planes: 1,
+	}, [][]byte{inner}, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Decompress(tp, outer); err == nil || !strings.Contains(err.Error(), "nested") {
+		t.Errorf("nested chunked container should be rejected, got %v", err)
+	}
+}
+
+func TestChunkedCorruptChunkSurfacesError(t *testing.T) {
+	data, dims := chunkField()
+	blob, err := NewDefault().CompressChunked(tp, data, dims, preprocess.RelBound(1e-3), ChunkOpts{ChunkElems: dims.PlaneElems() * 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := append([]byte(nil), blob...)
+	mut[len(mut)-10] ^= 0x5A // payload region of the last chunk
+	if _, _, err := Decompress(tp, mut); err == nil {
+		t.Error("corrupt chunk payload should fail decompression")
+	}
+}
+
+func TestCompressAutoChunksLargeInputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large allocation")
+	}
+	// A field right at the auto-chunk threshold: 16 Mi elements (64 MiB).
+	dims := grid.D3(256, 256, 256)
+	data := sdrbench.GenCESM(dims, 5)
+	blob, err := NewSpeed().Compress(tp, data, dims, preprocess.RelBound(1e-2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fzio.IsChunked(blob) {
+		t.Error("Compress should auto-chunk at AutoChunkElems")
+	}
+	got, gotDims, err := Decompress(tp, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDims != dims {
+		t.Fatalf("dims %v, want %v", gotDims, dims)
+	}
+	absEB, _, _ := preprocess.Resolve(tp, device.Accel, data, preprocess.RelBound(1e-2))
+	if i := metrics.VerifyBound(data, got, absEB); i != -1 {
+		t.Errorf("bound violated at %d", i)
+	}
+}
+
+func TestCompressSTFChunked(t *testing.T) {
+	data, dims := chunkField()
+	eb := preprocess.RelBound(1e-4)
+	absEB, _, err := preprocess.Resolve(tp, device.Accel, data, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, report, err := CompressSTFChunked(tp, data, dims, absEB, dims.PlaneElems()*8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fzio.IsChunked(blob) {
+		t.Fatal("expected chunked container")
+	}
+	nChunks := dims.SlowExtent() / 8
+	if want := 4 * nChunks; len(report.Trace) != want {
+		t.Errorf("trace has %d tasks, want %d (4 per chunk)", len(report.Trace), want)
+	}
+	got, gotDims, err := Decompress(tp, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDims != dims {
+		t.Fatalf("dims %v, want %v", gotDims, dims)
+	}
+	if i := metrics.VerifyBound(data, got, absEB); i != -1 {
+		t.Errorf("bound violated at %d", i)
+	}
+	// The STF graph and the stream-pool executor must reconstruct the
+	// identical field (containers differ only by the STF path's explicit
+	// outlier-index side channel).
+	poolBlob, err := NewDefault().CompressChunked(tp, data, dims, preprocess.AbsBound(absEB), ChunkOpts{ChunkElems: dims.PlaneElems() * 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := Decompress(tp, poolBlob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("value %d: STF chunked reconstruction differs from stream-pool executor", i)
+		}
+	}
+}

@@ -45,10 +45,22 @@ const (
 	predPrefix = "pred."
 )
 
-// Compress implements Compressor: resolve the bound, predict+quantize,
-// encode codes, serialize all stages into an fzio container, and
-// optionally apply the secondary encoder over the whole inner container.
+// Compress implements Compressor. Fields of at least AutoChunkElems
+// elements are routed through the chunked concurrent executor (see
+// chunked.go); smaller fields take the monolithic single-stream path.
 func (pl *Pipeline) Compress(p *device.Platform, data []float32, dims grid.Dims, eb preprocess.ErrorBound) ([]byte, error) {
+	if dims.N() >= AutoChunkElems {
+		return pl.CompressChunked(p, data, dims, eb, ChunkOpts{})
+	}
+	return pl.CompressMonolithic(p, data, dims, eb)
+}
+
+// CompressMonolithic compresses the whole field as a single block: resolve
+// the bound, predict+quantize, encode codes, serialize all stages into an
+// fzio container, and optionally apply the secondary encoder over the whole
+// inner container. It is the per-chunk worker of the chunked executor and
+// the explicit opt-out from auto-chunking.
+func (pl *Pipeline) CompressMonolithic(p *device.Platform, data []float32, dims grid.Dims, eb preprocess.ErrorBound) ([]byte, error) {
 	if dims.N() != len(data) {
 		return nil, fmt.Errorf("core: dims %v do not match %d values", dims, len(data))
 	}
@@ -117,8 +129,16 @@ func (pl *Pipeline) Decompress(p *device.Platform, blob []byte) ([]float32, grid
 }
 
 // Decompress reconstructs a field from any FZModules container using the
-// module registry.
+// module registry. Chunked containers are dispatched to the parallel
+// chunked read path; everything else is a monolithic container.
 func Decompress(p *device.Platform, blob []byte) ([]float32, grid.Dims, error) {
+	if fzio.IsChunked(blob) {
+		return DecompressChunked(p, blob)
+	}
+	return decompressMonolithic(p, blob)
+}
+
+func decompressMonolithic(p *device.Platform, blob []byte) ([]float32, grid.Dims, error) {
 	c, err := fzio.Unmarshal(blob)
 	if err != nil {
 		return nil, grid.Dims{}, err

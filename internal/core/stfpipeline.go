@@ -146,97 +146,165 @@ func DecompressSTF(p *device.Platform, blob []byte) ([]float32, grid.Dims, *STFR
 	return result.Host(), dims, report, nil
 }
 
-// CompressSTF compresses with the FZMod-Default stages expressed as a task
-// graph: prediction at the accelerator, then histogram (accelerator) and
-// outlier serialization (host) proceed concurrently before host Huffman
-// coding. The output container is byte-compatible with Pipeline.Compress
-// followed by the standard Decompress.
-func CompressSTF(p *device.Platform, data []float32, dims grid.Dims, absEB float64) ([]byte, *STFReport, error) {
-	if dims.N() != len(data) {
-		return nil, nil, fmt.Errorf("core: dims %v do not match %d values", dims, len(data))
-	}
-	n := dims.N()
+// stfBlockPlan collects the dynamically-sized outputs of one block's
+// compression task sub-graph; the task bodies fill it in and marshal reads
+// it after Finalize.
+type stfBlockPlan struct {
+	quant                    *lorenzo.Quantized
+	hist                     []uint32
+	payload                  []byte
+	outIdxBytes, outValBytes []byte
+}
 
-	ctx := stf.NewCtx(p)
-	input := stf.NewData(ctx, "input", data)
-	codes := stf.NewScratch[uint16](ctx, "codes", n)
+// addDefaultCompressTasks declares the FZMod-Default compression task graph
+// for one block of a field: prediction at the accelerator, then histogram
+// (accelerator) and outlier serialization (host) proceed concurrently
+// before host Huffman coding. Task and data names are prefixed so several
+// blocks can coexist in one context; blocks share no logical data, so the
+// engine is free to overlap them.
+func addDefaultCompressTasks(ctx *stf.Ctx, p *device.Platform, prefix string, data []float32, dims grid.Dims, absEB float64) *stfBlockPlan {
+	n := dims.N()
+	plan := &stfBlockPlan{}
+
+	input := stf.NewData(ctx, prefix+"input", data)
+	codes := stf.NewScratch[uint16](ctx, prefix+"codes", n)
 	// Outlier count is dynamic; tokens carry the dependency while the
 	// payloads travel through captured variables (the same pattern CUDASTF
 	// uses for dynamically-sized outputs via oversized logical buffers).
-	outTok := stf.NewScratch[byte](ctx, "outliers-token", 1)
-	histTok := stf.NewScratch[byte](ctx, "hist-token", 1)
-	payloadTok := stf.NewScratch[byte](ctx, "payload-token", 1)
+	outTok := stf.NewScratch[byte](ctx, prefix+"outliers-token", 1)
+	histTok := stf.NewScratch[byte](ctx, prefix+"hist-token", 1)
+	payloadTok := stf.NewScratch[byte](ctx, prefix+"payload-token", 1)
 
-	var quant *lorenzo.Quantized
-	var outIdxBytes, outValBytes []byte
-	var hist []uint32
-	var payload []byte
-
-	ctx.Task("predict").Reads(input.D()).Writes(codes.D(), outTok.D()).On(device.Accel).
+	ctx.Task(prefix+"predict").Reads(input.D()).Writes(codes.D(), outTok.D()).On(device.Accel).
 		Do(func(ti *stf.TaskInstance) error {
 			q, err := lorenzo.Encode(p, ti.Place(), input.Acc(ti), dims, absEB, 0)
 			if err != nil {
 				return err
 			}
-			quant = q
+			plan.quant = q
 			copy(codes.Acc(ti), q.Codes)
 			return nil
 		})
 
-	ctx.Task("histogram").Reads(codes.D()).Writes(histTok.D()).On(device.Accel).
+	ctx.Task(prefix + "histogram").Reads(codes.D()).Writes(histTok.D()).On(device.Accel).
 		Do(func(ti *stf.TaskInstance) error {
-			h, err := histogramOf(p, ti.Place(), codes.Acc(ti), quant.Radius)
+			h, err := histogramOf(p, ti.Place(), codes.Acc(ti), plan.quant.Radius)
 			if err != nil {
 				return err
 			}
-			hist = h
+			plan.hist = h
 			return nil
 		})
 
-	ctx.Task("outlier-serialize").Reads(outTok.D()).Writes(payloadTok.D()).On(device.Host).
+	ctx.Task(prefix + "outlier-serialize").Reads(outTok.D()).Writes(payloadTok.D()).On(device.Host).
 		Do(func(ti *stf.TaskInstance) error {
-			outIdxBytes = device.U32Bytes(quant.OutIdx)
-			vals := make([]uint32, len(quant.OutVal))
-			for i, v := range quant.OutVal {
+			plan.outIdxBytes = device.U32Bytes(plan.quant.OutIdx)
+			vals := make([]uint32, len(plan.quant.OutVal))
+			for i, v := range plan.quant.OutVal {
 				vals[i] = uint32(v)
 			}
-			outValBytes = device.U32Bytes(vals)
+			plan.outValBytes = device.U32Bytes(vals)
 			return nil
 		})
 
-	ctx.Task("huffman-encode").Reads(codes.D(), histTok.D()).ReadsWrites(payloadTok.D()).On(device.Host).
+	ctx.Task(prefix+"huffman-encode").Reads(codes.D(), histTok.D()).ReadsWrites(payloadTok.D()).On(device.Host).
 		Do(func(ti *stf.TaskInstance) error {
-			pl, err := huffman.Compress(p, device.Host, codes.Acc(ti), hist)
+			pl, err := huffman.Compress(p, device.Host, codes.Acc(ti), plan.hist)
 			if err != nil {
 				return err
 			}
-			payload = pl
+			plan.payload = pl
 			return nil
 		})
 
-	if err := ctx.Finalize(); err != nil {
-		return nil, nil, err
-	}
+	return plan
+}
 
+// marshal serializes one block's results into a monolithic container; call
+// after the context has finalized.
+func (plan *stfBlockPlan) marshal(dims grid.Dims, absEB float64) ([]byte, error) {
 	inner := fzio.New(fzio.Header{
 		Pipeline: "fzmod-default",
 		Dims:     dims,
 		EB:       absEB,
-		Extra:    uint64(quant.Radius),
+		Extra:    uint64(plan.quant.Radius),
 	})
 	if err := inner.Add(segModules, []byte("lorenzo\x00huffman")); err != nil {
+		return nil, err
+	}
+	if err := inner.Add(segCodes, plan.payload); err != nil {
+		return nil, err
+	}
+	if err := inner.Add(predPrefix+"outidx", plan.outIdxBytes); err != nil {
+		return nil, err
+	}
+	if err := inner.Add(predPrefix+"outval", plan.outValBytes); err != nil {
+		return nil, err
+	}
+	return inner.Marshal()
+}
+
+// CompressSTF compresses with the FZMod-Default stages expressed as a task
+// graph. The output container is byte-compatible with Pipeline.Compress
+// followed by the standard Decompress.
+func CompressSTF(p *device.Platform, data []float32, dims grid.Dims, absEB float64) ([]byte, *STFReport, error) {
+	if dims.N() != len(data) {
+		return nil, nil, fmt.Errorf("core: dims %v do not match %d values", dims, len(data))
+	}
+	ctx := stf.NewCtx(p)
+	plan := addDefaultCompressTasks(ctx, p, "", data, dims, absEB)
+	if err := ctx.Finalize(); err != nil {
 		return nil, nil, err
 	}
-	if err := inner.Add(segCodes, payload); err != nil {
+	blob, err := plan.marshal(dims, absEB)
+	if err != nil {
 		return nil, nil, err
 	}
-	if err := inner.Add(predPrefix+"outidx", outIdxBytes); err != nil {
+	report := &STFReport{Trace: ctx.Trace(), DOT: ctx.DOT()}
+	return blob, report, nil
+}
+
+// CompressSTFChunked compresses through the task-flow engine with one
+// compression sub-graph per chunk: the field is partitioned into slabs
+// along its slowest dimension (chunkElems elements per chunk, rounded to
+// whole planes; 0 selects DefaultChunkElems) and every slab contributes an
+// independent predict→{histogram, outliers}→encode task chain. The chains
+// share no logical data, so the engine overlaps them across places, and the
+// per-chunk containers are assembled into the same chunked container
+// CompressChunked emits.
+func CompressSTFChunked(p *device.Platform, data []float32, dims grid.Dims, absEB float64, chunkElems int) ([]byte, *STFReport, error) {
+	if dims.N() != len(data) {
+		return nil, nil, fmt.Errorf("core: dims %v do not match %d values", dims, len(data))
+	}
+	planes := planesFor(dims, chunkElems)
+	slabs := grid.SplitSlabs(dims, planes)
+
+	ctx := stf.NewCtx(p)
+	plans := make([]*stfBlockPlan, len(slabs))
+	for i, sl := range slabs {
+		chunk := data[sl.Lo : sl.Lo+sl.Dims.N()]
+		plans[i] = addDefaultCompressTasks(ctx, p, fmt.Sprintf("c%d.", i), chunk, sl.Dims, absEB)
+	}
+	if err := ctx.Finalize(); err != nil {
 		return nil, nil, err
 	}
-	if err := inner.Add(predPrefix+"outval", outValBytes); err != nil {
-		return nil, nil, err
+
+	blobs := make([][]byte, len(slabs))
+	perPlanes := make([]int, len(slabs))
+	for i, sl := range slabs {
+		b, err := plans[i].marshal(sl.Dims, absEB)
+		if err != nil {
+			return nil, nil, err
+		}
+		blobs[i] = b
+		perPlanes[i] = sl.Planes
 	}
-	blob, err := inner.Marshal()
+	blob, err := fzio.MarshalChunked(fzio.ChunkedHeader{
+		Pipeline: "fzmod-default",
+		Dims:     dims,
+		EB:       absEB,
+		Planes:   planes,
+	}, blobs, perPlanes)
 	if err != nil {
 		return nil, nil, err
 	}

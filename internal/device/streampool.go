@@ -1,0 +1,52 @@
+package device
+
+import "sync/atomic"
+
+// StreamPool is a fixed set of streams at one place used to fan independent
+// blocks of work out across the platform, the way a GPU compressor cycles
+// chunks over a small ring of CUDA streams. Work items assigned to the same
+// stream execute in order; items on different streams may overlap.
+type StreamPool struct {
+	streams []*Stream
+	next    atomic.Uint64
+}
+
+// NewStreamPool creates a pool of n streams executing at place. n <= 0
+// selects the platform's worker width for the place.
+func (p *Platform) NewStreamPool(place Place, n int) *StreamPool {
+	if n <= 0 {
+		n = p.workersFor(place)
+	}
+	sp := &StreamPool{streams: make([]*Stream, n)}
+	for i := range sp.streams {
+		sp.streams[i] = p.NewStream(place)
+	}
+	return sp
+}
+
+// Size returns the number of streams in the pool.
+func (sp *StreamPool) Size() int { return len(sp.streams) }
+
+// Stream returns the stream for slot i (wrapping modulo the pool size), so
+// a caller dispatching block i to Stream(i) gets a deterministic
+// round-robin assignment.
+func (sp *StreamPool) Stream(i int) *Stream {
+	return sp.streams[i%len(sp.streams)]
+}
+
+// Next returns streams in rotation; concurrent callers each get a slot.
+func (sp *StreamPool) Next() *Stream {
+	n := sp.next.Add(1) - 1
+	return sp.streams[int(n%uint64(len(sp.streams)))]
+}
+
+// Sync blocks until all work enqueued on every stream has completed.
+func (sp *StreamPool) Sync() {
+	for _, s := range sp.streams {
+		s.Sync()
+	}
+}
+
+// Workers reports the platform's worker-pool width for a place; the chunked
+// executor uses it to size stream pools.
+func (p *Platform) Workers(place Place) int { return p.workersFor(place) }

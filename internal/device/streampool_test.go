@@ -1,0 +1,72 @@
+package device
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestStreamPoolFanOut(t *testing.T) {
+	p := NewTestPlatform()
+	pool := p.NewStreamPool(Accel, 4)
+	if pool.Size() != 4 {
+		t.Fatalf("Size = %d, want 4", pool.Size())
+	}
+	var sum atomic.Int64
+	for i := 0; i < 64; i++ {
+		v := int64(i)
+		pool.Stream(i).Enqueue(func() { sum.Add(v) })
+	}
+	pool.Sync()
+	if got := sum.Load(); got != 64*63/2 {
+		t.Errorf("sum = %d, want %d", got, 64*63/2)
+	}
+}
+
+func TestStreamPoolDefaultsToPlatformWidth(t *testing.T) {
+	p := NewTestPlatform()
+	if got := p.NewStreamPool(Accel, 0).Size(); got != p.AccelWorkers {
+		t.Errorf("accel pool size = %d, want %d", got, p.AccelWorkers)
+	}
+	if got := p.NewStreamPool(Host, -1).Size(); got != p.HostWorkers {
+		t.Errorf("host pool size = %d, want %d", got, p.HostWorkers)
+	}
+	if got := p.Workers(Accel); got != p.AccelWorkers {
+		t.Errorf("Workers(Accel) = %d, want %d", got, p.AccelWorkers)
+	}
+}
+
+func TestStreamPoolPerStreamOrdering(t *testing.T) {
+	p := NewTestPlatform()
+	pool := p.NewStreamPool(Host, 2)
+	// Items dispatched to the same slot must run in order even when other
+	// streams interleave.
+	var order [8]int
+	var pos atomic.Int64
+	for i := 0; i < 8; i++ {
+		i := i
+		pool.Stream(0).Enqueue(func() { order[pos.Add(1)-1] = i })
+	}
+	pool.Sync()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("stream 0 ran out of order: %v", order)
+		}
+	}
+}
+
+func TestStreamPoolNextRotates(t *testing.T) {
+	p := NewTestPlatform()
+	pool := p.NewStreamPool(Host, 3)
+	seen := map[*Stream]int{}
+	for i := 0; i < 9; i++ {
+		seen[pool.Next()]++
+	}
+	if len(seen) != 3 {
+		t.Fatalf("Next visited %d distinct streams, want 3", len(seen))
+	}
+	for s, n := range seen {
+		if n != 3 {
+			t.Errorf("stream %p drew %d times, want 3", s, n)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package fzio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"fzmod/internal/grid"
+)
+
+// This file defines the chunked container format, the on-disk shape of the
+// block-parallel executor: the field is partitioned into slabs along its
+// slowest-varying dimension and each slab is compressed independently into
+// a regular (self-describing) FZModules container. The outer chunked
+// container records the global geometry, the resolved error bound and a
+// chunk table of per-chunk offsets, lengths, CRCs and plane counts, so the
+// read path can validate the table up front and then decode every chunk in
+// parallel without touching the others.
+
+// ChunkedMagic identifies chunked FZModules containers.
+const ChunkedMagic = "FZMC"
+
+// ChunkedVersion is the chunked container format version.
+const ChunkedVersion = 1
+
+// maxChunksLimit bounds the chunk count a container may declare, so a
+// corrupt header cannot drive a huge allocation.
+const maxChunksLimit = 1 << 20
+
+// maxFieldElems bounds the element count a chunked header may declare
+// (16 Gi elements = 64 GiB of float32), so a crafted header can neither
+// overflow int arithmetic nor drive an absurd output allocation before any
+// chunk CRC has been checked.
+const maxFieldElems = 1 << 34
+
+// ChunkedHeader carries the global metadata of a chunked container.
+type ChunkedHeader struct {
+	Pipeline string    // pipeline identifier, e.g. "fzmod-default"
+	Dims     grid.Dims // full field geometry
+	EB       float64   // resolved absolute error bound shared by all chunks
+	RelEB    float64   // user-specified relative bound (0 if absolute)
+	Planes   int       // nominal planes per chunk along the slowest dimension
+}
+
+// ChunkRef locates one chunk inside the container's payload area.
+type ChunkRef struct {
+	Offset int    // byte offset into the payload area
+	Length int    // payload bytes
+	CRC    uint32 // CRC32 (IEEE) of the chunk payload
+	Planes int    // planes of the slowest dimension this chunk covers
+}
+
+// ChunkedContainer is a decoded chunked container: the header, the chunk
+// table, and the (not yet CRC-verified) payload area. Chunk payloads are
+// verified lazily by Chunk so the checks can run on the parallel read path.
+type ChunkedContainer struct {
+	Header  ChunkedHeader
+	Chunks  []ChunkRef
+	payload []byte
+}
+
+// IsChunked reports whether blob starts with the chunked container magic.
+func IsChunked(blob []byte) bool {
+	return len(blob) >= 4 && string(blob[:4]) == ChunkedMagic
+}
+
+// MarshalChunked serializes chunk payloads under a chunked header. planes
+// gives the slowest-dimension extent each chunk covers; the extents must be
+// positive and sum to the header geometry's slow extent.
+//
+// Layout: "FZMC" ‖ u16 version ‖ pipeline string ‖ uvarint dims X/Y/Z ‖
+// EB bits ‖ RelEB bits ‖ uvarint nominal planes ‖ uvarint chunk count;
+// then per chunk: uvarint offset, uvarint length, CRC32(payload), uvarint
+// planes; then the concatenated chunk payloads.
+func MarshalChunked(h ChunkedHeader, chunks [][]byte, planes []int) ([]byte, error) {
+	if !h.Dims.Valid() {
+		return nil, fmt.Errorf("fzio: invalid dims %v", h.Dims)
+	}
+	if len(chunks) == 0 {
+		return nil, fmt.Errorf("fzio: chunked container needs at least one chunk")
+	}
+	if len(chunks) != len(planes) {
+		return nil, fmt.Errorf("fzio: %d chunks but %d plane counts", len(chunks), len(planes))
+	}
+	total := 0
+	for i, k := range planes {
+		if k <= 0 {
+			return nil, fmt.Errorf("fzio: chunk %d covers %d planes", i, k)
+		}
+		total += k
+	}
+	if total != h.Dims.SlowExtent() {
+		return nil, fmt.Errorf("fzio: chunks cover %d planes, field has %d", total, h.Dims.SlowExtent())
+	}
+	out := []byte(ChunkedMagic)
+	out = binary.LittleEndian.AppendUint16(out, ChunkedVersion)
+	out = appendString(out, h.Pipeline)
+	out = binary.AppendUvarint(out, uint64(h.Dims.X))
+	out = binary.AppendUvarint(out, uint64(h.Dims.Y))
+	out = binary.AppendUvarint(out, uint64(h.Dims.Z))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(h.EB))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(h.RelEB))
+	out = binary.AppendUvarint(out, uint64(h.Planes))
+	out = binary.AppendUvarint(out, uint64(len(chunks)))
+	off := 0
+	for i, c := range chunks {
+		out = binary.AppendUvarint(out, uint64(off))
+		out = binary.AppendUvarint(out, uint64(len(c)))
+		out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(c))
+		out = binary.AppendUvarint(out, uint64(planes[i]))
+		off += len(c)
+	}
+	for _, c := range chunks {
+		out = append(out, c...)
+	}
+	return out, nil
+}
+
+// UnmarshalChunked parses a chunked container, verifying magic, version and
+// the consistency of the chunk table: offsets must be contiguous from zero
+// and every chunk must lie inside the payload area. Chunk payload CRCs are
+// checked by Chunk, not here, so decoders can verify them in parallel.
+func UnmarshalChunked(blob []byte) (*ChunkedContainer, error) {
+	if !IsChunked(blob) {
+		return nil, fmt.Errorf("fzio: not a chunked FZModules container")
+	}
+	if len(blob) < 6 {
+		return nil, fmt.Errorf("fzio: truncated chunked header")
+	}
+	if v := binary.LittleEndian.Uint16(blob[4:]); v != ChunkedVersion {
+		return nil, fmt.Errorf("fzio: unsupported chunked version %d", v)
+	}
+	pos := 6
+	var err error
+	c := &ChunkedContainer{}
+	if c.Header.Pipeline, pos, err = readString(blob, pos); err != nil {
+		return nil, err
+	}
+	dims := [3]uint64{}
+	nElems := uint64(1)
+	for i := range dims {
+		v, k := binary.Uvarint(blob[pos:])
+		if k <= 0 {
+			return nil, fmt.Errorf("fzio: truncated dims")
+		}
+		dims[i], pos = v, pos+k
+		// Overflow-safe product bound: decoders allocate dims.N() output
+		// elements before any chunk CRC is checked. Zero extents fall
+		// through to the Valid check below.
+		if v > maxFieldElems || (v > 0 && nElems > maxFieldElems/v) {
+			return nil, fmt.Errorf("fzio: declared field too large")
+		}
+		if v > 0 {
+			nElems *= v
+		}
+	}
+	c.Header.Dims = grid.Dims{X: int(dims[0]), Y: int(dims[1]), Z: int(dims[2])}
+	if !c.Header.Dims.Valid() {
+		return nil, fmt.Errorf("fzio: invalid dims %v", c.Header.Dims)
+	}
+	if pos+16 > len(blob) {
+		return nil, fmt.Errorf("fzio: truncated chunked header")
+	}
+	c.Header.EB = math.Float64frombits(binary.LittleEndian.Uint64(blob[pos:]))
+	c.Header.RelEB = math.Float64frombits(binary.LittleEndian.Uint64(blob[pos+8:]))
+	pos += 16
+	nominal, k := binary.Uvarint(blob[pos:])
+	if k <= 0 {
+		return nil, fmt.Errorf("fzio: truncated nominal plane count")
+	}
+	c.Header.Planes = int(nominal)
+	pos += k
+	nChunks, k := binary.Uvarint(blob[pos:])
+	if k <= 0 || nChunks == 0 || nChunks > maxChunksLimit {
+		return nil, fmt.Errorf("fzio: bad chunk count")
+	}
+	pos += k
+	c.Chunks = make([]ChunkRef, nChunks)
+	wantOff, totalPlanes := 0, 0
+	for i := range c.Chunks {
+		fields := [2]uint64{}
+		for j := range fields {
+			v, k := binary.Uvarint(blob[pos:])
+			if k <= 0 {
+				return nil, fmt.Errorf("fzio: truncated chunk table")
+			}
+			fields[j], pos = v, pos+k
+		}
+		if pos+4 > len(blob) {
+			return nil, fmt.Errorf("fzio: truncated chunk CRC")
+		}
+		crc := binary.LittleEndian.Uint32(blob[pos:])
+		pos += 4
+		planes, k := binary.Uvarint(blob[pos:])
+		if k <= 0 {
+			return nil, fmt.Errorf("fzio: truncated chunk planes")
+		}
+		pos += k
+		ref := ChunkRef{Offset: int(fields[0]), Length: int(fields[1]), CRC: crc, Planes: int(planes)}
+		if ref.Offset != wantOff {
+			return nil, fmt.Errorf("fzio: chunk %d offset %d, want %d", i, ref.Offset, wantOff)
+		}
+		if ref.Length < 0 || ref.Planes <= 0 || ref.Planes > maxFieldElems {
+			return nil, fmt.Errorf("fzio: chunk %d malformed", i)
+		}
+		// Overflow-safe accumulation: wantOff stays <= len(blob), so the
+		// final bounds arithmetic below cannot wrap.
+		if ref.Length > len(blob)-wantOff {
+			return nil, fmt.Errorf("fzio: payload truncated: chunk %d needs %d bytes", i, ref.Length)
+		}
+		wantOff += ref.Length
+		totalPlanes += ref.Planes
+		c.Chunks[i] = ref
+	}
+	if totalPlanes != c.Header.Dims.SlowExtent() {
+		return nil, fmt.Errorf("fzio: chunks cover %d planes, field has %d", totalPlanes, c.Header.Dims.SlowExtent())
+	}
+	if pos+wantOff > len(blob) {
+		return nil, fmt.Errorf("fzio: payload truncated: need %d bytes, have %d", wantOff, len(blob)-pos)
+	}
+	c.payload = blob[pos : pos+wantOff]
+	return c, nil
+}
+
+// NumChunks returns the chunk count.
+func (c *ChunkedContainer) NumChunks() int { return len(c.Chunks) }
+
+// Chunk returns chunk i's payload after verifying its CRC. Safe to call
+// concurrently for distinct (or identical) indices.
+func (c *ChunkedContainer) Chunk(i int) ([]byte, error) {
+	if i < 0 || i >= len(c.Chunks) {
+		return nil, fmt.Errorf("fzio: chunk index %d out of range [0,%d)", i, len(c.Chunks))
+	}
+	ref := c.Chunks[i]
+	data := c.payload[ref.Offset : ref.Offset+ref.Length]
+	if crc32.ChecksumIEEE(data) != ref.CRC {
+		return nil, fmt.Errorf("fzio: chunk %d CRC mismatch (corrupt container)", i)
+	}
+	return data, nil
+}

@@ -50,6 +50,78 @@ func (d Dims) Coords(i int) (x, y, z int) {
 // Valid reports whether all extents are positive.
 func (d Dims) Valid() bool { return d.X > 0 && d.Y > 0 && d.Z > 0 }
 
+// PlaneElems returns the element count of one plane orthogonal to the
+// slowest-varying dimension: X*Y for 3-D fields, X for 2-D, 1 for 1-D.
+// Because storage is x-fastest, such planes are contiguous in memory.
+func (d Dims) PlaneElems() int {
+	switch d.Rank() {
+	case 3:
+		return d.X * d.Y
+	case 2:
+		return d.X
+	default:
+		return 1
+	}
+}
+
+// SlowExtent returns the extent of the slowest-varying dimension (Z for
+// 3-D, Y for 2-D, X for 1-D).
+func (d Dims) SlowExtent() int {
+	switch d.Rank() {
+	case 3:
+		return d.Z
+	case 2:
+		return d.Y
+	default:
+		return d.X
+	}
+}
+
+// Slab is one contiguous block of a field partitioned along its
+// slowest-varying dimension. Because storage is x-fastest, a slab covers
+// the linear element range [Lo, Lo+Dims.N()) of the parent field. Planes
+// records the slab's extent along the parent's slowest dimension
+// explicitly: a short slab can drop rank (one z-plane of a 3-D field is a
+// 2-D field), which silently changes what Dims.SlowExtent would report.
+type Slab struct {
+	Dims   Dims // slab geometry (full extent in the fast dimensions)
+	Lo     int  // linear element offset of the slab start in the parent
+	Planes int  // extent along the parent's slowest dimension
+}
+
+// WithSlowExtent returns d with the slowest-varying dimension replaced,
+// the geometry of a slab of n planes cut from a d-shaped field.
+func (d Dims) WithSlowExtent(n int) Dims {
+	switch d.Rank() {
+	case 3:
+		return Dims{d.X, d.Y, n}
+	case 2:
+		return Dims{d.X, n, 1}
+	default:
+		return Dims{n, 1, 1}
+	}
+}
+
+// SplitSlabs partitions d into contiguous slabs of at most planes planes
+// along the slowest-varying dimension. planes <= 0 or planes >=
+// SlowExtent() yields a single slab covering the whole field.
+func SplitSlabs(d Dims, planes int) []Slab {
+	total := d.SlowExtent()
+	if planes <= 0 || planes >= total {
+		return []Slab{{Dims: d, Lo: 0, Planes: total}}
+	}
+	plane := d.PlaneElems()
+	out := make([]Slab, 0, (total+planes-1)/planes)
+	for lo := 0; lo < total; lo += planes {
+		k := planes
+		if lo+k > total {
+			k = total - lo
+		}
+		out = append(out, Slab{Dims: d.WithSlowExtent(k), Lo: lo * plane, Planes: k})
+	}
+	return out
+}
+
 // String renders "XxYxZ" with trailing singletons omitted.
 func (d Dims) String() string {
 	switch d.Rank() {

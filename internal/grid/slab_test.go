@@ -1,0 +1,68 @@
+package grid
+
+import "testing"
+
+func TestSplitSlabsCoversField(t *testing.T) {
+	cases := []struct {
+		dims   Dims
+		planes int
+		want   int // expected slab count
+	}{
+		{D3(8, 8, 16), 4, 4},
+		{D3(8, 8, 17), 4, 5}, // ragged tail
+		{D3(8, 8, 16), 16, 1},
+		{D3(8, 8, 16), 0, 1},
+		{D3(8, 8, 16), 100, 1},
+		{D2(10, 9), 2, 5},
+		{D1(13), 5, 3},
+	}
+	for _, tc := range cases {
+		slabs := SplitSlabs(tc.dims, tc.planes)
+		if len(slabs) != tc.want {
+			t.Errorf("SplitSlabs(%v, %d): %d slabs, want %d", tc.dims, tc.planes, len(slabs), tc.want)
+			continue
+		}
+		// Slabs must tile the linear index space contiguously.
+		next := 0
+		planes := 0
+		for i, sl := range slabs {
+			if sl.Lo != next {
+				t.Errorf("%v/%d: slab %d starts at %d, want %d", tc.dims, tc.planes, i, sl.Lo, next)
+			}
+			if sl.Dims.N() != sl.Planes*tc.dims.PlaneElems() {
+				t.Errorf("%v/%d: slab %d has %d elements, want %d planes x %d", tc.dims, tc.planes, i, sl.Dims.N(), sl.Planes, tc.dims.PlaneElems())
+			}
+			next += sl.Dims.N()
+			planes += sl.Planes
+		}
+		if next != tc.dims.N() {
+			t.Errorf("%v/%d: slabs cover %d elements, field has %d", tc.dims, tc.planes, next, tc.dims.N())
+		}
+		if planes != tc.dims.SlowExtent() {
+			t.Errorf("%v/%d: slabs cover %d planes, field has %d", tc.dims, tc.planes, planes, tc.dims.SlowExtent())
+		}
+	}
+}
+
+func TestSlowExtentAndPlaneElems(t *testing.T) {
+	cases := []struct {
+		d           Dims
+		slow, plane int
+		replaced    Dims
+	}{
+		{D3(4, 5, 6), 6, 20, D3(4, 5, 2)},
+		{D2(4, 5), 5, 4, D2(4, 2)},
+		{D1(7), 7, 1, D1(2)},
+	}
+	for _, tc := range cases {
+		if got := tc.d.SlowExtent(); got != tc.slow {
+			t.Errorf("%v.SlowExtent() = %d, want %d", tc.d, got, tc.slow)
+		}
+		if got := tc.d.PlaneElems(); got != tc.plane {
+			t.Errorf("%v.PlaneElems() = %d, want %d", tc.d, got, tc.plane)
+		}
+		if got := tc.d.WithSlowExtent(2); got != tc.replaced {
+			t.Errorf("%v.WithSlowExtent(2) = %v, want %v", tc.d, got, tc.replaced)
+		}
+	}
+}

@@ -4,10 +4,14 @@
 // Usage:
 //
 //	fzbench -exp table3|fig1|fig2|fig3|fig4|stf|hist|secondary|fusion|chunked|all [-large]
+//	fzbench -exp chunked -json BENCH_new.json [-baseline BENCH_chunked.json] [-alloc-tol 0.2]
 //
 // Small-scale workloads are the default so a full sweep finishes quickly;
 // -large switches to the harness default dimensions (scaled from the
-// paper's Table 2).
+// paper's Table 2). -json writes the chunked experiment's machine-readable
+// report; with -baseline the run exits nonzero when allocs/op regressed
+// beyond -alloc-tol against the recorded baseline, which is how CI keeps
+// the repo's perf trajectory honest.
 package main
 
 import (
@@ -22,6 +26,9 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment: table3, fig1, fig2, fig3, fig4, stf, hist, secondary, fusion, place, chunked, all")
 	large := flag.Bool("large", false, "use full-scale workloads")
+	jsonPath := flag.String("json", "", "write the chunked experiment's machine-readable report to this path")
+	baseline := flag.String("baseline", "", "compare the chunked report against this baseline JSON and fail on allocs/op regression")
+	allocTol := flag.Float64("alloc-tol", 0.2, "allowed fractional allocs/op regression against -baseline")
 	flag.Parse()
 
 	sc := bench.Small
@@ -31,6 +38,11 @@ func main() {
 	h100 := device.NewH100Platform()
 	v100 := device.NewV100Platform()
 	w := os.Stdout
+
+	if (*jsonPath != "" || *baseline != "") && *exp != "chunked" {
+		fmt.Fprintln(os.Stderr, "fzbench: -json/-baseline apply to -exp chunked only")
+		os.Exit(2)
+	}
 
 	run := func(name string) error {
 		switch name {
@@ -55,7 +67,27 @@ func main() {
 		case "place":
 			return bench.PlaceAblation(w, h100, sc)
 		case "chunked":
-			return bench.ChunkedComparison(w, h100, sc)
+			report, err := bench.ChunkedComparisonReport(w, h100, sc)
+			if err != nil {
+				return err
+			}
+			if *jsonPath != "" {
+				if err := report.WriteJSON(*jsonPath); err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "wrote %s\n", *jsonPath)
+			}
+			if *baseline != "" {
+				base, err := bench.LoadChunkedReport(*baseline)
+				if err != nil {
+					return err
+				}
+				if err := bench.CompareAllocs(base, report, *allocTol); err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "allocs/op within %.0f%% of %s\n", 100**allocTol, *baseline)
+			}
+			return nil
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}

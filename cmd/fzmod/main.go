@@ -5,11 +5,15 @@
 // Usage:
 //
 //	fzmod -z  -i data.f32 -o data.fz  -dims 512x512x512 -eb 1e-4 [-mode rel|abs] [-pipeline default|speed|quality] [-secondary]
-//	fzmod -d  -i data.fz  -o back.f32
+//	       [-chunk elems] [-workers n] [-v]
+//	fzmod -d  -i data.fz  -o back.f32 [-v]
 //	fzmod -probe -i data.fz
 //
 // After -z the tool verifies the roundtrip and prints CR, bitrate, PSNR
-// and the measured throughput.
+// and the measured throughput. -chunk and -workers drive the concurrent
+// chunked executor explicitly (chunk granularity in elements, scheduler
+// stream-pool width); -v prints the executor report — task count, stage
+// overlap, critical path, and the buffer-pool hit rate.
 package main
 
 import (
@@ -42,16 +46,19 @@ func main() {
 		pipeArg    = flag.String("pipeline", "default", "pipeline: default, speed, quality, auto, auto-ratio, auto-throughput")
 		secondary  = flag.Bool("secondary", false, "attach the secondary (zstd-slot) encoder")
 		verify     = flag.Bool("verify", true, "verify roundtrip after compression")
+		chunk      = flag.Int("chunk", 0, "chunk granularity in elements (0 = default; forces the chunked executor)")
+		workers    = flag.Int("workers", 0, "scheduler stream-pool width (0 = platform width; forces the chunked executor)")
+		verbose    = flag.Bool("v", false, "print the executor report (tasks, overlap, pool hit rate)")
 	)
 	flag.Parse()
 
-	if err := run(*compress, *decompress, *probe, *in, *out, *dimsArg, *ebArg, *modeArg, *pipeArg, *secondary, *verify); err != nil {
+	if err := run(*compress, *decompress, *probe, *in, *out, *dimsArg, *ebArg, *modeArg, *pipeArg, *secondary, *verify, *chunk, *workers, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "fzmod:", err)
 		os.Exit(1)
 	}
 }
 
-func run(compress, decompress, probe bool, in, out, dimsArg string, eb float64, mode, pipe string, secondary, verify bool) error {
+func run(compress, decompress, probe bool, in, out, dimsArg string, eb float64, mode, pipe string, secondary, verify bool, chunk, workers int, verbose bool) error {
 	if in == "" {
 		return fmt.Errorf("missing -i input file")
 	}
@@ -130,8 +137,19 @@ func run(compress, decompress, probe bool, in, out, dimsArg string, eb float64, 
 		if secondary && pl.Sec == nil {
 			pl = fzmod.WithZstdSlot(pl)
 		}
+		var (
+			cblob  []byte
+			report *core.ExecReport
+		)
 		t0 := time.Now()
-		cblob, err := pl.Compress(p, data, dims, bound)
+		if chunk > 0 || workers > 0 || verbose {
+			// Explicit executor control (or report capture): lower through
+			// the chunked graph with the requested options.
+			opts := core.ChunkOpts{ChunkElems: chunk, Workers: workers}
+			cblob, report, err = pl.CompressChunkedReport(p, data, dims, bound, opts)
+		} else {
+			cblob, err = pl.Compress(p, data, dims, bound)
+		}
 		compSec := time.Since(t0).Seconds()
 		if err != nil {
 			return err
@@ -147,6 +165,9 @@ func run(compress, decompress, probe bool, in, out, dimsArg string, eb float64, 
 			metrics.CompressionRatio(len(blob), len(cblob)),
 			metrics.Bitrate(dims.N(), len(cblob)),
 			metrics.Throughput(len(blob), compSec))
+		if verbose && report != nil {
+			printReport("compress", report)
+		}
 		if verify {
 			dec, _, err := fzmod.Decompress(p, cblob)
 			if err != nil {
@@ -162,7 +183,7 @@ func run(compress, decompress, probe bool, in, out, dimsArg string, eb float64, 
 
 	case decompress:
 		t0 := time.Now()
-		data, dims, err := fzmod.Decompress(p, blob)
+		data, dims, report, err := fzmod.DecompressReport(p, blob)
 		decSec := time.Since(t0).Seconds()
 		if err != nil {
 			return err
@@ -175,9 +196,21 @@ func run(compress, decompress, probe bool, in, out, dimsArg string, eb float64, 
 		}
 		fmt.Printf("%v: %d values  %.3f GB/s → %s\n", dims, dims.N(),
 			metrics.Throughput(4*dims.N(), decSec), out)
+		if verbose && report != nil {
+			printReport("decompress", report)
+		}
 		return nil
 	}
 	return fmt.Errorf("one of -z, -d, -probe is required")
+}
+
+// printReport summarizes an executor report: graph shape, observed stage
+// overlap, and buffer-pool reuse.
+func printReport(phase string, r *core.ExecReport) {
+	fmt.Printf("%s executor: %d tasks, critical path %d, overlapped %v\n",
+		phase, r.Tasks, r.CriticalPath, r.Overlapped())
+	fmt.Printf("  buffer pool: %d gets, %d hits (%.0f%% hit rate)\n",
+		r.Pool.Gets, r.Pool.Hits, 100*r.Pool.HitRate())
 }
 
 // pipelineByName resolves preset names; auto objectives return nil so the

@@ -53,6 +53,8 @@ func main() {
 			tr.Start.Sub(decReport.Trace[0].Start).Seconds()*1e3)
 	}
 	fmt.Printf("branches overlapped: %v\n", decReport.Overlapped())
+	fmt.Printf("buffer pool: %d gets, %.0f%% hit rate\n",
+		decReport.Pool.Gets, 100*decReport.Pool.HitRate())
 	fmt.Printf("ratio: %.1fx, bound verified at eb=%g\n",
 		fzmod.CompressionRatio(4*dims.N(), len(blob)), absEB)
 }

@@ -12,20 +12,28 @@
 //	...
 //	back, dims, err := fzmod.Decompress(platform, blob)
 //
-// Compress is chunked and concurrent by default for large fields: inputs of
-// at least AutoChunkElems elements (64 MiB of float32) are partitioned into
-// independent slabs along the slowest dimension, fanned out over a pool of
-// device streams, and assembled into a chunked container whose chunks also
-// decompress in parallel. Decompress accepts both container flavors. To
-// control chunking explicitly — chunk size in elements, worker count, or
-// chunking below the automatic threshold — call CompressChunked:
+// Every call lowers to one sequential-task-flow (STF) graph executed by a
+// single scheduler (§3.3.1): compression declares per-chunk
+// predict → encode → serialize (→ secondary) sub-graphs joined by an
+// assembly task, decompression the mirrored fetch → decode → reconstruct
+// chains, and the scheduler runs the graph over bounded per-place stream
+// pools with pooled scratch buffers. Inputs of at least AutoChunkElems
+// elements (64 MiB of float32) are partitioned into independent slabs
+// along the slowest dimension automatically; smaller fields lower to a
+// one-chunk graph producing a monolithic container. Decompress accepts
+// both container flavors. To control chunking explicitly — chunk size in
+// elements, scheduler width, or chunking below the automatic threshold —
+// call CompressChunked:
 //
 //	blob, err := pipeline.CompressChunked(platform, data, dims, fzmod.Rel(1e-4),
 //	    fzmod.ChunkOpts{ChunkElems: 1 << 21, Workers: 8})
 //
 // The relative bound is resolved against the whole field's value range
 // before chunking, so chunked and monolithic compression enforce the
-// identical error tolerance.
+// identical error tolerance. The Report variants
+// (CompressChunkedReport, DecompressReport) additionally return an
+// ExecReport with the executed task trace, the dependency DAG in Graphviz
+// dot syntax, and buffer-pool reuse statistics.
 //
 // Three preset pipelines reproduce the paper's §3.3 designs: Default
 // (Lorenzo + histogram + CPU Huffman), Speed (Lorenzo + FZ-GPU
@@ -58,9 +66,12 @@ type (
 	ErrorBound = preprocess.ErrorBound
 	// Quality bundles reconstruction-quality statistics.
 	Quality = metrics.Quality
-	// ChunkOpts configures the chunked concurrent executor (see
+	// ChunkOpts configures the chunked task graph (see
 	// Pipeline.CompressChunked); the zero value selects sane defaults.
 	ChunkOpts = core.ChunkOpts
+	// ExecReport is the execution evidence of one task-graph run: trace,
+	// DAG, critical path, and buffer-pool reuse statistics.
+	ExecReport = core.ExecReport
 )
 
 // Chunking policy of the default executor, re-exported from core.
@@ -116,6 +127,11 @@ func Abs(v float64) ErrorBound { return preprocess.AbsBound(v) }
 // module registry; the container is self-describing.
 func Decompress(p *Platform, blob []byte) ([]float32, Dims, error) {
 	return core.Decompress(p, blob)
+}
+
+// DecompressReport is Decompress returning the executor report.
+func DecompressReport(p *Platform, blob []byte) ([]float32, Dims, *ExecReport, error) {
+	return core.DecompressReport(p, blob)
 }
 
 // Evaluate computes reconstruction quality (PSNR, NRMSE, max error).

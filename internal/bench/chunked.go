@@ -1,8 +1,11 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"runtime"
 	"time"
 
 	"fzmod/internal/core"
@@ -23,12 +26,93 @@ func chunkedDims(sc Scale) grid.Dims {
 	return grid.D3(128, 128, 128) // 2 Mi elements, 8 MiB
 }
 
-// ChunkedComparison measures the chunked concurrent executor against the
-// monolithic pipeline on one synthetic field: compression and
-// decompression throughput at 1, 2, 4 and 8 workers, with the compression
-// ratio and the chunk count per row. Output bytes are verified to
-// round-trip within the bound before a row is reported.
+// ChunkedRow is one executor configuration's measurement.
+type ChunkedRow struct {
+	Executor    string  `json:"executor"`
+	Workers     int     `json:"workers"`
+	Chunks      int     `json:"chunks"`
+	CompGBs     float64 `json:"comp_gbs"`
+	DecGBs      float64 `json:"dec_gbs"`
+	Ratio       float64 `json:"ratio"`
+	AllocsPerOp uint64  `json:"allocs_per_op"`
+	BytesPerOp  uint64  `json:"bytes_per_op"`
+}
+
+// ChunkedReport is the machine-readable result of the chunked-executor
+// comparison, the record CI regresses against (fzbench -json/-baseline).
+type ChunkedReport struct {
+	Experiment string       `json:"experiment"`
+	Workload   string       `json:"workload"`
+	Pipeline   string       `json:"pipeline"`
+	RelEB      float64      `json:"rel_eb"`
+	GoMaxProcs int          `json:"go_max_procs"`
+	Rows       []ChunkedRow `json:"rows"`
+}
+
+// WriteJSON writes the report, indented, to path.
+func (r *ChunkedReport) WriteJSON(path string) error {
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// LoadChunkedReport reads a report written by WriteJSON.
+func LoadChunkedReport(path string) (*ChunkedReport, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r ChunkedReport
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Row returns the row for an executor name, or nil.
+func (r *ChunkedReport) Row(executor string) *ChunkedRow {
+	for i := range r.Rows {
+		if r.Rows[i].Executor == executor {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// CompareAllocs checks every row of new against the matching baseline row
+// and returns an error when allocs/op regressed beyond tolerance (e.g.
+// 0.2 = +20%). Rows missing from the baseline are skipped.
+func CompareAllocs(baseline, new *ChunkedReport, tolerance float64) error {
+	for _, row := range new.Rows {
+		base := baseline.Row(row.Executor)
+		if base == nil || base.AllocsPerOp == 0 {
+			continue
+		}
+		limit := float64(base.AllocsPerOp) * (1 + tolerance)
+		if float64(row.AllocsPerOp) > limit {
+			return fmt.Errorf("bench: %s allocs/op regressed: %d > %d (baseline %d +%.0f%%)",
+				row.Executor, row.AllocsPerOp, uint64(limit), base.AllocsPerOp, 100*tolerance)
+		}
+	}
+	return nil
+}
+
+// ChunkedComparison measures the chunked task-graph executor against the
+// monolithic (one-chunk graph) pipeline on one synthetic field and prints
+// the table; see ChunkedComparisonReport for the machine-readable form.
 func ChunkedComparison(w io.Writer, p *device.Platform, sc Scale) error {
+	_, err := ChunkedComparisonReport(w, p, sc)
+	return err
+}
+
+// ChunkedComparisonReport measures compression and decompression
+// throughput at 1, 2, 4 and 8 workers plus the monolithic path, with the
+// compression ratio, chunk count, and steady-state compression allocs/op
+// per row. Output bytes are verified to round-trip within the bound before
+// a row is reported.
+func ChunkedComparisonReport(w io.Writer, p *device.Platform, sc Scale) (*ChunkedReport, error) {
 	dims := chunkedDims(sc)
 	data := sdrbench.GenNYX(dims, 77)
 	eb := preprocess.RelBound(1e-4)
@@ -37,15 +121,23 @@ func ChunkedComparison(w io.Writer, p *device.Platform, sc Scale) error {
 	// Eight chunks regardless of scale, so Small runs see the same fan-out.
 	chunkElems := dims.N() / 8
 
+	report := &ChunkedReport{
+		Experiment: "chunked",
+		Workload:   fmt.Sprintf("nyx-%v", dims),
+		Pipeline:   pl.Name(),
+		RelEB:      1e-4,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+
 	fmt.Fprintf(w, "Chunked vs monolithic executor: %s, %v (%.0f MiB), eb=rel 1e-4, %d-elem chunks\n",
 		pl.Name(), dims, float64(inBytes)/(1<<20), chunkElems)
-	fmt.Fprintf(w, "%-16s %8s %10s %10s %8s\n", "executor", "chunks", "comp GB/s", "dec GB/s", "ratio")
+	fmt.Fprintf(w, "%-16s %8s %10s %10s %8s %12s\n", "executor", "chunks", "comp GB/s", "dec GB/s", "ratio", "allocs/op")
 
 	absEB, _, err := preprocess.Resolve(p, device.Host, data, eb)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	row := func(name string, chunks int, compress func() ([]byte, error)) error {
+	row := func(name string, workers, chunks int, compress func() ([]byte, error)) error {
 		t0 := time.Now()
 		blob, err := compress()
 		compSec := time.Since(t0).Seconds()
@@ -64,25 +156,50 @@ func ChunkedComparison(w io.Writer, p *device.Platform, sc Scale) error {
 		if i := metrics.VerifyBound(data, dec, absEB); i != -1 {
 			return fmt.Errorf("%s: bound violated at %d", name, i)
 		}
-		fmt.Fprintf(w, "%-16s %8d %10.3f %10.3f %8.1f\n", name, chunks,
-			metrics.Throughput(inBytes, compSec), metrics.Throughput(inBytes, decSec),
-			metrics.CompressionRatio(inBytes, len(blob)))
+		// Steady-state allocation count: the timed run above warmed the
+		// pool, so one more compression measures the recycled hot path.
+		allocs, bytes := measureAllocs(func() {
+			if _, err := compress(); err != nil {
+				panic(err)
+			}
+		})
+		r := ChunkedRow{
+			Executor: name, Workers: workers, Chunks: chunks,
+			CompGBs:     metrics.Throughput(inBytes, compSec),
+			DecGBs:      metrics.Throughput(inBytes, decSec),
+			Ratio:       metrics.CompressionRatio(inBytes, len(blob)),
+			AllocsPerOp: allocs, BytesPerOp: bytes,
+		}
+		report.Rows = append(report.Rows, r)
+		fmt.Fprintf(w, "%-16s %8d %10.3f %10.3f %8.1f %12d\n", name, chunks,
+			r.CompGBs, r.DecGBs, r.Ratio, r.AllocsPerOp)
 		return nil
 	}
 
-	if err := row("monolithic", 1, func() ([]byte, error) {
+	if err := row("monolithic", 1, 1, func() ([]byte, error) {
 		return pl.CompressMonolithic(p, data, dims, eb)
 	}); err != nil {
-		return err
+		return nil, err
 	}
 	for _, workers := range []int{1, 2, 4, 8} {
 		name := fmt.Sprintf("chunked-w%d", workers)
 		opts := core.ChunkOpts{ChunkElems: chunkElems, Workers: workers}
-		if err := row(name, 8, func() ([]byte, error) {
+		if err := row(name, workers, 8, func() ([]byte, error) {
 			return pl.CompressChunked(p, data, dims, eb, opts)
 		}); err != nil {
-			return err
+			return nil, err
 		}
 	}
-	return nil
+	return report, nil
+}
+
+// measureAllocs runs fn once and returns the heap allocation delta
+// (count, bytes) it caused.
+func measureAllocs(fn func()) (allocs, bytes uint64) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc
 }

@@ -7,14 +7,18 @@ import (
 	"fzmod/internal/fzio"
 	"fzmod/internal/grid"
 	"fzmod/internal/preprocess"
+	"fzmod/internal/stf"
 )
 
-// The chunked executor partitions the field into independent slabs along
-// its slowest-varying dimension, fans them out over a pool of streams (one
-// per worker, at the pipeline's predictor place), runs the full
-// predict→quantize→encode pipeline per slab, and assembles the per-slab
-// containers into a chunked fzio container. Decompression mirrors this:
-// every chunk decodes independently, so the read path is fully parallel.
+// The chunked graph partitions the field into independent slabs along its
+// slowest-varying dimension and declares one compression sub-graph per
+// slab (predict → encode → serialize, plus the secondary pass when
+// attached), joined by a single assembly task that reads every chunk's
+// serialized container and emits the chunked fzio container. The STF
+// scheduler executes the graph over bounded per-place stream pools, so
+// chunk concurrency is a property of the engine, not of this builder.
+// Decompression mirrors this shape (see exec.go): every chunk decodes
+// through its own sub-graph, so the read path is fully parallel.
 //
 // The error bound is resolved once against the whole field (a relative
 // bound normalizes by the global value range, exactly as the monolithic
@@ -30,21 +34,22 @@ const (
 	DefaultChunkElems = 2 << 20
 
 	// AutoChunkElems is the input size, in elements, at which
-	// Pipeline.Compress switches to the chunked executor automatically
+	// Pipeline.Compress switches to the chunked graph automatically
 	// (64 MiB of float32).
 	AutoChunkElems = 16 << 20
 )
 
-// ChunkOpts configures the chunked executor. The zero value selects sane
-// defaults: DefaultChunkElems-sized chunks and one worker stream per
-// platform worker at the pipeline's predictor place.
+// ChunkOpts configures the chunked graph. The zero value selects sane
+// defaults: DefaultChunkElems-sized chunks and stream pools as wide as the
+// platform's worker count at each place.
 type ChunkOpts struct {
-	// ChunkElems is the target elements per chunk; the executor rounds it
+	// ChunkElems is the target elements per chunk; the builder rounds it
 	// to whole planes of the slowest-varying dimension. 0 selects
 	// DefaultChunkElems.
 	ChunkElems int
-	// Workers caps the number of concurrent chunk streams. 0 selects the
-	// platform's worker width for the predictor place.
+	// Workers caps the scheduler's per-place stream-pool width — the
+	// number of task bodies in flight at one place. 0 selects the
+	// platform's worker width.
 	Workers int
 }
 
@@ -61,21 +66,31 @@ func planesFor(dims grid.Dims, chunkElems int) int {
 	return planes
 }
 
-// CompressChunked compresses the field through the chunked concurrent
-// executor. Fields that fit in a single chunk fall back to the monolithic
-// path (producing a monolithic container); Decompress handles both.
+// CompressChunked compresses the field through the chunked task graph.
+// Fields that fit in a single chunk lower to the monolithic one-chunk
+// graph (producing a monolithic container); Decompress handles both.
 func (pl *Pipeline) CompressChunked(p *device.Platform, data []float32, dims grid.Dims, eb preprocess.ErrorBound, opts ChunkOpts) ([]byte, error) {
+	blob, _, err := pl.CompressChunkedReport(p, data, dims, eb, opts)
+	return blob, err
+}
+
+// CompressChunkedReport is CompressChunked returning the executor report.
+func (pl *Pipeline) CompressChunkedReport(p *device.Platform, data []float32, dims grid.Dims, eb preprocess.ErrorBound, opts ChunkOpts) ([]byte, *ExecReport, error) {
 	if dims.N() != len(data) {
-		return nil, fmt.Errorf("core: dims %v do not match %d values", dims, len(data))
+		return nil, nil, fmt.Errorf("core: dims %v do not match %d values", dims, len(data))
 	}
 	planes := planesFor(dims, opts.ChunkElems)
 	slabs := grid.SplitSlabs(dims, planes)
 	if len(slabs) < 2 {
-		return pl.CompressMonolithic(p, data, dims, eb)
+		return pl.CompressMonolithicReport(p, data, dims, eb)
 	}
 	absEB, _, err := preprocess.Resolve(p, pl.PredPlace, data, eb)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	relEB := 0.0
+	if eb.Mode == preprocess.Rel {
+		relEB = eb.Value
 	}
 
 	workers := opts.Workers
@@ -85,92 +100,56 @@ func (pl *Pipeline) CompressChunked(p *device.Platform, data []float32, dims gri
 	if workers > len(slabs) {
 		workers = len(slabs)
 	}
-	pool := p.NewStreamPool(pl.PredPlace, workers)
-	blobs := make([][]byte, len(slabs))
-	errs := make([]error, len(slabs))
-	chunkEB := preprocess.AbsBound(absEB)
+	ctx := stf.NewCtxN(p, workers)
+
+	// One sub-graph per slab; each chunk is compressed under the globally
+	// resolved absolute bound, so per-chunk inner containers are
+	// byte-identical to a monolithic run on that slab.
+	jobs := make([]*compressJob, len(slabs))
+	blobRefs := make([]stf.DataRef, len(slabs))
 	for i, sl := range slabs {
-		i, sl := i, sl
-		pool.Stream(i).Enqueue(func() {
-			chunk := data[sl.Lo : sl.Lo+sl.Dims.N()]
-			blobs[i], errs[i] = pl.CompressMonolithic(p, chunk, sl.Dims, chunkEB)
-		})
-	}
-	pool.Sync()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("core: chunk %d: %w", i, err)
-		}
+		chunk := data[sl.Lo : sl.Lo+sl.Dims.N()]
+		jobs[i] = pl.addCompressTasks(ctx, fmt.Sprintf("c%d.", i), chunk, sl.Dims, absEB, 0)
+		blobRefs[i] = jobs[i].blobTok
 	}
 
-	relEB := 0.0
-	if eb.Mode == preprocess.Rel {
-		relEB = eb.Value
+	// Assembly: the only task reading every chunk's serialized container.
+	var out []byte
+	ctx.Task("assemble").On(device.Host).Reads(blobRefs...).
+		Do(func(ti *stf.TaskInstance) error {
+			blobs := make([][]byte, len(slabs))
+			perPlanes := make([]int, len(slabs))
+			for i, sl := range slabs {
+				blobs[i] = jobs[i].blob
+				perPlanes[i] = sl.Planes
+			}
+			assembled, err := fzio.MarshalChunked(fzio.ChunkedHeader{
+				Pipeline: pl.PipelineName,
+				Dims:     dims,
+				EB:       absEB,
+				RelEB:    relEB,
+				Planes:   planes,
+			}, blobs, perPlanes)
+			if err != nil {
+				return err
+			}
+			out = assembled
+			return nil
+		})
+
+	err = ctx.Finalize()
+	report := execReport(ctx)
+	ctx.Release()
+	if err != nil {
+		return nil, report, err
 	}
-	perPlanes := make([]int, len(slabs))
-	for i, sl := range slabs {
-		perPlanes[i] = sl.Planes
-	}
-	return fzio.MarshalChunked(fzio.ChunkedHeader{
-		Pipeline: pl.PipelineName,
-		Dims:     dims,
-		EB:       absEB,
-		RelEB:    relEB,
-		Planes:   planes,
-	}, blobs, perPlanes)
+	return out, report, nil
 }
 
-// DecompressChunked reconstructs a field from a chunked container,
-// decoding all chunks in parallel over a stream pool. Each chunk payload is
-// a self-describing monolithic container, so any registered module set can
-// decode it.
+// DecompressChunked reconstructs a field from a chunked container through
+// the per-chunk decode graph. Each chunk payload is a self-describing
+// monolithic container, so any registered module set can decode it.
 func DecompressChunked(p *device.Platform, blob []byte) ([]float32, grid.Dims, error) {
-	cc, err := fzio.UnmarshalChunked(blob)
-	if err != nil {
-		return nil, grid.Dims{}, err
-	}
-	dims := cc.Header.Dims
-	out := make([]float32, dims.N())
-	plane := dims.PlaneElems()
-
-	workers := p.Workers(device.Accel)
-	if workers > cc.NumChunks() {
-		workers = cc.NumChunks()
-	}
-	pool := p.NewStreamPool(device.Accel, workers)
-	errs := make([]error, cc.NumChunks())
-	nextLo := 0
-	for i := range cc.Chunks {
-		i, lo := i, nextLo
-		nextLo += cc.Chunks[i].Planes * plane
-		want := dims.WithSlowExtent(cc.Chunks[i].Planes)
-		pool.Stream(i).Enqueue(func() {
-			cb, err := cc.Chunk(i)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			if fzio.IsChunked(cb) {
-				errs[i] = fmt.Errorf("core: chunk %d: nested chunked container", i)
-				return
-			}
-			vals, cdims, err := decompressMonolithic(p, cb)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			if cdims != want {
-				errs[i] = fmt.Errorf("core: chunk %d dims %v, want %v", i, cdims, want)
-				return
-			}
-			copy(out[lo:lo+len(vals)], vals)
-		})
-	}
-	pool.Sync()
-	for i, err := range errs {
-		if err != nil {
-			return nil, grid.Dims{}, fmt.Errorf("core: chunk %d: %w", i, err)
-		}
-	}
-	return out, dims, nil
+	vals, dims, _, err := decompressChunkedReport(p, blob)
+	return vals, dims, err
 }

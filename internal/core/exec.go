@@ -1,0 +1,278 @@
+package core
+
+import (
+	"fmt"
+
+	"fzmod/internal/device"
+	"fzmod/internal/fzio"
+	"fzmod/internal/grid"
+	"fzmod/internal/stf"
+)
+
+// This file is the framework's single execution engine: every public
+// compress/decompress entry point lowers its pipeline to an STF task graph
+// — per-chunk predict → encode → serialize (→ secondary) sub-graphs joined
+// by an assembly task on the write path, fetch → decode → reconstruct
+// sub-graphs scattering into the output field on the read path — and the
+// stf scheduler executes it over bounded per-place stream pools with
+// pooled scratch buffers. There is no other executor: the monolithic path
+// is simply a one-chunk graph.
+
+// ExecReport carries the execution evidence of one lowered pipeline run:
+// the task trace (for checking stage overlap), the inferred DAG in
+// Graphviz dot syntax, the critical-path length, and a snapshot of the
+// platform buffer-pool counters taken when the run finished.
+type ExecReport struct {
+	Trace        []stf.TaskTrace
+	DOT          string
+	Tasks        int
+	CriticalPath int
+	// Pool snapshots the platform's cumulative scratch-pool counters at
+	// report time; the hit rate approaches 1 as steady-state runs reuse
+	// warm slabs.
+	Pool device.PoolStats
+}
+
+// Overlapped reports whether any two tasks ran concurrently.
+func (r *ExecReport) Overlapped() bool { return stf.Overlapped(r.Trace) }
+
+// execReport assembles the report for a finalized context.
+func execReport(ctx *stf.Ctx) *ExecReport {
+	trace := ctx.Trace()
+	return &ExecReport{
+		Trace:        trace,
+		DOT:          ctx.DOT(),
+		Tasks:        len(trace),
+		CriticalPath: ctx.CriticalPath(),
+		Pool:         ctx.Platform().ScratchPool().Stats(),
+	}
+}
+
+// compressJob carries one chunk's dynamically sized intermediates through
+// its task chain. Logical tokens express the dependencies; the payloads
+// travel through the job because module outputs (code streams, container
+// bytes) have sizes unknown at graph-build time — the pattern CUDASTF
+// handles with oversized logical buffers.
+type compressJob struct {
+	pred    *Prediction
+	payload []byte
+	blob    []byte
+	blobTok stf.DataRef
+}
+
+// addCompressTasks declares the compression sub-graph for one block of a
+// field: predict+quantize at the pipeline's predictor place, primary
+// encoding at the encoder place, container serialization on the host, and
+// — when the pipeline carries a secondary encoder — the secondary pass
+// rewriting the serialized blob. Task and token names are prefixed so the
+// sub-graphs of several chunks coexist in one context; chunks share no
+// logical data, so the scheduler is free to overlap them.
+func (pl *Pipeline) addCompressTasks(ctx *stf.Ctx, prefix string, data []float32, dims grid.Dims, absEB, relEB float64) *compressJob {
+	p := ctx.Platform()
+	job := &compressJob{}
+	predTok := stf.NewToken(ctx, prefix+"pred")
+	encTok := stf.NewToken(ctx, prefix+"enc")
+	blobTok := stf.NewToken(ctx, prefix+"blob")
+	job.blobTok = blobTok.D()
+
+	ctx.Task(prefix + "predict").On(pl.PredPlace).Writes(predTok.D()).
+		Do(func(ti *stf.TaskInstance) error {
+			pred, err := pl.Pred.Predict(p, ti.Place(), data, dims, absEB)
+			if err != nil {
+				return fmt.Errorf("core: %s predict: %w", pl.Pred.Name(), err)
+			}
+			job.pred = pred
+			return nil
+		})
+
+	ctx.Task(prefix + "encode").On(pl.EncPlace).Reads(predTok.D()).Writes(encTok.D()).
+		Do(func(ti *stf.TaskInstance) error {
+			payload, err := pl.Enc.EncodeCodes(p, ti.Place(), job.pred.Codes, job.pred.Radius)
+			if err != nil {
+				return fmt.Errorf("core: %s encode: %w", pl.Enc.Name(), err)
+			}
+			job.payload = payload
+			return nil
+		})
+
+	ctx.Task(prefix + "serialize").On(device.Host).Reads(encTok.D()).Writes(blobTok.D()).
+		Do(func(ti *stf.TaskInstance) error {
+			blob, err := pl.marshalInner(dims, absEB, relEB, job.pred, job.payload)
+			if err != nil {
+				return err
+			}
+			job.blob = blob
+			return nil
+		})
+
+	if pl.Sec != nil {
+		ctx.Task(prefix + "secondary").On(pl.EncPlace).ReadsWrites(blobTok.D()).
+			Do(func(ti *stf.TaskInstance) error {
+				blob, err := pl.wrapSecondary(p, ti.Place(), job.blob, dims, absEB, relEB)
+				if err != nil {
+					return err
+				}
+				job.blob = blob
+				return nil
+			})
+	}
+	return job
+}
+
+// decompressJob carries one container's decode state through its task
+// chain; sizes and module identities only become known as tasks execute.
+type decompressJob struct {
+	c    *fzio.Container
+	pr   Predictor
+	pred *Prediction
+	dims grid.Dims
+	eb   float64
+	vals []float32
+}
+
+// decode resolves the container's modules and decodes the primary code
+// stream (at the accelerator place, as the presets assign it), populating
+// the job for reconstruction.
+func (job *decompressJob) decode(p *device.Platform) error {
+	pr, enc, err := containerModules(job.c)
+	if err != nil {
+		return err
+	}
+	payload, err := job.c.Segment(segCodes)
+	if err != nil {
+		return err
+	}
+	codes, err := enc.DecodeCodes(p, device.Accel, payload)
+	if err != nil {
+		return fmt.Errorf("core: %s decode: %w", enc.Name(), err)
+	}
+	dims := job.c.Header.Dims
+	if len(codes) != dims.N() {
+		return fmt.Errorf("core: %d codes for dims %v", len(codes), dims)
+	}
+	job.pr = pr
+	job.pred = containerPrediction(job.c, codes)
+	job.dims = dims
+	job.eb = job.c.Header.EB
+	return nil
+}
+
+// reconstruct inverts the prediction stage.
+func (job *decompressJob) reconstruct(p *device.Platform) error {
+	vals, err := job.pr.Reconstruct(p, device.Accel, job.pred, job.dims, job.eb)
+	if err != nil {
+		return fmt.Errorf("core: %s reconstruct: %w", job.pr.Name(), err)
+	}
+	job.vals = vals
+	return nil
+}
+
+// decompressMonolithicReport lowers a monolithic container onto the graph
+// secondary-decode (when present) → decode → reconstruct.
+func decompressMonolithicReport(p *device.Platform, blob []byte) ([]float32, grid.Dims, *ExecReport, error) {
+	c, err := fzio.Unmarshal(blob)
+	if err != nil {
+		return nil, grid.Dims{}, nil, err
+	}
+	ctx := stf.NewCtx(p)
+	job := &decompressJob{c: c}
+	innerTok := stf.NewToken(ctx, "container")
+	codesTok := stf.NewToken(ctx, "codes")
+
+	if c.Has(segSec) {
+		ctx.Task("secondary-decode").On(device.Host).Writes(innerTok.D()).
+			Do(func(ti *stf.TaskInstance) error {
+				inner, err := unwrapSecondary(p, job.c)
+				if err != nil {
+					return err
+				}
+				job.c = inner
+				return nil
+			})
+	}
+	ctx.Task("decode").On(device.Accel).Reads(innerTok.D()).Writes(codesTok.D()).
+		Do(func(ti *stf.TaskInstance) error { return job.decode(p) })
+	ctx.Task("reconstruct").On(device.Accel).Reads(codesTok.D()).
+		Do(func(ti *stf.TaskInstance) error { return job.reconstruct(p) })
+
+	err = ctx.Finalize()
+	report := execReport(ctx)
+	ctx.Release()
+	if err != nil {
+		return nil, grid.Dims{}, report, err
+	}
+	return job.vals, job.dims, report, nil
+}
+
+// decompressChunkedReport lowers a chunked container onto per-chunk
+// fetch → decode → reconstruct sub-graphs that scatter into one output
+// field; the chunks share no logical data, so they decode fully in
+// parallel across the context's bounded stream pools.
+func decompressChunkedReport(p *device.Platform, blob []byte) ([]float32, grid.Dims, *ExecReport, error) {
+	cc, err := fzio.UnmarshalChunked(blob)
+	if err != nil {
+		return nil, grid.Dims{}, nil, err
+	}
+	dims := cc.Header.Dims
+	out := make([]float32, dims.N())
+	plane := dims.PlaneElems()
+
+	workers := p.Workers(device.Accel)
+	if workers > cc.NumChunks() {
+		workers = cc.NumChunks()
+	}
+	ctx := stf.NewCtxN(p, workers)
+	nextLo := 0
+	for i := range cc.Chunks {
+		i, lo := i, nextLo
+		nextLo += cc.Chunks[i].Planes * plane
+		want := dims.WithSlowExtent(cc.Chunks[i].Planes)
+		prefix := fmt.Sprintf("c%d.", i)
+		job := &decompressJob{}
+		fetchTok := stf.NewToken(ctx, prefix+"container")
+		codesTok := stf.NewToken(ctx, prefix+"codes")
+
+		ctx.Task(prefix + "fetch").On(device.Host).Writes(fetchTok.D()).
+			Do(func(ti *stf.TaskInstance) error {
+				cb, err := cc.Chunk(i)
+				if err != nil {
+					return err
+				}
+				if fzio.IsChunked(cb) {
+					return fmt.Errorf("core: chunk %d: nested chunked container", i)
+				}
+				c, err := fzio.Unmarshal(cb)
+				if err != nil {
+					return err
+				}
+				if c.Has(segSec) {
+					if c, err = unwrapSecondary(p, c); err != nil {
+						return err
+					}
+				}
+				job.c = c
+				return nil
+			})
+		ctx.Task(prefix + "decode").On(device.Accel).Reads(fetchTok.D()).Writes(codesTok.D()).
+			Do(func(ti *stf.TaskInstance) error { return job.decode(p) })
+		ctx.Task(prefix + "reconstruct").On(device.Accel).Reads(codesTok.D()).
+			Do(func(ti *stf.TaskInstance) error {
+				if job.dims != want {
+					return fmt.Errorf("core: chunk %d dims %v, want %v", i, job.dims, want)
+				}
+				if err := job.reconstruct(p); err != nil {
+					return err
+				}
+				copy(out[lo:lo+len(job.vals)], job.vals)
+				return nil
+			})
+	}
+
+	err = ctx.Finalize()
+	report := execReport(ctx)
+	ctx.Release()
+	if err != nil {
+		return nil, grid.Dims{}, report, err
+	}
+	return out, dims, report, nil
+}

@@ -1,0 +1,190 @@
+package core
+
+// The PR 1 executors — direct sequential stage calls for the monolithic
+// path, a hand-rolled stream-pool fan-out for the chunked path — are kept
+// here as the golden reference implementation. The unified STF-lowered
+// engine must produce byte-identical containers; once a few releases have
+// validated the graphs in anger this file can be deleted.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"fzmod/internal/device"
+	"fzmod/internal/fzio"
+	"fzmod/internal/grid"
+	"fzmod/internal/preprocess"
+)
+
+// legacyCompressMonolithic is the PR 1 Pipeline.CompressMonolithic body.
+func legacyCompressMonolithic(pl *Pipeline, p *device.Platform, data []float32, dims grid.Dims, eb preprocess.ErrorBound) ([]byte, error) {
+	if dims.N() != len(data) {
+		return nil, fmt.Errorf("core: dims %v do not match %d values", dims, len(data))
+	}
+	absEB, _, err := preprocess.Resolve(p, pl.PredPlace, data, eb)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := pl.Pred.Predict(p, pl.PredPlace, data, dims, absEB)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s predict: %w", pl.Pred.Name(), err)
+	}
+	payload, err := pl.Enc.EncodeCodes(p, pl.EncPlace, pred.Codes, pred.Radius)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s encode: %w", pl.Enc.Name(), err)
+	}
+
+	relEB := 0.0
+	if eb.Mode == preprocess.Rel {
+		relEB = eb.Value
+	}
+	inner := fzio.New(fzio.Header{
+		Pipeline: pl.PipelineName,
+		Dims:     dims,
+		EB:       absEB,
+		RelEB:    relEB,
+		Extra:    uint64(pred.Radius),
+	})
+	if err := inner.Add(segModules, []byte(pl.Pred.Name()+"\x00"+pl.Enc.Name())); err != nil {
+		return nil, err
+	}
+	if err := inner.Add(segCodes, payload); err != nil {
+		return nil, err
+	}
+	for _, k := range sortedKeys(pred.Extras) {
+		if err := inner.Add(predPrefix+k, pred.Extras[k]); err != nil {
+			return nil, err
+		}
+	}
+	blob, err := inner.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	if pl.Sec == nil {
+		return blob, nil
+	}
+
+	z, err := pl.Sec.Compress(p, pl.EncPlace, blob)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s secondary: %w", pl.Sec.Name(), err)
+	}
+	outer := fzio.New(fzio.Header{Pipeline: pl.PipelineName, Dims: dims, EB: absEB, RelEB: relEB})
+	if err := outer.Add(segSec, []byte(pl.Sec.Name())); err != nil {
+		return nil, err
+	}
+	if err := outer.Add(segZ, z); err != nil {
+		return nil, err
+	}
+	return outer.Marshal()
+}
+
+// legacyCompressChunked is the PR 1 Pipeline.CompressChunked body: the
+// ad-hoc stream-pool fan-out the STF scheduler replaced.
+func legacyCompressChunked(pl *Pipeline, p *device.Platform, data []float32, dims grid.Dims, eb preprocess.ErrorBound, opts ChunkOpts) ([]byte, error) {
+	if dims.N() != len(data) {
+		return nil, fmt.Errorf("core: dims %v do not match %d values", dims, len(data))
+	}
+	planes := planesFor(dims, opts.ChunkElems)
+	slabs := grid.SplitSlabs(dims, planes)
+	if len(slabs) < 2 {
+		return legacyCompressMonolithic(pl, p, data, dims, eb)
+	}
+	absEB, _, err := preprocess.Resolve(p, pl.PredPlace, data, eb)
+	if err != nil {
+		return nil, err
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = p.Workers(pl.PredPlace)
+	}
+	if workers > len(slabs) {
+		workers = len(slabs)
+	}
+	pool := p.NewStreamPool(pl.PredPlace, workers)
+	blobs := make([][]byte, len(slabs))
+	errs := make([]error, len(slabs))
+	chunkEB := preprocess.AbsBound(absEB)
+	for i, sl := range slabs {
+		i, sl := i, sl
+		pool.Stream(i).Enqueue(func() {
+			chunk := data[sl.Lo : sl.Lo+sl.Dims.N()]
+			blobs[i], errs[i] = legacyCompressMonolithic(pl, p, chunk, sl.Dims, chunkEB)
+		})
+	}
+	pool.Sync()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: chunk %d: %w", i, err)
+		}
+	}
+
+	relEB := 0.0
+	if eb.Mode == preprocess.Rel {
+		relEB = eb.Value
+	}
+	perPlanes := make([]int, len(slabs))
+	for i, sl := range slabs {
+		perPlanes[i] = sl.Planes
+	}
+	return fzio.MarshalChunked(fzio.ChunkedHeader{
+		Pipeline: pl.PipelineName,
+		Dims:     dims,
+		EB:       absEB,
+		RelEB:    relEB,
+		Planes:   planes,
+	}, blobs, perPlanes)
+}
+
+// TestUnifiedExecutorBitIdenticalToLegacy asserts the central refactoring
+// invariant: the STF-lowered engine emits byte-identical containers to the
+// PR 1 executors for every preset, monolithic and chunked, with and
+// without the secondary encoder.
+func TestUnifiedExecutorBitIdenticalToLegacy(t *testing.T) {
+	data, dims := chunkField()
+	eb := preprocess.RelBound(1e-4)
+	opts := ChunkOpts{ChunkElems: dims.PlaneElems() * 8, Workers: 3}
+	for _, preset := range Presets() {
+		for _, sec := range []bool{false, true} {
+			pl := preset
+			if sec {
+				pl = pl.WithSecondary(LZSecondary{})
+			}
+			name := pl.Name()
+
+			wantMono, err := legacyCompressMonolithic(pl, tp, data, dims, eb)
+			if err != nil {
+				t.Fatalf("%s legacy monolithic: %v", name, err)
+			}
+			gotMono, err := pl.CompressMonolithic(tp, data, dims, eb)
+			if err != nil {
+				t.Fatalf("%s unified monolithic: %v", name, err)
+			}
+			if !bytes.Equal(wantMono, gotMono) {
+				t.Errorf("%s: monolithic container differs from legacy executor", name)
+			}
+
+			wantChunked, err := legacyCompressChunked(pl, tp, data, dims, eb, opts)
+			if err != nil {
+				t.Fatalf("%s legacy chunked: %v", name, err)
+			}
+			gotChunked, err := pl.CompressChunked(tp, data, dims, eb, opts)
+			if err != nil {
+				t.Fatalf("%s unified chunked: %v", name, err)
+			}
+			if !bytes.Equal(wantChunked, gotChunked) {
+				t.Errorf("%s: chunked container differs from legacy executor", name)
+			}
+
+			// And the unified decoder round-trips the legacy bytes.
+			vals, gotDims, err := Decompress(tp, wantChunked)
+			if err != nil {
+				t.Fatalf("%s decompress legacy container: %v", name, err)
+			}
+			if gotDims != dims || len(vals) != dims.N() {
+				t.Errorf("%s: bad geometry %v", name, gotDims)
+			}
+		}
+	}
+}

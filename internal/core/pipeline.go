@@ -9,12 +9,15 @@ import (
 	"fzmod/internal/fzio"
 	"fzmod/internal/grid"
 	"fzmod/internal/preprocess"
+	"fzmod/internal/stf"
 )
 
 // Pipeline composes registered modules into a compressor, the framework's
 // central object (§3.3). PredPlace and EncPlace assign each stage to an
 // execution place, expressing hybrid designs like FZMod-Default's
-// GPU-predictor + CPU-Huffman split.
+// GPU-predictor + CPU-Huffman split. Every entry point lowers to an STF
+// task graph executed by the engine in exec.go; the methods here only
+// validate inputs, resolve the error bound, and build graphs.
 type Pipeline struct {
 	PipelineName string
 	Pred         Predictor
@@ -46,8 +49,9 @@ const (
 )
 
 // Compress implements Compressor. Fields of at least AutoChunkElems
-// elements are routed through the chunked concurrent executor (see
-// chunked.go); smaller fields take the monolithic single-stream path.
+// elements are routed through the chunked graph (several sub-graphs joined
+// by an assembly task, see chunked.go); smaller fields lower to a
+// single-chunk graph.
 func (pl *Pipeline) Compress(p *device.Platform, data []float32, dims grid.Dims, eb preprocess.ErrorBound) ([]byte, error) {
 	if dims.N() >= AutoChunkElems {
 		return pl.CompressChunked(p, data, dims, eb, ChunkOpts{})
@@ -55,32 +59,43 @@ func (pl *Pipeline) Compress(p *device.Platform, data []float32, dims grid.Dims,
 	return pl.CompressMonolithic(p, data, dims, eb)
 }
 
-// CompressMonolithic compresses the whole field as a single block: resolve
-// the bound, predict+quantize, encode codes, serialize all stages into an
-// fzio container, and optionally apply the secondary encoder over the whole
-// inner container. It is the per-chunk worker of the chunked executor and
-// the explicit opt-out from auto-chunking.
+// CompressMonolithic compresses the whole field as one block — a
+// single-chunk task graph — producing a monolithic container. It is the
+// explicit opt-out from auto-chunking.
 func (pl *Pipeline) CompressMonolithic(p *device.Platform, data []float32, dims grid.Dims, eb preprocess.ErrorBound) ([]byte, error) {
+	blob, _, err := pl.CompressMonolithicReport(p, data, dims, eb)
+	return blob, err
+}
+
+// CompressMonolithicReport is CompressMonolithic returning the executor
+// report alongside the container.
+func (pl *Pipeline) CompressMonolithicReport(p *device.Platform, data []float32, dims grid.Dims, eb preprocess.ErrorBound) ([]byte, *ExecReport, error) {
 	if dims.N() != len(data) {
-		return nil, fmt.Errorf("core: dims %v do not match %d values", dims, len(data))
+		return nil, nil, fmt.Errorf("core: dims %v do not match %d values", dims, len(data))
 	}
 	absEB, _, err := preprocess.Resolve(p, pl.PredPlace, data, eb)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	pred, err := pl.Pred.Predict(p, pl.PredPlace, data, dims, absEB)
-	if err != nil {
-		return nil, fmt.Errorf("core: %s predict: %w", pl.Pred.Name(), err)
-	}
-	payload, err := pl.Enc.EncodeCodes(p, pl.EncPlace, pred.Codes, pred.Radius)
-	if err != nil {
-		return nil, fmt.Errorf("core: %s encode: %w", pl.Enc.Name(), err)
-	}
-
 	relEB := 0.0
 	if eb.Mode == preprocess.Rel {
 		relEB = eb.Value
 	}
+	ctx := stf.NewCtx(p)
+	job := pl.addCompressTasks(ctx, "", data, dims, absEB, relEB)
+	err = ctx.Finalize()
+	report := execReport(ctx)
+	ctx.Release()
+	if err != nil {
+		return nil, report, err
+	}
+	return job.blob, report, nil
+}
+
+// marshalInner serializes one block's stages into the monolithic fzio
+// container: header, module names, encoded code stream, and the
+// predictor's side channels in sorted order.
+func (pl *Pipeline) marshalInner(dims grid.Dims, absEB, relEB float64, pred *Prediction, payload []byte) ([]byte, error) {
 	inner := fzio.New(fzio.Header{
 		Pipeline: pl.PipelineName,
 		Dims:     dims,
@@ -99,15 +114,13 @@ func (pl *Pipeline) CompressMonolithic(p *device.Platform, data []float32, dims 
 			return nil, err
 		}
 	}
-	blob, err := inner.Marshal()
-	if err != nil {
-		return nil, err
-	}
-	if pl.Sec == nil {
-		return blob, nil
-	}
+	return inner.Marshal()
+}
 
-	z, err := pl.Sec.Compress(p, pl.EncPlace, blob)
+// wrapSecondary applies the secondary encoder over a serialized inner
+// container and wraps the result in the outer container layout.
+func (pl *Pipeline) wrapSecondary(p *device.Platform, place device.Place, blob []byte, dims grid.Dims, absEB, relEB float64) ([]byte, error) {
+	z, err := pl.Sec.Compress(p, place, blob)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s secondary: %w", pl.Sec.Name(), err)
 	}
@@ -129,68 +142,66 @@ func (pl *Pipeline) Decompress(p *device.Platform, blob []byte) ([]float32, grid
 }
 
 // Decompress reconstructs a field from any FZModules container using the
-// module registry. Chunked containers are dispatched to the parallel
-// chunked read path; everything else is a monolithic container.
+// module registry, through the same task-graph engine as compression.
 func Decompress(p *device.Platform, blob []byte) ([]float32, grid.Dims, error) {
-	if fzio.IsChunked(blob) {
-		return DecompressChunked(p, blob)
-	}
-	return decompressMonolithic(p, blob)
+	vals, dims, _, err := DecompressReport(p, blob)
+	return vals, dims, err
 }
 
-func decompressMonolithic(p *device.Platform, blob []byte) ([]float32, grid.Dims, error) {
-	c, err := fzio.Unmarshal(blob)
-	if err != nil {
-		return nil, grid.Dims{}, err
+// DecompressReport is Decompress returning the executor report: chunked
+// containers lower to per-chunk fetch → decode → reconstruct sub-graphs,
+// monolithic containers to a single chain with the secondary-decode task
+// inserted when the container carries a secondary layer.
+func DecompressReport(p *device.Platform, blob []byte) ([]float32, grid.Dims, *ExecReport, error) {
+	if fzio.IsChunked(blob) {
+		return decompressChunkedReport(p, blob)
 	}
-	if c.Has(segSec) {
-		secName, _ := c.Segment(segSec)
-		sec, err := LookupSecondary(string(secName))
-		if err != nil {
-			return nil, grid.Dims{}, err
-		}
-		z, err := c.Segment(segZ)
-		if err != nil {
-			return nil, grid.Dims{}, err
-		}
-		inner, err := sec.Decompress(p, device.Host, z)
-		if err != nil {
-			return nil, grid.Dims{}, fmt.Errorf("core: %s secondary: %w", sec.Name(), err)
-		}
-		if c, err = fzio.Unmarshal(inner); err != nil {
-			return nil, grid.Dims{}, err
-		}
-	}
+	return decompressMonolithicReport(p, blob)
+}
 
+// unwrapSecondary decodes a container's secondary layer and parses the
+// inner container it wraps.
+func unwrapSecondary(p *device.Platform, c *fzio.Container) (*fzio.Container, error) {
+	secName, _ := c.Segment(segSec)
+	sec, err := LookupSecondary(string(secName))
+	if err != nil {
+		return nil, err
+	}
+	z, err := c.Segment(segZ)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := sec.Decompress(p, device.Host, z)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s secondary: %w", sec.Name(), err)
+	}
+	return fzio.Unmarshal(inner)
+}
+
+// containerModules resolves the predictor and encoder a container records.
+func containerModules(c *fzio.Container) (Predictor, CodesEncoder, error) {
 	modBytes, err := c.Segment(segModules)
 	if err != nil {
-		return nil, grid.Dims{}, err
+		return nil, nil, err
 	}
 	names := strings.SplitN(string(modBytes), "\x00", 2)
 	if len(names) != 2 {
-		return nil, grid.Dims{}, fmt.Errorf("core: malformed modules segment")
+		return nil, nil, fmt.Errorf("core: malformed modules segment")
 	}
 	pr, err := LookupPredictor(names[0])
 	if err != nil {
-		return nil, grid.Dims{}, err
+		return nil, nil, err
 	}
 	enc, err := LookupEncoder(names[1])
 	if err != nil {
-		return nil, grid.Dims{}, err
+		return nil, nil, err
 	}
+	return pr, enc, nil
+}
 
-	payload, err := c.Segment(segCodes)
-	if err != nil {
-		return nil, grid.Dims{}, err
-	}
-	codes, err := enc.DecodeCodes(p, device.Accel, payload)
-	if err != nil {
-		return nil, grid.Dims{}, fmt.Errorf("core: %s decode: %w", enc.Name(), err)
-	}
-	dims := c.Header.Dims
-	if len(codes) != dims.N() {
-		return nil, grid.Dims{}, fmt.Errorf("core: %d codes for dims %v", len(codes), dims)
-	}
+// containerPrediction rebuilds the prediction interchange record from a
+// container's decoded codes plus its "pred." side channels.
+func containerPrediction(c *fzio.Container, codes []uint16) *Prediction {
 	pred := &Prediction{
 		Codes:  codes,
 		Radius: int(c.Header.Extra),
@@ -202,11 +213,7 @@ func decompressMonolithic(p *device.Platform, blob []byte) ([]float32, grid.Dims
 			pred.Extras[strings.TrimPrefix(name, predPrefix)] = seg
 		}
 	}
-	out, err := pr.Reconstruct(p, device.Accel, pred, dims, c.Header.EB)
-	if err != nil {
-		return nil, grid.Dims{}, fmt.Errorf("core: %s reconstruct: %w", pr.Name(), err)
-	}
-	return out, dims, nil
+	return pred
 }
 
 // Describe returns a one-line human-readable pipeline summary.

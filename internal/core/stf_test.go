@@ -86,16 +86,41 @@ func TestSTFRejectsUnsupportedContainers(t *testing.T) {
 	if _, _, _, err := DecompressSTF(tp, blob); err == nil {
 		t.Error("spline container should be rejected by STF path")
 	}
-	// Secondary-encoded container is also unsupported.
-	blob2, err := NewDefault().WithSecondary(LZSecondary{}).Compress(tp, data, dims, preprocess.RelBound(1e-3))
+	if _, _, _, err := DecompressSTF(tp, []byte("junk")); err == nil {
+		t.Error("garbage should be rejected")
+	}
+}
+
+// TestSTFDecompressSecondary checks the secondary-decode task insertion:
+// a +lz container decodes through the STF graph and matches the standard
+// registry path bit for bit.
+func TestSTFDecompressSecondary(t *testing.T) {
+	data, dims := testField()
+	blob, err := NewDefault().WithSecondary(LZSecondary{}).Compress(tp, data, dims, preprocess.RelBound(1e-3))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := DecompressSTF(tp, blob2); err == nil {
-		t.Error("secondary container should be rejected by STF path")
+	want, _, err := Decompress(tp, blob)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, _, _, err := DecompressSTF(tp, []byte("junk")); err == nil {
-		t.Error("garbage should be rejected")
+	got, gotDims, report, err := DecompressSTF(tp, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDims != dims {
+		t.Fatalf("dims = %v, want %v", gotDims, dims)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+	if len(report.Trace) != 4 {
+		t.Errorf("trace has %d tasks, want 4 (secondary-decode + 3)", len(report.Trace))
+	}
+	if !strings.Contains(report.DOT, "secondary-decode") {
+		t.Errorf("DAG missing secondary-decode task:\n%s", report.DOT)
 	}
 }
 

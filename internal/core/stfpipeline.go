@@ -13,28 +13,51 @@ import (
 	"fzmod/internal/stf"
 )
 
-// STFReport carries the execution evidence of a task-flow run: the task
-// trace (for checking stage overlap) and the inferred DAG in dot syntax.
-type STFReport struct {
-	Trace []stf.TaskTrace
-	DOT   string
-}
+// This file holds the fine-grained FZMod-Default task graphs of §3.3.1:
+// where the generic lowering in exec.go treats each module stage as one
+// task, these graphs split the stages into their intra-pipeline branches
+// (histogram ∥ outlier serialization on the write path, Huffman decode ∥
+// outlier population on the read path) to exhibit the paper's branch-level
+// concurrency. They run on the same engine as everything else.
 
-// Overlapped reports whether any two tasks ran concurrently.
-func (r *STFReport) Overlapped() bool { return stf.Overlapped(r.Trace) }
+// STFReport is the historical name of ExecReport, kept for callers of the
+// fine-grained graph entry points.
+type STFReport = ExecReport
 
 // DecompressSTF decompresses an FZMod-Default (lorenzo+huffman) container
-// through the task-flow engine, reproducing the paper's §3.3.1 example:
-// one task populates outlier data at the accelerator while the host
-// decodes the Huffman stream — the two stages share no data dependency
-// until reconstruction combines them.
-func DecompressSTF(p *device.Platform, blob []byte) ([]float32, grid.Dims, *STFReport, error) {
+// through the fine-grained task graph, reproducing the paper's §3.3.1
+// example: one task populates outlier data at the accelerator while the
+// host decodes the Huffman stream — the two stages share no data
+// dependency until reconstruction combines them. Secondary-encoded
+// containers insert a secondary-decode task ahead of the branches.
+func DecompressSTF(p *device.Platform, blob []byte) ([]float32, grid.Dims, *ExecReport, error) {
 	c, err := fzio.Unmarshal(blob)
 	if err != nil {
 		return nil, grid.Dims{}, nil, err
 	}
+	ctx := stf.NewCtx(p)
 	if c.Has(segSec) {
-		return nil, grid.Dims{}, nil, fmt.Errorf("core: STF pipeline does not support secondary-encoded containers")
+		// The inner container's geometry is only known once the secondary
+		// layer is decoded, so the task runs and the build synchronizes on
+		// it (Barrier) before declaring the dependent branches.
+		var inner *fzio.Container
+		secTok := stf.NewToken(ctx, "inner-container")
+		ctx.Task("secondary-decode").On(device.Host).Writes(secTok.D()).
+			Do(func(ti *stf.TaskInstance) error {
+				dec, err := unwrapSecondary(p, c)
+				if err != nil {
+					return err
+				}
+				inner = dec
+				return nil
+			})
+		ctx.Barrier()
+		if inner == nil {
+			err := ctx.Finalize()
+			ctx.Release()
+			return nil, grid.Dims{}, nil, err
+		}
+		c = inner
 	}
 	modBytes, err := c.Segment(segModules)
 	if err != nil {
@@ -70,7 +93,6 @@ func DecompressSTF(p *device.Platform, blob []byte) ([]float32, grid.Dims, *STFR
 	eb := c.Header.EB
 	nOut := len(outValRaw) / 4
 
-	ctx := stf.NewCtx(p)
 	codesBlob := stf.NewData(ctx, "codes-blob", payload)
 	idxBlob := stf.NewData(ctx, "outidx-blob", outIdxRaw)
 	valBlob := stf.NewData(ctx, "outval-blob", outValRaw)
@@ -140,10 +162,13 @@ func DecompressSTF(p *device.Platform, blob []byte) ([]float32, grid.Dims, *STFR
 	})
 
 	if err := ctx.Finalize(); err != nil {
+		ctx.Release()
 		return nil, grid.Dims{}, nil, err
 	}
-	report := &STFReport{Trace: ctx.Trace(), DOT: ctx.DOT()}
-	return result.Host(), dims, report, nil
+	report := execReport(ctx)
+	vals := result.Detach()
+	ctx.Release()
+	return vals, dims, report, nil
 }
 
 // stfBlockPlan collects the dynamically-sized outputs of one block's
@@ -171,9 +196,9 @@ func addDefaultCompressTasks(ctx *stf.Ctx, p *device.Platform, prefix string, da
 	// Outlier count is dynamic; tokens carry the dependency while the
 	// payloads travel through captured variables (the same pattern CUDASTF
 	// uses for dynamically-sized outputs via oversized logical buffers).
-	outTok := stf.NewScratch[byte](ctx, prefix+"outliers-token", 1)
-	histTok := stf.NewScratch[byte](ctx, prefix+"hist-token", 1)
-	payloadTok := stf.NewScratch[byte](ctx, prefix+"payload-token", 1)
+	outTok := stf.NewToken(ctx, prefix+"outliers")
+	histTok := stf.NewToken(ctx, prefix+"hist")
+	payloadTok := stf.NewToken(ctx, prefix+"payload")
 
 	ctx.Task(prefix+"predict").Reads(input.D()).Writes(codes.D(), outTok.D()).On(device.Accel).
 		Do(func(ti *stf.TaskInstance) error {
@@ -247,32 +272,34 @@ func (plan *stfBlockPlan) marshal(dims grid.Dims, absEB float64) ([]byte, error)
 // CompressSTF compresses with the FZMod-Default stages expressed as a task
 // graph. The output container is byte-compatible with Pipeline.Compress
 // followed by the standard Decompress.
-func CompressSTF(p *device.Platform, data []float32, dims grid.Dims, absEB float64) ([]byte, *STFReport, error) {
+func CompressSTF(p *device.Platform, data []float32, dims grid.Dims, absEB float64) ([]byte, *ExecReport, error) {
 	if dims.N() != len(data) {
 		return nil, nil, fmt.Errorf("core: dims %v do not match %d values", dims, len(data))
 	}
 	ctx := stf.NewCtx(p)
 	plan := addDefaultCompressTasks(ctx, p, "", data, dims, absEB)
-	if err := ctx.Finalize(); err != nil {
-		return nil, nil, err
+	err := ctx.Finalize()
+	report := execReport(ctx)
+	ctx.Release()
+	if err != nil {
+		return nil, report, err
 	}
 	blob, err := plan.marshal(dims, absEB)
 	if err != nil {
-		return nil, nil, err
+		return nil, report, err
 	}
-	report := &STFReport{Trace: ctx.Trace(), DOT: ctx.DOT()}
 	return blob, report, nil
 }
 
 // CompressSTFChunked compresses through the task-flow engine with one
-// compression sub-graph per chunk: the field is partitioned into slabs
-// along its slowest dimension (chunkElems elements per chunk, rounded to
-// whole planes; 0 selects DefaultChunkElems) and every slab contributes an
-// independent predict→{histogram, outliers}→encode task chain. The chains
-// share no logical data, so the engine overlaps them across places, and the
-// per-chunk containers are assembled into the same chunked container
-// CompressChunked emits.
-func CompressSTFChunked(p *device.Platform, data []float32, dims grid.Dims, absEB float64, chunkElems int) ([]byte, *STFReport, error) {
+// fine-grained compression sub-graph per chunk: the field is partitioned
+// into slabs along its slowest dimension (chunkElems elements per chunk,
+// rounded to whole planes; 0 selects DefaultChunkElems) and every slab
+// contributes an independent predict→{histogram, outliers}→encode task
+// chain. The chains share no logical data, so the engine overlaps them
+// across places, and the per-chunk containers are assembled into the same
+// chunked container CompressChunked emits.
+func CompressSTFChunked(p *device.Platform, data []float32, dims grid.Dims, absEB float64, chunkElems int) ([]byte, *ExecReport, error) {
 	if dims.N() != len(data) {
 		return nil, nil, fmt.Errorf("core: dims %v do not match %d values", dims, len(data))
 	}
@@ -285,8 +312,11 @@ func CompressSTFChunked(p *device.Platform, data []float32, dims grid.Dims, absE
 		chunk := data[sl.Lo : sl.Lo+sl.Dims.N()]
 		plans[i] = addDefaultCompressTasks(ctx, p, fmt.Sprintf("c%d.", i), chunk, sl.Dims, absEB)
 	}
-	if err := ctx.Finalize(); err != nil {
-		return nil, nil, err
+	err := ctx.Finalize()
+	report := execReport(ctx)
+	if err != nil {
+		ctx.Release()
+		return nil, report, err
 	}
 
 	blobs := make([][]byte, len(slabs))
@@ -294,11 +324,13 @@ func CompressSTFChunked(p *device.Platform, data []float32, dims grid.Dims, absE
 	for i, sl := range slabs {
 		b, err := plans[i].marshal(sl.Dims, absEB)
 		if err != nil {
-			return nil, nil, err
+			ctx.Release()
+			return nil, report, err
 		}
 		blobs[i] = b
 		perPlanes[i] = sl.Planes
 	}
+	ctx.Release()
 	blob, err := fzio.MarshalChunked(fzio.ChunkedHeader{
 		Pipeline: "fzmod-default",
 		Dims:     dims,
@@ -306,9 +338,8 @@ func CompressSTFChunked(p *device.Platform, data []float32, dims grid.Dims, absE
 		Planes:   planes,
 	}, blobs, perPlanes)
 	if err != nil {
-		return nil, nil, err
+		return nil, report, err
 	}
-	report := &STFReport{Trace: ctx.Trace(), DOT: ctx.DOT()}
 	return blob, report, nil
 }
 

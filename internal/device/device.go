@@ -72,6 +72,107 @@ type Platform struct {
 	SimulateTransferTime bool
 
 	stats Stats
+
+	// Persistent grid workers: launches dispatch chunks to a fixed set of
+	// parked goroutines per place (the simulated SMs) instead of spawning
+	// goroutines per launch, started lazily on the first launch and
+	// stopped by Close.
+	workersOnce sync.Once
+	closeOnce   sync.Once
+	closed      atomic.Bool
+	quit        chan struct{}
+	hostCh      chan gridJob
+	accelCh     chan gridJob
+
+	scratch BufPool
+}
+
+// Close stops the platform's persistent grid workers, the analogue of
+// destroying the device context. It must not be called concurrently with
+// launches; launches issued after Close execute inline on the caller.
+// Close is idempotent, and a platform that never launched owns no workers.
+func (p *Platform) Close() {
+	p.closeOnce.Do(func() {
+		p.closed.Store(true)
+		if p.quit != nil {
+			close(p.quit)
+		}
+	})
+}
+
+// gridJob is one contiguous chunk of a grid launch handed to a worker.
+type gridJob struct {
+	lo, hi int
+	kernel func(lo, hi int)
+	wg     *sync.WaitGroup
+}
+
+// ScratchPool returns the platform's shared size-classed buffer pool, the
+// allocator kernels and the STF runtime draw scratch slabs from.
+func (p *Platform) ScratchPool() *BufPool { return &p.scratch }
+
+// workChan returns the persistent worker queue for a place, starting the
+// workers on first use. Workers live for the lifetime of the platform.
+func (p *Platform) workChan(place Place) chan gridJob {
+	p.workersOnce.Do(func() {
+		p.quit = make(chan struct{})
+		p.hostCh = make(chan gridJob, 4*p.workersFor(Host))
+		p.accelCh = make(chan gridJob, 4*p.workersFor(Accel))
+		for i := 0; i < p.workersFor(Host); i++ {
+			go gridWorker(p.hostCh, p.quit)
+		}
+		for i := 0; i < p.workersFor(Accel); i++ {
+			go gridWorker(p.accelCh, p.quit)
+		}
+	})
+	if place == Accel {
+		return p.accelCh
+	}
+	return p.hostCh
+}
+
+func gridWorker(ch chan gridJob, quit chan struct{}) {
+	for {
+		select {
+		case j := <-ch:
+			j.kernel(j.lo, j.hi)
+			j.wg.Done()
+		case <-quit:
+			return
+		}
+	}
+}
+
+// runChunks fans the chunks of [0, n) out over the persistent workers of a
+// place. When the queue is saturated the caller executes the chunk inline,
+// which both bounds queue latency and makes nested launches deadlock-free.
+func (p *Platform) runChunks(place Place, n, chunk int, kernel func(lo, hi int)) {
+	if p.closed.Load() {
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			kernel(lo, hi)
+		}
+		return
+	}
+	ch := p.workChan(place)
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		select {
+		case ch <- gridJob{lo: lo, hi: hi, kernel: kernel, wg: &wg}:
+		default:
+			kernel(lo, hi)
+			wg.Done()
+		}
+	}
+	wg.Wait()
 }
 
 // Stats aggregates byte and launch counters for a platform.
@@ -174,23 +275,34 @@ func (p *Platform) LaunchGrid(place Place, n int, kernel func(lo, hi int)) {
 	if chunk < minChunk {
 		chunk = minChunk
 	}
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			kernel(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	p.runChunks(place, n, chunk, kernel)
 }
 
-// minChunk is the smallest per-worker chunk worth spawning a goroutine for.
+// minChunk is the smallest per-worker chunk worth dispatching to a worker.
 const minChunk = 1024
+
+// LaunchBlocks executes kernel over the index range [0, n) where each index
+// is a coarse-grained unit of work (a scan block, a codec chunk) rather than
+// one element. Unlike LaunchGrid it applies no minimum-chunk floor, so even
+// small n fans out across the place's workers; the decomposition is
+// deterministic for a fixed worker count.
+func (p *Platform) LaunchBlocks(place Place, n int, kernel func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if place == Accel {
+		p.stats.KernelLaunch.Add(1)
+	} else {
+		p.stats.HostLaunch.Add(1)
+	}
+	workers := p.workersFor(place)
+	if workers == 1 || n == 1 {
+		kernel(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	p.runChunks(place, n, chunk, kernel)
+}
 
 // Buffer is an allocation in one memory space. The element type is byte;
 // typed views are provided by the generic helpers in buffer.go.

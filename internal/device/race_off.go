@@ -1,0 +1,9 @@
+//go:build !race
+
+package device
+
+// RaceEnabled reports whether the race detector is compiled in. Under the
+// race detector sync.Pool deliberately drops puts and randomizes gets to
+// expose races, so tests asserting deterministic pool hit counts must
+// relax themselves when it is on.
+const RaceEnabled = false

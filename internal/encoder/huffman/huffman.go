@@ -13,7 +13,6 @@
 package huffman
 
 import (
-	"container/heap"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -90,27 +89,69 @@ func maxOf(lengths []uint8) int {
 	return m
 }
 
-// node heap for tree construction.
+// node heap for tree construction. A hand-rolled binary min-heap rather
+// than container/heap: the interface-based API boxes every Push/Pop
+// element, which dominated allocation counts on the chunked hot path. The
+// comparator is a strict total order (idx is unique), so the pop sequence —
+// and therefore the tree — is identical to the boxed implementation.
 type hnode struct {
 	freq uint64
 	idx  int // < len(alphabet): leaf symbol; else internal
 }
 type nodeHeap []hnode
 
-func (h nodeHeap) Len() int { return len(h) }
-func (h nodeHeap) Less(i, j int) bool {
+func (h nodeHeap) less(i, j int) bool {
 	if h[i].freq != h[j].freq {
 		return h[i].freq < h[j].freq
 	}
 	return h[i].idx < h[j].idx // deterministic tie-break
 }
-func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(hnode)) }
-func (h *nodeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
+
+func (h nodeHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+func (h nodeHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+func (h *nodeHeap) push(x hnode) {
+	a := append(*h, x)
+	*h = a
+	for i := len(a) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !a.less(i, p) {
+			break
+		}
+		a[i], a[p] = a[p], a[i]
+		i = p
+	}
+}
+
+func (h *nodeHeap) pop() hnode {
+	a := *h
+	n := len(a) - 1
+	a[0], a[n] = a[n], a[0]
+	x := a[n]
+	*h = a[:n]
+	a[:n].down(0)
 	return x
 }
 
@@ -118,7 +159,7 @@ func (h *nodeHeap) Pop() interface{} {
 // code lengths.
 func buildLengths(freqs []uint64) []uint8 {
 	n := len(freqs)
-	parent := make([]int, 0, 2*n)
+	parent := make([]int32, 0, 2*n)
 	h := make(nodeHeap, 0, n)
 	for i, f := range freqs {
 		parent = append(parent, -1)
@@ -132,15 +173,15 @@ func buildLengths(freqs []uint64) []uint8 {
 		lengths[h[0].idx] = 1
 		return lengths
 	}
-	heap.Init(&h)
+	h.init()
 	next := n
-	for h.Len() > 1 {
-		a := heap.Pop(&h).(hnode)
-		b := heap.Pop(&h).(hnode)
+	for len(h) > 1 {
+		a := h.pop()
+		b := h.pop()
 		parent = append(parent, -1)
-		parent[a.idx] = next
-		parent[b.idx] = next
-		heap.Push(&h, hnode{a.freq + b.freq, next})
+		parent[a.idx] = int32(next)
+		parent[b.idx] = int32(next)
+		h.push(hnode{a.freq + b.freq, next})
 		next++
 	}
 	lengths := make([]uint8, n)
@@ -149,7 +190,7 @@ func buildLengths(freqs []uint64) []uint8 {
 			continue
 		}
 		d := 0
-		for j := i; parent[j] >= 0; j = parent[j] {
+		for j := i; parent[j] >= 0; j = int(parent[j]) {
 			d++
 		}
 		lengths[i] = uint8(d)
@@ -317,20 +358,25 @@ func ParseTable(data []byte) (*Codec, int, error) {
 }
 
 // Encode compresses codes into a chunked bitstream (table not included).
-// Chunks are encoded in parallel at place.
+// Chunks are encoded in parallel at place (LaunchBlocks, so even a few
+// chunks fan out) into pooled scratch slabs released once assembled.
 func (c *Codec) Encode(p *device.Platform, place device.Place, codes []uint16) ([]byte, error) {
+	pool := p.ScratchPool()
 	nChunks := (len(codes) + chunkSize - 1) / chunkSize
 	chunkBufs := make([][]byte, nChunks)
+	slabs := make([]*device.Slab[byte], nChunks)
 	var errMu sync.Mutex
 	var firstErr error
-	p.LaunchGrid(place, nChunks, func(lo, hi int) {
+	p.LaunchBlocks(place, nChunks, func(lo, hi int) {
 		for ci := lo; ci < hi; ci++ {
 			start, end := ci*chunkSize, (ci+1)*chunkSize
 			if end > len(codes) {
 				end = len(codes)
 			}
-			buf, err := c.encodeChunk(codes[start:end])
+			slab := pool.GetBytes((end-start)/2+8, false)
+			buf, err := c.encodeChunk(codes[start:end], slab.Data[:0])
 			if err != nil {
+				pool.PutBytes(slab)
 				errMu.Lock()
 				if firstErr == nil {
 					firstErr = err
@@ -339,26 +385,41 @@ func (c *Codec) Encode(p *device.Platform, place device.Place, codes []uint16) (
 				return
 			}
 			chunkBufs[ci] = buf
+			slabs[ci] = slab
 		}
 	})
 	errMu.Lock()
-	defer errMu.Unlock()
-	if firstErr != nil {
-		return nil, firstErr
+	firstErr2 := firstErr
+	errMu.Unlock()
+	if firstErr2 != nil {
+		for ci, slab := range slabs {
+			if chunkBufs[ci] != nil && cap(chunkBufs[ci]) == cap(slab.Data) {
+				pool.PutBytes(slab)
+			}
+		}
+		return nil, firstErr2
 	}
-	out := binary.AppendUvarint(nil, uint64(len(codes)))
+	size := binary.MaxVarintLen64 * (2 + nChunks)
+	for _, buf := range chunkBufs {
+		size += len(buf)
+	}
+	out := binary.AppendUvarint(make([]byte, 0, size), uint64(len(codes)))
 	out = binary.AppendUvarint(out, uint64(nChunks))
 	for _, buf := range chunkBufs {
 		out = binary.AppendUvarint(out, uint64(len(buf)))
 	}
-	for _, buf := range chunkBufs {
+	for ci, buf := range chunkBufs {
 		out = append(out, buf...)
+		// A chunk that outgrew its slab reallocated; only return slabs whose
+		// storage the encoder still owns (growth always increases capacity).
+		if cap(buf) == cap(slabs[ci].Data) {
+			pool.PutBytes(slabs[ci])
+		}
 	}
 	return out, nil
 }
 
-func (c *Codec) encodeChunk(codes []uint16) ([]byte, error) {
-	out := make([]byte, 0, len(codes)/2+8)
+func (c *Codec) encodeChunk(codes []uint16, out []byte) ([]byte, error) {
 	var acc uint64
 	var nbits uint
 	for _, s := range codes {
@@ -423,7 +484,7 @@ func (c *Codec) Decode(p *device.Platform, place device.Place, data []byte) ([]u
 	out := make([]uint16, total)
 	var errMu sync.Mutex
 	var firstErr error
-	p.LaunchGrid(place, int(nChunks), func(lo, hi int) {
+	p.LaunchBlocks(place, int(nChunks), func(lo, hi int) {
 		for ci := lo; ci < hi; ci++ {
 			start := ci * chunkSize
 			end := start + chunkSize

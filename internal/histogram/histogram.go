@@ -23,13 +23,16 @@ func Standard(p *device.Platform, place device.Place, codes []uint16, bins int) 
 		return nil, fmt.Errorf("histogram: bins must be positive, got %d", bins)
 	}
 	out := make([]uint32, bins)
+	pool := p.ScratchPool()
 	var mu sync.Mutex
 	var oob atomic.Bool
 	p.LaunchGrid(place, len(codes), func(lo, hi int) {
-		local := make([]uint32, bins)
+		slab := pool.GetU32(bins, true) // privatized counters, pooled
+		local := slab.Data
 		for _, c := range codes[lo:hi] {
 			if int(c) >= bins {
 				oob.Store(true)
+				pool.PutU32(slab)
 				return
 			}
 			local[c]++
@@ -39,6 +42,7 @@ func Standard(p *device.Platform, place device.Place, codes []uint16, bins int) 
 			out[i] += v
 		}
 		mu.Unlock()
+		pool.PutU32(slab)
 	})
 	if oob.Load() {
 		return nil, fmt.Errorf("histogram: code out of range [0,%d)", bins)
@@ -107,20 +111,24 @@ func TopK(p *device.Platform, place device.Place, codes []uint16, bins, k int) (
 	// Pass 2: exact counts for top-k, presence bits for the rest.
 	counts := make([]uint32, len(cands))
 	present := make([]bool, bins)
+	pool := p.ScratchPool()
 	var mu sync.Mutex
 	var oob atomic.Bool
 	p.LaunchGrid(place, len(codes), func(lo, hi int) {
-		local := make([]uint32, len(cands))
-		localPresent := make([]bool, bins)
+		localSlab := pool.GetU32(len(cands), true)
+		presentSlab := pool.GetBytes(bins, true)
+		local, localPresent := localSlab.Data, presentSlab.Data
+		release := func() { pool.PutU32(localSlab); pool.PutBytes(presentSlab) }
 		for _, c := range codes[lo:hi] {
 			if int(c) >= bins {
 				oob.Store(true)
+				release()
 				return
 			}
 			if s := topSlot[c]; s >= 0 {
 				local[s]++
 			} else {
-				localPresent[c] = true
+				localPresent[c] = 1
 			}
 		}
 		mu.Lock()
@@ -128,11 +136,12 @@ func TopK(p *device.Platform, place device.Place, codes []uint16, bins, k int) (
 			counts[i] += v
 		}
 		for i, b := range localPresent {
-			if b {
+			if b != 0 {
 				present[i] = true
 			}
 		}
 		mu.Unlock()
+		release()
 	})
 	if oob.Load() {
 		return nil, fmt.Errorf("histogram: code out of range [0,%d)", bins)

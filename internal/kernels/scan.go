@@ -1,8 +1,6 @@
 package kernels
 
 import (
-	"sync"
-
 	"fzmod/internal/device"
 )
 
@@ -13,21 +11,26 @@ import (
 // in the FZ-GPU dictionary encoder and the outlier compaction in the Lorenzo
 // module are built on it.
 func ExclusiveScan(p *device.Platform, place device.Place, src []uint32) (out []uint32, total uint32) {
+	out = make([]uint32, len(src))
+	total = ExclusiveScanInto(p, place, src, out)
+	return out, total
+}
+
+// ExclusiveScanInto is ExclusiveScan writing into caller-provided storage
+// (len(out) must equal len(src)), so hot paths can scan into pooled slabs.
+func ExclusiveScanInto(p *device.Platform, place device.Place, src, out []uint32) (total uint32) {
 	n := len(src)
-	out = make([]uint32, n)
 	if n == 0 {
-		return out, 0
+		return 0
 	}
 	const block = 4096
 	nBlocks := (n + block - 1) / block
-	blockSums := make([]uint32, nBlocks)
+	sums := p.ScratchPool().GetU32(nBlocks, false)
+	blockSums := sums.Data
 
-	// Phase 1: per-block exclusive scan.
-	var wg sync.WaitGroup
-	for b := 0; b < nBlocks; b++ {
-		wg.Add(1)
-		go func(b int) {
-			defer wg.Done()
+	// Phase 1: per-block exclusive scan, blocks fanned over the workers.
+	p.LaunchBlocks(place, nBlocks, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
 			lo, hi := b*block, (b+1)*block
 			if hi > n {
 				hi = n
@@ -38,9 +41,8 @@ func ExclusiveScan(p *device.Platform, place device.Place, src []uint32) (out []
 				acc += src[i]
 			}
 			blockSums[b] = acc
-		}(b)
-	}
-	wg.Wait()
+		}
+	})
 
 	// Phase 2: sequential scan of block sums (nBlocks is small).
 	var acc uint32
@@ -57,14 +59,19 @@ func ExclusiveScan(p *device.Platform, place device.Place, src []uint32) (out []
 			out[i] += blockSums[i/block]
 		}
 	})
-	return out, total
+	p.ScratchPool().PutU32(sums)
+	return total
 }
 
 // CompactU32 performs stream compaction: it writes the indices i for which
 // keep[i] != 0 into a dense output array using an exclusive scan of the
-// keep flags, the standard GPU compaction idiom.
+// keep flags, the standard GPU compaction idiom. The offset array is pooled
+// scratch; only the compacted result is a fresh allocation.
 func CompactU32(p *device.Platform, place device.Place, keep []uint32) []uint32 {
-	offsets, total := ExclusiveScan(p, place, keep)
+	pool := p.ScratchPool()
+	off := pool.GetU32(len(keep), false)
+	offsets := off.Data
+	total := ExclusiveScanInto(p, place, keep, offsets)
 	out := make([]uint32, total)
 	p.LaunchGrid(place, len(keep), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -73,6 +80,7 @@ func CompactU32(p *device.Platform, place device.Place, keep []uint32) []uint32 
 			}
 		}
 	})
+	pool.PutU32(off)
 	return out
 }
 

@@ -66,9 +66,13 @@ func Encode(p *device.Platform, place device.Place, data []float32, dims grid.Di
 	}
 	n := dims.N()
 	ebx2r := 1.0 / (2 * eb)
+	pool := p.ScratchPool()
 
-	// Phase 1: pre-quantize onto the 2·eb lattice.
-	lattice := make([]int32, n)
+	// Phase 1: pre-quantize onto the 2·eb lattice. The lattice and the
+	// outlier flags are pooled scratch — they die inside this call, so
+	// steady-state encoding reuses the same slabs chunk after chunk.
+	latticeSlab := pool.GetI32(n, false)
+	lattice := latticeSlab.Data
 	var overflow atomic.Bool
 	p.LaunchGrid(place, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -81,12 +85,14 @@ func Encode(p *device.Platform, place device.Place, data []float32, dims grid.Di
 		}
 	})
 	if overflow.Load() {
+		pool.PutI32(latticeSlab)
 		return nil, fmt.Errorf("lorenzo: error bound %g too tight for data magnitude (lattice overflow); relax the bound", eb)
 	}
 
 	// Phase 2: Lorenzo residual + code emission + outlier flags.
 	codes := make([]uint16, n)
-	flags := make([]uint32, n)
+	flagsSlab := pool.GetU32(n, true) // escape marking assumes zeroed flags
+	flags := flagsSlab.Data
 	resid := residualFn(dims, lattice)
 	r32 := int32(radius)
 	p.LaunchGrid(place, n, func(lo, hi int) {
@@ -102,12 +108,14 @@ func Encode(p *device.Platform, place device.Place, data []float32, dims grid.Di
 
 	// Phase 3: compact outliers (scan + scatter, the GPU idiom).
 	outIdx := kernels.CompactU32(p, place, flags)
+	pool.PutU32(flagsSlab)
 	outVal := make([]int32, len(outIdx))
 	p.LaunchGrid(place, len(outIdx), func(lo, hi int) {
 		for j := lo; j < hi; j++ {
 			outVal[j] = resid(int(outIdx[j]))
 		}
 	})
+	pool.PutI32(latticeSlab)
 	return &Quantized{Codes: codes, OutIdx: outIdx, OutVal: outVal, Radius: radius}, nil
 }
 
@@ -159,8 +167,11 @@ func Decode(p *device.Platform, place device.Place, q *Quantized, dims grid.Dims
 	}
 	r32 := int32(q.Radius)
 
-	// Residuals from codes; outlier escapes filled by scatter.
-	lattice := make([]int32, n)
+	// Residuals from codes; outlier escapes filled by scatter. Pooled:
+	// the lattice is dead once the float field is materialized.
+	pool := p.ScratchPool()
+	latticeSlab := pool.GetI32(n, true) // non-escape positions rely on zero
+	lattice := latticeSlab.Data
 	p.LaunchGrid(place, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if c := q.Codes[i]; c != 0 {
@@ -170,6 +181,7 @@ func Decode(p *device.Platform, place device.Place, q *Quantized, dims grid.Dims
 	})
 	for j, idx := range q.OutIdx {
 		if int(idx) >= n {
+			pool.PutI32(latticeSlab)
 			return nil, fmt.Errorf("lorenzo: outlier index %d out of range %d", idx, n)
 		}
 		lattice[idx] = q.OutVal[j]
@@ -186,6 +198,7 @@ func Decode(p *device.Platform, place device.Place, q *Quantized, dims grid.Dims
 			out[i] = float32(float64(lattice[i]) * scale)
 		}
 	})
+	pool.PutI32(latticeSlab)
 	return out, nil
 }
 

@@ -1,0 +1,161 @@
+package stf
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fzmod/internal/device"
+)
+
+// TestScratchReleaseRecycles checks that Release hands scratch storage
+// back to the platform pool and a second context reuses it.
+func TestScratchReleaseRecycles(t *testing.T) {
+	p := device.NewTestPlatform()
+	run := func() {
+		ctx := NewCtx(p)
+		d := NewScratch[float32](ctx, "s", 5000)
+		ctx.Task("fill").Writes(d.D()).On(device.Accel).Do(func(ti *TaskInstance) error {
+			buf := d.Acc(ti)
+			for i := range buf {
+				buf[i] = 1
+			}
+			return nil
+		})
+		if err := ctx.Finalize(); err != nil {
+			t.Fatal(err)
+		}
+		if d.Host()[4999] != 1 {
+			t.Fatal("scratch not written back")
+		}
+		ctx.Release()
+	}
+	run()
+	before := p.ScratchPool().Stats()
+	run()
+	after := p.ScratchPool().Stats()
+	if !device.RaceEnabled && after.Hits <= before.Hits {
+		t.Errorf("second run did not hit the pool (hits %d -> %d)", before.Hits, after.Hits)
+	}
+}
+
+// TestDetachSurvivesRelease checks ownership transfer: a detached result
+// keeps its contents across Release and later pool reuse.
+func TestDetachSurvivesRelease(t *testing.T) {
+	p := device.NewTestPlatform()
+	ctx := NewCtx(p)
+	d := NewScratch[int32](ctx, "out", 2048)
+	ctx.Task("fill").Writes(d.D()).Do(func(ti *TaskInstance) error {
+		for i := range d.Acc(ti) {
+			d.Acc(ti)[i] = 7
+		}
+		return nil
+	})
+	if err := ctx.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	vals := d.Detach()
+	ctx.Release()
+	// Churn the pool: anything still shared with the detached slice would
+	// be overwritten here.
+	for i := 0; i < 4; i++ {
+		s := p.ScratchPool().GetI32(2048, true)
+		p.ScratchPool().PutI32(s)
+	}
+	ctx2 := NewCtx(p)
+	d2 := NewScratch[int32](ctx2, "other", 2048)
+	ctx2.Task("clobber").Writes(d2.D()).Do(func(ti *TaskInstance) error {
+		for i := range d2.Acc(ti) {
+			d2.Acc(ti)[i] = -1
+		}
+		return nil
+	})
+	if err := ctx2.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if v != 7 {
+			t.Fatalf("detached value clobbered at %d: %d", i, v)
+		}
+	}
+	ctx2.Release()
+}
+
+// TestBarrierAllowsIncrementalGraphs checks the mid-build synchronize used
+// for data-dependent graph shapes (e.g. the secondary-decode task).
+func TestBarrierAllowsIncrementalGraphs(t *testing.T) {
+	ctx := NewCtx(device.NewTestPlatform())
+	a := NewScratch[int32](ctx, "a", 1)
+	ctx.Task("first").Writes(a.D()).Do(func(ti *TaskInstance) error {
+		a.Acc(ti)[0] = 10
+		return nil
+	})
+	ctx.Barrier()
+	// The result of the first phase shapes the second.
+	n := int(a.Host()[0])
+	b := NewScratch[int32](ctx, "b", n)
+	ctx.Task("second").Reads(a.D()).Writes(b.D()).Do(func(ti *TaskInstance) error {
+		buf := b.Acc(ti)
+		for i := range buf {
+			buf[i] = a.Acc(ti)[0]
+		}
+		return nil
+	})
+	if err := ctx.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Host()) != 10 || b.Host()[9] != 10 {
+		t.Errorf("incremental graph result = %v", b.Host())
+	}
+	ctx.Release()
+}
+
+// TestTokenCarriesDependency checks that zero-length tokens order tasks.
+func TestTokenCarriesDependency(t *testing.T) {
+	ctx := NewCtx(device.NewTestPlatform())
+	tok := NewToken(ctx, "tok")
+	order := make(chan int, 2)
+	ctx.Task("producer").Writes(tok.D()).Do(func(ti *TaskInstance) error {
+		order <- 1
+		return nil
+	})
+	ctx.Task("consumer").Reads(tok.D()).Do(func(ti *TaskInstance) error {
+		order <- 2
+		return nil
+	})
+	if err := ctx.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if first := <-order; first != 1 {
+		t.Error("consumer ran before producer")
+	}
+}
+
+// TestBoundedConcurrency checks the stream-pool width actually caps
+// in-flight task bodies per place.
+func TestBoundedConcurrency(t *testing.T) {
+	ctx := NewCtxN(device.NewTestPlatform(), 2)
+	var cur, peak atomic.Int32
+	for i := 0; i < 12; i++ {
+		d := NewScratch[int32](ctx, "d", 1)
+		ctx.Task("t").Writes(d.D()).On(device.Accel).Do(func(ti *TaskInstance) error {
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			return nil
+		})
+	}
+	if err := ctx.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > 2 {
+		t.Errorf("observed %d concurrent bodies, pool width is 2", got)
+	}
+	ctx.Release()
+}

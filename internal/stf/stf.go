@@ -16,10 +16,18 @@
 //	        return nil
 //	    })
 //	err := ctx.Finalize()
+//	... read results ...
+//	ctx.Release()
 //
 // Tasks whose data sets do not conflict run concurrently — this is what
 // gives FZMod-Default's decompression its branch-level concurrency
 // (outlier scatter on the accelerator ∥ Huffman decode on the host).
+//
+// Scratch data and device-side copies are drawn from the platform's
+// size-classed buffer pool (device.BufPool) and returned by Ctx.Release,
+// so steady-state graph execution performs near-zero scratch allocation;
+// Data.Detach transfers a scratch slab's ownership out of the pool when a
+// result must outlive the context.
 package stf
 
 import (
@@ -77,9 +85,10 @@ type dataMeta struct {
 }
 
 // Data is a typed logical datum managed by a Ctx. The host slice passed at
-// creation (or allocated for scratch data) is the home location; a separate
-// device-place copy is materialized on demand. Validity of each copy is
-// tracked so transfers happen only when a task actually needs stale data.
+// creation (or drawn from the platform pool for scratch data) is the home
+// location; a separate device-place copy is materialized on demand.
+// Validity of each copy is tracked so transfers happen only when a task
+// actually needs stale data.
 type Data[T Element] struct {
 	ctx  *Ctx
 	meta dataMeta
@@ -89,6 +98,9 @@ type Data[T Element] struct {
 	dev       []T
 	hostValid bool
 	devValid  bool
+	hostPut   func() // returns the pooled host slab; nil when caller-owned
+	devPut    func() // returns the pooled device copy
+	detached  bool   // host ownership transferred out via Detach
 }
 
 // DataRef is the type-erased handle used when declaring task accesses.
@@ -99,19 +111,49 @@ type DataRef interface {
 }
 
 // NewData registers host as logical data with the context. The slice is
-// initially valid at the host place.
+// initially valid at the host place and remains caller-owned.
 func NewData[T Element](ctx *Ctx, name string, host []T) *Data[T] {
 	d := &Data[T]{ctx: ctx, host: host, hostValid: true}
+	ctx.register(&d.meta, name)
+	ctx.addCleanup(d.release)
+	return d
+}
+
+// NewScratch registers a zero-initialized logical datum of n elements whose
+// storage is drawn from the platform's buffer pool; Ctx.Release returns it
+// unless Detach has transferred ownership.
+func NewScratch[T Element](ctx *Ctx, name string, n int) *Data[T] {
+	host, put := poolSlice[T](ctx.p.ScratchPool(), n)
+	d := &Data[T]{ctx: ctx, host: host, hostPut: put}
+	ctx.register(&d.meta, name)
+	ctx.addCleanup(d.release)
+	return d
+}
+
+// NewToken registers a zero-length logical datum used purely to carry a
+// dependency between tasks whose real payloads travel outside the engine
+// (dynamically sized module outputs captured in plan structs — the pattern
+// CUDASTF handles with oversized logical buffers).
+func NewToken(ctx *Ctx, name string) *Data[byte] {
+	d := &Data[byte]{ctx: ctx, hostValid: true}
 	ctx.register(&d.meta, name)
 	return d
 }
 
-// NewScratch registers an uninitialized logical datum of n elements. No
-// place holds a valid copy until some task writes it.
-func NewScratch[T Element](ctx *Ctx, name string, n int) *Data[T] {
-	d := &Data[T]{ctx: ctx, host: make([]T, n)}
-	ctx.register(&d.meta, name)
-	return d
+// release returns pooled storage; registered with the Ctx at creation.
+func (d *Data[T]) release() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.hostPut != nil && !d.detached {
+		d.hostPut()
+	}
+	d.hostPut = nil
+	d.host = nil
+	if d.devPut != nil {
+		d.devPut()
+	}
+	d.devPut = nil
+	d.dev = nil
 }
 
 // D returns the type-erased reference used in task declarations.
@@ -150,8 +192,8 @@ func (d *Data[T]) ensureAt(place device.Place, mode AccessMode) {
 	defer d.mu.Unlock()
 	needValid := mode != Write // Write discards previous contents.
 	if place == device.Accel {
-		if d.dev == nil {
-			d.dev = make([]T, len(d.host))
+		if d.dev == nil && len(d.host) > 0 {
+			d.dev, d.devPut = poolSlice[T](d.ctx.p.ScratchPool(), len(d.host))
 		}
 		if needValid && !d.devValid && d.hostValid {
 			copy(d.dev, d.host)
@@ -186,8 +228,47 @@ func (d *Data[T]) writeBackLocked() {
 }
 
 // Host returns the host slice. Call after Finalize (which writes back all
-// device-dirty data) to read results.
+// device-dirty data) and before Release to read results.
 func (d *Data[T]) Host() []T { return d.host }
+
+// Detach transfers ownership of the host storage to the caller and returns
+// it: Release will no longer recycle the slab, so the slice may safely
+// outlive the context. Call after Finalize.
+func (d *Data[T]) Detach() []T {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.detached = true
+	return d.host
+}
+
+// poolSlice draws a zeroed n-element slice from the pool for the exact base
+// element types the pool stocks, returning the slice and its return
+// closure; derived element types fall back to plain allocation (nil put).
+func poolSlice[T Element](bp *device.BufPool, n int) ([]T, func()) {
+	var z T
+	switch any(z).(type) {
+	case byte:
+		s := bp.GetBytes(n, true)
+		return any(s.Data).([]T), func() { bp.PutBytes(s) }
+	case uint16:
+		s := bp.GetU16(n, true)
+		return any(s.Data).([]T), func() { bp.PutU16(s) }
+	case uint32:
+		s := bp.GetU32(n, true)
+		return any(s.Data).([]T), func() { bp.PutU32(s) }
+	case int32:
+		s := bp.GetI32(n, true)
+		return any(s.Data).([]T), func() { bp.PutI32(s) }
+	case float32:
+		s := bp.GetF32(n, true)
+		return any(s.Data).([]T), func() { bp.PutF32(s) }
+	case float64:
+		s := bp.GetF64(n, true)
+		return any(s.Data).([]T), func() { bp.PutF64(s) }
+	default:
+		return make([]T, n), nil
+	}
+}
 
 func elemSize[T Element]() int {
 	var z T

@@ -11,7 +11,15 @@ import (
 
 // Ctx owns a task graph: logical data registration, dependency inference,
 // and asynchronous execution. Create with NewCtx, submit tasks, then call
-// Finalize exactly once. A Ctx is not reusable after Finalize.
+// Finalize exactly once (Barrier may be used to drain mid-build). Release
+// returns pooled scratch to the platform pool once results have been read;
+// a Ctx is not reusable after Finalize.
+//
+// Execution model: the scheduler keeps a per-place device.StreamPool of
+// bounded size. A task is dispatched onto a stream the moment its last
+// dependency completes (dependency counting, no waiting goroutines), so
+// in-flight task bodies per place never exceed the pool width — the
+// bounded-worker discipline a finite ring of CUDA streams imposes.
 type Ctx struct {
 	p *Platform
 
@@ -20,34 +28,29 @@ type Ctx struct {
 	nextTask int
 	tasks    []*task
 	edges    map[[2]int]struct{} // dedup for DOT export
-
-	// maxConc bounds concurrently executing task bodies per place,
-	// mirroring a finite stream pool.
-	sem map[device.Place]chan struct{}
+	pools    map[device.Place]*device.StreamPool
+	maxConc  int
+	cleanups []func() // pooled-slab returns, run by Release
 }
 
 // Platform is the subset of device.Platform the engine needs; using the
 // concrete type keeps call sites simple.
 type Platform = device.Platform
 
-// NewCtx creates a task-flow context over a platform. maxConcurrent bounds
-// in-flight task bodies per place; 16 streams per place by default.
+// NewCtx creates a task-flow context over a platform with the platform's
+// worker width as the per-place stream-pool size.
 func NewCtx(p *Platform) *Ctx {
-	return NewCtxN(p, 16)
+	return NewCtxN(p, 0)
 }
 
-// NewCtxN creates a context with an explicit per-place concurrency bound.
+// NewCtxN creates a context with an explicit per-place stream-pool size
+// bounding in-flight task bodies; n <= 0 selects the platform worker width.
 func NewCtxN(p *Platform, maxConcurrent int) *Ctx {
-	if maxConcurrent < 1 {
-		maxConcurrent = 1
-	}
 	return &Ctx{
-		p:     p,
-		edges: make(map[[2]int]struct{}),
-		sem: map[device.Place]chan struct{}{
-			device.Host:  make(chan struct{}, maxConcurrent),
-			device.Accel: make(chan struct{}, maxConcurrent),
-		},
+		p:       p,
+		edges:   make(map[[2]int]struct{}),
+		pools:   make(map[device.Place]*device.StreamPool),
+		maxConc: maxConcurrent,
 	}
 }
 
@@ -62,16 +65,30 @@ func (c *Ctx) register(m *dataMeta, name string) {
 	m.name = name
 }
 
+func (c *Ctx) addCleanup(fn func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cleanups = append(c.cleanups, fn)
+}
+
 // task is one node of the DAG.
 type task struct {
-	id      int
-	name    string
-	place   device.Place
-	deps    []*task
-	access  []taskAccess
-	body    func(*TaskInstance) error
-	done    chan struct{}
-	err     error
+	id     int
+	name   string
+	place  device.Place
+	deps   []*task
+	access []taskAccess
+	body   func(*TaskInstance) error
+	done   chan struct{}
+	err    error
+
+	// Scheduler state, guarded by Ctx.mu: the count of incomplete
+	// dependencies, the tasks to notify on completion, and whether this
+	// task has completed (so late dependents don't register).
+	pending    int
+	dependents []*task
+	completed  bool
+
 	started time.Time
 	ended   time.Time
 }
@@ -154,7 +171,8 @@ func (ti *TaskInstance) Launch(n int, kernel func(lo, hi int)) {
 //   - Write/ReadWrite depends on the last writer (WAW) and on every reader
 //     admitted since (WAR), then becomes the new last writer.
 //
-// Do returns immediately; the task runs once its dependencies complete.
+// Do returns immediately; the task is dispatched onto one of its place's
+// streams once every dependency has completed.
 func (b *TaskBuilder) Do(body func(*TaskInstance) error) {
 	c := b.ctx
 	t := &task{
@@ -194,34 +212,53 @@ func (b *TaskBuilder) Do(body func(*TaskInstance) error) {
 	for d := range depSet {
 		t.deps = append(t.deps, d)
 		c.edges[[2]int{d.id, t.id}] = struct{}{}
+		if !d.completed {
+			t.pending++
+			d.dependents = append(d.dependents, t)
+		}
 	}
 	c.tasks = append(c.tasks, t)
-	sem := c.sem[t.place]
+	ready := t.pending == 0
 	c.mu.Unlock()
 
-	go func() {
-		// Wait for dependencies; a failed dependency skips this task.
-		var depErr error
-		for _, d := range t.deps {
-			<-d.done
-			if d.err != nil && depErr == nil {
-				depErr = fmt.Errorf("%w: %q failed: %v", ErrSkipped, d.name, d.err)
-			}
-		}
-		if depErr != nil {
-			t.err = depErr
-			close(t.done)
-			return
-		}
+	if ready {
+		c.dispatch(t)
+	}
+}
 
-		sem <- struct{}{}
-		defer func() { <-sem }()
+// dispatch enqueues a ready task onto the next stream of its place's pool.
+func (c *Ctx) dispatch(t *task) {
+	c.streamFor(t.place).Enqueue(func() { c.run(t) })
+}
 
+func (c *Ctx) streamFor(place device.Place) *device.Stream {
+	c.mu.Lock()
+	sp := c.pools[place]
+	if sp == nil {
+		sp = c.p.NewStreamPool(place, c.maxConc)
+		c.pools[place] = sp
+	}
+	c.mu.Unlock()
+	return sp.Next()
+}
+
+// run executes a dispatched task body and notifies dependents. All
+// dependencies are complete when it is called.
+func (c *Ctx) run(t *task) {
+	var depErr error
+	for _, d := range t.deps {
+		if d.err != nil {
+			depErr = fmt.Errorf("%w: %q failed: %v", ErrSkipped, d.name, d.err)
+			break
+		}
+	}
+	if depErr != nil {
+		t.err = depErr
+	} else {
 		// Coherence: materialize every declared datum at the task's place.
 		for _, a := range t.access {
 			a.data.ensureAt(t.place, a.mode)
 		}
-
 		ti := &TaskInstance{
 			ctx:    c,
 			name:   t.name,
@@ -231,7 +268,6 @@ func (b *TaskBuilder) Do(body func(*TaskInstance) error) {
 		for _, a := range t.access {
 			ti.access[a.data.metaRef()] = a.mode
 		}
-
 		t.started = time.Now()
 		func() {
 			defer func() {
@@ -242,13 +278,43 @@ func (b *TaskBuilder) Do(body func(*TaskInstance) error) {
 			t.err = t.body(ti)
 		}()
 		t.ended = time.Now()
-		close(t.done)
-	}()
+	}
+
+	c.mu.Lock()
+	t.completed = true
+	var ready []*task
+	for _, dep := range t.dependents {
+		dep.pending--
+		if dep.pending == 0 {
+			ready = append(ready, dep)
+		}
+	}
+	t.dependents = nil
+	c.mu.Unlock()
+	close(t.done)
+	for _, r := range ready {
+		c.dispatch(r)
+	}
+}
+
+// Barrier blocks until every task submitted so far has completed, the STF
+// equivalent of a stream synchronize. Unlike Finalize it performs no
+// write-back and the context remains usable, so graph construction can
+// consume intermediate results (e.g. a decoded container that determines
+// the shape of downstream tasks).
+func (c *Ctx) Barrier() {
+	c.mu.Lock()
+	tasks := append([]*task(nil), c.tasks...)
+	c.mu.Unlock()
+	for _, t := range tasks {
+		<-t.done
+	}
 }
 
 // Finalize waits for every submitted task, writes device-dirty data back to
 // the host, and returns the joined errors of all failed tasks (skips are
-// folded into their root cause). The Ctx must not be used afterwards.
+// folded into their root cause). The Ctx must not be used afterwards except
+// to read results and call Release.
 func (c *Ctx) Finalize() error {
 	c.mu.Lock()
 	tasks := c.tasks
@@ -276,4 +342,18 @@ func (c *Ctx) Finalize() error {
 		}
 	}
 	return errors.Join(errs...)
+}
+
+// Release returns every pooled scratch slab and device-side copy owned by
+// the context to the platform's buffer pool. Call after Finalize, once all
+// results have been copied out or Detach-ed; data accessors must not be
+// used afterwards. Release is idempotent.
+func (c *Ctx) Release() {
+	c.mu.Lock()
+	fns := c.cleanups
+	c.cleanups = nil
+	c.mu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
 }

@@ -3,15 +3,20 @@
 //
 // Usage:
 //
-//	fzbench -exp table3|fig1|fig2|fig3|fig4|stf|hist|secondary|fusion|chunked|all [-large]
-//	fzbench -exp chunked -json BENCH_new.json [-baseline BENCH_chunked.json] [-alloc-tol 0.2]
+//	fzbench -exp table3|fig1|fig2|fig3|fig4|stf|hist|secondary|fusion|chunked|stream|all [-large]
+//	fzbench -exp chunked -json BENCH_new.json [-baseline BENCH_chunked.json] [-alloc-tol 0.2] [-gbs-tol 0.35]
+//	fzbench -exp stream  -json BENCH_stream_new.json -baseline BENCH_chunked.json
 //
 // Small-scale workloads are the default so a full sweep finishes quickly;
 // -large switches to the harness default dimensions (scaled from the
-// paper's Table 2). -json writes the chunked experiment's machine-readable
-// report; with -baseline the run exits nonzero when allocs/op regressed
-// beyond -alloc-tol against the recorded baseline, which is how CI keeps
-// the repo's perf trajectory honest.
+// paper's Table 2). -json writes the chunked or stream experiment's
+// machine-readable report; with -baseline the run exits nonzero when
+// allocs/op regressed beyond -alloc-tol — or when compression or
+// decompression throughput fell more than -gbs-tol below the recorded
+// baseline (generous by default, so CI-runner noise does not flap the
+// gate; 0 disables the throughput check). Both experiments regress
+// against one baseline file: rows are matched by executor name, and rows
+// missing on either side are skipped.
 package main
 
 import (
@@ -24,11 +29,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table3, fig1, fig2, fig3, fig4, stf, hist, secondary, fusion, place, chunked, all")
+	exp := flag.String("exp", "all", "experiment: table3, fig1, fig2, fig3, fig4, stf, hist, secondary, fusion, place, chunked, stream, all")
 	large := flag.Bool("large", false, "use full-scale workloads")
-	jsonPath := flag.String("json", "", "write the chunked experiment's machine-readable report to this path")
-	baseline := flag.String("baseline", "", "compare the chunked report against this baseline JSON and fail on allocs/op regression")
+	jsonPath := flag.String("json", "", "write the chunked/stream experiment's machine-readable report to this path")
+	baseline := flag.String("baseline", "", "compare the chunked/stream report against this baseline JSON and fail on regression")
 	allocTol := flag.Float64("alloc-tol", 0.2, "allowed fractional allocs/op regression against -baseline")
+	gbsTol := flag.Float64("gbs-tol", 0.35, "allowed fractional comp/dec throughput regression against -baseline (0 disables)")
 	flag.Parse()
 
 	sc := bench.Small
@@ -39,9 +45,38 @@ func main() {
 	v100 := device.NewV100Platform()
 	w := os.Stdout
 
-	if (*jsonPath != "" || *baseline != "") && *exp != "chunked" {
-		fmt.Fprintln(os.Stderr, "fzbench: -json/-baseline apply to -exp chunked only")
+	if (*jsonPath != "" || *baseline != "") && *exp != "chunked" && *exp != "stream" {
+		fmt.Fprintln(os.Stderr, "fzbench: -json/-baseline apply to -exp chunked or -exp stream only")
 		os.Exit(2)
+	}
+
+	// gate writes the report and evaluates the allocs + throughput
+	// regression gates shared by the chunked and stream experiments.
+	gate := func(report *bench.ChunkedReport) error {
+		if *jsonPath != "" {
+			if err := report.WriteJSON(*jsonPath); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s\n", *jsonPath)
+		}
+		if *baseline == "" {
+			return nil
+		}
+		base, err := bench.LoadChunkedReport(*baseline)
+		if err != nil {
+			return err
+		}
+		if err := bench.CompareAllocs(base, report, *allocTol); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "allocs/op within %.0f%% of %s\n", 100**allocTol, *baseline)
+		if *gbsTol > 0 {
+			if err := bench.CompareThroughput(base, report, *gbsTol); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "comp/dec GB/s within %.0f%% of %s\n", 100**gbsTol, *baseline)
+		}
+		return nil
 	}
 
 	run := func(name string) error {
@@ -71,23 +106,13 @@ func main() {
 			if err != nil {
 				return err
 			}
-			if *jsonPath != "" {
-				if err := report.WriteJSON(*jsonPath); err != nil {
-					return err
-				}
-				fmt.Fprintf(w, "wrote %s\n", *jsonPath)
+			return gate(report)
+		case "stream":
+			report, err := bench.StreamComparisonReport(w, h100, sc)
+			if err != nil {
+				return err
 			}
-			if *baseline != "" {
-				base, err := bench.LoadChunkedReport(*baseline)
-				if err != nil {
-					return err
-				}
-				if err := bench.CompareAllocs(base, report, *allocTol); err != nil {
-					return err
-				}
-				fmt.Fprintf(w, "allocs/op within %.0f%% of %s\n", 100**allocTol, *baseline)
-			}
-			return nil
+			return gate(report)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -96,7 +121,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"table3", "fig1", "fig2", "fig3", "fig4", "stf", "hist", "secondary", "fusion", "place", "chunked"}
+		names = []string{"table3", "fig1", "fig2", "fig3", "fig4", "stf", "hist", "secondary", "fusion", "place", "chunked", "stream"}
 	}
 	for _, name := range names {
 		fmt.Fprintf(w, "\n===== %s =====\n", name)

@@ -6,6 +6,7 @@
 //
 //	fzmod -z  -i data.f32 -o data.fz  -dims 512x512x512 -eb 1e-4 [-mode rel|abs] [-pipeline default|speed|quality] [-secondary]
 //	       [-chunk elems] [-workers n] [-v]
+//	fzmod -z  -stream -i data.f32 -o data.fzs -dims 512x512x512 -eb 1e-3 -mode abs [-window n]
 //	fzmod -d  -i data.fz  -o back.f32 [-v]
 //	fzmod -probe -i data.fz
 //
@@ -14,11 +15,27 @@
 // chunked executor explicitly (chunk granularity in elements, scheduler
 // stream-pool width); -v prints the executor report — task count, stage
 // overlap, critical path, and the buffer-pool hit rate.
+//
+// -stream switches to the out-of-core path: the input is consumed slab
+// window by slab window (at most -window slabs resident) and chunks flush
+// to the output as they finish, so files far larger than memory — or data
+// arriving on stdin — compress in bounded memory. "-" as the input or
+// output names stdin/stdout, so fzmod composes in shell pipelines:
+//
+//	cat huge.f32 | fzmod -z -stream -i - -o - -dims 1024x1024x1024 -eb 2.5 -mode abs | ssh host 'cat > huge.fzs'
+//
+// Streaming compression requires an absolute bound (-mode abs): a
+// relative bound would need the whole field's value range before the
+// first chunk could be emitted. Decompression detects the container
+// flavor from its magic, so -d handles monolithic, chunked and streaming
+// containers alike; streaming containers decode out-of-core.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -33,183 +50,469 @@ import (
 	"fzmod/internal/preprocess"
 )
 
-func main() {
-	var (
-		compress   = flag.Bool("z", false, "compress")
-		decompress = flag.Bool("d", false, "decompress")
-		probe      = flag.Bool("probe", false, "print container metadata")
-		in         = flag.String("i", "", "input file")
-		out        = flag.String("o", "", "output file")
-		dimsArg    = flag.String("dims", "", "field dims, e.g. 512x512x512 (x fastest)")
-		ebArg      = flag.Float64("eb", 1e-4, "error bound")
-		modeArg    = flag.String("mode", "rel", "bound mode: rel (value-range relative) or abs")
-		pipeArg    = flag.String("pipeline", "default", "pipeline: default, speed, quality, auto, auto-ratio, auto-throughput")
-		secondary  = flag.Bool("secondary", false, "attach the secondary (zstd-slot) encoder")
-		verify     = flag.Bool("verify", true, "verify roundtrip after compression")
-		chunk      = flag.Int("chunk", 0, "chunk granularity in elements (0 = default; forces the chunked executor)")
-		workers    = flag.Int("workers", 0, "scheduler stream-pool width (0 = platform width; forces the chunked executor)")
-		verbose    = flag.Bool("v", false, "print the executor report (tasks, overlap, pool hit rate)")
-	)
-	flag.Parse()
+// config carries the parsed command line plus the process streams, so
+// tests can run full CLI flows in-process against pipes and buffers.
+type config struct {
+	compress, decompress, probe bool
+	in, out                     string
+	dims                        string
+	eb                          float64
+	mode                        string
+	pipeline                    string
+	secondary                   bool
+	verify                      bool
+	chunk                       int
+	workers                     int
+	stream                      bool
+	window                      int
+	verbose                     bool
 
-	if err := run(*compress, *decompress, *probe, *in, *out, *dimsArg, *ebArg, *modeArg, *pipeArg, *secondary, *verify, *chunk, *workers, *verbose); err != nil {
+	stdin  io.Reader
+	stdout io.Writer
+	stderr io.Writer
+}
+
+func main() {
+	var cfg config
+	flag.BoolVar(&cfg.compress, "z", false, "compress")
+	flag.BoolVar(&cfg.decompress, "d", false, "decompress")
+	flag.BoolVar(&cfg.probe, "probe", false, "print container metadata")
+	flag.StringVar(&cfg.in, "i", "", "input file (- for stdin)")
+	flag.StringVar(&cfg.out, "o", "", "output file (- for stdout)")
+	flag.StringVar(&cfg.dims, "dims", "", "field dims, e.g. 512x512x512 (x fastest)")
+	flag.Float64Var(&cfg.eb, "eb", 1e-4, "error bound")
+	flag.StringVar(&cfg.mode, "mode", "rel", "bound mode: rel (value-range relative) or abs")
+	flag.StringVar(&cfg.pipeline, "pipeline", "default", "pipeline: default, speed, quality, auto, auto-ratio, auto-throughput")
+	flag.BoolVar(&cfg.secondary, "secondary", false, "attach the secondary (zstd-slot) encoder")
+	flag.BoolVar(&cfg.verify, "verify", true, "verify roundtrip after compression (in-memory paths)")
+	flag.IntVar(&cfg.chunk, "chunk", 0, "chunk granularity in elements (0 = default; forces the chunked executor)")
+	flag.IntVar(&cfg.workers, "workers", 0, "scheduler stream-pool width (0 = platform width; forces the chunked executor)")
+	flag.BoolVar(&cfg.stream, "stream", false, "stream out-of-core: bounded-memory compression/decompression over files or pipes")
+	flag.IntVar(&cfg.window, "window", 0, "streaming: max slabs in flight (0 = default)")
+	flag.BoolVar(&cfg.verbose, "v", false, "print the executor report (tasks, overlap, pool hit rate)")
+	flag.Parse()
+	cfg.stdin = os.Stdin
+	cfg.stdout = os.Stdout
+	cfg.stderr = os.Stderr
+
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "fzmod:", err)
 		os.Exit(1)
 	}
 }
 
-func run(compress, decompress, probe bool, in, out, dimsArg string, eb float64, mode, pipe string, secondary, verify bool, chunk, workers int, verbose bool) error {
-	if in == "" {
-		return fmt.Errorf("missing -i input file")
+// openIn resolves -i to a reader ("-" = the configured stdin).
+func (cfg *config) openIn() (io.Reader, func(), error) {
+	if cfg.in == "-" {
+		return cfg.stdin, func() {}, nil
 	}
-	blob, err := os.ReadFile(in)
+	f, err := os.Open(cfg.in)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
+}
+
+// createOut resolves -o to a writer ("-" = the configured stdout).
+func (cfg *config) createOut() (io.Writer, func() error, error) {
+	if cfg.out == "-" {
+		return cfg.stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(cfg.out)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+// removeOut deletes the -o file after a failed run so no partial artifact
+// survives; a no-op for stdout.
+func (cfg *config) removeOut() {
+	if cfg.out != "" && cfg.out != "-" {
+		os.Remove(cfg.out)
+	}
+}
+
+// writeOut hands a buffered writer on -o to emit and enforces the
+// no-partial-artifact protocol shared by every output path: flush and
+// close on success, remove the file on any failure (a truncated container
+// or field must never survive looking like valid output).
+func (cfg *config) writeOut(emit func(io.Writer) error) error {
+	w, closeOut, err := cfg.createOut()
 	if err != nil {
 		return err
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	err = emit(bw)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if cerr := closeOut(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		cfg.removeOut()
+	}
+	return err
+}
+
+// status is where human-readable progress goes: stdout normally, stderr
+// when stdout carries payload bytes.
+func (cfg *config) status() io.Writer {
+	if cfg.out == "-" {
+		return cfg.stderr
+	}
+	return cfg.stdout
+}
+
+func run(cfg config) error {
+	if cfg.in == "" {
+		return fmt.Errorf("missing -i input file")
+	}
+	if cfg.stderr == nil {
+		cfg.stderr = os.Stderr
 	}
 	p := fzmod.NewPlatform()
 
 	switch {
-	case probe:
-		if fzio.IsChunked(blob) {
-			cc, err := fzio.UnmarshalChunked(blob)
-			if err != nil {
-				return err
-			}
-			total := 0
-			for _, ref := range cc.Chunks {
-				total += ref.Length
-			}
-			fmt.Printf("pipeline:  %s (chunked)\ndims:      %v\nabs eb:    %g\nrel eb:    %g\nchunks:    %d (%d planes/chunk nominal)\npayload:   %d bytes\n",
-				cc.Header.Pipeline, cc.Header.Dims, cc.Header.EB, cc.Header.RelEB,
-				cc.NumChunks(), cc.Header.Planes, total)
-			for i, ref := range cc.Chunks {
-				fmt.Printf("  chunk %-3d offset %-9d length %-9d planes %d\n", i, ref.Offset, ref.Length, ref.Planes)
-			}
-			return nil
+	case cfg.probe:
+		return probe(cfg)
+	case cfg.compress:
+		if cfg.stream {
+			return compressStream(cfg, p)
 		}
-		c, err := fzio.Unmarshal(blob)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("pipeline:  %s\ndims:      %v\nabs eb:    %g\nrel eb:    %g\nsegments:  %s\npayload:   %d bytes\n",
-			c.Header.Pipeline, c.Header.Dims, c.Header.EB, c.Header.RelEB,
-			strings.Join(c.Names(), ", "), c.Size())
-		return nil
-
-	case compress:
-		dims, err := parseDims(dimsArg)
-		if err != nil {
-			return err
-		}
-		if len(blob)%4 != 0 {
-			return fmt.Errorf("input is not a float32 stream (%d bytes)", len(blob))
-		}
-		data := device.BytesF32(blob)
-		if dims.N() != len(data) {
-			return fmt.Errorf("dims %v describe %d values, file has %d", dims, dims.N(), len(data))
-		}
-		bound := preprocess.RelBound(eb)
-		if mode == "abs" {
-			bound = preprocess.AbsBound(eb)
-		} else if mode != "rel" {
-			return fmt.Errorf("unknown -mode %q", mode)
-		}
-		pl, err := pipelineByName(pipe)
-		if err != nil {
-			return err
-		}
-		if pl == nil { // auto-selection objectives
-			obj := core.Balanced
-			switch pipe {
-			case "auto-throughput":
-				obj = core.MaxThroughput
-			case "auto-ratio":
-				obj = core.MaxRatio
-			}
-			var prof core.DataProfile
-			pl, prof, err = core.AutoSelect(p, data, dims, bound, obj)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("auto-selected %s (delta %.2f quanta, spline advantage %.2fx, zero-delta %.0f%%)\n",
-				pl.Name(), prof.DeltaQuanta, prof.SplineAdvantage, 100*prof.ZeroDeltaFrac)
-		}
-		if secondary && pl.Sec == nil {
-			pl = fzmod.WithZstdSlot(pl)
-		}
-		var (
-			cblob  []byte
-			report *core.ExecReport
-		)
-		t0 := time.Now()
-		if chunk > 0 || workers > 0 || verbose {
-			// Explicit executor control (or report capture): lower through
-			// the chunked graph with the requested options.
-			opts := core.ChunkOpts{ChunkElems: chunk, Workers: workers}
-			cblob, report, err = pl.CompressChunkedReport(p, data, dims, bound, opts)
-		} else {
-			cblob, err = pl.Compress(p, data, dims, bound)
-		}
-		compSec := time.Since(t0).Seconds()
-		if err != nil {
-			return err
-		}
-		if out == "" {
-			out = in + ".fz"
-		}
-		if err := os.WriteFile(out, cblob, 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("%s: %d → %d bytes  CR %.2f  bitrate %.3f b/v  %.3f GB/s\n",
-			pl.Name(), len(blob), len(cblob),
-			metrics.CompressionRatio(len(blob), len(cblob)),
-			metrics.Bitrate(dims.N(), len(cblob)),
-			metrics.Throughput(len(blob), compSec))
-		if verbose && report != nil {
-			printReport("compress", report)
-		}
-		if verify {
-			dec, _, err := fzmod.Decompress(p, cblob)
-			if err != nil {
-				return fmt.Errorf("verify: %w", err)
-			}
-			q, err := fzmod.Evaluate(p, data, dec)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("verify: PSNR %.2f dB, max abs err %g, NRMSE %.3g\n", q.PSNR, q.MaxAbsErr, q.NRMSE)
-		}
-		return nil
-
-	case decompress:
-		t0 := time.Now()
-		data, dims, report, err := fzmod.DecompressReport(p, blob)
-		decSec := time.Since(t0).Seconds()
-		if err != nil {
-			return err
-		}
-		if out == "" {
-			out = strings.TrimSuffix(in, ".fz") + ".out.f32"
-		}
-		if err := os.WriteFile(out, device.F32Bytes(data), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("%v: %d values  %.3f GB/s → %s\n", dims, dims.N(),
-			metrics.Throughput(4*dims.N(), decSec), out)
-		if verbose && report != nil {
-			printReport("decompress", report)
-		}
-		return nil
+		return compressInMemory(cfg, p)
+	case cfg.decompress:
+		return decompress(cfg, p)
 	}
 	return fmt.Errorf("one of -z, -d, -probe is required")
 }
 
+func compressInMemory(cfg config, p *fzmod.Platform) error {
+	if cfg.in == "-" {
+		return fmt.Errorf("-i - requires -stream (in-memory compression needs a file)")
+	}
+	blob, err := os.ReadFile(cfg.in)
+	if err != nil {
+		return err
+	}
+	dims, err := parseDims(cfg.dims)
+	if err != nil {
+		return err
+	}
+	if len(blob)%4 != 0 {
+		return fmt.Errorf("input is not a float32 stream (%d bytes)", len(blob))
+	}
+	data := device.BytesF32(blob)
+	if dims.N() != len(data) {
+		return fmt.Errorf("dims %v describe %d values, file has %d", dims, dims.N(), len(data))
+	}
+	bound, err := parseBound(cfg.eb, cfg.mode)
+	if err != nil {
+		return err
+	}
+	pl, err := resolvePipeline(cfg, p, data, dims, bound)
+	if err != nil {
+		return err
+	}
+	var (
+		cblob  []byte
+		report *core.ExecReport
+	)
+	t0 := time.Now()
+	if cfg.chunk > 0 || cfg.workers > 0 || cfg.verbose {
+		// Explicit executor control (or report capture): lower through
+		// the chunked graph with the requested options.
+		opts := core.ChunkOpts{ChunkElems: cfg.chunk, Workers: cfg.workers}
+		cblob, report, err = pl.CompressChunkedReport(p, data, dims, bound, opts)
+	} else {
+		cblob, err = pl.Compress(p, data, dims, bound)
+	}
+	compSec := time.Since(t0).Seconds()
+	if err != nil {
+		return err
+	}
+	if cfg.out == "" {
+		cfg.out = cfg.in + ".fz"
+	}
+	if err := cfg.writeOut(func(w io.Writer) error {
+		_, err := w.Write(cblob)
+		return err
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.status(), "%s: %d → %d bytes  CR %.2f  bitrate %.3f b/v  %.3f GB/s\n",
+		pl.Name(), len(blob), len(cblob),
+		metrics.CompressionRatio(len(blob), len(cblob)),
+		metrics.Bitrate(dims.N(), len(cblob)),
+		metrics.Throughput(len(blob), compSec))
+	if cfg.verbose && report != nil {
+		printReport(cfg.status(), "compress", report)
+	}
+	if cfg.verify {
+		dec, _, err := fzmod.Decompress(p, cblob)
+		if err != nil {
+			return fmt.Errorf("verify: %w", err)
+		}
+		q, err := fzmod.Evaluate(p, data, dec)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.status(), "verify: PSNR %.2f dB, max abs err %g, NRMSE %.3g\n", q.PSNR, q.MaxAbsErr, q.NRMSE)
+	}
+	return nil
+}
+
+// compressStream is the out-of-core write path: input read slab window by
+// slab window, chunks flushed as they finish, memory O(window).
+func compressStream(cfg config, p *fzmod.Platform) error {
+	dims, err := parseDims(cfg.dims)
+	if err != nil {
+		return err
+	}
+	bound, err := parseBound(cfg.eb, cfg.mode)
+	if err != nil {
+		return err
+	}
+	if bound.Mode != preprocess.Abs {
+		return fmt.Errorf("-stream requires -mode abs (a relative bound needs the whole field's value range before the first chunk can be emitted)")
+	}
+	pl, err := pipelineByName(cfg.pipeline)
+	if err != nil {
+		return err
+	}
+	if pl == nil {
+		return fmt.Errorf("-stream requires an explicit -pipeline (auto-selection samples the whole field)")
+	}
+	if cfg.secondary && pl.Sec == nil {
+		pl = fzmod.WithZstdSlot(pl)
+	}
+	if cfg.in != "-" {
+		// CompressStream reads exactly dims-many values; on a regular file
+		// a size mismatch means the declared geometry is wrong, and
+		// proceeding would silently truncate (or fail partway through) —
+		// reject it up front exactly like the in-memory path does.
+		fi, err := os.Stat(cfg.in)
+		if err != nil {
+			return err
+		}
+		if want := int64(4) * int64(dims.N()); fi.Size() != want {
+			return fmt.Errorf("dims %v describe %d bytes, file has %d", dims, want, fi.Size())
+		}
+	}
+	r, closeIn, err := cfg.openIn()
+	if err != nil {
+		return err
+	}
+	defer closeIn()
+	if cfg.out == "" {
+		if cfg.in == "-" {
+			cfg.out = "-"
+		} else {
+			cfg.out = cfg.in + ".fzs"
+		}
+	}
+	opts := core.StreamOpts{ChunkElems: cfg.chunk, Window: cfg.window, Workers: cfg.workers}
+	var written int64
+	t0 := time.Now()
+	if err := cfg.writeOut(func(w io.Writer) error {
+		var werr error
+		written, werr = pl.CompressStream(p, bufio.NewReaderSize(r, 1<<20), dims, bound, w, opts)
+		return werr
+	}); err != nil {
+		return err
+	}
+	sec := time.Since(t0).Seconds()
+	inBytes := 4 * dims.N()
+	fmt.Fprintf(cfg.status(), "%s (stream): %d → %d bytes  CR %.2f  bitrate %.3f b/v  %.3f GB/s\n",
+		pl.Name(), inBytes, written,
+		metrics.CompressionRatio(inBytes, int(written)),
+		metrics.Bitrate(dims.N(), int(written)),
+		metrics.Throughput(inBytes, sec))
+	return nil
+}
+
+func decompress(cfg config, p *fzmod.Platform) error {
+	r, closeIn, err := cfg.openIn()
+	if err != nil {
+		return err
+	}
+	defer closeIn()
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic, err := br.Peek(4)
+	if err != nil {
+		return fmt.Errorf("reading container magic: %w", err)
+	}
+
+	out := cfg.out
+	if out == "" {
+		if cfg.in == "-" {
+			out = "-"
+		} else {
+			out = strings.TrimSuffix(strings.TrimSuffix(cfg.in, ".fzs"), ".fz") + ".out.f32"
+		}
+	}
+
+	if fzio.IsStream(magic) {
+		// Out-of-core read path: window-bounded, output flushed in order.
+		cfg.out = out
+		opts := core.StreamOpts{Window: cfg.window, Workers: cfg.workers}
+		var dims grid.Dims
+		t0 := time.Now()
+		if err := cfg.writeOut(func(w io.Writer) error {
+			var err error
+			dims, err = fzmod.DecompressStream(p, br, w, opts)
+			return err
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.status(), "%v: %d values (stream)  %.3f GB/s → %s\n", dims, dims.N(),
+			metrics.Throughput(4*dims.N(), time.Since(t0).Seconds()), out)
+		return nil
+	}
+
+	blob, err := io.ReadAll(br)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	data, dims, report, err := fzmod.DecompressReport(p, blob)
+	decSec := time.Since(t0).Seconds()
+	if err != nil {
+		return err
+	}
+	cfg.out = out
+	if err := cfg.writeOut(func(w io.Writer) error {
+		_, err := w.Write(device.F32Bytes(data))
+		return err
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.status(), "%v: %d values  %.3f GB/s → %s\n", dims, dims.N(),
+		metrics.Throughput(4*dims.N(), decSec), out)
+	if cfg.verbose && report != nil {
+		printReport(cfg.status(), "decompress", report)
+	}
+	return nil
+}
+
+func probe(cfg config) error {
+	r, closeIn, err := cfg.openIn()
+	if err != nil {
+		return err
+	}
+	defer closeIn()
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic, err := br.Peek(4)
+	if err != nil {
+		return fmt.Errorf("reading container magic: %w", err)
+	}
+	w := cfg.stdout
+
+	if fzio.IsStream(magic) {
+		sr, err := fzio.NewStreamReader(br)
+		if err != nil {
+			return err
+		}
+		h := sr.Header()
+		fmt.Fprintf(w, "pipeline:  %s (stream)\ndims:      %v\nabs eb:    %g\nrel eb:    %g\nnominal:   %d planes/chunk\n",
+			h.Pipeline, h.Dims, h.EB, h.RelEB, h.Planes)
+		total := 0
+		var buf []byte
+		for i := 0; ; i++ {
+			payload, planes, err := sr.Next(buf)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "  chunk %-3d length %-9d planes %d\n", i, len(payload), planes)
+			total += len(payload)
+			buf = payload
+		}
+		fmt.Fprintf(w, "chunks:    %d\npayload:   %d bytes (trailer verified)\n", sr.NumChunks(), total)
+		return nil
+	}
+
+	blob, err := io.ReadAll(br)
+	if err != nil {
+		return err
+	}
+	if fzio.IsChunked(blob) {
+		cc, err := fzio.UnmarshalChunked(blob)
+		if err != nil {
+			return err
+		}
+		total := 0
+		for _, ref := range cc.Chunks {
+			total += ref.Length
+		}
+		fmt.Fprintf(w, "pipeline:  %s (chunked)\ndims:      %v\nabs eb:    %g\nrel eb:    %g\nchunks:    %d (%d planes/chunk nominal)\npayload:   %d bytes\n",
+			cc.Header.Pipeline, cc.Header.Dims, cc.Header.EB, cc.Header.RelEB,
+			cc.NumChunks(), cc.Header.Planes, total)
+		for i, ref := range cc.Chunks {
+			fmt.Fprintf(w, "  chunk %-3d offset %-9d length %-9d planes %d\n", i, ref.Offset, ref.Length, ref.Planes)
+		}
+		return nil
+	}
+	c, err := fzio.Unmarshal(blob)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "pipeline:  %s\ndims:      %v\nabs eb:    %g\nrel eb:    %g\nsegments:  %s\npayload:   %d bytes\n",
+		c.Header.Pipeline, c.Header.Dims, c.Header.EB, c.Header.RelEB,
+		strings.Join(c.Names(), ", "), c.Size())
+	return nil
+}
+
+// parseBound maps -eb/-mode to an ErrorBound.
+func parseBound(eb float64, mode string) (preprocess.ErrorBound, error) {
+	switch mode {
+	case "rel":
+		return preprocess.RelBound(eb), nil
+	case "abs":
+		return preprocess.AbsBound(eb), nil
+	default:
+		return preprocess.ErrorBound{}, fmt.Errorf("unknown -mode %q", mode)
+	}
+}
+
+// resolvePipeline picks the preset (or runs data-driven auto-selection)
+// and attaches the secondary encoder when requested.
+func resolvePipeline(cfg config, p *fzmod.Platform, data []float32, dims grid.Dims, bound preprocess.ErrorBound) (*core.Pipeline, error) {
+	pl, err := pipelineByName(cfg.pipeline)
+	if err != nil {
+		return nil, err
+	}
+	if pl == nil { // auto-selection objectives
+		obj := core.Balanced
+		switch cfg.pipeline {
+		case "auto-throughput":
+			obj = core.MaxThroughput
+		case "auto-ratio":
+			obj = core.MaxRatio
+		}
+		var prof core.DataProfile
+		pl, prof, err = core.AutoSelect(p, data, dims, bound, obj)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(cfg.status(), "auto-selected %s (delta %.2f quanta, spline advantage %.2fx, zero-delta %.0f%%)\n",
+			pl.Name(), prof.DeltaQuanta, prof.SplineAdvantage, 100*prof.ZeroDeltaFrac)
+	}
+	if cfg.secondary && pl.Sec == nil {
+		pl = fzmod.WithZstdSlot(pl)
+	}
+	return pl, nil
+}
+
 // printReport summarizes an executor report: graph shape, observed stage
 // overlap, and buffer-pool reuse.
-func printReport(phase string, r *core.ExecReport) {
-	fmt.Printf("%s executor: %d tasks, critical path %d, overlapped %v\n",
+func printReport(w io.Writer, phase string, r *core.ExecReport) {
+	fmt.Fprintf(w, "%s executor: %d tasks, critical path %d, overlapped %v\n",
 		phase, r.Tasks, r.CriticalPath, r.Overlapped())
-	fmt.Printf("  buffer pool: %d gets, %d hits (%.0f%% hit rate)\n",
+	fmt.Fprintf(w, "  buffer pool: %d gets, %d hits (%.0f%% hit rate)\n",
 		r.Pool.Gets, r.Pool.Hits, 100*r.Pool.HitRate())
 }
 

@@ -1,0 +1,256 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fzmod/internal/device"
+	"fzmod/internal/grid"
+	"fzmod/internal/sdrbench"
+)
+
+// writeField generates a small deterministic field and writes it as raw
+// little-endian float32 to a temp file, returning path, dims and data.
+func writeField(t *testing.T) (string, grid.Dims, []float32) {
+	t.Helper()
+	dims := grid.D3(16, 16, 12)
+	data := sdrbench.GenNYX(dims, 5)
+	path := filepath.Join(t.TempDir(), "field.f32")
+	if err := os.WriteFile(path, device.F32Bytes(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, dims, data
+}
+
+// readF32File reads a raw float32 file back.
+func readF32File(t *testing.T, path string) []float32 {
+	t.Helper()
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return device.BytesF32(blob)
+}
+
+// relAbs resolves a value-range-relative bound against data by hand (the
+// CLI streaming path only accepts absolute bounds).
+func relAbs(data []float32, rel float64) float64 {
+	mn, mx := data[0], data[0]
+	for _, v := range data {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return rel * float64(mx-mn)
+}
+
+func maxAbsDiff(a, b []float32) float64 {
+	m := 0.0
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// TestCLIRoundtripFiles: compress → probe → decompress over temp files,
+// the everyday CLI flow.
+func TestCLIRoundtripFiles(t *testing.T) {
+	in, dims, data := writeField(t)
+	fz := filepath.Join(t.TempDir(), "field.fz")
+	var out bytes.Buffer
+	err := run(config{
+		compress: true, in: in, out: fz,
+		dims: "16x16x12", eb: 1e-3, mode: "rel",
+		pipeline: "default", verify: true, verbose: true,
+		stdout: &out,
+	})
+	if err != nil {
+		t.Fatalf("compress: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "CR ") || !strings.Contains(out.String(), "verify: PSNR") {
+		t.Errorf("compress output missing stats/verify: %q", out.String())
+	}
+
+	out.Reset()
+	if err := run(config{probe: true, in: fz, stdout: &out}); err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	if !strings.Contains(out.String(), "fzmod-default") || !strings.Contains(out.String(), "16x16x12") {
+		t.Errorf("probe output: %q", out.String())
+	}
+
+	back := filepath.Join(t.TempDir(), "back.f32")
+	out.Reset()
+	if err := run(config{decompress: true, in: fz, out: back, stdout: &out}); err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	got := readF32File(t, back)
+	if len(got) != dims.N() {
+		t.Fatalf("decompressed %d values, want %d", len(got), dims.N())
+	}
+	// rel 1e-3 resolves against the NYX value range; the reconstruction
+	// must respect the resolved absolute bound.
+	if absEB, d := relAbs(data, 1e-3), maxAbsDiff(data, got); d > absEB {
+		t.Errorf("bound %g violated: max abs diff %g", absEB, d)
+	}
+}
+
+// TestCLIStreamRoundtripFiles: -stream compression to a file, stream
+// probe, then decompression (flavor detected from the magic).
+func TestCLIStreamRoundtripFiles(t *testing.T) {
+	in, dims, data := writeField(t)
+	absEB := relAbs(data, 1e-3)
+	fzs := filepath.Join(t.TempDir(), "field.fzs")
+	var out bytes.Buffer
+	err := run(config{
+		compress: true, stream: true, in: in, out: fzs,
+		dims: "16x16x12", eb: absEB, mode: "abs",
+		pipeline: "default", chunk: 16 * 16 * 3, window: 2,
+		stdout: &out,
+	})
+	if err != nil {
+		t.Fatalf("stream compress: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "(stream)") {
+		t.Errorf("stream compress output: %q", out.String())
+	}
+
+	out.Reset()
+	if err := run(config{probe: true, in: fzs, stdout: &out}); err != nil {
+		t.Fatalf("stream probe: %v", err)
+	}
+	if !strings.Contains(out.String(), "(stream)") || !strings.Contains(out.String(), "trailer verified") {
+		t.Errorf("stream probe output: %q", out.String())
+	}
+
+	back := filepath.Join(t.TempDir(), "back.f32")
+	out.Reset()
+	if err := run(config{decompress: true, in: fzs, out: back, window: 2, stdout: &out}); err != nil {
+		t.Fatalf("stream decompress: %v", err)
+	}
+	got := readF32File(t, back)
+	if len(got) != dims.N() {
+		t.Fatalf("decompressed %d values, want %d", len(got), dims.N())
+	}
+	if d := maxAbsDiff(data, got); d > absEB {
+		t.Errorf("abs bound %g violated: max diff %g", absEB, d)
+	}
+}
+
+// TestCLIStreamPipe drives compression and decompression through an
+// in-process pipe: compressor reads the field file and writes the stream
+// to stdout; decompressor reads it from stdin and writes stdout — the
+// shell-pipeline topology, no intermediate file.
+func TestCLIStreamPipe(t *testing.T) {
+	in, dims, data := writeField(t)
+	absEB := relAbs(data, 1e-3)
+	pr, pw := io.Pipe()
+	compErr := make(chan error, 1)
+	go func() {
+		err := run(config{
+			compress: true, stream: true, in: in, out: "-",
+			dims: "16x16x12", eb: absEB, mode: "abs",
+			pipeline: "default", chunk: 16 * 16 * 3, window: 2,
+			stdout: pw,
+		})
+		pw.CloseWithError(err)
+		compErr <- err
+	}()
+
+	var field bytes.Buffer
+	err := run(config{
+		decompress: true, in: "-", out: "-", window: 2,
+		stdin: pr, stdout: &field,
+	})
+	if cerr := <-compErr; cerr != nil {
+		t.Fatalf("pipe compress: %v", cerr)
+	}
+	if err != nil {
+		t.Fatalf("pipe decompress: %v", err)
+	}
+	got := device.BytesF32(field.Bytes())
+	if len(got) != dims.N() {
+		t.Fatalf("piped roundtrip produced %d values, want %d", len(got), dims.N())
+	}
+	if d := maxAbsDiff(data, got); d > absEB {
+		t.Errorf("abs bound %g violated through pipe: max diff %g", absEB, d)
+	}
+}
+
+// TestCLIErrors: the CLI surfaces usage errors instead of panicking.
+func TestCLIErrors(t *testing.T) {
+	in, _, _ := writeField(t)
+	cases := map[string]config{
+		"no action":         {in: in},
+		"no input":          {compress: true},
+		"bad dims":          {compress: true, in: in, dims: "axb", eb: 1e-3, mode: "rel", pipeline: "default"},
+		"bad mode":          {compress: true, in: in, dims: "16x16x12", eb: 1e-3, mode: "nope", pipeline: "default"},
+		"bad pipeline":      {compress: true, in: in, dims: "16x16x12", eb: 1e-3, mode: "rel", pipeline: "nope"},
+		"stream rel bound":  {compress: true, stream: true, in: in, dims: "16x16x12", eb: 1e-3, mode: "rel", pipeline: "default"},
+		"stream auto":       {compress: true, stream: true, in: in, dims: "16x16x12", eb: 1, mode: "abs", pipeline: "auto"},
+		"stdin without -":   {compress: true, in: "-", dims: "16x16x12", eb: 1e-3, mode: "rel", pipeline: "default"},
+		"missing file":      {decompress: true, in: filepath.Join(t.TempDir(), "absent.fz")},
+		"not a container":   {decompress: true, in: in},
+		"probe not a cont.": {probe: true, in: in},
+	}
+	// A regular-file input whose size disagrees with -dims must be
+	// rejected up front, not silently truncated to the declared geometry.
+	cases["stream size mismatch"] = config{
+		compress: true, stream: true, in: in,
+		dims: "32x32x32", eb: 1, mode: "abs", pipeline: "default",
+	}
+	for name, cfg := range cases {
+		cfg.stdout = io.Discard
+		if cfg.stdin == nil {
+			cfg.stdin = strings.NewReader("")
+		}
+		if err := run(cfg); err == nil {
+			t.Errorf("%s: expected an error", name)
+		}
+	}
+}
+
+// TestCLINoPartialOutputOnFailure: a failed streaming run must not leave a
+// truncated artifact on disk.
+func TestCLINoPartialOutputOnFailure(t *testing.T) {
+	in, _, data := writeField(t)
+	absEB := relAbs(data, 1e-3)
+	fzs := filepath.Join(t.TempDir(), "field.fzs")
+	if err := run(config{
+		compress: true, stream: true, in: in, out: fzs,
+		dims: "16x16x12", eb: absEB, mode: "abs", pipeline: "default",
+		chunk: 16 * 16 * 3, stdout: io.Discard,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the stream and decompress: the run must fail AND the output
+	// file must be gone.
+	blob, err := os.ReadFile(fzs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(t.TempDir(), "trunc.fzs")
+	if err := os.WriteFile(trunc, blob[:len(blob)-9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back := filepath.Join(t.TempDir(), "back.f32")
+	if err := run(config{decompress: true, in: trunc, out: back, stdout: io.Discard}); err == nil {
+		t.Fatal("truncated stream should fail")
+	}
+	if _, err := os.Stat(back); !os.IsNotExist(err) {
+		t.Errorf("partial output left behind: stat err %v", err)
+	}
+}

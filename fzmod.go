@@ -28,6 +28,15 @@
 //	blob, err := pipeline.CompressChunked(platform, data, dims, fzmod.Rel(1e-4),
 //	    fzmod.ChunkOpts{ChunkElems: 1 << 21, Workers: 8})
 //
+// Fields larger than memory (or arriving over a socket or pipe) stream
+// through the same engine: CompressStream consumes an io.Reader slab
+// window by slab window into an append-mode streaming container, and
+// DecompressStream mirrors it, with resident memory bounded by
+// StreamOpts.Window rather than the field size:
+//
+//	_, err := pipeline.CompressStream(platform, file, dims, fzmod.Abs(absEB), out,
+//	    fzmod.StreamOpts{Window: 4})
+//
 // The relative bound is resolved against the whole field's value range
 // before chunking, so chunked and monolithic compression enforce the
 // identical error tolerance. The Report variants
@@ -43,6 +52,8 @@
 package fzmod
 
 import (
+	"io"
+
 	"fzmod/internal/core"
 	"fzmod/internal/device"
 	"fzmod/internal/grid"
@@ -69,6 +80,10 @@ type (
 	// ChunkOpts configures the chunked task graph (see
 	// Pipeline.CompressChunked); the zero value selects sane defaults.
 	ChunkOpts = core.ChunkOpts
+	// StreamOpts configures the streaming (out-of-core) entry points:
+	// chunk granularity, slabs in flight, scheduler width. The zero value
+	// selects sane defaults.
+	StreamOpts = core.StreamOpts
 	// ExecReport is the execution evidence of one task-graph run: trace,
 	// DAG, critical path, and buffer-pool reuse statistics.
 	ExecReport = core.ExecReport
@@ -122,6 +137,24 @@ func Rel(v float64) ErrorBound { return preprocess.RelBound(v) }
 
 // Abs builds an absolute error bound.
 func Abs(v float64) ErrorBound { return preprocess.AbsBound(v) }
+
+// CompressStream compresses a dims-shaped field of little-endian float32
+// values read from r into a streaming container written to w, holding at
+// most opts.Window slabs in memory — the out-of-core path for fields
+// larger than RAM, network sockets and shell pipes. The bound must be
+// absolute (resolve a relative bound first); per-chunk output is
+// bit-identical to CompressChunked on the same field. Returns the
+// compressed bytes written. Equivalent to pl.CompressStream.
+func CompressStream(p *Platform, pl *Pipeline, r io.Reader, dims Dims, eb ErrorBound, w io.Writer, opts StreamOpts) (int64, error) {
+	return pl.CompressStream(p, r, dims, eb, w, opts)
+}
+
+// DecompressStream reconstructs a streaming container read from r,
+// writing the field to w as little-endian float32 bytes in storage order
+// with at most opts.Window chunks in flight. Returns the field geometry.
+func DecompressStream(p *Platform, r io.Reader, w io.Writer, opts StreamOpts) (Dims, error) {
+	return core.DecompressStream(p, r, w, opts)
+}
 
 // Decompress reconstructs a field from any FZModules container using the
 // module registry; the container is self-describing.

@@ -1,6 +1,8 @@
 package fzmod_test
 
 import (
+	"bytes"
+	"encoding/binary"
 	"math"
 	"testing"
 
@@ -98,5 +100,43 @@ func TestFacadeQualityPipelineName(t *testing.T) {
 	}
 	if fzmod.Default().Name() != "fzmod-default" || fzmod.Speed().Name() != "fzmod-speed" {
 		t.Error("preset names")
+	}
+}
+
+func TestFacadeStreamRoundtrip(t *testing.T) {
+	p := fzmod.NewPlatform()
+	data, dims := facadeField()
+	mn, mx := data[0], data[0]
+	for _, v := range data {
+		mn, mx = min(mn, v), max(mx, v)
+	}
+	absEB := 1e-3 * float64(mx-mn)
+
+	raw := make([]byte, 4*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(v))
+	}
+	var stream bytes.Buffer
+	written, err := fzmod.CompressStream(p, fzmod.Default(), bytes.NewReader(raw), dims,
+		fzmod.Abs(absEB), &stream, fzmod.StreamOpts{ChunkElems: dims.N() / 4, Window: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if written != int64(stream.Len()) || written == 0 {
+		t.Fatalf("written %d, buffer %d", written, stream.Len())
+	}
+	var out bytes.Buffer
+	gotDims, err := fzmod.DecompressStream(p, &stream, &out, fzmod.StreamOpts{Window: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDims != dims {
+		t.Fatalf("dims %v, want %v", gotDims, dims)
+	}
+	for i := 0; i < dims.N(); i++ {
+		got := math.Float32frombits(binary.LittleEndian.Uint32(out.Bytes()[4*i:]))
+		if d := math.Abs(float64(got) - float64(data[i])); d > absEB {
+			t.Fatalf("bound %g violated at %d: diff %g", absEB, i, d)
+		}
 	}
 }

@@ -156,8 +156,14 @@ func ChunkedComparisonReport(w io.Writer, p *device.Platform, sc Scale) (*Chunke
 		if i := metrics.VerifyBound(data, dec, absEB); i != -1 {
 			return fmt.Errorf("%s: bound violated at %d", name, i)
 		}
-		// Steady-state allocation count: the timed run above warmed the
-		// pool, so one more compression measures the recycled hot path.
+		// Steady-state allocation count. The timed decompression between
+		// the warm-up and here allocates enough to trigger GC cycles, and
+		// two GCs empty a sync.Pool — so the first compression after it is
+		// a pool-refill run, not steady state. Re-warm once, then measure
+		// the recycled hot path.
+		if _, err := compress(); err != nil {
+			return fmt.Errorf("%s rewarm: %w", name, err)
+		}
 		allocs, bytes := measureAllocs(func() {
 			if _, err := compress(); err != nil {
 				panic(err)

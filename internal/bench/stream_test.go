@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func gateReport(comp, dec float64) *ChunkedReport {
+	return &ChunkedReport{Rows: []ChunkedRow{
+		{Executor: "stream-w4", CompGBs: comp, DecGBs: dec, AllocsPerOp: 1000},
+	}}
+}
+
+func TestCompareThroughput(t *testing.T) {
+	base := gateReport(1.0, 2.0)
+	cases := []struct {
+		name     string
+		new      *ChunkedReport
+		tol      float64
+		fail     bool
+		fragment string
+	}{
+		{"within tolerance", gateReport(0.7, 1.4), 0.35, false, ""},
+		{"improvement", gateReport(3.0, 6.0), 0.35, false, ""},
+		{"comp regressed", gateReport(0.5, 2.0), 0.35, true, "comp throughput"},
+		{"dec regressed", gateReport(1.0, 1.0), 0.35, true, "dec throughput"},
+		{"unknown row skipped", &ChunkedReport{Rows: []ChunkedRow{{Executor: "other", CompGBs: 0.01}}}, 0.35, false, ""},
+	}
+	for _, tc := range cases {
+		err := CompareThroughput(base, tc.new, tc.tol)
+		if tc.fail && err == nil {
+			t.Errorf("%s: expected failure", tc.name)
+		}
+		if !tc.fail && err != nil {
+			t.Errorf("%s: unexpected %v", tc.name, err)
+		}
+		if tc.fail && err != nil && !strings.Contains(err.Error(), tc.fragment) {
+			t.Errorf("%s: error %q missing %q", tc.name, err, tc.fragment)
+		}
+	}
+	// Zero-throughput baseline rows (hand-edited or failed runs) never trip
+	// the gate.
+	if err := CompareThroughput(gateReport(0, 0), gateReport(0.001, 0.001), 0.35); err != nil {
+		t.Errorf("zero baseline: %v", err)
+	}
+}

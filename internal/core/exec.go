@@ -58,6 +58,10 @@ type compressJob struct {
 	payload []byte
 	blob    []byte
 	blobTok stf.DataRef
+	// codesSlab is the pooled quantization-code buffer when the pipeline's
+	// predictor supports PredictInto; the encode task returns it to the
+	// pool once the code stream has been consumed.
+	codesSlab *device.Slab[uint16]
 }
 
 // addCompressTasks declares the compression sub-graph for one block of a
@@ -77,7 +81,19 @@ func (pl *Pipeline) addCompressTasks(ctx *stf.Ctx, prefix string, data []float32
 
 	ctx.Task(prefix + "predict").On(pl.PredPlace).Writes(predTok.D()).
 		Do(func(ti *stf.TaskInstance) error {
-			pred, err := pl.Pred.Predict(p, ti.Place(), data, dims, absEB)
+			var (
+				pred *Prediction
+				err  error
+			)
+			if pi, ok := pl.Pred.(PredictorInto); ok {
+				// Pooled codes: the slab is recycled by the encode task, so
+				// a many-chunk run reuses a window's worth of code buffers
+				// instead of allocating 2 bytes per field element.
+				job.codesSlab = p.ScratchPool().GetU16(dims.N(), false)
+				pred, err = pi.PredictInto(p, ti.Place(), data, dims, absEB, job.codesSlab.Data)
+			} else {
+				pred, err = pl.Pred.Predict(p, ti.Place(), data, dims, absEB)
+			}
 			if err != nil {
 				return fmt.Errorf("core: %s predict: %w", pl.Pred.Name(), err)
 			}
@@ -87,6 +103,15 @@ func (pl *Pipeline) addCompressTasks(ctx *stf.Ctx, prefix string, data []float32
 
 	ctx.Task(prefix + "encode").On(pl.EncPlace).Reads(predTok.D()).Writes(encTok.D()).
 		Do(func(ti *stf.TaskInstance) error {
+			defer func() {
+				// The code stream is dead after encoding (serialization only
+				// touches Extras and Radius); recycle the pooled buffer.
+				if job.codesSlab != nil {
+					p.ScratchPool().PutU16(job.codesSlab)
+					job.codesSlab = nil
+					job.pred.Codes = nil
+				}
+			}()
 			payload, err := pl.Enc.EncodeCodes(p, ti.Place(), job.pred.Codes, job.pred.Radius)
 			if err != nil {
 				return fmt.Errorf("core: %s encode: %w", pl.Enc.Name(), err)

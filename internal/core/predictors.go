@@ -21,9 +21,25 @@ type LorenzoPredictor struct {
 // Name implements Predictor.
 func (LorenzoPredictor) Name() string { return "lorenzo" }
 
+// PredictorInto is the optional extension of Predictor for modules that
+// can quantize into a caller-provided codes buffer: the executor draws the
+// buffer from the platform pool and recycles it once the encoder has
+// consumed the codes, so per-chunk compression allocates O(chunk) scratch
+// instead of O(field) across a run. The buffer may hold garbage; the
+// predictor clears it. The returned Prediction aliases codes.
+type PredictorInto interface {
+	Predictor
+	PredictInto(p *device.Platform, place device.Place, data []float32, dims grid.Dims, eb float64, codes []uint16) (*Prediction, error)
+}
+
 // Predict implements Predictor.
 func (lp LorenzoPredictor) Predict(p *device.Platform, place device.Place, data []float32, dims grid.Dims, eb float64) (*Prediction, error) {
-	q, err := lorenzo.Encode(p, place, data, dims, eb, lp.Radius)
+	return lp.PredictInto(p, place, data, dims, eb, nil)
+}
+
+// PredictInto implements PredictorInto.
+func (lp LorenzoPredictor) PredictInto(p *device.Platform, place device.Place, data []float32, dims grid.Dims, eb float64, codes []uint16) (*Prediction, error) {
+	q, err := lorenzo.EncodeInto(p, place, data, dims, eb, lp.Radius, codes)
 	if err != nil {
 		return nil, err
 	}

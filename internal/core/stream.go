@@ -1,0 +1,251 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"fzmod/internal/device"
+	"fzmod/internal/fzio"
+	"fzmod/internal/grid"
+	"fzmod/internal/preprocess"
+	"fzmod/internal/stf"
+)
+
+// This file is the out-of-core layer over the task-graph engine: instead
+// of requiring the whole field (and the whole compressed blob) resident in
+// memory, CompressStream consumes an io.Reader slab window by slab window
+// and DecompressStream produces an io.Writer the same way. Each window
+// lowers onto the identical per-chunk sub-graphs the in-memory chunked
+// path declares (so per-chunk output is bit-identical to CompressChunked),
+// executed over one reused stf context whose stream pools stay warm across
+// windows; slab inputs, staging buffers and quantization codes all cycle
+// through the platform's BufPool, keeping resident memory O(window)
+// regardless of field size. The on-wire format is the FZMS streaming
+// container (see fzio/stream.go): chunks flush as they finish, the index
+// rides in a trailer.
+
+const (
+	// DefaultStreamWindow is the default number of slabs in flight: deep
+	// enough to keep every stage of the per-chunk graphs busy, shallow
+	// enough that resident memory stays a small multiple of the chunk
+	// size.
+	DefaultStreamWindow = 4
+
+	// streamStageBytes is the staging-buffer size for io<->float32
+	// conversion (drawn from the platform pool, recycled per call).
+	streamStageBytes = 256 << 10
+)
+
+// StreamOpts configures the streaming entry points. The zero value selects
+// sane defaults: DefaultChunkElems-sized chunks, a DefaultStreamWindow
+// window, and scheduler pools as wide as the window.
+type StreamOpts struct {
+	// ChunkElems is the target elements per chunk, rounded to whole planes
+	// of the slowest dimension. 0 selects DefaultChunkElems.
+	ChunkElems int
+	// Window caps the slabs in flight (and with them resident memory: the
+	// pipeline holds at most Window input slabs plus their intermediates).
+	// 0 selects DefaultStreamWindow.
+	Window int
+	// Workers caps the scheduler's per-place stream-pool width. 0 sizes
+	// the pools to the window, which keeps every in-flight chunk moving.
+	Workers int
+}
+
+// window resolves the effective window for n chunks.
+func (o StreamOpts) window(n int) int {
+	w := o.Window
+	if w <= 0 {
+		w = DefaultStreamWindow
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// workers resolves the scheduler width for a window.
+func (o StreamOpts) workers(p *device.Platform, place device.Place, window int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = window
+	}
+	if pw := p.Workers(place); w > pw {
+		w = pw
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// CompressStream compresses a dims-shaped field of little-endian float32
+// values read from r into a streaming (FZMS) container written to w,
+// holding at most opts.Window slabs in memory at a time. The error bound
+// must be absolute: a value-range-relative bound needs a pass over the
+// whole field, which an out-of-core compressor by definition cannot take —
+// resolve it first (preprocess.Resolve) and pass the absolute bound.
+// Per-chunk payloads are bit-identical to CompressChunked on the same
+// field, so reassembling the stream yields that container byte for byte.
+// Returns the compressed bytes written.
+func (pl *Pipeline) CompressStream(p *device.Platform, r io.Reader, dims grid.Dims, eb preprocess.ErrorBound, w io.Writer, opts StreamOpts) (int64, error) {
+	if !dims.Valid() {
+		return 0, fmt.Errorf("core: invalid dims %v", dims)
+	}
+	if eb.Mode != preprocess.Abs {
+		return 0, fmt.Errorf("core: streaming compression requires an absolute error bound (a relative bound needs the whole field's value range; resolve it first)")
+	}
+	if eb.Value <= 0 {
+		return 0, fmt.Errorf("core: error bound must be positive, got %g", eb.Value)
+	}
+	absEB := eb.Value
+	planes := planesFor(dims, opts.ChunkElems)
+	slabs := grid.SplitSlabs(dims, planes)
+
+	sw, err := fzio.NewStreamWriter(w, fzio.ChunkedHeader{
+		Pipeline: pl.PipelineName,
+		Dims:     dims,
+		EB:       absEB,
+		Planes:   planes,
+	})
+	if err != nil {
+		return 0, err
+	}
+
+	window := opts.window(len(slabs))
+	workers := opts.workers(p, pl.PredPlace, window)
+	bp := p.ScratchPool()
+	stage := bp.GetBytes(streamStageBytes, false)
+	defer bp.PutBytes(stage)
+	ctx := stf.NewCtxN(p, workers)
+	defer ctx.Release()
+
+	for start := 0; start < len(slabs); start += window {
+		batch := slabs[start:min(start+window, len(slabs))]
+		bufs := make([]*device.Slab[float32], len(batch))
+		jobs := make([]*compressJob, len(batch))
+		var readErr error
+		for i, sl := range batch {
+			bufs[i] = bp.GetF32(sl.Elems(), false)
+			if err := device.ReadF32(r, bufs[i].Data, stage.Data); err != nil {
+				readErr = fmt.Errorf("core: reading slab %d (%d values): %w", start+i, sl.Elems(), err)
+				break
+			}
+			jobs[i] = pl.addCompressTasks(ctx, fmt.Sprintf("s%d.", start+i), bufs[i].Data, sl.Dims, absEB, 0)
+		}
+		// Reset drains whatever was declared (possibly a partial batch on a
+		// read error) before the input slabs go back to the pool.
+		err := ctx.Reset()
+		for _, b := range bufs {
+			bp.PutF32(b)
+		}
+		if readErr != nil {
+			return sw.BytesWritten(), readErr
+		}
+		if err != nil {
+			return sw.BytesWritten(), err
+		}
+		for i, sl := range batch {
+			if err := sw.WriteChunk(jobs[i].blob, sl.Planes); err != nil {
+				return sw.BytesWritten(), err
+			}
+		}
+	}
+	if err := sw.Close(); err != nil {
+		return sw.BytesWritten(), err
+	}
+	return sw.BytesWritten(), nil
+}
+
+// DecompressStream reconstructs a streaming (FZMS) container read from r,
+// writing the field to w as little-endian float32 bytes in storage order,
+// with at most opts.Window chunks in flight. Chunks within a window decode
+// in parallel through the same fetch → decode → reconstruct sub-graphs the
+// in-memory chunked read path uses; output is flushed in order as each
+// window completes. Returns the decoded field geometry.
+func DecompressStream(p *device.Platform, r io.Reader, w io.Writer, opts StreamOpts) (grid.Dims, error) {
+	sr, err := fzio.NewStreamReader(r)
+	if err != nil {
+		return grid.Dims{}, err
+	}
+	dims := sr.Header().Dims
+	nChunks := 1
+	if sr.Header().Planes > 0 {
+		nChunks = (dims.SlowExtent() + sr.Header().Planes - 1) / sr.Header().Planes
+	}
+	window := opts.window(nChunks)
+	workers := opts.workers(p, device.Accel, window)
+	bp := p.ScratchPool()
+	stage := bp.GetBytes(streamStageBytes, false)
+	defer bp.PutBytes(stage)
+	ctx := stf.NewCtxN(p, workers)
+	defer ctx.Release()
+
+	// Per-slot payload buffers are reused across windows; they grow to the
+	// largest chunk seen and stay there, so steady-state reading allocates
+	// nothing.
+	payloads := make([][]byte, window)
+	jobs := make([]*decompressJob, window)
+	chunkIdx := 0
+	for done := false; !done; {
+		n := 0 // chunks in this window
+		for ; n < window; n++ {
+			payload, planes, err := sr.Next(payloads[n])
+			if err == io.EOF {
+				done = true
+				break
+			}
+			if err != nil {
+				// Drain any already-declared sub-graphs before returning.
+				ctx.Reset()
+				return grid.Dims{}, err
+			}
+			payloads[n] = payload
+			idx := chunkIdx + n
+			want := dims.WithSlowExtent(planes)
+			job := &decompressJob{}
+			jobs[n] = job
+			prefix := fmt.Sprintf("s%d.", idx)
+			fetchTok := stf.NewToken(ctx, prefix+"container")
+			codesTok := stf.NewToken(ctx, prefix+"codes")
+			blob := payload
+			ctx.Task(prefix + "fetch").On(device.Host).Writes(fetchTok.D()).
+				Do(func(ti *stf.TaskInstance) error {
+					if fzio.IsChunked(blob) || fzio.IsStream(blob) {
+						return fmt.Errorf("core: chunk %d: nested container", idx)
+					}
+					c, err := fzio.Unmarshal(blob)
+					if err != nil {
+						return err
+					}
+					if c.Has(segSec) {
+						if c, err = unwrapSecondary(p, c); err != nil {
+							return err
+						}
+					}
+					job.c = c
+					return nil
+				})
+			ctx.Task(prefix + "decode").On(device.Accel).Reads(fetchTok.D()).Writes(codesTok.D()).
+				Do(func(ti *stf.TaskInstance) error { return job.decode(p) })
+			ctx.Task(prefix + "reconstruct").On(device.Accel).Reads(codesTok.D()).
+				Do(func(ti *stf.TaskInstance) error {
+					if job.dims != want {
+						return fmt.Errorf("core: chunk %d dims %v, want %v", idx, job.dims, want)
+					}
+					return job.reconstruct(p)
+				})
+		}
+		if err := ctx.Reset(); err != nil {
+			return grid.Dims{}, err
+		}
+		for i := 0; i < n; i++ {
+			if err := device.WriteF32(w, jobs[i].vals, stage.Data); err != nil {
+				return grid.Dims{}, fmt.Errorf("core: writing chunk %d: %w", chunkIdx+i, err)
+			}
+			jobs[i] = nil
+		}
+		chunkIdx += n
+	}
+	return dims, nil
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"runtime"
+	"testing"
+
+	"fzmod/internal/device"
+	"fzmod/internal/fzio"
+	"fzmod/internal/grid"
+	"fzmod/internal/metrics"
+	"fzmod/internal/preprocess"
+	"fzmod/internal/sdrbench"
+)
+
+// streamField builds the shared test workload: a small NYX field cut into
+// several chunks so a narrow window genuinely cycles.
+func streamField() ([]float32, grid.Dims, int) {
+	dims := grid.D3(16, 16, 24)
+	chunkElems := 16 * 16 * 4 // 4 planes per chunk, 6 chunks
+	return sdrbench.GenNYX(dims, 11), dims, chunkElems
+}
+
+// TestCompressStreamEquivalence: for every preset, with and without the
+// secondary encoder, the streamed container reassembles bit-identically to
+// the in-memory chunked container — the guarantee that the out-of-core
+// path is the same compressor, not a variant.
+func TestCompressStreamEquivalence(t *testing.T) {
+	p := device.NewTestPlatform()
+	defer p.Close()
+	data, dims, chunkElems := streamField()
+	for _, base := range Presets() {
+		for _, secondary := range []bool{false, true} {
+			pl := base
+			name := pl.Name()
+			if secondary {
+				pl = pl.WithSecondary(LZSecondary{})
+				name = pl.Name()
+			}
+			t.Run(name, func(t *testing.T) {
+				absEB, _, err := preprocess.Resolve(p, device.Host, data, preprocess.RelBound(1e-3))
+				if err != nil {
+					t.Fatal(err)
+				}
+				eb := preprocess.AbsBound(absEB)
+				chunked, err := pl.CompressChunked(p, data, dims, eb, ChunkOpts{ChunkElems: chunkElems})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !fzio.IsChunked(chunked) {
+					t.Fatal("reference path did not produce a chunked container")
+				}
+				var streamBuf bytes.Buffer
+				written, err := pl.CompressStream(p, bytes.NewReader(device.F32Bytes(data)), dims, eb,
+					&streamBuf, StreamOpts{ChunkElems: chunkElems, Window: 2})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if written != int64(streamBuf.Len()) {
+					t.Errorf("written = %d, buffer has %d", written, streamBuf.Len())
+				}
+				if !fzio.IsStream(streamBuf.Bytes()) {
+					t.Fatal("CompressStream did not produce a stream container")
+				}
+				re, err := fzio.ReassembleChunked(bytes.NewReader(streamBuf.Bytes()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(re, chunked) {
+					t.Error("reassembled stream differs from CompressChunked output")
+				}
+
+				// The streaming read path must reconstruct bit-identically
+				// to the in-memory decoder.
+				want, wantDims, err := Decompress(p, chunked)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var out bytes.Buffer
+				gotDims, err := DecompressStream(p, bytes.NewReader(streamBuf.Bytes()), &out, StreamOpts{Window: 2})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotDims != wantDims {
+					t.Fatalf("dims %v, want %v", gotDims, wantDims)
+				}
+				if !bytes.Equal(out.Bytes(), device.F32Bytes(want)) {
+					t.Error("streamed reconstruction differs from in-memory reconstruction")
+				}
+				got := device.BytesF32(out.Bytes())
+				if i := metrics.VerifyBound(data, got, absEB); i != -1 {
+					t.Errorf("bound violated at index %d", i)
+				}
+			})
+		}
+	}
+}
+
+// TestCompressStreamWindows: every window width (including 1, a width
+// larger than the chunk count, and one that does not divide it) produces
+// the identical stream.
+func TestCompressStreamWindows(t *testing.T) {
+	p := device.NewTestPlatform()
+	defer p.Close()
+	data, dims, chunkElems := streamField()
+	pl := NewDefault()
+	absEB, _, err := preprocess.Resolve(p, device.Host, data, preprocess.RelBound(1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb := preprocess.AbsBound(absEB)
+	var ref bytes.Buffer
+	if _, err := pl.CompressStream(p, bytes.NewReader(device.F32Bytes(data)), dims, eb,
+		&ref, StreamOpts{ChunkElems: chunkElems, Window: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for _, window := range []int{1, 3, 4, 99} {
+		var buf bytes.Buffer
+		if _, err := pl.CompressStream(p, bytes.NewReader(device.F32Bytes(data)), dims, eb,
+			&buf, StreamOpts{ChunkElems: chunkElems, Window: window}); err != nil {
+			t.Fatalf("window %d: %v", window, err)
+		}
+		if !bytes.Equal(buf.Bytes(), ref.Bytes()) {
+			t.Errorf("window %d: stream differs from window 2", window)
+		}
+		var out bytes.Buffer
+		if _, err := DecompressStream(p, bytes.NewReader(buf.Bytes()), &out, StreamOpts{Window: window}); err != nil {
+			t.Fatalf("window %d decompress: %v", window, err)
+		}
+		got := device.BytesF32(out.Bytes())
+		if i := metrics.VerifyBound(data, got, absEB); i != -1 {
+			t.Errorf("window %d: bound violated at %d", window, i)
+		}
+	}
+}
+
+// TestCompressStreamSingleChunk: a field that fits one chunk still streams
+// (unlike CompressChunked, which falls back to a monolithic container, the
+// stream format always frames).
+func TestCompressStreamSingleChunk(t *testing.T) {
+	p := device.NewTestPlatform()
+	defer p.Close()
+	dims := grid.D3(8, 8, 4)
+	data := sdrbench.GenNYX(dims, 3)
+	absEB, _, err := preprocess.Resolve(p, device.Host, data, preprocess.RelBound(1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := NewDefault().CompressStream(p, bytes.NewReader(device.F32Bytes(data)), dims,
+		preprocess.AbsBound(absEB), &buf, StreamOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	gotDims, err := DecompressStream(p, bytes.NewReader(buf.Bytes()), &out, StreamOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDims != dims {
+		t.Fatalf("dims %v, want %v", gotDims, dims)
+	}
+	got := device.BytesF32(out.Bytes())
+	if i := metrics.VerifyBound(data, got, absEB); i != -1 {
+		t.Errorf("bound violated at %d", i)
+	}
+}
+
+func TestCompressStreamErrors(t *testing.T) {
+	p := device.NewTestPlatform()
+	defer p.Close()
+	pl := NewDefault()
+	dims := grid.D3(8, 8, 8)
+	data := sdrbench.GenNYX(dims, 3)
+	raw := device.F32Bytes(data)
+	absEB, _, err := preprocess.Resolve(p, device.Host, data, preprocess.RelBound(1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb := preprocess.AbsBound(absEB)
+
+	// Relative bounds need the whole field; streaming must refuse.
+	if _, err := pl.CompressStream(p, bytes.NewReader(raw), dims, preprocess.RelBound(1e-3), io.Discard, StreamOpts{}); err == nil {
+		t.Error("relative bound should be rejected")
+	}
+	if _, err := pl.CompressStream(p, bytes.NewReader(raw), dims, preprocess.AbsBound(0), io.Discard, StreamOpts{}); err == nil {
+		t.Error("zero bound should be rejected")
+	}
+	if _, err := pl.CompressStream(p, bytes.NewReader(raw), grid.Dims{}, eb, io.Discard, StreamOpts{}); err == nil {
+		t.Error("invalid dims should be rejected")
+	}
+	// Input shorter than dims: the slab read must fail cleanly.
+	if _, err := pl.CompressStream(p, bytes.NewReader(raw[:len(raw)/2]), dims, eb, io.Discard, StreamOpts{ChunkElems: 128}); err == nil {
+		t.Error("short input should be rejected")
+	}
+	// Truncated stream into the decoder.
+	var buf bytes.Buffer
+	if _, err := pl.CompressStream(p, bytes.NewReader(raw), dims, eb, &buf, StreamOpts{ChunkElems: 128}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecompressStream(p, bytes.NewReader(buf.Bytes()[:buf.Len()-9]), io.Discard, StreamOpts{}); err == nil {
+		t.Error("truncated stream should be rejected")
+	}
+	if _, err := DecompressStream(p, bytes.NewReader([]byte("FZMDnope")), io.Discard, StreamOpts{}); err == nil {
+		t.Error("non-stream input should be rejected")
+	}
+}
+
+// TestCompressStreamMemoryBounded is the out-of-core guarantee: steady-state
+// compression of a field 8× larger than the window allocates a small
+// multiple of the window, not of the field. The first run warms the
+// platform pool; the second is measured.
+func TestCompressStreamMemoryBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	if device.RaceEnabled {
+		t.Skip("sync.Pool drops puts nondeterministically under the race detector")
+	}
+	p := device.NewTestPlatform()
+	defer p.Close()
+	dims := grid.D3(64, 64, 64) // 256 Ki elements, 1 MiB
+	data := sdrbench.GenNYX(dims, 7)
+	raw := device.F32Bytes(data)
+	chunkElems := dims.N() / 8 // 8 chunks
+	opts := StreamOpts{ChunkElems: chunkElems, Window: 1}
+	windowBytes := 4 * chunkElems // one slab resident at a time
+	fieldBytes := len(raw)
+	pl := NewDefault()
+
+	absEB, _, err := preprocess.Resolve(p, device.Host, data, preprocess.RelBound(1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() {
+		if _, err := pl.CompressStream(p, bytes.NewReader(raw), dims, preprocess.AbsBound(absEB), io.Discard, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the pool
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	run()
+	runtime.ReadMemStats(&after)
+	bytesPerOp := after.TotalAlloc - before.TotalAlloc
+
+	// The pin: comfortably below the field (the in-memory path cannot go
+	// below 1× field just for the input) and a small multiple of the
+	// window. Both margins are generous; the steady-state measurement on a
+	// warm pool sits far under them.
+	if bytesPerOp > uint64(fieldBytes)/2 {
+		t.Errorf("steady-state bytes/op = %d, want < field/2 = %d (field %d bytes)",
+			bytesPerOp, fieldBytes/2, fieldBytes)
+	}
+	if bytesPerOp > uint64(3*windowBytes) {
+		t.Errorf("steady-state bytes/op = %d, want < 3x window = %d (window %d bytes)",
+			bytesPerOp, 3*windowBytes, windowBytes)
+	}
+	t.Logf("field %d bytes, window %d bytes, steady-state bytes/op %d", fieldBytes, windowBytes, bytesPerOp)
+}

@@ -1,0 +1,51 @@
+package device
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func TestReadWriteF32Staged(t *testing.T) {
+	src := make([]float32, 1000)
+	for i := range src {
+		src[i] = float32(i) * 0.5
+	}
+	// Odd staging sizes exercise the partial-group handling; 4096 the
+	// common case; 5 forces one value per round.
+	for _, bufLen := range []int{5, 7, 64, 4096} {
+		var sink bytes.Buffer
+		if err := WriteF32(&sink, src, make([]byte, bufLen)); err != nil {
+			t.Fatalf("WriteF32(buf %d): %v", bufLen, err)
+		}
+		if !bytes.Equal(sink.Bytes(), F32Bytes(src)) {
+			t.Fatalf("WriteF32(buf %d): bytes differ from F32Bytes", bufLen)
+		}
+		dst := make([]float32, len(src))
+		if err := ReadF32(bytes.NewReader(sink.Bytes()), dst, make([]byte, bufLen)); err != nil {
+			t.Fatalf("ReadF32(buf %d): %v", bufLen, err)
+		}
+		for i := range src {
+			if dst[i] != src[i] {
+				t.Fatalf("ReadF32(buf %d): dst[%d] = %g, want %g", bufLen, i, dst[i], src[i])
+			}
+		}
+	}
+}
+
+func TestReadF32Short(t *testing.T) {
+	dst := make([]float32, 8)
+	err := ReadF32(bytes.NewReader(make([]byte, 12)), dst, make([]byte, 64))
+	if err == nil {
+		t.Fatal("short read should fail")
+	}
+	if err != io.ErrUnexpectedEOF && err != io.EOF {
+		t.Fatalf("short read: %v", err)
+	}
+	if err := ReadF32(bytes.NewReader(nil), dst, make([]byte, 3)); err == nil {
+		t.Fatal("tiny staging buffer should fail")
+	}
+	if err := WriteF32(io.Discard, dst, make([]byte, 2)); err == nil {
+		t.Fatal("tiny staging buffer should fail")
+	}
+}

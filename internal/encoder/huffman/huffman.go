@@ -50,13 +50,37 @@ type fastEntry struct {
 	len uint8
 }
 
+// buildScratch holds the transient arrays of one codebook construction
+// (frequencies, parent links, heap). They are recycled through a
+// package-level pool: a chunked or streaming run builds one codebook per
+// chunk, and without recycling the tree scratch dominates steady-state
+// allocation.
+type buildScratch struct {
+	freqs  []uint64
+	parent []int32
+	heap   nodeHeap
+}
+
+var buildPool = sync.Pool{New: func() any { return new(buildScratch) }}
+
+// grow returns s[:n], reallocating only when capacity is short.
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
 // Build constructs a codec from a histogram. Every symbol with a nonzero
 // count receives a code; at least one symbol must be present.
 func Build(hist []uint32) (*Codec, error) {
 	if len(hist) == 0 || len(hist) > 1<<16 {
 		return nil, fmt.Errorf("huffman: alphabet size %d out of range", len(hist))
 	}
-	freqs := make([]uint64, len(hist))
+	sc := buildPool.Get().(*buildScratch)
+	defer buildPool.Put(sc)
+	sc.freqs = grow(sc.freqs, len(hist))
+	freqs := sc.freqs
 	nonzero := 0
 	for i, h := range hist {
 		freqs[i] = uint64(h)
@@ -67,14 +91,14 @@ func Build(hist []uint32) (*Codec, error) {
 	if nonzero == 0 {
 		return nil, fmt.Errorf("huffman: empty histogram")
 	}
-	lengths := buildLengths(freqs)
+	lengths := buildLengths(freqs, sc)
 	for maxOf(lengths) > maxCodeLen {
 		for i := range freqs {
 			if freqs[i] > 1 {
 				freqs[i] = (freqs[i] + 1) / 2
 			}
 		}
-		lengths = buildLengths(freqs)
+		lengths = buildLengths(freqs, sc)
 	}
 	return fromLengths(lengths)
 }
@@ -156,11 +180,17 @@ func (h *nodeHeap) pop() hnode {
 }
 
 // buildLengths runs the classic heap construction and returns per-symbol
-// code lengths.
-func buildLengths(freqs []uint64) []uint8 {
+// code lengths. The parent table and heap live in sc; the returned lengths
+// are freshly allocated (they outlive the call inside the Codec).
+func buildLengths(freqs []uint64, sc *buildScratch) []uint8 {
 	n := len(freqs)
-	parent := make([]int32, 0, 2*n)
-	h := make(nodeHeap, 0, n)
+	// Capacity is sufficient for every append below (≤ 2n parent entries,
+	// ≤ n heap nodes), so the backing arrays stored back into sc are the
+	// ones the appends fill.
+	sc.parent = grow(sc.parent, 2*n)
+	sc.heap = grow(sc.heap, n)
+	parent := sc.parent[:0]
+	h := sc.heap[:0]
 	for i, f := range freqs {
 		parent = append(parent, -1)
 		if f > 0 {

@@ -89,6 +89,13 @@ type Slab struct {
 	Planes int  // extent along the parent's slowest dimension
 }
 
+// Elems returns the slab's element count.
+func (s Slab) Elems() int { return s.Dims.N() }
+
+// Bytes returns the slab's size in bytes as float32 storage, the amount a
+// streaming executor reads per slab window.
+func (s Slab) Bytes() int { return 4 * s.Dims.N() }
+
 // WithSlowExtent returns d with the slowest-varying dimension replaced,
 // the geometry of a slab of n planes cut from a d-shaped field.
 func (d Dims) WithSlowExtent(n int) Dims {

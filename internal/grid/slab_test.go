@@ -32,6 +32,9 @@ func TestSplitSlabsCoversField(t *testing.T) {
 			if sl.Dims.N() != sl.Planes*tc.dims.PlaneElems() {
 				t.Errorf("%v/%d: slab %d has %d elements, want %d planes x %d", tc.dims, tc.planes, i, sl.Dims.N(), sl.Planes, tc.dims.PlaneElems())
 			}
+			if sl.Elems() != sl.Dims.N() || sl.Bytes() != 4*sl.Dims.N() {
+				t.Errorf("%v/%d: slab %d Elems/Bytes inconsistent", tc.dims, tc.planes, i)
+			}
 			next += sl.Dims.N()
 			planes += sl.Planes
 		}

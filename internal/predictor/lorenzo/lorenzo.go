@@ -55,11 +55,23 @@ func (q *Quantized) OutlierCount() int { return len(q.OutIdx) }
 // Encode runs prediction+quantization over data at place with absolute
 // error bound eb. radius ≤ 0 selects DefaultRadius.
 func Encode(p *device.Platform, place device.Place, data []float32, dims grid.Dims, eb float64, radius int) (*Quantized, error) {
+	return EncodeInto(p, place, data, dims, eb, radius, nil)
+}
+
+// EncodeInto is Encode quantizing into a caller-provided codes slice of
+// exactly dims.N() elements (any contents; it is cleared first), so
+// executors processing many chunks can recycle one code buffer instead of
+// allocating per chunk. The returned Quantized aliases codes. A nil codes
+// allocates, exactly like Encode.
+func EncodeInto(p *device.Platform, place device.Place, data []float32, dims grid.Dims, eb float64, radius int, codes []uint16) (*Quantized, error) {
 	if !dims.Valid() || dims.N() != len(data) {
 		return nil, fmt.Errorf("lorenzo: dims %v do not match %d values", dims, len(data))
 	}
 	if eb <= 0 {
 		return nil, fmt.Errorf("lorenzo: error bound must be positive, got %g", eb)
+	}
+	if codes != nil && len(codes) != dims.N() {
+		return nil, fmt.Errorf("lorenzo: codes buffer has %d elements, want %d", len(codes), dims.N())
 	}
 	if radius <= 0 {
 		radius = DefaultRadius
@@ -89,8 +101,13 @@ func Encode(p *device.Platform, place device.Place, data []float32, dims grid.Di
 		return nil, fmt.Errorf("lorenzo: error bound %g too tight for data magnitude (lattice overflow); relax the bound", eb)
 	}
 
-	// Phase 2: Lorenzo residual + code emission + outlier flags.
-	codes := make([]uint16, n)
+	// Phase 2: Lorenzo residual + code emission + outlier flags. Escape
+	// marking leaves codes[i] at 0, so a recycled buffer must be cleared.
+	if codes == nil {
+		codes = make([]uint16, n)
+	} else {
+		clear(codes)
+	}
 	flagsSlab := pool.GetU32(n, true) // escape marking assumes zeroed flags
 	flags := flagsSlab.Data
 	resid := residualFn(dims, lattice)

@@ -1,0 +1,70 @@
+package stf
+
+import (
+	"errors"
+	"testing"
+
+	"fzmod/internal/device"
+)
+
+// TestCtxReset drives one context through several windowed batches, the
+// usage pattern of the streaming compressor: declare a batch of tasks,
+// Reset, declare the next batch over fresh logical data.
+func TestCtxReset(t *testing.T) {
+	p := device.NewTestPlatform()
+	defer p.Close()
+	ctx := NewCtxN(p, 2)
+	total := 0
+	for batch := 0; batch < 4; batch++ {
+		sum := 0
+		in := NewData(ctx, "in", []uint32{1, 2, 3, 4})
+		out := NewScratch[uint32](ctx, "out", 4)
+		ctx.Task("double").Reads(in.D()).Writes(out.D()).On(device.Accel).
+			Do(func(ti *TaskInstance) error {
+				for i, v := range in.Acc(ti) {
+					out.Acc(ti)[i] = 2 * v
+				}
+				return nil
+			})
+		ctx.Task("sum").Reads(out.D()).On(device.Host).
+			Do(func(ti *TaskInstance) error {
+				for _, v := range out.Acc(ti) {
+					sum += int(v)
+				}
+				return nil
+			})
+		if err := ctx.Reset(); err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		if sum != 20 {
+			t.Fatalf("batch %d: sum = %d, want 20", batch, sum)
+		}
+		total += sum
+	}
+	if total != 80 {
+		t.Fatalf("total = %d, want 80", total)
+	}
+}
+
+// TestCtxResetErrorIsolation: a failing batch reports its error through
+// Reset and does not poison the batches that follow.
+func TestCtxResetErrorIsolation(t *testing.T) {
+	p := device.NewTestPlatform()
+	defer p.Close()
+	ctx := NewCtx(p)
+	boom := errors.New("boom")
+	tok := NewToken(ctx, "t")
+	ctx.Task("fail").Writes(tok.D()).Do(func(ti *TaskInstance) error { return boom })
+	ctx.Task("skipped").Reads(tok.D()).Do(func(ti *TaskInstance) error { return nil })
+	if err := ctx.Reset(); !errors.Is(err, boom) {
+		t.Fatalf("Reset = %v, want %v", err, boom)
+	}
+	ran := false
+	ctx.Task("ok").Do(func(ti *TaskInstance) error { ran = true; return nil })
+	if err := ctx.Reset(); err != nil {
+		t.Fatalf("post-failure batch: %v", err)
+	}
+	if !ran {
+		t.Fatal("task after failed batch did not run")
+	}
+}

@@ -344,6 +344,27 @@ func (c *Ctx) Finalize() error {
 	return errors.Join(errs...)
 }
 
+// Reset drains the graph like Finalize, returns pooled scratch like
+// Release, and then clears the task and data registry so the context can
+// be reused for the next batch of a windowed pipeline: the per-place
+// stream pools stay warm across batches, which is what lets a streaming
+// compressor run thousands of window-sized graphs over one context.
+// Logical data created before Reset must not be used afterwards (register
+// fresh Data for the next batch); results must be copied out first.
+// Returns the joined errors of the drained batch, exactly as Finalize
+// reports them.
+func (c *Ctx) Reset() error {
+	err := c.Finalize()
+	c.Release()
+	c.mu.Lock()
+	c.tasks = nil
+	c.edges = make(map[[2]int]struct{})
+	c.nextTask = 0
+	c.nextData = 0
+	c.mu.Unlock()
+	return err
+}
+
 // Release returns every pooled scratch slab and device-side copy owned by
 // the context to the platform's buffer pool. Call after Finalize, once all
 // results have been copied out or Detach-ed; data accessors must not be

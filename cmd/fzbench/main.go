@@ -13,8 +13,9 @@
 // machine-readable report; with -baseline the run exits nonzero when
 // allocs/op regressed beyond -alloc-tol — or when compression or
 // decompression throughput fell more than -gbs-tol below the recorded
-// baseline (generous by default, so CI-runner noise does not flap the
-// gate; 0 disables the throughput check). Both experiments regress
+// baseline (20% by default — tight enough to catch a real kernel
+// regression now that the hot paths run word-at-a-time, with enough slack
+// for runner noise; 0 disables the throughput check). Both experiments regress
 // against one baseline file: rows are matched by executor name, and rows
 // missing on either side are skipped.
 package main
@@ -34,7 +35,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write the chunked/stream experiment's machine-readable report to this path")
 	baseline := flag.String("baseline", "", "compare the chunked/stream report against this baseline JSON and fail on regression")
 	allocTol := flag.Float64("alloc-tol", 0.2, "allowed fractional allocs/op regression against -baseline")
-	gbsTol := flag.Float64("gbs-tol", 0.35, "allowed fractional comp/dec throughput regression against -baseline (0 disables)")
+	gbsTol := flag.Float64("gbs-tol", 0.2, "allowed fractional comp/dec throughput regression against -baseline (0 disables)")
 	flag.Parse()
 
 	sc := bench.Small

@@ -84,13 +84,9 @@ func StreamComparisonReport(w io.Writer, p *device.Platform, sc Scale) (*Chunked
 			return nil, fmt.Errorf("%s: bound violated at %d", name, i)
 		}
 
-		// Steady-state allocation. The timed decompression above churns the
-		// GC enough to drop pooled slabs (two GCs empty a sync.Pool), so
-		// re-warm once and measure the recycled hot path, exactly as the
+		// Steady-state allocation; measureAllocs re-warms the pools and
+		// holds the GC off during the measured run, exactly as the
 		// chunked rows do.
-		if _, err := pl.CompressStream(p, bytes.NewReader(raw), dims, eb, io.Discard, opts); err != nil {
-			return nil, fmt.Errorf("%s rewarm: %w", name, err)
-		}
 		allocs, bytesOp := measureAllocs(func() {
 			if _, err := pl.CompressStream(p, bytes.NewReader(raw), dims, eb, io.Discard, opts); err != nil {
 				panic(err)

@@ -153,6 +153,10 @@ type decompressJob struct {
 	dims grid.Dims
 	eb   float64
 	vals []float32
+	// dst, when set, is the destination slice reconstruction writes into
+	// directly for predictors supporting ReconstructInto (the chunked path
+	// points it at the chunk's window of the assembled output field).
+	dst []float32
 }
 
 // decode resolves the container's modules and decodes the primary code
@@ -182,8 +186,18 @@ func (job *decompressJob) decode(p *device.Platform) error {
 	return nil
 }
 
-// reconstruct inverts the prediction stage.
+// reconstruct inverts the prediction stage, writing straight into job.dst
+// when it is set and the predictor supports in-place reconstruction.
 func (job *decompressJob) reconstruct(p *device.Platform) error {
+	if job.dst != nil && len(job.dst) == job.dims.N() {
+		if ri, ok := job.pr.(ReconstructorInto); ok {
+			if err := ri.ReconstructInto(p, device.Accel, job.pred, job.dims, job.eb, job.dst); err != nil {
+				return fmt.Errorf("core: %s reconstruct: %w", job.pr.Name(), err)
+			}
+			job.vals = job.dst
+			return nil
+		}
+	}
 	vals, err := job.pr.Reconstruct(p, device.Accel, job.pred, job.dims, job.eb)
 	if err != nil {
 		return fmt.Errorf("core: %s reconstruct: %w", job.pr.Name(), err)
@@ -253,7 +267,7 @@ func decompressChunkedReport(p *device.Platform, blob []byte) ([]float32, grid.D
 		nextLo += cc.Chunks[i].Planes * plane
 		want := dims.WithSlowExtent(cc.Chunks[i].Planes)
 		prefix := fmt.Sprintf("c%d.", i)
-		job := &decompressJob{}
+		job := &decompressJob{dst: out[lo : lo+want.N()]}
 		fetchTok := stf.NewToken(ctx, prefix+"container")
 		codesTok := stf.NewToken(ctx, prefix+"codes")
 
@@ -288,7 +302,9 @@ func decompressChunkedReport(p *device.Platform, blob []byte) ([]float32, grid.D
 				if err := job.reconstruct(p); err != nil {
 					return err
 				}
-				copy(out[lo:lo+len(job.vals)], job.vals)
+				if &job.vals[0] != &out[lo] {
+					copy(out[lo:lo+len(job.vals)], job.vals)
+				}
 				return nil
 			})
 	}

@@ -59,8 +59,26 @@ func (lp LorenzoPredictor) PredictInto(p *device.Platform, place device.Place, d
 	}, nil
 }
 
+// ReconstructorInto is the optional extension of Predictor for modules
+// that can reconstruct into a caller-provided output buffer: chunked
+// decompression scatters each chunk's field straight into the assembled
+// result instead of copying through a per-chunk allocation.
+type ReconstructorInto interface {
+	Predictor
+	ReconstructInto(p *device.Platform, place device.Place, pred *Prediction, dims grid.Dims, eb float64, dst []float32) error
+}
+
 // Reconstruct implements Predictor.
-func (LorenzoPredictor) Reconstruct(p *device.Platform, place device.Place, pred *Prediction, dims grid.Dims, eb float64) ([]float32, error) {
+func (lp LorenzoPredictor) Reconstruct(p *device.Platform, place device.Place, pred *Prediction, dims grid.Dims, eb float64) ([]float32, error) {
+	out := make([]float32, dims.N())
+	if err := lp.ReconstructInto(p, place, pred, dims, eb, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReconstructInto implements ReconstructorInto.
+func (LorenzoPredictor) ReconstructInto(p *device.Platform, place device.Place, pred *Prediction, dims grid.Dims, eb float64, dst []float32) error {
 	outValU := device.BytesU32(pred.Extras["outval"])
 	outVal := make([]int32, len(outValU))
 	for i, v := range outValU {
@@ -82,18 +100,34 @@ func (LorenzoPredictor) Reconstruct(p *device.Platform, place device.Place, pred
 		Radius: pred.Radius,
 	}
 	if len(q.OutIdx) != len(outVal) {
-		return nil, fmt.Errorf("core: %d outlier escapes in codes, %d values", len(q.OutIdx), len(outVal))
+		return fmt.Errorf("core: %d outlier escapes in codes, %d values", len(q.OutIdx), len(outVal))
 	}
-	return lorenzo.Decode(p, place, q, dims, eb)
+	return lorenzo.DecodeInto(p, place, q, dims, eb, dst)
 }
 
 // outlierIndices rebuilds the ascending outlier index stream from the
 // escape codes (code 0). cap bounds the scan so a corrupt stream cannot
-// allocate unboundedly.
+// allocate unboundedly. Escapes are rare, so the scan tests eight codes
+// per iteration with a branch-free borrow trick ((c-1) &^ c has its top
+// bit set exactly when c == 0) and only walks a group that contains one.
 func outlierIndices(codes []uint16, cap int) []uint32 {
 	out := make([]uint32, 0, cap)
-	for i, c := range codes {
-		if c == 0 {
+	i := 0
+	for ; i+8 <= len(codes); i += 8 {
+		c0, c1, c2, c3 := codes[i], codes[i+1], codes[i+2], codes[i+3]
+		c4, c5, c6, c7 := codes[i+4], codes[i+5], codes[i+6], codes[i+7]
+		z := (c0-1)&^c0 | (c1-1)&^c1 | (c2-1)&^c2 | (c3-1)&^c3 |
+			(c4-1)&^c4 | (c5-1)&^c5 | (c6-1)&^c6 | (c7-1)&^c7
+		if z&0x8000 != 0 {
+			for j := i; j < i+8; j++ {
+				if codes[j] == 0 {
+					out = append(out, uint32(j))
+				}
+			}
+		}
+	}
+	for ; i < len(codes); i++ {
+		if codes[i] == 0 {
 			out = append(out, uint32(i))
 		}
 	}

@@ -17,7 +17,7 @@ import (
 // Platform carries one (see Platform.ScratchPool) so concurrent compressions
 // sharing a platform also share its warm slabs.
 type BufPool struct {
-	bytes, u16, u32, i32, f32, f64 classPools
+	bytes, u16, u32, i32, i64, f32, f64 classPools
 
 	gets atomic.Int64
 	hits atomic.Int64
@@ -137,6 +137,14 @@ func (bp *BufPool) GetI32(n int, zeroed bool) *Slab[int32] {
 
 // PutI32 returns an int32 slab.
 func (bp *BufPool) PutI32(s *Slab[int32]) { putSlab(bp, &bp.i32, s) }
+
+// GetI64 checks out an int64 slab of length n.
+func (bp *BufPool) GetI64(n int, zeroed bool) *Slab[int64] {
+	return getSlab[int64](bp, &bp.i64, n, zeroed)
+}
+
+// PutI64 returns an int64 slab.
+func (bp *BufPool) PutI64(s *Slab[int64]) { putSlab(bp, &bp.i64, s) }
 
 // GetF32 checks out a float32 slab of length n.
 func (bp *BufPool) GetF32(n int, zeroed bool) *Slab[float32] {

@@ -15,6 +15,7 @@ package huffman
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 	"sort"
 	"sync"
 
@@ -29,6 +30,16 @@ const maxCodeLen = 32
 // one lookup, longer ones fall back to the canonical bit-by-bit path.
 const tableBits = 12
 
+// multiBits sizes the multi-symbol decode table: every multiBits-wide
+// lookahead window is pre-decoded into the run of complete codes it
+// contains, so skewed codebooks (1–2 bit dominant codes are the norm for
+// quantization residuals) decode several symbols per table lookup. Kept
+// below tableBits so the table stays L1-resident.
+const multiBits = 10
+
+// maxMultiSyms caps the symbols pre-decoded per window entry.
+const maxMultiSyms = 6
+
 // chunkSize is the number of symbols encoded per independent chunk.
 const chunkSize = 1 << 16
 
@@ -36,6 +47,11 @@ const chunkSize = 1 << 16
 type Codec struct {
 	lengths []uint8  // per symbol; 0 = symbol absent
 	codes   []uint32 // canonical code bits (MSB-first semantics)
+	// revCodes holds each code with its bits reversed into stream order
+	// (the stream packs code bits MSB-first at increasing LSB-first bit
+	// positions), precomputed once at table-build time so the encoder's
+	// inner loop is a single lookup+shift instead of a per-bit reversal.
+	revCodes []uint32
 
 	// Canonical decode state.
 	minLen, maxLen int
@@ -43,11 +59,21 @@ type Codec struct {
 	firstIdx       []int    // by length
 	symByIdx       []uint16
 	fast           []fastEntry
+	multi          []multiEntry
 }
 
 type fastEntry struct {
 	sym uint16
 	len uint8
+}
+
+// multiEntry pre-decodes one lookahead window: the first n complete codes
+// it contains (bits consumed in total). n == 0 means the window's first
+// code is longer than the window and the per-symbol paths must decode it.
+type multiEntry struct {
+	syms [maxMultiSyms]uint16
+	n    uint8
+	bits uint8
 }
 
 // buildScratch holds the transient arrays of one codebook construction
@@ -294,6 +320,15 @@ func fromLengths(lengths []uint8) (*Codec, error) {
 		c.symByIdx[c.firstIdx[l]+offset] = uint16(e.sym)
 	}
 
+	// Stream-order codes: the per-symbol bit reversal happens here, once,
+	// instead of per emitted symbol in encodeChunk.
+	c.revCodes = make([]uint32, len(lengths))
+	for s, l := range lengths {
+		if l > 0 {
+			c.revCodes[s] = bits.Reverse32(c.codes[s]) >> (32 - uint(l))
+		}
+	}
+
 	// Fast table.
 	tb := c.maxLen
 	if tb > tableBits {
@@ -304,16 +339,37 @@ func fromLengths(lengths []uint8) (*Codec, error) {
 		if l == 0 || int(l) > tb {
 			continue
 		}
-		code := c.codes[s]
 		// Stream packs code bits MSB-first at increasing bit positions;
-		// lookahead index packs stream bits LSB-first.
-		var base uint32
-		for j := 0; j < int(l); j++ {
-			bit := (code >> uint(int(l)-1-j)) & 1
-			base |= bit << uint(j)
-		}
+		// lookahead index packs stream bits LSB-first — exactly revCodes.
+		base := c.revCodes[s]
 		for fill := 0; fill < 1<<uint(tb-int(l)); fill++ {
 			c.fast[base|uint32(fill)<<uint(l)] = fastEntry{uint16(s), l}
+		}
+	}
+
+	// Multi-symbol table: simulate fast-path decoding inside each window.
+	// A symbol is committed only when its full code lies within the
+	// window's remaining bits, so a window never implies symbols the
+	// canonical decoder would not produce.
+	mb := c.maxLen
+	if mb > multiBits {
+		mb = multiBits
+	}
+	c.multi = make([]multiEntry, 1<<uint(mb))
+	for w := range c.multi {
+		acc := uint32(w)
+		rem := mb
+		me := &c.multi[w]
+		for me.n < maxMultiSyms {
+			e := c.fast[acc&uint32(len(c.fast)-1)]
+			if e.len == 0 || int(e.len) > rem {
+				break
+			}
+			me.syms[me.n] = e.sym
+			me.n++
+			me.bits += e.len
+			acc >>= e.len
+			rem -= int(e.len)
 		}
 	}
 	return c, nil
@@ -389,7 +445,11 @@ func ParseTable(data []byte) (*Codec, int, error) {
 
 // Encode compresses codes into a chunked bitstream (table not included).
 // Chunks are encoded in parallel at place (LaunchBlocks, so even a few
-// chunks fan out) into pooled scratch slabs released once assembled.
+// chunks fan out) into pooled scratch slabs released once assembled. A
+// cheap length-summing pre-pass sizes each chunk's slab exactly (plus word
+// headroom) and validates the symbols, so the emission loop itself is
+// branch-light and never reallocates; every checked-out slab is returned to
+// the pool on both the success and the error path.
 func (c *Codec) Encode(p *device.Platform, place device.Place, codes []uint16) ([]byte, error) {
 	pool := p.ScratchPool()
 	nChunks := (len(codes) + chunkSize - 1) / chunkSize
@@ -403,10 +463,8 @@ func (c *Codec) Encode(p *device.Platform, place device.Place, codes []uint16) (
 			if end > len(codes) {
 				end = len(codes)
 			}
-			slab := pool.GetBytes((end-start)/2+8, false)
-			buf, err := c.encodeChunk(codes[start:end], slab.Data[:0])
+			bits, err := c.chunkBits(codes[start:end])
 			if err != nil {
-				pool.PutBytes(slab)
 				errMu.Lock()
 				if firstErr == nil {
 					firstErr = err
@@ -414,19 +472,27 @@ func (c *Codec) Encode(p *device.Platform, place device.Place, codes []uint16) (
 				errMu.Unlock()
 				return
 			}
-			chunkBufs[ci] = buf
+			// Exact payload bytes plus 8 bytes of headroom for the 64-bit
+			// flushes, which store a full word at the last partial position.
+			slab := pool.GetBytes(int(bits>>3)+9, false)
+			chunkBufs[ci] = c.encodeChunk(codes[start:end], slab.Data)
 			slabs[ci] = slab
 		}
 	})
+	release := func() {
+		for _, slab := range slabs {
+			if slab != nil {
+				pool.PutBytes(slab)
+			}
+		}
+	}
 	errMu.Lock()
 	firstErr2 := firstErr
 	errMu.Unlock()
 	if firstErr2 != nil {
-		for ci, slab := range slabs {
-			if chunkBufs[ci] != nil && cap(chunkBufs[ci]) == cap(slab.Data) {
-				pool.PutBytes(slab)
-			}
-		}
+		// A mid-stream failure leaves earlier chunks' slabs checked out;
+		// hand every one back before surfacing the error.
+		release()
 		return nil, firstErr2
 	}
 	size := binary.MaxVarintLen64 * (2 + nChunks)
@@ -438,43 +504,63 @@ func (c *Codec) Encode(p *device.Platform, place device.Place, codes []uint16) (
 	for _, buf := range chunkBufs {
 		out = binary.AppendUvarint(out, uint64(len(buf)))
 	}
-	for ci, buf := range chunkBufs {
+	for _, buf := range chunkBufs {
 		out = append(out, buf...)
-		// A chunk that outgrew its slab reallocated; only return slabs whose
-		// storage the encoder still owns (growth always increases capacity).
-		if cap(buf) == cap(slabs[ci].Data) {
-			pool.PutBytes(slabs[ci])
-		}
 	}
+	release()
 	return out, nil
 }
 
-func (c *Codec) encodeChunk(codes []uint16, out []byte) ([]byte, error) {
-	var acc uint64
-	var nbits uint
+// chunkBits returns the exact encoded size of a chunk in bits, failing on
+// any symbol the codebook has no code for. It doubles as the validation
+// pass: encodeChunk afterwards assumes every symbol is coded.
+func (c *Codec) chunkBits(codes []uint16) (uint64, error) {
+	var bits uint64
 	for _, s := range codes {
 		if int(s) >= len(c.lengths) || c.lengths[s] == 0 {
-			return nil, fmt.Errorf("huffman: symbol %d has no code (histogram missed it)", s)
+			return 0, fmt.Errorf("huffman: symbol %d has no code (histogram missed it)", s)
 		}
-		l := uint(c.lengths[s])
-		code := c.codes[s]
-		// Append code bits MSB-first at increasing stream positions.
-		var rev uint64
-		for j := uint(0); j < l; j++ {
-			rev |= uint64((code>>(l-1-j))&1) << j
+		bits += uint64(c.lengths[s])
+	}
+	return bits, nil
+}
+
+// encodeChunk emits the chunk's bitstream into buf word-at-a-time: codes
+// are looked up in stream order (revCodes), packed into a 64-bit
+// accumulator, and flushed eight bytes at a time with a single
+// little-endian store. buf must be sized by chunkBits (content + 8 bytes of
+// headroom) and every symbol must be coded; the filled prefix is returned.
+// The byte stream is identical to the historical bit-by-bit emission.
+func (c *Codec) encodeChunk(codes []uint16, buf []byte) []byte {
+	var acc uint64
+	var nbits uint
+	pos := 0
+	for _, s := range codes {
+		acc |= uint64(c.revCodes[s]) << nbits
+		nbits += uint(c.lengths[s])
+		if nbits >= 32 {
+			// Store the whole accumulator; only the complete low bytes
+			// advance pos, so the partial tail is rewritten by the next
+			// flush. nbits stays < 32 before the next merge, which keeps
+			// the shift above in range for codes up to maxCodeLen bits.
+			binary.LittleEndian.PutUint64(buf[pos:], acc)
+			adv := nbits >> 3
+			pos += int(adv)
+			acc >>= adv << 3
+			nbits &= 7
 		}
-		acc |= rev << nbits
-		nbits += l
-		for nbits >= 8 {
-			out = append(out, byte(acc))
-			acc >>= 8
+	}
+	for nbits > 0 {
+		buf[pos] = byte(acc)
+		pos++
+		acc >>= 8
+		if nbits >= 8 {
 			nbits -= 8
+		} else {
+			nbits = 0
 		}
 	}
-	if nbits > 0 {
-		out = append(out, byte(acc))
-	}
-	return out, nil
+	return buf[:pos]
 }
 
 // Decode expands a chunked bitstream produced by Encode back into n codes,
@@ -493,21 +579,32 @@ func (c *Codec) Decode(p *device.Platform, place device.Place, data []byte) ([]u
 	if want := (total + chunkSize - 1) / chunkSize; nChunks != want && !(total == 0 && nChunks == 0) {
 		return nil, fmt.Errorf("huffman: chunk count %d inconsistent with %d symbols", nChunks, total)
 	}
-	sizes := make([]int, nChunks)
-	for i := range sizes {
+	// Per-chunk payload offsets, pooled: Decode runs once per codec chunk
+	// group on the decompression hot path, and the size/offset table was a
+	// steady-state allocation. Sizes are parsed into the tail slots and
+	// folded into offsets in place.
+	pool := p.ScratchPool()
+	offSlab := pool.GetI64(int(nChunks)+1, false)
+	offsets := offSlab.Data
+	for i := 0; i < int(nChunks); i++ {
 		sz, k := binary.Uvarint(data[pos:])
 		if k <= 0 {
+			pool.PutI64(offSlab)
 			return nil, fmt.Errorf("huffman: truncated chunk size table")
 		}
+		if sz > uint64(len(data)) {
+			pool.PutI64(offSlab)
+			return nil, fmt.Errorf("huffman: stream shorter than chunk table claims")
+		}
 		pos += k
-		sizes[i] = int(sz)
+		offsets[i+1] = int64(sz)
 	}
-	offsets := make([]int, nChunks+1)
-	offsets[0] = pos
-	for i, sz := range sizes {
-		offsets[i+1] = offsets[i] + sz
+	offsets[0] = int64(pos)
+	for i := 1; i <= int(nChunks); i++ {
+		offsets[i] += offsets[i-1]
 	}
-	if offsets[nChunks] > len(data) {
+	if offsets[nChunks] > int64(len(data)) {
+		pool.PutI64(offSlab)
 		return nil, fmt.Errorf("huffman: stream shorter than chunk table claims")
 	}
 
@@ -530,6 +627,7 @@ func (c *Codec) Decode(p *device.Platform, place device.Place, data []byte) ([]u
 			}
 		}
 	})
+	pool.PutI64(offSlab)
 	errMu.Lock()
 	defer errMu.Unlock()
 	if firstErr != nil {
@@ -538,41 +636,85 @@ func (c *Codec) Decode(p *device.Platform, place device.Place, data []byte) ([]u
 	return out, nil
 }
 
+// decodeChunk expands one chunk's bitstream through a 64-bit bit reservoir:
+// eight bytes are loaded per refill with a single little-endian read, the
+// multi-symbol table decodes every complete code inside the lookahead
+// window per lookup (with the single-symbol fast table as fallback at
+// window boundaries), and the reservoir refills only once it drops below
+// 32 bits (a byte-wise scalar tail takes over inside the last word of the
+// stream). The canonical slow path for codes longer than tableBits reads
+// its bits from the same reservoir, so no per-bit byte indexing survives
+// anywhere in the loop.
 func (c *Codec) decodeChunk(data []byte, out []uint16) error {
-	totalBits := len(data) * 8
-	bitPos := 0
+	n := len(data)
 	tb := c.maxLen
 	if tb > tableBits {
 		tb = tableBits
 	}
-	peek := func(pos, nb int) uint32 {
-		var v uint32
-		for j := 0; j < nb && pos+j < totalBits; j++ {
-			bp := pos + j
-			v |= uint32(data[bp/8]>>(uint(bp)%8)&1) << uint(j)
+	mask := uint64(1)<<uint(tb) - 1
+	fast := c.fast
+	multi := c.multi
+	mmask := uint64(len(multi) - 1)
+	var acc uint64 // stream bits, LSB-first; bits ≥ navail are zero
+	var navail uint
+	pos := 0
+	for oi := 0; oi < len(out); {
+		if navail < 32 {
+			if pos+8 <= n {
+				// Word refill: absorb as many whole bytes as fit; the
+				// partial top byte is reloaded by the next refill.
+				acc |= binary.LittleEndian.Uint64(data[pos:]) << navail
+				adv := (63 - navail) >> 3
+				pos += int(adv)
+				navail += adv << 3
+			} else {
+				// Scalar tail: byte-wise refill over the final few bytes.
+				for navail <= 56 && pos < n {
+					acc |= uint64(data[pos]) << navail
+					pos++
+					navail += 8
+				}
+			}
 		}
-		return v
-	}
-	for oi := range out {
-		if e := c.fast[peek(bitPos, tb)]; e.len > 0 && bitPos+int(e.len) <= totalBits {
-			out[oi] = e.sym
-			bitPos += int(e.len)
+		// Multi-symbol path: one lookup decodes every complete code in
+		// the lookahead window.
+		if me := &multi[acc&mmask]; me.n > 0 && uint(me.bits) <= navail && oi+int(me.n) <= len(out) {
+			for k := 0; k < int(me.n); k++ {
+				out[oi+k] = me.syms[k]
+			}
+			oi += int(me.n)
+			acc >>= me.bits
+			navail -= uint(me.bits)
 			continue
 		}
-		// Slow canonical path for long codes.
-		var acc uint32
+		if e := fast[acc&mask]; e.len > 0 && uint(e.len) <= navail {
+			out[oi] = e.sym
+			oi++
+			acc >>= e.len
+			navail -= uint(e.len)
+			continue
+		}
+		// Slow canonical path for long codes (and the stream tail, where
+		// fewer than a full lookahead's bits remain).
+		var code uint32
 		l := 0
+		lMax := c.maxLen
+		if uint(lMax) > navail {
+			lMax = int(navail)
+		}
 		matched := false
-		for bitPos+l < totalBits && l < c.maxLen {
-			acc = acc<<1 | uint32(data[(bitPos+l)/8]>>(uint(bitPos+l)%8)&1)
+		for l < lMax {
+			code = code<<1 | uint32(acc>>uint(l))&1
 			l++
 			if l < c.minLen {
 				continue
 			}
-			rel := int(acc) - int(c.firstCode[l])
+			rel := int(code) - int(c.firstCode[l])
 			if rel >= 0 && c.firstIdx[l]+rel < firstIdxEnd(c, l) {
 				out[oi] = c.symByIdx[c.firstIdx[l]+rel]
-				bitPos += l
+				oi++
+				acc >>= uint(l)
+				navail -= uint(l)
 				matched = true
 				break
 			}

@@ -1,6 +1,7 @@
 package huffman
 
 import (
+	"encoding/binary"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -326,6 +327,170 @@ func TestMultiChunkBoundary(t *testing.T) {
 			if got[i] != codes[i] {
 				t.Fatalf("n=%d mismatch at %d", n, i)
 			}
+		}
+	}
+}
+
+// genDeepCodes returns a histogram whose Fibonacci-like frequencies force
+// canonical code lengths past tableBits, plus a symbol stream that uses
+// every symbol — including the rare deep ones — so decoding must exercise
+// the canonical slow path of the reservoir decoder.
+func genDeepCodes(t *testing.T, nSyms, n int, seed int64) ([]uint16, []uint32) {
+	t.Helper()
+	h := make([]uint32, nSyms)
+	a, b := uint32(1), uint32(1)
+	for i := range h {
+		h[i] = a
+		if a < 1<<28 {
+			a, b = b, a+b
+		}
+	}
+	c, err := Build(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.maxLen <= tableBits {
+		t.Fatalf("deep histogram built maxLen %d, need > %d to hit the slow path", c.maxLen, tableBits)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	codes := make([]uint16, n)
+	for i := range codes {
+		if rng.Intn(16) == 0 {
+			codes[i] = uint16(rng.Intn(nSyms)) // uniform: hits deep codes
+		} else {
+			codes[i] = uint16(nSyms - 1 - rng.Intn(4)) // frequent short codes
+		}
+	}
+	return codes, h
+}
+
+func TestSlowPathDeepCodesRoundtrip(t *testing.T) {
+	// Crosses a chunk boundary so the reservoir decoder also runs its
+	// scalar tail on a mid-stream chunk end.
+	codes, h := genDeepCodes(t, 24, chunkSize+4097, 11)
+	blob, err := Compress(tp, device.Host, codes, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(tp, device.Host, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(codes) {
+		t.Fatalf("len = %d, want %d", len(got), len(codes))
+	}
+	for i := range codes {
+		if got[i] != codes[i] {
+			t.Fatalf("mismatch at %d: %d vs %d", i, got[i], codes[i])
+		}
+	}
+}
+
+func TestDecodeCorruptChunkEndsMidRefill(t *testing.T) {
+	codes, h := genDeepCodes(t, 24, 4096, 13)
+	c, err := Build(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := c.Encode(tp, device.Host, codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip the intact container framing down to the raw chunk bits.
+	total, k := binary.Uvarint(payload)
+	pos := k
+	nChunks, k := binary.Uvarint(payload[pos:])
+	pos += k
+	if total != uint64(len(codes)) || nChunks != 1 {
+		t.Fatalf("unexpected framing: total=%d chunks=%d", total, nChunks)
+	}
+	_, k = binary.Uvarint(payload[pos:]) // chunk size
+	pos += k
+	chunk := payload[pos:]
+	// Rebuild a consistent stream whose single chunk is cut to a handful
+	// of bytes: the reservoir decoder exhausts the stream inside its
+	// byte-wise tail refill and must report corruption, never invent
+	// symbols or read past the buffer.
+	for _, keep := range []int{1, 3, 5, 7} {
+		if keep >= len(chunk) {
+			t.Fatalf("chunk only %d bytes", len(chunk))
+		}
+		trunc := binary.AppendUvarint(nil, total)
+		trunc = binary.AppendUvarint(trunc, 1)
+		trunc = binary.AppendUvarint(trunc, uint64(keep))
+		trunc = append(trunc, chunk[:keep]...)
+		if _, err := c.Decode(tp, device.Host, trunc); err == nil {
+			t.Errorf("keep=%d: truncated chunk must fail to decode", keep)
+		}
+	}
+}
+
+func TestEncodeErrorReturnsAllSlabs(t *testing.T) {
+	// A symbol without a code in a late chunk fails Encode after earlier
+	// chunks already checked out slabs; every slab must come back.
+	p := device.NewTestPlatform()
+	codes := make([]uint16, 3*chunkSize)
+	codes[len(codes)-1] = 9 // histogram below misses it
+	h := histOf(codes[:len(codes)-1], 16)
+	c, err := Build(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Encode(p, device.Host, codes); err == nil {
+		t.Fatal("uncoded symbol must fail Encode")
+	}
+	if st := p.ScratchPool().Stats(); st.Gets != st.Puts {
+		t.Errorf("encode error path leaked pool slabs: %d gets, %d puts", st.Gets, st.Puts)
+	}
+}
+
+func benchCodes(n int) ([]uint16, []uint32) {
+	rng := rand.New(rand.NewSource(42))
+	codes := make([]uint16, n)
+	for i := range codes {
+		r := rng.Float64()
+		switch {
+		case r < 0.8:
+			codes[i] = 512
+		case r < 0.95:
+			codes[i] = uint16(508 + rng.Intn(9))
+		default:
+			codes[i] = uint16(rng.Intn(1024))
+		}
+	}
+	return codes, histOf(codes, 1024)
+}
+
+func BenchmarkHuffmanEncode(b *testing.B) {
+	codes, h := benchCodes(1 << 21)
+	c, err := Build(h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(2 * len(codes)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(tp, device.Host, codes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHuffmanDecode(b *testing.B) {
+	codes, h := benchCodes(1 << 21)
+	c, err := Build(h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload, err := c.Encode(tp, device.Host, codes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(2 * len(codes)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decode(tp, device.Host, payload); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

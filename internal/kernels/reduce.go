@@ -27,14 +27,64 @@ func MinMaxF32(p *device.Platform, place device.Place, data []float32) (mn, mx f
 	var mu sync.Mutex
 	mn, mx = float32(math.Inf(1)), float32(math.Inf(-1))
 	p.LaunchGrid(place, len(data), func(lo, hi int) {
+		// Four independent accumulator lanes break the compare-update
+		// dependency chain; the lanes fold together before the merge.
 		lmn, lmx := data[lo], data[lo]
-		for _, v := range data[lo+1 : hi] {
-			if v < lmn {
-				lmn = v
+		mn1, mx1 := lmn, lmx
+		mn2, mx2 := lmn, lmx
+		mn3, mx3 := lmn, lmx
+		i := lo
+		for ; i+4 <= hi; i += 4 {
+			v0, v1, v2, v3 := data[i], data[i+1], data[i+2], data[i+3]
+			if v0 < lmn {
+				lmn = v0
 			}
-			if v > lmx {
+			if v0 > lmx {
+				lmx = v0
+			}
+			if v1 < mn1 {
+				mn1 = v1
+			}
+			if v1 > mx1 {
+				mx1 = v1
+			}
+			if v2 < mn2 {
+				mn2 = v2
+			}
+			if v2 > mx2 {
+				mx2 = v2
+			}
+			if v3 < mn3 {
+				mn3 = v3
+			}
+			if v3 > mx3 {
+				mx3 = v3
+			}
+		}
+		for ; i < hi; i++ {
+			if v := data[i]; v < lmn {
+				lmn = v
+			} else if v > lmx {
 				lmx = v
 			}
+		}
+		if mn1 < lmn {
+			lmn = mn1
+		}
+		if mn2 < lmn {
+			lmn = mn2
+		}
+		if mn3 < lmn {
+			lmn = mn3
+		}
+		if mx1 > lmx {
+			lmx = mx1
+		}
+		if mx2 > lmx {
+			lmx = mx2
+		}
+		if mx3 > lmx {
+			lmx = mx3
 		}
 		mu.Lock()
 		if lmn < mn {

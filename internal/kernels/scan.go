@@ -53,10 +53,18 @@ func ExclusiveScanInto(p *device.Platform, place device.Place, src, out []uint32
 	}
 	total = acc
 
-	// Phase 3: add block offsets.
-	p.LaunchGrid(place, n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out[i] += blockSums[i/block]
+	// Phase 3: add block offsets — one unit-stride constant-offset loop per
+	// block instead of a per-element division to locate the block.
+	p.LaunchBlocks(place, nBlocks, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := b*block, (b+1)*block
+			if hi > n {
+				hi = n
+			}
+			s := blockSums[b]
+			for i := lo; i < hi; i++ {
+				out[i] += s
+			}
 		}
 	})
 	p.ScratchPool().PutU32(sums)

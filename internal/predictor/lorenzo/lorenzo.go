@@ -17,6 +17,14 @@
 // decoder applies prefix sums along each dimension, so the only error in
 // the pipeline is the initial lattice rounding, which is ≤ eb by
 // construction. That is what makes the bound strict end to end.
+//
+// Kernel structure: the hot loops are rank-specialized row kernels that
+// fuse pre-quantization with residual+code emission, so the lattice is
+// walked once while hot in cache and all neighbor accesses are direct
+// stride offsets (q[i]-q[i-1]-q[i-nx]+q[i-nx-1] and the 3-D analogue).
+// Coordinate arithmetic appears only at block edges, where each parallel
+// block re-quantizes the single halo row/plane preceding it into private
+// scratch so blocks never read lattice entries another block writes.
 package lorenzo
 
 import (
@@ -26,7 +34,6 @@ import (
 
 	"fzmod/internal/device"
 	"fzmod/internal/grid"
-	"fzmod/internal/kernels"
 )
 
 // DefaultRadius is the quantization-code radius used by cuSZ: residuals in
@@ -58,11 +65,38 @@ func Encode(p *device.Platform, place device.Place, data []float32, dims grid.Di
 	return EncodeInto(p, place, data, dims, eb, radius, nil)
 }
 
+// encBlock is one parallel unit of the fused encode kernel: a contiguous
+// range of the field's slowest-varying dimension plus the pooled slabs its
+// outliers are collected into. Outliers are appended in index order inside
+// a block and blocks cover ascending index ranges, so concatenating the
+// per-block sets in block order yields the globally sorted outlier stream —
+// the same order the historical flag-scan-compact phase produced.
+type encBlock struct {
+	lo, hi  int // slow-dimension range [lo, hi)
+	idxSlab *device.Slab[uint32]
+	valSlab *device.Slab[int32]
+	outIdx  []uint32
+	outVal  []int32
+}
+
+// add records one escape-coded point. idx/outVal capacity covers every
+// element of the block, so the appends never reallocate.
+func (b *encBlock) add(i int, d int32) {
+	b.outIdx = append(b.outIdx, uint32(i))
+	b.outVal = append(b.outVal, d)
+}
+
 // EncodeInto is Encode quantizing into a caller-provided codes slice of
-// exactly dims.N() elements (any contents; it is cleared first), so
-// executors processing many chunks can recycle one code buffer instead of
-// allocating per chunk. The returned Quantized aliases codes. A nil codes
-// allocates, exactly like Encode.
+// exactly dims.N() elements (any contents; every element is overwritten),
+// so executors processing many chunks can recycle one code buffer instead
+// of allocating per chunk. The returned Quantized aliases codes. A nil
+// codes allocates, exactly like Encode.
+//
+// Overflow contract: when any pre-quantized magnitude exceeds the int32
+// lattice guard, EncodeInto returns an error and the contents of codes
+// (and the would-be outlier set) are unspecified — blocks abandon work at
+// the next row boundary once any block has observed an overflow, so
+// partial garbage is never interpreted as a result.
 func EncodeInto(p *device.Platform, place device.Place, data []float32, dims grid.Dims, eb float64, radius int, codes []uint16) (*Quantized, error) {
 	if !dims.Valid() || dims.N() != len(data) {
 		return nil, fmt.Errorf("lorenzo: dims %v do not match %d values", dims, len(data))
@@ -79,127 +113,360 @@ func EncodeInto(p *device.Platform, place device.Place, data []float32, dims gri
 	n := dims.N()
 	ebx2r := 1.0 / (2 * eb)
 	pool := p.ScratchPool()
+	if codes == nil {
+		codes = make([]uint16, n)
+	}
 
-	// Phase 1: pre-quantize onto the 2·eb lattice. The lattice and the
-	// outlier flags are pooled scratch — they die inside this call, so
-	// steady-state encoding reuses the same slabs chunk after chunk.
+	// The lattice is pooled scratch — it dies inside this call, so
+	// steady-state encoding reuses the same slab chunk after chunk. The
+	// fused kernels write every element, so it needs no clearing.
 	latticeSlab := pool.GetI32(n, false)
 	lattice := latticeSlab.Data
+
+	// Partition the slowest dimension into one block per worker. Each
+	// block walks its rows once, fusing pre-quantization with residual
+	// emission; the first row/plane of a block needs the lattice of the
+	// row/plane before it, which the block re-quantizes into private halo
+	// scratch (pre-quantization is deterministic per element, so the
+	// duplicate of that one boundary row is exact and race-free).
+	slow := dims.SlowExtent()
+	nBlocks := p.Workers(place)
+	if nBlocks > slow {
+		nBlocks = slow
+	}
+	if nBlocks < 1 {
+		nBlocks = 1
+	}
+	per := (slow + nBlocks - 1) / nBlocks
+	blocks := make([]encBlock, 0, nBlocks)
+	plane := dims.PlaneElems()
+	for lo := 0; lo < slow; lo += per {
+		hi := lo + per
+		if hi > slow {
+			hi = slow
+		}
+		elems := (hi - lo) * plane
+		b := encBlock{lo: lo, hi: hi,
+			idxSlab: pool.GetU32(elems, false),
+			valSlab: pool.GetI32(elems, false),
+		}
+		b.outIdx = b.idxSlab.Data[:0]
+		b.outVal = b.valSlab.Data[:0]
+		blocks = append(blocks, b)
+	}
+
 	var overflow atomic.Bool
-	p.LaunchGrid(place, n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			v := math.Round(float64(data[i]) * ebx2r)
-			if v > maxLattice || v < -maxLattice {
+	r32 := int32(radius)
+	p.LaunchBlocks(place, len(blocks), func(blo, bhi int) {
+		for bi := blo; bi < bhi; bi++ {
+			b := &blocks[bi]
+			var ok bool
+			switch dims.Rank() {
+			case 1:
+				ok = encodeBlock1D(data, lattice, codes, b, r32, ebx2r)
+			case 2:
+				ok = encodeBlock2D(data, lattice, codes, b, dims.X, r32, ebx2r, pool, &overflow)
+			default:
+				ok = encodeBlock3D(data, lattice, codes, b, dims.X, dims.Y, r32, ebx2r, pool, &overflow)
+			}
+			if !ok {
 				overflow.Store(true)
 				return
 			}
-			lattice[i] = int32(v)
 		}
 	})
-	if overflow.Load() {
+	release := func() {
+		for i := range blocks {
+			pool.PutU32(blocks[i].idxSlab)
+			pool.PutI32(blocks[i].valSlab)
+		}
 		pool.PutI32(latticeSlab)
+	}
+	if overflow.Load() {
+		release()
 		return nil, fmt.Errorf("lorenzo: error bound %g too tight for data magnitude (lattice overflow); relax the bound", eb)
 	}
 
-	// Phase 2: Lorenzo residual + code emission + outlier flags. Escape
-	// marking leaves codes[i] at 0, so a recycled buffer must be cleared.
-	if codes == nil {
-		codes = make([]uint16, n)
-	} else {
-		clear(codes)
+	// Concatenate the per-block outlier sets in block (= index) order.
+	total := 0
+	for i := range blocks {
+		total += len(blocks[i].outIdx)
 	}
-	flagsSlab := pool.GetU32(n, true) // escape marking assumes zeroed flags
-	flags := flagsSlab.Data
-	resid := residualFn(dims, lattice)
-	r32 := int32(radius)
-	p.LaunchGrid(place, n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			d := resid(i)
-			if d > -r32 && d < r32 {
-				codes[i] = uint16(d + r32)
-			} else {
-				flags[i] = 1 // escape: codes[i] stays 0
-			}
-		}
-	})
-
-	// Phase 3: compact outliers (scan + scatter, the GPU idiom).
-	outIdx := kernels.CompactU32(p, place, flags)
-	pool.PutU32(flagsSlab)
-	outVal := make([]int32, len(outIdx))
-	p.LaunchGrid(place, len(outIdx), func(lo, hi int) {
-		for j := lo; j < hi; j++ {
-			outVal[j] = resid(int(outIdx[j]))
-		}
-	})
-	pool.PutI32(latticeSlab)
+	outIdx := make([]uint32, 0, total)
+	outVal := make([]int32, 0, total)
+	for i := range blocks {
+		outIdx = append(outIdx, blocks[i].outIdx...)
+		outVal = append(outVal, blocks[i].outVal...)
+	}
+	release()
 	return &Quantized{Codes: codes, OutIdx: outIdx, OutVal: outVal, Radius: radius}, nil
 }
 
-// residualFn returns the Lorenzo residual at linear index i given the
-// lattice codes, specialized per rank.
-func residualFn(dims grid.Dims, q []int32) func(i int) int32 {
-	at := func(x, y, z int) int32 {
-		if x < 0 || y < 0 || z < 0 {
-			return 0
+// quantRow pre-quantizes one contiguous run of values onto the 2·eb
+// lattice, reporting false on overflow. It is used for the private halo
+// rows/planes at block edges; interior quantization is fused into the
+// residual kernels below.
+func quantRow(data []float32, q []int32, ebx2r float64) bool {
+	for i, v := range data {
+		t := math.Round(float64(v) * ebx2r)
+		if t > maxLattice || t < -maxLattice {
+			return false
 		}
-		return q[dims.Idx(x, y, z)]
+		q[i] = int32(t)
 	}
-	switch dims.Rank() {
-	case 1:
-		return func(i int) int32 {
-			if i == 0 {
-				return q[0]
+	return true
+}
+
+// fusedRow1 quantizes and encodes a row with no row above — the first row
+// of a 1-D or 2-D field (and the first row of a 3-D field's first plane).
+// prev seeds the running chain: 0 at the field origin, the halo value at a
+// 1-D block edge. d = q[x] - q[x-1].
+func fusedRow1(data []float32, q []int32, codes []uint16, base int, prev int32, r32 int32, ebx2r float64, b *encBlock) bool {
+	for x, v := range data {
+		t := math.Round(float64(v) * ebx2r)
+		if t > maxLattice || t < -maxLattice {
+			return false
+		}
+		cur := int32(t)
+		q[x] = cur
+		d := cur - prev
+		prev = cur
+		if d > -r32 && d < r32 {
+			codes[x] = uint16(d + r32)
+		} else {
+			codes[x] = 0
+			b.add(base+x, d)
+		}
+	}
+	return true
+}
+
+// fusedRow2 quantizes and encodes a row with one row above (up): the
+// general 2-D row, and — because the terms along a singleton axis vanish —
+// also the first row of every 3-D plane when up is the plane behind's
+// first row. d = q[i] - q[i-1] - up[x] + up[x-1]; at x = 0 the x-1 terms
+// are zero.
+func fusedRow2(data []float32, q, up []int32, codes []uint16, base int, r32 int32, ebx2r float64, b *encBlock) bool {
+	t := math.Round(float64(data[0]) * ebx2r)
+	if t > maxLattice || t < -maxLattice {
+		return false
+	}
+	left := int32(t)
+	q[0] = left
+	upLeft := up[0]
+	d := left - upLeft
+	if d > -r32 && d < r32 {
+		codes[0] = uint16(d + r32)
+	} else {
+		codes[0] = 0
+		b.add(base, d)
+	}
+	for x := 1; x < len(data); x++ {
+		t := math.Round(float64(data[x]) * ebx2r)
+		if t > maxLattice || t < -maxLattice {
+			return false
+		}
+		cur := int32(t)
+		q[x] = cur
+		u := up[x]
+		d := cur - left - u + upLeft
+		left, upLeft = cur, u
+		if d > -r32 && d < r32 {
+			codes[x] = uint16(d + r32)
+		} else {
+			codes[x] = 0
+			b.add(base+x, d)
+		}
+	}
+	return true
+}
+
+// fusedRow3 quantizes and encodes a full 3-D interior row: up is the row
+// above in the same plane, back the same row in the plane behind, backUp
+// the row above in the plane behind.
+// d = q[i] - q[i-1] - up[x] + up[x-1] - back[x] + back[x-1] + backUp[x] - backUp[x-1];
+// at x = 0 the x-1 terms are zero.
+func fusedRow3(data []float32, q, up, back, backUp []int32, codes []uint16, base int, r32 int32, ebx2r float64, b *encBlock) bool {
+	t := math.Round(float64(data[0]) * ebx2r)
+	if t > maxLattice || t < -maxLattice {
+		return false
+	}
+	left := int32(t)
+	q[0] = left
+	upLeft, backLeft, backUpLeft := up[0], back[0], backUp[0]
+	d := left - upLeft - backLeft + backUpLeft
+	if d > -r32 && d < r32 {
+		codes[0] = uint16(d + r32)
+	} else {
+		codes[0] = 0
+		b.add(base, d)
+	}
+	for x := 1; x < len(data); x++ {
+		t := math.Round(float64(data[x]) * ebx2r)
+		if t > maxLattice || t < -maxLattice {
+			return false
+		}
+		cur := int32(t)
+		q[x] = cur
+		u, bk, bu := up[x], back[x], backUp[x]
+		d := cur - left - u + upLeft - bk + backLeft + bu - backUpLeft
+		left, upLeft, backLeft, backUpLeft = cur, u, bk, bu
+		if d > -r32 && d < r32 {
+			codes[x] = uint16(d + r32)
+		} else {
+			codes[x] = 0
+			b.add(base+x, d)
+		}
+	}
+	return true
+}
+
+// encodeBlock1D runs the fused kernel over a 1-D element range (a single
+// row: no halo scratch and no interior row boundaries to poll overflow at).
+func encodeBlock1D(data []float32, lattice []int32, codes []uint16, b *encBlock, r32 int32, ebx2r float64) bool {
+	var prev int32
+	if b.lo > 0 {
+		// Halo: the element before the block, re-quantized privately.
+		t := math.Round(float64(data[b.lo-1]) * ebx2r)
+		if t > maxLattice || t < -maxLattice {
+			return false
+		}
+		prev = int32(t)
+	}
+	return fusedRow1(data[b.lo:b.hi], lattice[b.lo:b.hi], codes[b.lo:b.hi], b.lo, prev, r32, ebx2r, b)
+}
+
+// encodeBlock2D runs the fused kernel over a range of 2-D rows.
+func encodeBlock2D(data []float32, lattice []int32, codes []uint16, b *encBlock, nx int, r32 int32, ebx2r float64, pool *device.BufPool, overflow *atomic.Bool) bool {
+	var halo *device.Slab[int32]
+	up := []int32(nil)
+	if b.lo > 0 {
+		halo = pool.GetI32(nx, false)
+		defer pool.PutI32(halo)
+		if !quantRow(data[(b.lo-1)*nx:b.lo*nx], halo.Data, ebx2r) {
+			return false
+		}
+		up = halo.Data
+	}
+	for y := b.lo; y < b.hi; y++ {
+		if overflow.Load() {
+			return false // another block overflowed; abandon at the row edge
+		}
+		base := y * nx
+		row := lattice[base : base+nx]
+		if y == 0 {
+			if !fusedRow1(data[base:base+nx], row, codes[base:base+nx], base, 0, r32, ebx2r, b) {
+				return false
 			}
-			return q[i] - q[i-1]
+		} else if !fusedRow2(data[base:base+nx], row, up, codes[base:base+nx], base, r32, ebx2r, b) {
+			return false
 		}
-	case 2:
-		return func(i int) int32 {
-			x, y, _ := dims.Coords(i)
-			return q[i] - at(x-1, y, 0) - at(x, y-1, 0) + at(x-1, y-1, 0)
-		}
-	default:
-		return func(i int) int32 {
-			x, y, z := dims.Coords(i)
-			return q[i] -
-				at(x-1, y, z) - at(x, y-1, z) - at(x, y, z-1) +
-				at(x-1, y-1, z) + at(x-1, y, z-1) + at(x, y-1, z-1) -
-				at(x-1, y-1, z-1)
-		}
+		up = row
 	}
+	return true
+}
+
+// encodeBlock3D runs the fused kernel over a range of z-planes.
+func encodeBlock3D(data []float32, lattice []int32, codes []uint16, b *encBlock, nx, ny int, r32 int32, ebx2r float64, pool *device.BufPool, overflow *atomic.Bool) bool {
+	nxy := nx * ny
+	var halo *device.Slab[int32]
+	back := []int32(nil) // lattice of plane z-1
+	if b.lo > 0 {
+		halo = pool.GetI32(nxy, false)
+		defer pool.PutI32(halo)
+		if !quantRow(data[(b.lo-1)*nxy:b.lo*nxy], halo.Data, ebx2r) {
+			return false
+		}
+		back = halo.Data
+	}
+	for z := b.lo; z < b.hi; z++ {
+		pb := z * nxy
+		cur := lattice[pb : pb+nxy]
+		for y := 0; y < ny; y++ {
+			if overflow.Load() {
+				return false
+			}
+			base := pb + y*nx
+			row := lattice[base : base+nx]
+			dr := data[base : base+nx]
+			cr := codes[base : base+nx]
+			switch {
+			case z == 0 && y == 0:
+				if !fusedRow1(dr, row, cr, base, 0, r32, ebx2r, b) {
+					return false
+				}
+			case z == 0:
+				// First plane: the z-1 terms vanish, leaving the 2-D stencil.
+				if !fusedRow2(dr, row, cur[(y-1)*nx:y*nx], cr, base, r32, ebx2r, b) {
+					return false
+				}
+			case y == 0:
+				// First row of a plane: the y-1 terms vanish, so the 2-D
+				// stencil applies against the plane behind's first row.
+				if !fusedRow2(dr, row, back[:nx], cr, base, r32, ebx2r, b) {
+					return false
+				}
+			default:
+				if !fusedRow3(dr, row, cur[(y-1)*nx:y*nx], back[y*nx:(y+1)*nx], back[(y-1)*nx:y*nx], cr, base, r32, ebx2r, b) {
+					return false
+				}
+			}
+		}
+		back = cur
+	}
+	return true
 }
 
 // Decode reconstructs the field from a Quantized stream. The result is
 // within eb of the original input everywhere.
 func Decode(p *device.Platform, place device.Place, q *Quantized, dims grid.Dims, eb float64) ([]float32, error) {
+	out := make([]float32, dims.N())
+	if err := DecodeInto(p, place, q, dims, eb, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeInto is Decode reconstructing into a caller-provided buffer of
+// exactly dims.N() elements, so executors can scatter chunk results
+// straight into the assembled output field instead of copying through a
+// per-chunk allocation.
+func DecodeInto(p *device.Platform, place device.Place, q *Quantized, dims grid.Dims, eb float64, out []float32) error {
 	n := dims.N()
+	if len(out) != n {
+		return fmt.Errorf("lorenzo: output buffer has %d elements, want %d", len(out), n)
+	}
 	if len(q.Codes) != n {
-		return nil, fmt.Errorf("lorenzo: %d codes for dims %v (%d values)", len(q.Codes), dims, n)
+		return fmt.Errorf("lorenzo: %d codes for dims %v (%d values)", len(q.Codes), dims, n)
 	}
 	if q.Radius <= 0 {
-		return nil, fmt.Errorf("lorenzo: invalid radius %d", q.Radius)
+		return fmt.Errorf("lorenzo: invalid radius %d", q.Radius)
 	}
 	if len(q.OutIdx) != len(q.OutVal) {
-		return nil, fmt.Errorf("lorenzo: outlier index/value length mismatch %d vs %d", len(q.OutIdx), len(q.OutVal))
+		return fmt.Errorf("lorenzo: outlier index/value length mismatch %d vs %d", len(q.OutIdx), len(q.OutVal))
 	}
 	r32 := int32(q.Radius)
 
 	// Residuals from codes; outlier escapes filled by scatter. Pooled:
-	// the lattice is dead once the float field is materialized.
+	// the lattice is dead once the float field is materialized. Both
+	// branches store, so the slab needs no pre-clearing.
 	pool := p.ScratchPool()
-	latticeSlab := pool.GetI32(n, true) // non-escape positions rely on zero
+	latticeSlab := pool.GetI32(n, false)
 	lattice := latticeSlab.Data
+	codes := q.Codes
 	p.LaunchGrid(place, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			if c := q.Codes[i]; c != 0 {
+			if c := codes[i]; c != 0 {
 				lattice[i] = int32(c) - r32
+			} else {
+				lattice[i] = 0
 			}
 		}
 	})
 	for j, idx := range q.OutIdx {
 		if int(idx) >= n {
 			pool.PutI32(latticeSlab)
-			return nil, fmt.Errorf("lorenzo: outlier index %d out of range %d", idx, n)
+			return fmt.Errorf("lorenzo: outlier index %d out of range %d", idx, n)
 		}
 		lattice[idx] = q.OutVal[j]
 	}
@@ -208,7 +475,6 @@ func Decode(p *device.Platform, place device.Place, q *Quantized, dims grid.Dims
 	// parallel across the independent lines of each sweep.
 	prefixSums(p, place, lattice, dims)
 
-	out := make([]float32, n)
 	scale := 2 * eb
 	p.LaunchGrid(place, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -216,10 +482,25 @@ func Decode(p *device.Platform, place device.Place, q *Quantized, dims grid.Dims
 		}
 	})
 	pool.PutI32(latticeSlab)
-	return out, nil
+	return nil
+}
+
+// addSpan accumulates src into dst element-wise, the unit-stride inner
+// kernel all y- and z-sweeps reduce to.
+func addSpan(dst, src []int32) {
+	_ = src[len(dst)-1]
+	for i := range dst {
+		dst[i] += src[i]
+	}
 }
 
 // prefixSums applies cumulative sums along x, then y, then z in place.
+// Every sweep is expressed over unit-stride row operations: the y-sweep
+// adds each row to the row below it within a plane, and the z-sweep adds
+// each plane to the plane behind it, so the lattice is always walked in
+// storage order instead of striding per element through Idx arithmetic.
+// Integer addition is associative, so the sums — and therefore the
+// reconstruction — are identical to the per-line walks they replace.
 func prefixSums(p *device.Platform, place device.Place, q []int32, dims grid.Dims) {
 	nx, ny, nz := dims.X, dims.Y, dims.Z
 	// Along x: one independent line per (y, z).
@@ -234,31 +515,28 @@ func prefixSums(p *device.Platform, place device.Place, q []int32, dims grid.Dim
 		}
 	})
 	if dims.Rank() >= 2 {
-		// Along y: one line per (x, z).
-		p.LaunchGrid(place, nx*nz, func(lo, hi int) {
-			for l := lo; l < hi; l++ {
-				x, z := l%nx, l/nx
-				var acc int32
-				for y := 0; y < ny; y++ {
-					i := dims.Idx(x, y, z)
-					acc += q[i]
-					q[i] = acc
+		// Along y: planes are independent; within a plane, row y
+		// accumulates row y-1 with a unit-stride add.
+		nxy := nx * ny
+		p.LaunchBlocks(place, nz, func(zlo, zhi int) {
+			for z := zlo; z < zhi; z++ {
+				plane := q[z*nxy : (z+1)*nxy]
+				for y := 1; y < ny; y++ {
+					addSpan(plane[y*nx:(y+1)*nx], plane[(y-1)*nx:y*nx])
 				}
 			}
 		})
 	}
 	if dims.Rank() >= 3 {
-		// Along z: one line per (x, y).
-		p.LaunchGrid(place, nx*ny, func(lo, hi int) {
-			for l := lo; l < hi; l++ {
-				x, y := l%nx, l/nx
-				var acc int32
-				for z := 0; z < nz; z++ {
-					i := dims.Idx(x, y, z)
-					acc += q[i]
-					q[i] = acc
-				}
-			}
-		})
+		// Along z: plane z accumulates plane z-1, parallel within each
+		// plane, sequential across the dependent planes.
+		nxy := nx * ny
+		for z := 1; z < nz; z++ {
+			cur := q[z*nxy : (z+1)*nxy]
+			prev := q[(z-1)*nxy : z*nxy]
+			p.LaunchGrid(place, nxy, func(lo, hi int) {
+				addSpan(cur[lo:hi], prev[lo:hi])
+			})
+		}
 	}
 }

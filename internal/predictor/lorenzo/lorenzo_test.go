@@ -241,3 +241,181 @@ func TestPropertyBoundHolds(t *testing.T) {
 		}
 	}
 }
+
+// refQuantized is a deliberately naive re-implementation of the historical
+// three-phase encoder (pre-quantize, per-element closure residual, flag
+// compaction) used as the reference the fused rank-specialized kernels
+// must match bit for bit.
+func refQuantized(t *testing.T, data []float32, dims grid.Dims, eb float64, radius int) *Quantized {
+	t.Helper()
+	if radius <= 0 {
+		radius = DefaultRadius
+	}
+	n := dims.N()
+	ebx2r := 1.0 / (2 * eb)
+	q := make([]int32, n)
+	for i, v := range data {
+		r := math.Round(float64(v) * ebx2r)
+		if r > maxLattice || r < -maxLattice {
+			t.Fatal("reference overflow; pick tamer test data")
+		}
+		q[i] = int32(r)
+	}
+	at := func(x, y, z int) int32 {
+		if x < 0 || y < 0 || z < 0 {
+			return 0
+		}
+		return q[dims.Idx(x, y, z)]
+	}
+	out := &Quantized{Codes: make([]uint16, n), Radius: radius}
+	r32 := int32(radius)
+	for i := 0; i < n; i++ {
+		x, y, z := dims.Coords(i)
+		d := q[i] -
+			at(x-1, y, z) - at(x, y-1, z) - at(x, y, z-1) +
+			at(x-1, y-1, z) + at(x-1, y, z-1) + at(x, y-1, z-1) -
+			at(x-1, y-1, z-1)
+		if d > -r32 && d < r32 {
+			out.Codes[i] = uint16(d + r32)
+		} else {
+			out.OutIdx = append(out.OutIdx, uint32(i))
+			out.OutVal = append(out.OutVal, d)
+		}
+	}
+	return out
+}
+
+// TestFusedMatchesReference pins the fused kernels to the naive reference:
+// identical codes and an identical sorted outlier stream across ranks,
+// non-power-of-two extents, and multi-block decompositions (the test
+// platform runs 4 accelerator workers, so slow extents above 4 split).
+func TestFusedMatchesReference(t *testing.T) {
+	for _, dims := range []grid.Dims{
+		grid.D1(1), grid.D1(7), grid.D1(20000),
+		grid.D2(33, 19), grid.D2(128, 9),
+		grid.D3(17, 13, 11), grid.D3(40, 33, 27), grid.D3(8, 8, 3),
+	} {
+		rng := rand.New(rand.NewSource(int64(dims.N())))
+		data := make([]float32, dims.N())
+		acc := float32(0)
+		for i := range data {
+			if rng.Intn(64) == 0 {
+				acc += float32(rng.NormFloat64() * 50) // jump → outlier
+			}
+			acc += float32(rng.NormFloat64() * 0.05)
+			data[i] = acc
+		}
+		eb := 1e-3
+		want := refQuantized(t, data, dims, eb, 0)
+		got, err := Encode(tp, device.Accel, data, dims, eb, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		for i := range want.Codes {
+			if got.Codes[i] != want.Codes[i] {
+				t.Fatalf("%v: code mismatch at %d: %d vs %d", dims, i, got.Codes[i], want.Codes[i])
+			}
+		}
+		if len(got.OutIdx) != len(want.OutIdx) {
+			t.Fatalf("%v: %d outliers, want %d", dims, len(got.OutIdx), len(want.OutIdx))
+		}
+		for j := range want.OutIdx {
+			if got.OutIdx[j] != want.OutIdx[j] || got.OutVal[j] != want.OutVal[j] {
+				t.Fatalf("%v: outlier %d = (%d,%d), want (%d,%d)", dims, j,
+					got.OutIdx[j], got.OutVal[j], want.OutIdx[j], want.OutVal[j])
+			}
+		}
+	}
+}
+
+// TestOverflowContract exercises the documented overflow contract: any
+// pre-quantized magnitude beyond the lattice guard yields an error — no
+// matter which block of a parallel decomposition the point (or the halo
+// copy of it) lands in — and the pooled scratch all comes back.
+func TestOverflowContract(t *testing.T) {
+	dims := grid.D3(16, 16, 16)
+	base := smooth3D(dims, 9)
+	for _, plane := range []int{0, 3, 4, 7, 15} {
+		data := make([]float32, dims.N())
+		copy(data, base)
+		// One overflowing point inside plane z=plane; with 4 test-platform
+		// workers the 16-plane extent splits into 4-plane blocks, so
+		// planes 3 and 7 also exercise the halo re-quantization path of
+		// the following block.
+		data[dims.Idx(5, 5, plane)] = 1e30
+		codes := make([]uint16, dims.N())
+		_, err := EncodeInto(tp, device.Accel, data, dims, 1e-6, 0, codes)
+		if err == nil {
+			t.Fatalf("plane %d: overflow must be reported", plane)
+		}
+	}
+	if st := tp.ScratchPool().Stats(); st.Gets != st.Puts {
+		t.Errorf("overflow path leaked pool slabs: %d gets, %d puts", st.Gets, st.Puts)
+	}
+}
+
+func TestDecodeIntoMatchesDecode(t *testing.T) {
+	dims := grid.D3(24, 17, 9)
+	data := smooth3D(dims, 10)
+	q, err := Encode(tp, device.Accel, data, dims, 1e-3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Decode(tp, device.Accel, q, dims, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float32, dims.N())
+	if err := DecodeInto(tp, device.Accel, q, dims, 1e-3, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+	if err := DecodeInto(tp, device.Accel, q, dims, 1e-3, dst[:5]); err == nil {
+		t.Error("short output buffer must fail")
+	}
+}
+
+func benchField(dims grid.Dims) []float32 {
+	rng := rand.New(rand.NewSource(77))
+	data := make([]float32, dims.N())
+	acc := float32(0)
+	for i := range data {
+		acc += float32(rng.NormFloat64() * 0.01)
+		data[i] = acc
+	}
+	return data
+}
+
+func BenchmarkLorenzoQuantize(b *testing.B) {
+	dims := grid.D3(128, 128, 128)
+	data := benchField(dims)
+	codes := make([]uint16, dims.N())
+	b.SetBytes(int64(4 * dims.N()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeInto(tp, device.Accel, data, dims, 1e-3, 0, codes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLorenzoReconstruct(b *testing.B) {
+	dims := grid.D3(128, 128, 128)
+	data := benchField(dims)
+	q, err := Encode(tp, device.Accel, data, dims, 1e-3, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([]float32, dims.N())
+	b.SetBytes(int64(4 * dims.N()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := DecodeInto(tp, device.Accel, q, dims, 1e-3, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -4,38 +4,54 @@
 // Usage:
 //
 //	fzbench -exp table3|fig1|fig2|fig3|fig4|stf|hist|secondary|fusion|chunked|stream|all [-large]
-//	fzbench -exp chunked -json BENCH_new.json [-baseline BENCH_chunked.json] [-alloc-tol 0.2] [-gbs-tol 0.35]
+//	fzbench -exp chunked -json BENCH_new.json [-baseline BENCH_chunked.json] [-alloc-tol 0.2] [-gbs-tol 0.2] [-scal-tol 0.2]
 //	fzbench -exp stream  -json BENCH_stream_new.json -baseline BENCH_chunked.json
+//	fzbench -exp chunked -large -cpuprofile cpu.pprof -mutexprofile mutex.pprof
 //
 // Small-scale workloads are the default so a full sweep finishes quickly;
 // -large switches to the harness default dimensions (scaled from the
 // paper's Table 2). -json writes the chunked or stream experiment's
 // machine-readable report; with -baseline the run exits nonzero when
-// allocs/op regressed beyond -alloc-tol — or when compression or
-// decompression throughput fell more than -gbs-tol below the recorded
-// baseline (20% by default — tight enough to catch a real kernel
-// regression now that the hot paths run word-at-a-time, with enough slack
-// for runner noise; 0 disables the throughput check). Both experiments regress
+// allocs/op regressed beyond -alloc-tol, when compression or decompression
+// throughput fell more than -gbs-tol below the recorded baseline, or when
+// a matrix row's scaling_efficiency fell more than -scal-tol below the
+// baseline's (0 disables either throughput gate). Both experiments regress
 // against one baseline file: rows are matched by executor name, and rows
 // missing on either side are skipped.
+//
+// The -cpuprofile, -memprofile and -mutexprofile flags write pprof
+// profiles covering the selected experiments, so a scaling regression
+// caught by the gates is diagnosable straight from a bench artifact
+// (`go tool pprof fzbench cpu.pprof`); see README "Profiling a
+// regression".
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"fzmod/internal/bench"
 	"fzmod/internal/device"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	exp := flag.String("exp", "all", "experiment: table3, fig1, fig2, fig3, fig4, stf, hist, secondary, fusion, place, chunked, stream, all")
 	large := flag.Bool("large", false, "use full-scale workloads")
 	jsonPath := flag.String("json", "", "write the chunked/stream experiment's machine-readable report to this path")
 	baseline := flag.String("baseline", "", "compare the chunked/stream report against this baseline JSON and fail on regression")
 	allocTol := flag.Float64("alloc-tol", 0.2, "allowed fractional allocs/op regression against -baseline")
 	gbsTol := flag.Float64("gbs-tol", 0.2, "allowed fractional comp/dec throughput regression against -baseline (0 disables)")
+	scalTol := flag.Float64("scal-tol", 0.2, "allowed fractional scaling_efficiency regression against -baseline (0 disables)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the run to this path")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention profile of the run to this path")
 	flag.Parse()
 
 	sc := bench.Small
@@ -48,11 +64,40 @@ func main() {
 
 	if (*jsonPath != "" || *baseline != "") && *exp != "chunked" && *exp != "stream" {
 		fmt.Fprintln(os.Stderr, "fzbench: -json/-baseline apply to -exp chunked or -exp stream only")
-		os.Exit(2)
+		return 2
 	}
 
-	// gate writes the report and evaluates the allocs + throughput
-	// regression gates shared by the chunked and stream experiments.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fzbench: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "fzbench: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *mutexProfile != "" {
+		// Sample one in five contention events: cheap enough to leave on
+		// for a full matrix run, dense enough to rank the hot locks.
+		runtime.SetMutexProfileFraction(5)
+		defer writeProfile(*mutexProfile, "mutex")
+	}
+	if *memProfile != "" {
+		defer func() {
+			runtime.GC() // settle the heap so live objects dominate
+			writeProfile(*memProfile, "heap")
+		}()
+	}
+
+	// gate writes the report and evaluates the allocs + throughput +
+	// scaling regression gates shared by the chunked and stream
+	// experiments.
 	gate := func(report *bench.ChunkedReport) error {
 		if *jsonPath != "" {
 			if err := report.WriteJSON(*jsonPath); err != nil {
@@ -77,10 +122,16 @@ func main() {
 			}
 			fmt.Fprintf(w, "comp/dec GB/s within %.0f%% of %s\n", 100**gbsTol, *baseline)
 		}
+		if *scalTol > 0 {
+			if err := bench.CompareScaling(base, report, *scalTol); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "scaling efficiency within %.0f%% of %s\n", 100**scalTol, *baseline)
+		}
 		return nil
 	}
 
-	run := func(name string) error {
+	runExp := func(name string) error {
 		switch name {
 		case "table3":
 			bench.Table3(w, h100, sc)
@@ -126,9 +177,23 @@ func main() {
 	}
 	for _, name := range names {
 		fmt.Fprintf(w, "\n===== %s =====\n", name)
-		if err := run(name); err != nil {
+		if err := runExp(name); err != nil {
 			fmt.Fprintf(os.Stderr, "fzbench: %s: %v\n", name, err)
-			os.Exit(1)
+			return 1
 		}
+	}
+	return 0
+}
+
+// writeProfile dumps a named runtime profile to path.
+func writeProfile(path, profile string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fzbench: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(profile).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "fzbench: writing %s profile: %v\n", profile, err)
 	}
 }

@@ -162,6 +162,18 @@ func Decompress(p *Platform, blob []byte) ([]float32, Dims, error) {
 	return core.Decompress(p, blob)
 }
 
+// DecompressOpts configures the decompression executor; the zero value
+// selects the platform's full worker width.
+type DecompressOpts = core.DecompressOpts
+
+// DecompressWithOpts is Decompress with an explicit parallelism budget:
+// opts.Workers bounds both the chunk-level scheduler width and every
+// kernel launch of the operation, mirroring ChunkOpts.Workers on the
+// write path.
+func DecompressWithOpts(p *Platform, blob []byte, opts DecompressOpts) ([]float32, Dims, error) {
+	return core.DecompressWithOpts(p, blob, opts)
+}
+
 // DecompressReport is Decompress returning the executor report.
 func DecompressReport(p *Platform, blob []byte) ([]float32, Dims, *ExecReport, error) {
 	return core.DecompressReport(p, blob)

@@ -29,14 +29,25 @@ func chunkedDims(sc Scale) grid.Dims {
 
 // ChunkedRow is one executor configuration's measurement.
 type ChunkedRow struct {
-	Executor    string  `json:"executor"`
-	Workers     int     `json:"workers"`
-	Chunks      int     `json:"chunks"`
-	CompGBs     float64 `json:"comp_gbs"`
-	DecGBs      float64 `json:"dec_gbs"`
-	Ratio       float64 `json:"ratio"`
-	AllocsPerOp uint64  `json:"allocs_per_op"`
-	BytesPerOp  uint64  `json:"bytes_per_op"`
+	Executor string `json:"executor"`
+	// GoMaxProcs is the GOMAXPROCS the row ran under (0 on legacy rows:
+	// the report-level value applies).
+	GoMaxProcs int     `json:"go_max_procs,omitempty"`
+	Workers    int     `json:"workers"`
+	Chunks     int     `json:"chunks"`
+	CompGBs    float64 `json:"comp_gbs"`
+	DecGBs     float64 `json:"dec_gbs"`
+	Ratio      float64 `json:"ratio"`
+	// SpeedupComp/SpeedupDec are the row's throughput over the w1 row at
+	// the same GOMAXPROCS (chunked matrix rows only).
+	SpeedupComp float64 `json:"speedup_comp,omitempty"`
+	SpeedupDec  float64 `json:"speedup_dec,omitempty"`
+	// ScalingEfficiency is min(SpeedupComp, SpeedupDec)/Workers — 1.0 is
+	// perfect linear scaling of the weaker direction. CI gates on this
+	// dropping below the recorded baseline (CompareScaling).
+	ScalingEfficiency float64 `json:"scaling_efficiency,omitempty"`
+	AllocsPerOp       uint64  `json:"allocs_per_op"`
+	BytesPerOp        uint64  `json:"bytes_per_op"`
 }
 
 // ChunkedReport is the machine-readable result of the chunked-executor
@@ -108,11 +119,23 @@ func ChunkedComparison(w io.Writer, p *device.Platform, sc Scale) error {
 	return err
 }
 
-// ChunkedComparisonReport measures compression and decompression
-// throughput at 1, 2, 4 and 8 workers plus the monolithic path, with the
-// compression ratio, chunk count, and steady-state compression allocs/op
-// per row. Output bytes are verified to round-trip within the bound before
-// a row is reported.
+// matrixProcs and matrixWorkers span the multi-core scaling matrix: every
+// GOMAXPROCS setting crossed with every worker budget.
+var (
+	matrixProcs   = []int{1, 2, 4, 8}
+	matrixWorkers = []int{1, 2, 4, 8}
+)
+
+// ChunkedComparisonReport measures the multi-core scaling matrix of the
+// chunked executor: GOMAXPROCS ∈ {1,2,4,8} × worker budget ∈ {1,2,4,8},
+// plus the monolithic path at the host's GOMAXPROCS. Each row records
+// compression/decompression throughput, ratio, its speedup over the w1 row
+// at the same GOMAXPROCS, and the resulting scaling efficiency
+// (min speedup / workers); the GOMAXPROCS=1 rows additionally record
+// steady-state compression allocs/op. Output bytes are verified to
+// round-trip within the bound before a row is reported. The worker budget
+// caps the operation's total parallelism (scheduler and kernel width), so
+// the w-axis measures true shared-nothing chunk-worker scaling.
 func ChunkedComparisonReport(w io.Writer, p *device.Platform, sc Scale) (*ChunkedReport, error) {
 	dims := chunkedDims(sc)
 	data := sdrbench.GenNYX(dims, 77)
@@ -121,78 +144,167 @@ func ChunkedComparisonReport(w io.Writer, p *device.Platform, sc Scale) (*Chunke
 	inBytes := 4 * dims.N()
 	// Eight chunks regardless of scale, so Small runs see the same fan-out.
 	chunkElems := dims.N() / 8
+	hostProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(hostProcs)
 
 	report := &ChunkedReport{
 		Experiment: "chunked",
 		Workload:   fmt.Sprintf("nyx-%v", dims),
 		Pipeline:   pl.Name(),
 		RelEB:      1e-4,
-		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoMaxProcs: hostProcs,
 	}
 
-	fmt.Fprintf(w, "Chunked vs monolithic executor: %s, %v (%.0f MiB), eb=rel 1e-4, %d-elem chunks\n",
-		pl.Name(), dims, float64(inBytes)/(1<<20), chunkElems)
-	fmt.Fprintf(w, "%-16s %8s %10s %10s %8s %12s\n", "executor", "chunks", "comp GB/s", "dec GB/s", "ratio", "allocs/op")
+	fmt.Fprintf(w, "Chunked executor multi-core matrix: %s, %v (%.0f MiB), eb=rel 1e-4, %d-elem chunks, host GOMAXPROCS=%d\n",
+		pl.Name(), dims, float64(inBytes)/(1<<20), chunkElems, hostProcs)
+	fmt.Fprintf(w, "%-16s %6s %8s %10s %10s %8s %8s %12s\n",
+		"executor", "procs", "chunks", "comp GB/s", "dec GB/s", "ratio", "eff", "allocs/op")
 
 	absEB, _, err := preprocess.Resolve(p, device.Host, data, eb)
 	if err != nil {
 		return nil, err
 	}
-	row := func(name string, workers, chunks int, compress func() ([]byte, error)) error {
-		t0 := time.Now()
-		blob, err := compress()
-		compSec := time.Since(t0).Seconds()
-		if err != nil {
-			return fmt.Errorf("%s compress: %w", name, err)
-		}
-		t0 = time.Now()
-		dec, gotDims, err := core.Decompress(p, blob)
-		decSec := time.Since(t0).Seconds()
-		if err != nil {
-			return fmt.Errorf("%s decompress: %w", name, err)
-		}
-		if gotDims != dims {
-			return fmt.Errorf("%s: dims %v, want %v", name, gotDims, dims)
-		}
-		if i := metrics.VerifyBound(data, dec, absEB); i != -1 {
-			return fmt.Errorf("%s: bound violated at %d", name, i)
-		}
-		// Steady-state allocation count; measureAllocs re-warms the
-		// scratch pools and holds the GC off so the measurement reflects
-		// the recycled hot path, not pool-refill timing accidents.
-		allocs, bytes := measureAllocs(func() {
-			if _, err := compress(); err != nil {
-				panic(err)
+	// row measures one configuration: compress, decompress, verify, and —
+	// when withAllocs — the steady-state allocation profile (measureAllocs
+	// re-warms the scratch pools and holds the GC off so the measurement
+	// reflects the recycled hot path, not pool-refill timing accidents).
+	// Timing is best-of-two: scheduler and GC noise is one-sided, and a
+	// 16-row matrix gated at ±20% per row needs per-row noise well under
+	// that.
+	row := func(name string, procs, workers, chunks int, withAllocs bool,
+		compress func() ([]byte, error), decompress func([]byte) ([]float32, grid.Dims, error)) (*ChunkedRow, error) {
+		var blob []byte
+		var compSec, decSec float64
+		for pass := 0; pass < 2; pass++ {
+			t0 := time.Now()
+			b, err := compress()
+			sec := time.Since(t0).Seconds()
+			if err != nil {
+				return nil, fmt.Errorf("%s compress: %w", name, err)
 			}
-		})
+			blob = b
+			if pass == 0 || sec < compSec {
+				compSec = sec
+			}
+			t0 = time.Now()
+			dec, gotDims, err := decompress(blob)
+			sec = time.Since(t0).Seconds()
+			if err != nil {
+				return nil, fmt.Errorf("%s decompress: %w", name, err)
+			}
+			if pass == 0 || sec < decSec {
+				decSec = sec
+			}
+			if gotDims != dims {
+				return nil, fmt.Errorf("%s: dims %v, want %v", name, gotDims, dims)
+			}
+			if i := metrics.VerifyBound(data, dec, absEB); i != -1 {
+				return nil, fmt.Errorf("%s: bound violated at %d", name, i)
+			}
+		}
 		r := ChunkedRow{
-			Executor: name, Workers: workers, Chunks: chunks,
-			CompGBs:     metrics.Throughput(inBytes, compSec),
-			DecGBs:      metrics.Throughput(inBytes, decSec),
-			Ratio:       metrics.CompressionRatio(inBytes, len(blob)),
-			AllocsPerOp: allocs, BytesPerOp: bytes,
+			Executor: name, GoMaxProcs: procs, Workers: workers, Chunks: chunks,
+			CompGBs: metrics.Throughput(inBytes, compSec),
+			DecGBs:  metrics.Throughput(inBytes, decSec),
+			Ratio:   metrics.CompressionRatio(inBytes, len(blob)),
+		}
+		if withAllocs {
+			r.AllocsPerOp, r.BytesPerOp = measureAllocs(func() {
+				if _, err := compress(); err != nil {
+					panic(err)
+				}
+			})
 		}
 		report.Rows = append(report.Rows, r)
-		fmt.Fprintf(w, "%-16s %8d %10.3f %10.3f %8.1f %12d\n", name, chunks,
-			r.CompGBs, r.DecGBs, r.Ratio, r.AllocsPerOp)
-		return nil
+		return &report.Rows[len(report.Rows)-1], nil
+	}
+	printRow := func(r *ChunkedRow) {
+		eff := "-"
+		if r.ScalingEfficiency > 0 {
+			eff = fmt.Sprintf("%.2f", r.ScalingEfficiency)
+		}
+		fmt.Fprintf(w, "%-16s %6d %8d %10.3f %10.3f %8.1f %8s %12d\n", r.Executor,
+			r.GoMaxProcs, r.Chunks, r.CompGBs, r.DecGBs, r.Ratio, eff, r.AllocsPerOp)
 	}
 
-	if err := row("monolithic", 1, 1, func() ([]byte, error) {
-		return pl.CompressMonolithic(p, data, dims, eb)
-	}); err != nil {
+	// The monolithic reference row is pinned to GOMAXPROCS=1 on every
+	// runner: it is the single-core baseline the allocs and absolute-GB/s
+	// gates compare across machines (a host-GOMAXPROCS row would be
+	// skipped by CompareThroughput's multi-core exemption and its
+	// per-op worker allocations would vary with the runner's core count);
+	// multi-core behavior is the matrix's job.
+	runtime.GOMAXPROCS(1)
+	monoPlat := device.NewH100Platform()
+	mono, err := row("monolithic", 1, 1, 1, true, func() ([]byte, error) {
+		return pl.CompressMonolithic(monoPlat, data, dims, eb)
+	}, func(blob []byte) ([]float32, grid.Dims, error) {
+		return core.Decompress(monoPlat, blob)
+	})
+	monoPlat.Close()
+	runtime.GOMAXPROCS(hostProcs)
+	if err != nil {
 		return nil, err
 	}
-	for _, workers := range []int{1, 2, 4, 8} {
-		name := fmt.Sprintf("chunked-w%d", workers)
-		opts := core.ChunkOpts{ChunkElems: chunkElems, Workers: workers}
-		if err := row(name, workers, 8, func() ([]byte, error) {
-			return pl.CompressChunked(p, data, dims, eb, opts)
-		}); err != nil {
-			return nil, err
+	printRow(mono)
+
+	for _, procs := range matrixProcs {
+		runtime.GOMAXPROCS(procs)
+		// A fresh platform per GOMAXPROCS setting: its worker widths and
+		// persistent grid pools are sized at creation. Closed at the end of
+		// the p-block (and on the error path) so matrix cells don't
+		// accumulate parked grid workers.
+		plat := device.NewH100Platform()
+		var base *ChunkedRow
+		for _, workers := range matrixWorkers {
+			name := fmt.Sprintf("chunked-p%d-w%d", procs, workers)
+			opts := core.ChunkOpts{ChunkElems: chunkElems, Workers: workers}
+			r, err := row(name, procs, workers, 8, procs == 1, func() ([]byte, error) {
+				return pl.CompressChunked(plat, data, dims, eb, opts)
+			}, func(blob []byte) ([]float32, grid.Dims, error) {
+				return core.DecompressWithOpts(plat, blob, core.DecompressOpts{Workers: workers})
+			})
+			if err != nil {
+				plat.Close()
+				runtime.GOMAXPROCS(hostProcs)
+				return nil, err
+			}
+			if workers == 1 {
+				base = r
+			}
+			if base != nil && base.CompGBs > 0 && base.DecGBs > 0 {
+				r.SpeedupComp = r.CompGBs / base.CompGBs
+				r.SpeedupDec = r.DecGBs / base.DecGBs
+				r.ScalingEfficiency = r.SpeedupComp
+				if r.SpeedupDec < r.SpeedupComp {
+					r.ScalingEfficiency = r.SpeedupDec
+				}
+				r.ScalingEfficiency /= float64(r.Workers)
+			}
+			printRow(r)
+		}
+		plat.Close()
+	}
+	runtime.GOMAXPROCS(hostProcs)
+	return report, nil
+}
+
+// CompareScaling checks every matrix row of new against the matching
+// baseline row and fails when scaling efficiency dropped below
+// (1-tolerance)× the recorded baseline — the parallel-scaling regression
+// gate. Rows without an efficiency on either side (monolithic, stream,
+// legacy baselines) are skipped, and improvements never fail.
+func CompareScaling(baseline, new *ChunkedReport, tolerance float64) error {
+	for _, row := range new.Rows {
+		base := baseline.Row(row.Executor)
+		if base == nil || base.ScalingEfficiency <= 0 || row.ScalingEfficiency <= 0 {
+			continue
+		}
+		if floor := base.ScalingEfficiency * (1 - tolerance); row.ScalingEfficiency < floor {
+			return fmt.Errorf("bench: %s scaling efficiency regressed: %.3f < %.3f (baseline %.3f -%.0f%%)",
+				row.Executor, row.ScalingEfficiency, floor, base.ScalingEfficiency, 100*tolerance)
 		}
 	}
-	return report, nil
+	return nil
 }
 
 // measureAllocs returns the steady-state heap allocation delta (count,

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func scalingReport(eff float64) *ChunkedReport {
+	return &ChunkedReport{Rows: []ChunkedRow{
+		{Executor: "monolithic", CompGBs: 0.3},                                         // no efficiency: skipped
+		{Executor: "chunked-p8-w1", GoMaxProcs: 8, Workers: 1, ScalingEfficiency: 1.0}, // w1 anchor
+		{Executor: "chunked-p8-w8", GoMaxProcs: 8, Workers: 8, ScalingEfficiency: eff}, // gated row
+		{Executor: "stream-w4", CompGBs: 0.3},                                          // no efficiency: skipped
+	}}
+}
+
+func TestCompareScaling(t *testing.T) {
+	base := scalingReport(0.8)
+	cases := []struct {
+		name string
+		new  *ChunkedReport
+		tol  float64
+		fail bool
+	}{
+		{"unchanged", scalingReport(0.8), 0.2, false},
+		{"within tolerance", scalingReport(0.65), 0.2, false},
+		{"improvement", scalingReport(0.99), 0.2, false},
+		{"regressed", scalingReport(0.5), 0.2, true},
+		{"missing row skipped", &ChunkedReport{Rows: []ChunkedRow{{Executor: "other", ScalingEfficiency: 0.01}}}, 0.2, false},
+	}
+	for _, tc := range cases {
+		err := CompareScaling(base, tc.new, tc.tol)
+		if tc.fail && err == nil {
+			t.Errorf("%s: expected failure", tc.name)
+		}
+		if !tc.fail && err != nil {
+			t.Errorf("%s: unexpected %v", tc.name, err)
+		}
+		if tc.fail && err != nil && !strings.Contains(err.Error(), "scaling efficiency") {
+			t.Errorf("%s: error %q missing fragment", tc.name, err)
+		}
+	}
+	// Rows without an efficiency on either side never trip the gate (old
+	// baselines, monolithic, stream rows).
+	legacy := &ChunkedReport{Rows: []ChunkedRow{{Executor: "chunked-p8-w8"}}}
+	if err := CompareScaling(legacy, scalingReport(0.01), 0.2); err != nil {
+		t.Errorf("legacy baseline: %v", err)
+	}
+	if err := CompareScaling(base, legacy, 0.2); err != nil {
+		t.Errorf("legacy new report: %v", err)
+	}
+}
+
+// TestCompareThroughputSkipsMultiCoreRows pins the gate split: absolute
+// GB/s applies to single-core rows only; multi-core matrix rows are
+// covered by the relative scaling gate instead.
+func TestCompareThroughputSkipsMultiCoreRows(t *testing.T) {
+	base := &ChunkedReport{Rows: []ChunkedRow{
+		{Executor: "chunked-p8-w8", GoMaxProcs: 8, CompGBs: 2.0, DecGBs: 2.0},
+		{Executor: "chunked-p1-w1", GoMaxProcs: 1, CompGBs: 0.35, DecGBs: 0.5},
+	}}
+	slow := &ChunkedReport{Rows: []ChunkedRow{
+		{Executor: "chunked-p8-w8", GoMaxProcs: 8, CompGBs: 0.1, DecGBs: 0.1}, // skipped
+		{Executor: "chunked-p1-w1", GoMaxProcs: 1, CompGBs: 0.35, DecGBs: 0.5},
+	}}
+	if err := CompareThroughput(base, slow, 0.2); err != nil {
+		t.Errorf("multi-core row should be skipped: %v", err)
+	}
+	slow.Rows[1].CompGBs = 0.1 // single-core regression must still trip
+	if err := CompareThroughput(base, slow, 0.2); err == nil {
+		t.Error("single-core regression not caught")
+	}
+}

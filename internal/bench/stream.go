@@ -60,28 +60,42 @@ func StreamComparisonReport(w io.Writer, p *device.Platform, sc Scale) (*Chunked
 		opts := core.StreamOpts{ChunkElems: chunkElems, Window: window, Workers: window}
 		name := fmt.Sprintf("stream-w%d", window)
 
-		stream.Reset()
-		t0 := time.Now()
-		written, err := pl.CompressStream(p, bytes.NewReader(raw), dims, eb, &stream, opts)
-		compSec := time.Since(t0).Seconds()
-		if err != nil {
-			return nil, fmt.Errorf("%s compress: %w", name, err)
-		}
+		// Best-of-two timing, matching the chunked matrix rows: scheduler
+		// and GC noise is one-sided, and the throughput gate needs per-row
+		// noise well under its tolerance.
+		var written int64
+		var compSec, decSec float64
+		for pass := 0; pass < 2; pass++ {
+			stream.Reset()
+			t0 := time.Now()
+			n, err := pl.CompressStream(p, bytes.NewReader(raw), dims, eb, &stream, opts)
+			sec := time.Since(t0).Seconds()
+			if err != nil {
+				return nil, fmt.Errorf("%s compress: %w", name, err)
+			}
+			written = n
+			if pass == 0 || sec < compSec {
+				compSec = sec
+			}
 
-		field.Reset()
-		field.Grow(inBytes)
-		t0 = time.Now()
-		gotDims, err := core.DecompressStream(p, bytes.NewReader(stream.Bytes()), &field, opts)
-		decSec := time.Since(t0).Seconds()
-		if err != nil {
-			return nil, fmt.Errorf("%s decompress: %w", name, err)
-		}
-		if gotDims != dims {
-			return nil, fmt.Errorf("%s: dims %v, want %v", name, gotDims, dims)
-		}
-		dec := device.BytesF32(field.Bytes())
-		if i := metrics.VerifyBound(data, dec, absEB); i != -1 {
-			return nil, fmt.Errorf("%s: bound violated at %d", name, i)
+			field.Reset()
+			field.Grow(inBytes)
+			t0 = time.Now()
+			gotDims, err := core.DecompressStream(p, bytes.NewReader(stream.Bytes()), &field, opts)
+			sec = time.Since(t0).Seconds()
+			if err != nil {
+				return nil, fmt.Errorf("%s decompress: %w", name, err)
+			}
+			if pass == 0 || sec < decSec {
+				decSec = sec
+			}
+			if gotDims != dims {
+				return nil, fmt.Errorf("%s: dims %v, want %v", name, gotDims, dims)
+			}
+			dec := device.BytesF32(field.Bytes())
+			if i := metrics.VerifyBound(data, dec, absEB); i != -1 {
+				return nil, fmt.Errorf("%s: bound violated at %d", name, i)
+			}
 		}
 
 		// Steady-state allocation; measureAllocs re-warms the pools and
@@ -111,8 +125,17 @@ func StreamComparisonReport(w io.Writer, p *device.Platform, sc Scale) (*Chunked
 // regressed beyond tolerance (e.g. 0.35 = new may be up to 35% slower).
 // Improvements never fail, and rows missing from the baseline are skipped,
 // so a refreshed experiment list does not break older baselines.
+//
+// Matrix rows measured above GOMAXPROCS=1 are skipped: absolute GB/s on
+// oversubscribed multi-core rows varies with the runner's core count and
+// load, so those rows are gated relatively, through CompareScaling's
+// within-run scaling_efficiency, while the single-core rows (where a
+// kernel regression shows undiluted) keep the absolute gate.
 func CompareThroughput(baseline, new *ChunkedReport, tolerance float64) error {
 	for _, row := range new.Rows {
+		if row.GoMaxProcs > 1 {
+			continue
+		}
 		base := baseline.Row(row.Executor)
 		if base == nil {
 			continue

@@ -12,11 +12,15 @@ import (
 
 // The chunked graph partitions the field into independent slabs along its
 // slowest-varying dimension and declares one compression sub-graph per
-// slab (predict → encode → serialize, plus the secondary pass when
-// attached), joined by a single assembly task that reads every chunk's
-// serialized container and emits the chunked fzio container. The STF
-// scheduler executes the graph over bounded per-place stream pools, so
-// chunk concurrency is a property of the engine, not of this builder.
+// slab. On the default (non-secondary) path the sub-graphs are joined by
+// a layout task that computes the output container's chunk table from the
+// chunks' exact serialized sizes, and per-chunk serialize tasks then
+// scatter-write their containers (sealing the table CRCs) directly into
+// the final output buffer — no staging blob, no gather copy. Pipelines
+// with a secondary encoder keep the gather assembly (chunk sizes are
+// unknown until the secondary pass runs). The STF scheduler executes the
+// graph over per-place work-stealing worker pools, so chunk concurrency
+// is a property of the engine, not of this builder.
 // Decompression mirrors this shape (see exec.go): every chunk decodes
 // through its own sub-graph, so the read path is fully parallel.
 //
@@ -40,16 +44,20 @@ const (
 )
 
 // ChunkOpts configures the chunked graph. The zero value selects sane
-// defaults: DefaultChunkElems-sized chunks and stream pools as wide as the
-// platform's worker count at each place.
+// defaults: DefaultChunkElems-sized chunks and a parallelism budget as
+// wide as the platform's worker count.
 type ChunkOpts struct {
 	// ChunkElems is the target elements per chunk; the builder rounds it
 	// to whole planes of the slowest-varying dimension. 0 selects
 	// DefaultChunkElems.
 	ChunkElems int
-	// Workers caps the scheduler's per-place stream-pool width — the
-	// number of task bodies in flight at one place. 0 selects the
-	// platform's worker width.
+	// Workers is the operation's total parallelism budget: it bounds the
+	// chunk-level scheduler width at each place AND the kernel width of
+	// every launch the operation performs (the scheduler runs the graph
+	// over a narrowed platform view sharing the machine's pools). Workers
+	// = 1 therefore compresses strictly serially, and the w1 → wN bench
+	// rows measure true multi-core scaling of shared-nothing chunk
+	// workers. 0 selects the platform's worker width.
 	Workers int
 }
 
@@ -100,42 +108,108 @@ func (pl *Pipeline) CompressChunkedReport(p *device.Platform, data []float32, di
 	if workers > len(slabs) {
 		workers = len(slabs)
 	}
-	ctx := stf.NewCtxN(p, workers)
+	// The worker budget caps the whole operation: chunk-level scheduler
+	// width and, through the narrowed platform view, the kernel width of
+	// every launch. Chunk workers are therefore shared-nothing — each runs
+	// its chunk's stages inline on one core when the budget equals the
+	// chunk-level width.
+	exec := p.WithWorkers(workers)
+	ctx := stf.NewCtxN(exec, workers)
+
+	hdr := fzio.ChunkedHeader{
+		Pipeline: pl.PipelineName,
+		Dims:     dims,
+		EB:       absEB,
+		RelEB:    relEB,
+		Planes:   planes,
+	}
+	perPlanes := make([]int, len(slabs))
+	for i, sl := range slabs {
+		perPlanes[i] = sl.Planes
+	}
 
 	// One sub-graph per slab; each chunk is compressed under the globally
 	// resolved absolute bound, so per-chunk inner containers are
 	// byte-identical to a monolithic run on that slab.
 	jobs := make([]*compressJob, len(slabs))
-	blobRefs := make([]stf.DataRef, len(slabs))
-	for i, sl := range slabs {
-		chunk := data[sl.Lo : sl.Lo+sl.Dims.N()]
-		jobs[i] = pl.addCompressTasks(ctx, fmt.Sprintf("c%d.", i), chunk, sl.Dims, absEB, 0)
-		blobRefs[i] = jobs[i].blobTok
+
+	if pl.Sec != nil {
+		// Secondary-encoded chunks have unknown final sizes until the
+		// secondary pass runs, so they keep the gather assembly: serialize
+		// (→ secondary) per chunk, then one task concatenates the blobs.
+		blobRefs := make([]stf.DataRef, len(slabs))
+		for i, sl := range slabs {
+			chunk := data[sl.Lo : sl.Lo+sl.Dims.N()]
+			jobs[i] = pl.addCompressTasks(ctx, fmt.Sprintf("c%d.", i), chunk, sl.Dims, absEB, 0, false)
+			blobRefs[i] = jobs[i].blobTok
+		}
+		var out []byte
+		ctx.Task("assemble").On(device.Host).Reads(blobRefs...).
+			Do(func(ti *stf.TaskInstance) error {
+				blobs := make([][]byte, len(slabs))
+				for i := range slabs {
+					blobs[i] = jobs[i].blob
+				}
+				assembled, err := fzio.MarshalChunked(hdr, blobs, perPlanes)
+				if err != nil {
+					return err
+				}
+				out = assembled
+				return nil
+			})
+		err = ctx.Finalize()
+		report := execReport(ctx)
+		ctx.Release()
+		if err != nil {
+			return nil, report, err
+		}
+		return out, report, nil
 	}
 
-	// Assembly: the only task reading every chunk's serialized container.
-	var out []byte
-	ctx.Task("assemble").On(device.Host).Reads(blobRefs...).
+	// Zero-copy scatter assembly: every chunk's exact serialized size is
+	// known once its encode finishes (the container layout is arithmetic
+	// over the stage outputs), so the layout task computes the chunked
+	// container's offset table up front and each chunk's serialize task
+	// writes its container — and seals its table CRC — directly into its
+	// disjoint window of the final output buffer. The serial gather task
+	// and its whole-container staging copy are gone.
+	encRefs := make([]stf.DataRef, len(slabs))
+	for i, sl := range slabs {
+		chunk := data[sl.Lo : sl.Lo+sl.Dims.N()]
+		jobs[i] = pl.addPredictEncodeTasks(ctx, fmt.Sprintf("c%d.", i), chunk, sl.Dims, absEB)
+		encRefs[i] = jobs[i].encTok
+	}
+	var asm *fzio.ChunkedAssembly
+	layoutTok := stf.NewToken(ctx, "layout")
+	ctx.Task("layout").On(device.Host).Reads(encRefs...).Writes(layoutTok.D()).
 		Do(func(ti *stf.TaskInstance) error {
-			blobs := make([][]byte, len(slabs))
-			perPlanes := make([]int, len(slabs))
+			sizes := make([]int, len(slabs))
 			for i, sl := range slabs {
-				blobs[i] = jobs[i].blob
-				perPlanes[i] = sl.Planes
+				inner, err := pl.buildInner(sl.Dims, absEB, 0, jobs[i].pred, jobs[i].payload)
+				if err != nil {
+					return err
+				}
+				jobs[i].inner = inner
+				sizes[i] = inner.MarshaledSize()
 			}
-			assembled, err := fzio.MarshalChunked(fzio.ChunkedHeader{
-				Pipeline: pl.PipelineName,
-				Dims:     dims,
-				EB:       absEB,
-				RelEB:    relEB,
-				Planes:   planes,
-			}, blobs, perPlanes)
+			a, err := fzio.NewChunkedAssembly(hdr, sizes, perPlanes)
 			if err != nil {
 				return err
 			}
-			out = assembled
+			asm = a
 			return nil
 		})
+	for i := range slabs {
+		i := i
+		ctx.Task(fmt.Sprintf("c%d.serialize", i)).On(device.Host).Reads(layoutTok.D()).
+			Do(func(ti *stf.TaskInstance) error {
+				if _, err := jobs[i].inner.MarshalInto(asm.ChunkSlice(i)); err != nil {
+					return err
+				}
+				asm.SealChunk(i)
+				return nil
+			})
+	}
 
 	err = ctx.Finalize()
 	report := execReport(ctx)
@@ -143,13 +217,13 @@ func (pl *Pipeline) CompressChunkedReport(p *device.Platform, data []float32, di
 	if err != nil {
 		return nil, report, err
 	}
-	return out, report, nil
+	return asm.Bytes(), report, nil
 }
 
 // DecompressChunked reconstructs a field from a chunked container through
 // the per-chunk decode graph. Each chunk payload is a self-describing
 // monolithic container, so any registered module set can decode it.
 func DecompressChunked(p *device.Platform, blob []byte) ([]float32, grid.Dims, error) {
-	vals, dims, _, err := decompressChunkedReport(p, blob)
+	vals, dims, _, err := decompressChunkedReport(p, blob, 0)
 	return vals, dims, err
 }

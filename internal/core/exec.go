@@ -14,7 +14,7 @@ import (
 // — per-chunk predict → encode → serialize (→ secondary) sub-graphs joined
 // by an assembly task on the write path, fetch → decode → reconstruct
 // sub-graphs scattering into the output field on the read path — and the
-// stf scheduler executes it over bounded per-place stream pools with
+// stf scheduler executes it over per-place work-stealing worker pools with
 // pooled scratch buffers. There is no other executor: the monolithic path
 // is simply a one-chunk graph.
 
@@ -56,28 +56,31 @@ func execReport(ctx *stf.Ctx) *ExecReport {
 type compressJob struct {
 	pred    *Prediction
 	payload []byte
+	inner   *fzio.Container // built once encode finishes; sized, not copied
 	blob    []byte
+	encTok  stf.DataRef
 	blobTok stf.DataRef
 	// codesSlab is the pooled quantization-code buffer when the pipeline's
 	// predictor supports PredictInto; the encode task returns it to the
 	// pool once the code stream has been consumed.
 	codesSlab *device.Slab[uint16]
+	// blobSlab backs blob when the serialize task draws it from the pool
+	// (the streaming path, which recycles each chunk's container bytes
+	// after the frame is flushed).
+	blobSlab *device.Slab[byte]
 }
 
-// addCompressTasks declares the compression sub-graph for one block of a
-// field: predict+quantize at the pipeline's predictor place, primary
-// encoding at the encoder place, container serialization on the host, and
-// — when the pipeline carries a secondary encoder — the secondary pass
-// rewriting the serialized blob. Task and token names are prefixed so the
-// sub-graphs of several chunks coexist in one context; chunks share no
-// logical data, so the scheduler is free to overlap them.
-func (pl *Pipeline) addCompressTasks(ctx *stf.Ctx, prefix string, data []float32, dims grid.Dims, absEB, relEB float64) *compressJob {
+// addPredictEncodeTasks declares the first half of one block's compression
+// sub-graph: predict+quantize at the pipeline's predictor place and
+// primary encoding at the encoder place. Task and token names are prefixed
+// so the sub-graphs of several chunks coexist in one context; chunks share
+// no logical data, so the scheduler is free to overlap them.
+func (pl *Pipeline) addPredictEncodeTasks(ctx *stf.Ctx, prefix string, data []float32, dims grid.Dims, absEB float64) *compressJob {
 	p := ctx.Platform()
 	job := &compressJob{}
 	predTok := stf.NewToken(ctx, prefix+"pred")
 	encTok := stf.NewToken(ctx, prefix+"enc")
-	blobTok := stf.NewToken(ctx, prefix+"blob")
-	job.blobTok = blobTok.D()
+	job.encTok = encTok.D()
 
 	ctx.Task(prefix + "predict").On(pl.PredPlace).Writes(predTok.D()).
 		Do(func(ti *stf.TaskInstance) error {
@@ -86,10 +89,11 @@ func (pl *Pipeline) addCompressTasks(ctx *stf.Ctx, prefix string, data []float32
 				err  error
 			)
 			if pi, ok := pl.Pred.(PredictorInto); ok {
-				// Pooled codes: the slab is recycled by the encode task, so
-				// a many-chunk run reuses a window's worth of code buffers
-				// instead of allocating 2 bytes per field element.
-				job.codesSlab = p.ScratchPool().GetU16(dims.N(), false)
+				// Pooled codes drawn through the worker's shard: the slab is
+				// recycled by the encode task, so a many-chunk run reuses a
+				// window's worth of code buffers instead of allocating
+				// 2 bytes per field element.
+				job.codesSlab = ti.Shard().GetU16(dims.N(), false)
 				pred, err = pi.PredictInto(p, ti.Place(), data, dims, absEB, job.codesSlab.Data)
 			} else {
 				pred, err = pl.Pred.Predict(p, ti.Place(), data, dims, absEB)
@@ -107,7 +111,7 @@ func (pl *Pipeline) addCompressTasks(ctx *stf.Ctx, prefix string, data []float32
 				// The code stream is dead after encoding (serialization only
 				// touches Extras and Radius); recycle the pooled buffer.
 				if job.codesSlab != nil {
-					p.ScratchPool().PutU16(job.codesSlab)
+					ti.Shard().PutU16(job.codesSlab)
 					job.codesSlab = nil
 					job.pred.Codes = nil
 				}
@@ -119,14 +123,38 @@ func (pl *Pipeline) addCompressTasks(ctx *stf.Ctx, prefix string, data []float32
 			job.payload = payload
 			return nil
 		})
+	return job
+}
 
-	ctx.Task(prefix + "serialize").On(device.Host).Reads(encTok.D()).Writes(blobTok.D()).
+// addSerializeTasks appends the gather-serialize tail to a block's
+// sub-graph: container serialization on the host into an exact-size buffer
+// (pooled when pooledBlob is set — the streaming path returns the slab
+// once the frame is flushed), and — when the pipeline carries a secondary
+// encoder — the secondary pass rewriting the serialized blob.
+func (pl *Pipeline) addSerializeTasks(ctx *stf.Ctx, prefix string, job *compressJob, dims grid.Dims, absEB, relEB float64, pooledBlob bool) {
+	p := ctx.Platform()
+	blobTok := stf.NewToken(ctx, prefix+"blob")
+	job.blobTok = blobTok.D()
+
+	ctx.Task(prefix + "serialize").On(device.Host).Reads(job.encTok).Writes(blobTok.D()).
 		Do(func(ti *stf.TaskInstance) error {
-			blob, err := pl.marshalInner(dims, absEB, relEB, job.pred, job.payload)
+			inner, err := pl.buildInner(dims, absEB, relEB, job.pred, job.payload)
 			if err != nil {
 				return err
 			}
-			job.blob = blob
+			size := inner.MarshaledSize()
+			var buf []byte
+			if pooledBlob {
+				job.blobSlab = ti.Shard().GetBytes(size, false)
+				buf = job.blobSlab.Data
+			} else {
+				buf = make([]byte, size)
+			}
+			n, err := inner.MarshalInto(buf)
+			if err != nil {
+				return err
+			}
+			job.blob = buf[:n]
 			return nil
 		})
 
@@ -137,10 +165,22 @@ func (pl *Pipeline) addCompressTasks(ctx *stf.Ctx, prefix string, data []float32
 				if err != nil {
 					return err
 				}
+				// The inner blob is dead once wrapped; recycle its slab.
+				if job.blobSlab != nil {
+					ti.Shard().PutBytes(job.blobSlab)
+					job.blobSlab = nil
+				}
 				job.blob = blob
 				return nil
 			})
 	}
+}
+
+// addCompressTasks declares the full gather-path compression sub-graph for
+// one block: predict → encode → serialize (→ secondary).
+func (pl *Pipeline) addCompressTasks(ctx *stf.Ctx, prefix string, data []float32, dims grid.Dims, absEB, relEB float64, pooledBlob bool) *compressJob {
+	job := pl.addPredictEncodeTasks(ctx, prefix, data, dims, absEB)
+	pl.addSerializeTasks(ctx, prefix, job, dims, absEB, relEB, pooledBlob)
 	return job
 }
 
@@ -246,8 +286,10 @@ func decompressMonolithicReport(p *device.Platform, blob []byte) ([]float32, gri
 // decompressChunkedReport lowers a chunked container onto per-chunk
 // fetch → decode → reconstruct sub-graphs that scatter into one output
 // field; the chunks share no logical data, so they decode fully in
-// parallel across the context's bounded stream pools.
-func decompressChunkedReport(p *device.Platform, blob []byte) ([]float32, grid.Dims, *ExecReport, error) {
+// parallel across the context's worker pools. workers is the chunk-level
+// scheduler width (0 selects the platform width); the caller narrows the
+// platform itself when the budget should also cap kernel widths.
+func decompressChunkedReport(p *device.Platform, blob []byte, workers int) ([]float32, grid.Dims, *ExecReport, error) {
 	cc, err := fzio.UnmarshalChunked(blob)
 	if err != nil {
 		return nil, grid.Dims{}, nil, err
@@ -256,7 +298,9 @@ func decompressChunkedReport(p *device.Platform, blob []byte) ([]float32, grid.D
 	out := make([]float32, dims.N())
 	plane := dims.PlaneElems()
 
-	workers := p.Workers(device.Accel)
+	if workers <= 0 {
+		workers = p.Workers(device.Accel)
+	}
 	if workers > cc.NumChunks() {
 		workers = cc.NumChunks()
 	}

@@ -15,8 +15,9 @@ import (
 )
 
 // TestExecReportShape checks the evidence the unified executor surfaces:
-// per-chunk sub-graphs joined by the assembly task, a critical path of one
-// chunk chain plus assembly, and live buffer-pool counters.
+// per-chunk sub-graphs joined by the layout barrier with scatter-serialize
+// tails, a critical path of one chunk chain through layout and serialize,
+// and live buffer-pool counters.
 func TestExecReportShape(t *testing.T) {
 	data, dims := chunkField()
 	opts := ChunkOpts{ChunkElems: dims.PlaneElems() * 8, Workers: 4}
@@ -26,12 +27,12 @@ func TestExecReportShape(t *testing.T) {
 	}
 	nChunks := dims.SlowExtent() / 8
 	if want := 3*nChunks + 1; report.Tasks != want {
-		t.Errorf("report.Tasks = %d, want %d (3 per chunk + assemble)", report.Tasks, want)
+		t.Errorf("report.Tasks = %d, want %d (3 per chunk + layout)", report.Tasks, want)
 	}
 	if report.CriticalPath != 4 {
-		t.Errorf("critical path = %d, want 4 (predict→encode→serialize→assemble)", report.CriticalPath)
+		t.Errorf("critical path = %d, want 4 (predict→encode→layout→serialize)", report.CriticalPath)
 	}
-	for _, task := range []string{"c0.predict", "c0.encode", "c0.serialize", "assemble"} {
+	for _, task := range []string{"c0.predict", "c0.encode", "c0.serialize", "layout"} {
 		if !strings.Contains(report.DOT, task) {
 			t.Errorf("DAG missing task %q:\n%s", task, report.DOT)
 		}

@@ -82,7 +82,7 @@ func (pl *Pipeline) CompressMonolithicReport(p *device.Platform, data []float32,
 		relEB = eb.Value
 	}
 	ctx := stf.NewCtx(p)
-	job := pl.addCompressTasks(ctx, "", data, dims, absEB, relEB)
+	job := pl.addCompressTasks(ctx, "", data, dims, absEB, relEB, false)
 	err = ctx.Finalize()
 	report := execReport(ctx)
 	ctx.Release()
@@ -92,10 +92,14 @@ func (pl *Pipeline) CompressMonolithicReport(p *device.Platform, data []float32,
 	return job.blob, report, nil
 }
 
-// marshalInner serializes one block's stages into the monolithic fzio
-// container: header, module names, encoded code stream, and the
-// predictor's side channels in sorted order.
-func (pl *Pipeline) marshalInner(dims grid.Dims, absEB, relEB float64, pred *Prediction, payload []byte) ([]byte, error) {
+// buildInner assembles one block's stages into the monolithic fzio
+// container structure — header, module names, encoded code stream, and the
+// predictor's side channels in sorted order — without serializing it:
+// segments reference the stage outputs, so callers can size the container
+// exactly (MarshaledSize) and serialize it straight into its final
+// destination (MarshalInto), which is what lets the chunked executor
+// scatter-write chunks into the assembled container with no staging blob.
+func (pl *Pipeline) buildInner(dims grid.Dims, absEB, relEB float64, pred *Prediction, payload []byte) (*fzio.Container, error) {
 	inner := fzio.New(fzio.Header{
 		Pipeline: pl.PipelineName,
 		Dims:     dims,
@@ -114,7 +118,7 @@ func (pl *Pipeline) marshalInner(dims grid.Dims, absEB, relEB float64, pred *Pre
 			return nil, err
 		}
 	}
-	return inner.Marshal()
+	return inner, nil
 }
 
 // wrapSecondary applies the secondary encoder over a serialized inner
@@ -148,13 +152,38 @@ func Decompress(p *device.Platform, blob []byte) ([]float32, grid.Dims, error) {
 	return vals, dims, err
 }
 
+// DecompressOpts configures the decompression executor. The zero value
+// selects the platform's full worker width.
+type DecompressOpts struct {
+	// Workers is the operation's total parallelism budget: it bounds both
+	// the chunk-level scheduler width and the kernel width of every launch
+	// the operation performs, exactly mirroring ChunkOpts.Workers on the
+	// write path. 0 selects the platform's worker width.
+	Workers int
+}
+
+// DecompressWithOpts is Decompress with an explicit parallelism budget.
+func DecompressWithOpts(p *device.Platform, blob []byte, opts DecompressOpts) ([]float32, grid.Dims, error) {
+	vals, dims, _, err := DecompressReportWithOpts(p, blob, opts)
+	return vals, dims, err
+}
+
 // DecompressReport is Decompress returning the executor report: chunked
 // containers lower to per-chunk fetch → decode → reconstruct sub-graphs,
 // monolithic containers to a single chain with the secondary-decode task
 // inserted when the container carries a secondary layer.
 func DecompressReport(p *device.Platform, blob []byte) ([]float32, grid.Dims, *ExecReport, error) {
+	return DecompressReportWithOpts(p, blob, DecompressOpts{})
+}
+
+// DecompressReportWithOpts is DecompressReport with an explicit
+// parallelism budget.
+func DecompressReportWithOpts(p *device.Platform, blob []byte, opts DecompressOpts) ([]float32, grid.Dims, *ExecReport, error) {
+	if opts.Workers > 0 {
+		p = p.WithWorkers(opts.Workers)
+	}
 	if fzio.IsChunked(blob) {
-		return decompressChunkedReport(p, blob)
+		return decompressChunkedReport(p, blob, opts.Workers)
 	}
 	return decompressMonolithicReport(p, blob)
 }

@@ -17,7 +17,7 @@ import (
 // and DecompressStream produces an io.Writer the same way. Each window
 // lowers onto the identical per-chunk sub-graphs the in-memory chunked
 // path declares (so per-chunk output is bit-identical to CompressChunked),
-// executed over one reused stf context whose stream pools stay warm across
+// executed over one reused stf context whose worker pools stay warm across
 // windows; slab inputs, staging buffers and quantization codes all cycle
 // through the platform's BufPool, keeping resident memory O(window)
 // regardless of field size. The on-wire format is the FZMS streaming
@@ -47,8 +47,10 @@ type StreamOpts struct {
 	// pipeline holds at most Window input slabs plus their intermediates).
 	// 0 selects DefaultStreamWindow.
 	Window int
-	// Workers caps the scheduler's per-place stream-pool width. 0 sizes
-	// the pools to the window, which keeps every in-flight chunk moving.
+	// Workers is the operation's total parallelism budget: chunk-level
+	// scheduler width and the kernel width of every launch, exactly as
+	// ChunkOpts.Workers. 0 budgets one worker per in-flight window slab
+	// (capped at the platform width), which keeps every chunk moving.
 	Workers int
 }
 
@@ -114,10 +116,14 @@ func (pl *Pipeline) CompressStream(p *device.Platform, r io.Reader, dims grid.Di
 
 	window := opts.window(len(slabs))
 	workers := opts.workers(p, pl.PredPlace, window)
+	// The worker budget caps the whole operation, exactly as in the
+	// in-memory chunked path: scheduler width and kernel width both come
+	// from the narrowed platform view.
+	exec := p.WithWorkers(workers)
 	bp := p.ScratchPool()
 	stage := bp.GetBytes(streamStageBytes, false)
 	defer bp.PutBytes(stage)
-	ctx := stf.NewCtxN(p, workers)
+	ctx := stf.NewCtxN(exec, workers)
 	defer ctx.Release()
 
 	for start := 0; start < len(slabs); start += window {
@@ -131,7 +137,11 @@ func (pl *Pipeline) CompressStream(p *device.Platform, r io.Reader, dims grid.Di
 				readErr = fmt.Errorf("core: reading slab %d (%d values): %w", start+i, sl.Elems(), err)
 				break
 			}
-			jobs[i] = pl.addCompressTasks(ctx, fmt.Sprintf("s%d.", start+i), bufs[i].Data, sl.Dims, absEB, 0)
+			// Pooled serialize: each chunk's container is written into an
+			// exact-size pooled slab, flushed as a frame below, and the
+			// slab recycled — the window's staging cost is the frames
+			// themselves, not a fresh blob per chunk.
+			jobs[i] = pl.addCompressTasks(ctx, fmt.Sprintf("s%d.", start+i), bufs[i].Data, sl.Dims, absEB, 0, true)
 		}
 		// Reset drains whatever was declared (possibly a partial batch on a
 		// read error) before the input slabs go back to the pool.
@@ -139,15 +149,31 @@ func (pl *Pipeline) CompressStream(p *device.Platform, r io.Reader, dims grid.Di
 		for _, b := range bufs {
 			bp.PutF32(b)
 		}
+		release := func(from int) {
+			for j := from; j < len(jobs); j++ {
+				if jobs[j] != nil && jobs[j].blobSlab != nil {
+					bp.PutBytes(jobs[j].blobSlab)
+					jobs[j].blobSlab = nil
+				}
+			}
+		}
 		if readErr != nil {
+			release(0)
 			return sw.BytesWritten(), readErr
 		}
 		if err != nil {
+			release(0)
 			return sw.BytesWritten(), err
 		}
 		for i, sl := range batch {
-			if err := sw.WriteChunk(jobs[i].blob, sl.Planes); err != nil {
-				return sw.BytesWritten(), err
+			werr := sw.WriteChunk(jobs[i].blob, sl.Planes)
+			if jobs[i].blobSlab != nil {
+				bp.PutBytes(jobs[i].blobSlab)
+				jobs[i].blobSlab = nil
+			}
+			if werr != nil {
+				release(i + 1)
+				return sw.BytesWritten(), werr
 			}
 		}
 	}
@@ -175,10 +201,11 @@ func DecompressStream(p *device.Platform, r io.Reader, w io.Writer, opts StreamO
 	}
 	window := opts.window(nChunks)
 	workers := opts.workers(p, device.Accel, window)
+	exec := p.WithWorkers(workers)
 	bp := p.ScratchPool()
 	stage := bp.GetBytes(streamStageBytes, false)
 	defer bp.PutBytes(stage)
-	ctx := stf.NewCtxN(p, workers)
+	ctx := stf.NewCtxN(exec, workers)
 	defer ctx.Release()
 
 	// Per-slot payload buffers are reused across windows; they grow to the
@@ -219,7 +246,7 @@ func DecompressStream(p *device.Platform, r io.Reader, w io.Writer, opts StreamO
 						return err
 					}
 					if c.Has(segSec) {
-						if c, err = unwrapSecondary(p, c); err != nil {
+						if c, err = unwrapSecondary(exec, c); err != nil {
 							return err
 						}
 					}
@@ -227,13 +254,13 @@ func DecompressStream(p *device.Platform, r io.Reader, w io.Writer, opts StreamO
 					return nil
 				})
 			ctx.Task(prefix + "decode").On(device.Accel).Reads(fetchTok.D()).Writes(codesTok.D()).
-				Do(func(ti *stf.TaskInstance) error { return job.decode(p) })
+				Do(func(ti *stf.TaskInstance) error { return job.decode(exec) })
 			ctx.Task(prefix + "reconstruct").On(device.Accel).Reads(codesTok.D()).
 				Do(func(ti *stf.TaskInstance) error {
 					if job.dims != want {
 						return fmt.Errorf("core: chunk %d dims %v, want %v", idx, job.dims, want)
 					}
-					return job.reconstruct(p)
+					return job.reconstruct(exec)
 				})
 		}
 		if err := ctx.Reset(); err != nil {

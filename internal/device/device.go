@@ -52,13 +52,19 @@ func (p Place) String() string {
 // Platform models one node of Table 1: an accelerator with a worker pool,
 // a host CPU pool, and a host<->device link with a fixed modeled bandwidth.
 //
-// All methods are safe for concurrent use.
+// A Platform value is a view over shared runtime state (counters, scratch
+// pool, persistent grid workers): WithWorkers derives a view with a
+// narrower kernel width over the same state, which is how an operation's
+// worker budget caps its total parallelism without partitioning the
+// machine's warm pools. All methods are safe for concurrent use.
 type Platform struct {
 	Name string
 
-	// AccelWorkers is the goroutine pool width used for Accel launches.
+	// AccelWorkers is the kernel width used for Accel launches: the number
+	// of chunks a grid launch is decomposed into (deterministic for a fixed
+	// width, so results are reproducible per view).
 	AccelWorkers int
-	// HostWorkers is the pool width used for Host launches.
+	// HostWorkers is the kernel width used for Host launches.
 	HostWorkers int
 
 	// LinkBandwidth is the modeled host<->device bandwidth in bytes/sec,
@@ -71,7 +77,17 @@ type Platform struct {
 	// leave it false.
 	SimulateTransferTime bool
 
-	stats Stats
+	// shared holds the runtime state every view of this platform uses:
+	// stats, the scratch pool, and the persistent grid workers. Initialized
+	// lazily so literal-constructed Platforms keep working; WithWorkers
+	// views alias it.
+	shared atomic.Pointer[platformShared]
+}
+
+// platformShared is the runtime state common to all views of one platform.
+type platformShared struct {
+	stats   Stats
+	scratch BufPool
 
 	// Persistent grid workers: launches dispatch chunks to a fixed set of
 	// parked goroutines per place (the simulated SMs) instead of spawning
@@ -83,19 +99,61 @@ type Platform struct {
 	quit        chan struct{}
 	hostCh      chan gridJob
 	accelCh     chan gridJob
+}
 
-	scratch BufPool
+// state returns the shared runtime state, creating it on first use. The
+// CAS loser's speculative state owns no goroutines, so losing the race
+// leaks nothing.
+func (p *Platform) state() *platformShared {
+	if s := p.shared.Load(); s != nil {
+		return s
+	}
+	s := &platformShared{}
+	if p.shared.CompareAndSwap(nil, s) {
+		return s
+	}
+	return p.shared.Load()
+}
+
+// WithWorkers returns a view of the platform whose kernel width at both
+// places is capped at n (floored at 1), sharing the receiver's counters,
+// scratch pool and grid workers. The chunked executor uses it to give an
+// operation a total parallelism budget: a budget-1 view runs every kernel
+// inline on the calling goroutine, so concurrency comes only from the
+// task level. n <= 0 returns the receiver unchanged.
+func (p *Platform) WithWorkers(n int) *Platform {
+	if n <= 0 {
+		return p
+	}
+	cp := &Platform{
+		Name:                 p.Name,
+		AccelWorkers:         minInt(p.workersFor(Accel), n),
+		HostWorkers:          minInt(p.workersFor(Host), n),
+		LinkBandwidth:        p.LinkBandwidth,
+		SimulateTransferTime: p.SimulateTransferTime,
+	}
+	cp.shared.Store(p.state())
+	return cp
+}
+
+func minInt(a, b int) int {
+	if b < a {
+		return b
+	}
+	return a
 }
 
 // Close stops the platform's persistent grid workers, the analogue of
 // destroying the device context. It must not be called concurrently with
 // launches; launches issued after Close execute inline on the caller.
 // Close is idempotent, and a platform that never launched owns no workers.
+// Closing any view closes the shared state.
 func (p *Platform) Close() {
-	p.closeOnce.Do(func() {
-		p.closed.Store(true)
-		if p.quit != nil {
-			close(p.quit)
+	s := p.state()
+	s.closeOnce.Do(func() {
+		s.closed.Store(true)
+		if s.quit != nil {
+			close(s.quit)
 		}
 	})
 }
@@ -108,27 +166,40 @@ type gridJob struct {
 }
 
 // ScratchPool returns the platform's shared size-classed buffer pool, the
-// allocator kernels and the STF runtime draw scratch slabs from.
-func (p *Platform) ScratchPool() *BufPool { return &p.scratch }
+// allocator kernels and the STF runtime draw scratch slabs from. Views
+// share one pool.
+func (p *Platform) ScratchPool() *BufPool { return &p.state().scratch }
 
 // workChan returns the persistent worker queue for a place, starting the
-// workers on first use. Workers live for the lifetime of the platform.
+// workers on first use. Workers live for the lifetime of the platform and
+// are shared by every view; the pool is sized for the machine (at least
+// the first toucher's width), so narrow views never starve wide ones.
 func (p *Platform) workChan(place Place) chan gridJob {
-	p.workersOnce.Do(func() {
-		p.quit = make(chan struct{})
-		p.hostCh = make(chan gridJob, 4*p.workersFor(Host))
-		p.accelCh = make(chan gridJob, 4*p.workersFor(Accel))
-		for i := 0; i < p.workersFor(Host); i++ {
-			go gridWorker(p.hostCh, p.quit)
+	s := p.state()
+	s.workersOnce.Do(func() {
+		hostW := maxInt(p.workersFor(Host), runtime.GOMAXPROCS(0))
+		accelW := maxInt(p.workersFor(Accel), runtime.GOMAXPROCS(0))
+		s.quit = make(chan struct{})
+		s.hostCh = make(chan gridJob, 4*hostW)
+		s.accelCh = make(chan gridJob, 4*accelW)
+		for i := 0; i < hostW; i++ {
+			go gridWorker(s.hostCh, s.quit)
 		}
-		for i := 0; i < p.workersFor(Accel); i++ {
-			go gridWorker(p.accelCh, p.quit)
+		for i := 0; i < accelW; i++ {
+			go gridWorker(s.accelCh, s.quit)
 		}
 	})
 	if place == Accel {
-		return p.accelCh
+		return s.accelCh
 	}
-	return p.hostCh
+	return s.hostCh
+}
+
+func maxInt(a, b int) int {
+	if b > a {
+		return b
+	}
+	return a
 }
 
 func gridWorker(ch chan gridJob, quit chan struct{}) {
@@ -145,9 +216,11 @@ func gridWorker(ch chan gridJob, quit chan struct{}) {
 
 // runChunks fans the chunks of [0, n) out over the persistent workers of a
 // place. When the queue is saturated the caller executes the chunk inline,
-// which both bounds queue latency and makes nested launches deadlock-free.
+// which both bounds queue latency and makes nested launches deadlock-free
+// (and is what keeps many concurrent narrow views work-conserving: their
+// launches degrade to inline execution instead of convoying in the queue).
 func (p *Platform) runChunks(place Place, n, chunk int, kernel func(lo, hi int)) {
-	if p.closed.Load() {
+	if p.state().closed.Load() {
 		for lo := 0; lo < n; lo += chunk {
 			hi := lo + chunk
 			if hi > n {
@@ -175,13 +248,20 @@ func (p *Platform) runChunks(place Place, n, chunk int, kernel func(lo, hi int))
 	wg.Wait()
 }
 
-// Stats aggregates byte and launch counters for a platform.
+// Stats aggregates byte and launch counters for a platform. The hot
+// counters are cache-line padded: they are bumped from every worker on the
+// hot path, and without padding the adjacent atomics false-share one line.
 type Stats struct {
 	BytesH2D      atomic.Int64
+	_             [56]byte
 	BytesD2H      atomic.Int64
+	_             [56]byte
 	KernelLaunch  atomic.Int64
+	_             [56]byte
 	HostLaunch    atomic.Int64
+	_             [56]byte
 	TransferNanos atomic.Int64
+	_             [56]byte
 }
 
 // NewH100Platform returns a platform modeled on the paper's Quartz H100 node
@@ -224,19 +304,21 @@ func maxParallelism() int {
 	return n
 }
 
-// Stats returns a pointer to the live counters for inspection.
-func (p *Platform) Stats() *Stats { return &p.stats }
+// Stats returns a pointer to the live counters for inspection. Views share
+// one counter set.
+func (p *Platform) Stats() *Stats { return &p.state().stats }
 
 // ResetStats zeroes all counters.
 func (p *Platform) ResetStats() {
-	p.stats.BytesH2D.Store(0)
-	p.stats.BytesD2H.Store(0)
-	p.stats.KernelLaunch.Store(0)
-	p.stats.HostLaunch.Store(0)
-	p.stats.TransferNanos.Store(0)
+	st := p.Stats()
+	st.BytesH2D.Store(0)
+	st.BytesD2H.Store(0)
+	st.KernelLaunch.Store(0)
+	st.HostLaunch.Store(0)
+	st.TransferNanos.Store(0)
 }
 
-// workersFor returns the pool width for a place.
+// workersFor returns the kernel width for a place.
 func (p *Platform) workersFor(place Place) int {
 	if place == Accel {
 		if p.AccelWorkers > 0 {
@@ -262,9 +344,9 @@ func (p *Platform) LaunchGrid(place Place, n int, kernel func(lo, hi int)) {
 		return
 	}
 	if place == Accel {
-		p.stats.KernelLaunch.Add(1)
+		p.Stats().KernelLaunch.Add(1)
 	} else {
-		p.stats.HostLaunch.Add(1)
+		p.Stats().HostLaunch.Add(1)
 	}
 	workers := p.workersFor(place)
 	if workers == 1 || n < 2*minChunk {
@@ -291,9 +373,9 @@ func (p *Platform) LaunchBlocks(place Place, n int, kernel func(lo, hi int)) {
 		return
 	}
 	if place == Accel {
-		p.stats.KernelLaunch.Add(1)
+		p.Stats().KernelLaunch.Add(1)
 	} else {
-		p.stats.HostLaunch.Add(1)
+		p.Stats().HostLaunch.Add(1)
 	}
 	workers := p.workersFor(place)
 	if workers == 1 || n == 1 {
@@ -335,7 +417,7 @@ func (p *Platform) CopyIn(dst *Buffer, src []byte) error {
 		return fmt.Errorf("device: CopyIn overflow: src %d bytes into %d-byte buffer", len(src), len(dst.data))
 	}
 	copy(dst.data, src)
-	p.chargeTransfer(len(src), &p.stats.BytesH2D)
+	p.chargeTransfer(len(src), &p.Stats().BytesH2D)
 	return nil
 }
 
@@ -348,7 +430,7 @@ func (p *Platform) CopyOut(dst []byte, src *Buffer) error {
 		return fmt.Errorf("device: CopyOut overflow: %d-byte buffer into %d-byte dst", len(src.data), len(dst))
 	}
 	copy(dst, src.data)
-	p.chargeTransfer(len(src.data), &p.stats.BytesD2H)
+	p.chargeTransfer(len(src.data), &p.Stats().BytesD2H)
 	return nil
 }
 
@@ -358,7 +440,7 @@ func (p *Platform) chargeTransfer(n int, counter *atomic.Int64) {
 		return
 	}
 	d := time.Duration(float64(n) / p.LinkBandwidth * 1e9)
-	p.stats.TransferNanos.Add(int64(d))
+	p.Stats().TransferNanos.Add(int64(d))
 	if p.SimulateTransferTime && d > 0 {
 		time.Sleep(d)
 	}

@@ -19,9 +19,37 @@ import (
 type BufPool struct {
 	bytes, u16, u32, i32, i64, f32, f64 classPools
 
-	gets atomic.Int64
-	hits atomic.Int64
-	puts atomic.Int64
+	gets stripedCounter
+	hits stripedCounter
+	puts stripedCounter
+}
+
+// counterStripes is the stripe count of the pool's traffic counters. The
+// slab storage itself is already P-local (sync.Pool keeps per-P free
+// lists), so under concurrent get/put the only shared-write hot spots are
+// these counters; striping them by size class and padding each cell to a
+// cache line keeps concurrent workers — which typically touch different
+// classes at any instant — off each other's lines.
+const counterStripes = 8
+
+// stripedCounter is a cache-line padded, striped event counter.
+type stripedCounter struct {
+	cells [counterStripes]struct {
+		v atomic.Int64
+		_ [56]byte
+	}
+}
+
+func (c *stripedCounter) add(stripe int) {
+	c.cells[stripe&(counterStripes-1)].v.Add(1)
+}
+
+func (c *stripedCounter) load() int64 {
+	var total int64
+	for i := range c.cells {
+		total += c.cells[i].v.Load()
+	}
+	return total
 }
 
 // PoolStats is a point-in-time snapshot of pool traffic.
@@ -44,7 +72,7 @@ func (s PoolStats) HitRate() float64 {
 
 // Stats snapshots the cumulative pool counters.
 func (bp *BufPool) Stats() PoolStats {
-	return PoolStats{Gets: bp.gets.Load(), Hits: bp.hits.Load(), Puts: bp.puts.Load()}
+	return PoolStats{Gets: bp.gets.load(), Hits: bp.hits.load(), Puts: bp.puts.load()}
 }
 
 const (
@@ -79,13 +107,13 @@ func classFor(n int) int {
 }
 
 func getSlab[T any](bp *BufPool, cp *classPools, n int, zeroed bool) *Slab[T] {
-	bp.gets.Add(1)
+	c := classFor(n)
+	bp.gets.add(c)
 	if n > 1<<poolMaxClass {
 		return &Slab[T]{Data: make([]T, n), class: -1}
 	}
-	c := classFor(n)
 	if v := cp[c].Get(); v != nil {
-		bp.hits.Add(1)
+		bp.hits.add(c)
 		s := v.(*Slab[T])
 		s.Data = s.Data[:n]
 		if zeroed {
@@ -101,7 +129,7 @@ func putSlab[T any](bp *BufPool, cp *classPools, s *Slab[T]) {
 	if s == nil || s.class < 0 {
 		return
 	}
-	bp.puts.Add(1)
+	bp.puts.add(int(s.class))
 	cp[s.class].Put(s)
 }
 

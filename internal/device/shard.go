@@ -1,0 +1,118 @@
+package device
+
+// PoolShard is a single-owner free-list cache over a BufPool, the
+// shared-nothing tier of the scratch allocator: each STF worker owns one
+// shard, so the slab churn of a chunk's task chain (quantization codes,
+// serialized-container staging) recycles through plain unsynchronized
+// slices instead of round-tripping the shared pool on every checkout. A
+// shard must only ever be used by the goroutine that owns it; Drain hands
+// cached slabs back to the shared pool when the owner retires.
+//
+// Get/Put fall back to (and keep the traffic counters of) the backing
+// BufPool, so PoolStats still accounts every checkout and return, and a
+// shard miss behaves exactly like a direct pool call.
+type PoolShard struct {
+	bp *BufPool
+
+	bytes []*Slab[byte]
+	u16   []*Slab[uint16]
+	f32   []*Slab[float32]
+}
+
+// shardCap bounds the slabs a shard caches per element kind; overflow
+// returns to the shared pool.
+const shardCap = 4
+
+// NewShard creates an empty shard over the pool.
+func (bp *BufPool) NewShard() *PoolShard { return &PoolShard{bp: bp} }
+
+// shardGet pops a cached slab of the exact size class, resizing it to n;
+// a miss defers to the shared pool.
+func shardGet[T any](cache *[]*Slab[T], n int, zeroed bool, fallback func() *Slab[T], count *stripedCounter, hits *stripedCounter) *Slab[T] {
+	c := classFor(n)
+	if n <= 1<<poolMaxClass {
+		s := *cache
+		for i := len(s) - 1; i >= 0; i-- {
+			if int(s[i].class) == c {
+				slab := s[i]
+				s[i] = s[len(s)-1]
+				*cache = s[:len(s)-1]
+				count.add(c)
+				hits.add(c)
+				slab.Data = slab.Data[:n]
+				if zeroed {
+					clear(slab.Data)
+				}
+				return slab
+			}
+		}
+	}
+	return fallback()
+}
+
+// shardPut caches a slab for the owner's next checkout, overflowing to the
+// shared pool.
+func shardPut[T any](cache *[]*Slab[T], s *Slab[T], overflow func(*Slab[T]), count *stripedCounter) {
+	if s == nil || s.class < 0 {
+		return
+	}
+	if len(*cache) < shardCap {
+		count.add(int(s.class))
+		*cache = append(*cache, s)
+		return
+	}
+	overflow(s)
+}
+
+// GetBytes checks out a byte slab of length n, preferring the shard cache.
+func (sh *PoolShard) GetBytes(n int, zeroed bool) *Slab[byte] {
+	return shardGet(&sh.bytes, n, zeroed, func() *Slab[byte] { return sh.bp.GetBytes(n, zeroed) }, &sh.bp.gets, &sh.bp.hits)
+}
+
+// PutBytes returns a byte slab to the shard cache.
+func (sh *PoolShard) PutBytes(s *Slab[byte]) {
+	shardPut(&sh.bytes, s, sh.bp.PutBytes, &sh.bp.puts)
+}
+
+// GetU16 checks out a uint16 slab of length n, preferring the shard cache.
+func (sh *PoolShard) GetU16(n int, zeroed bool) *Slab[uint16] {
+	return shardGet(&sh.u16, n, zeroed, func() *Slab[uint16] { return sh.bp.GetU16(n, zeroed) }, &sh.bp.gets, &sh.bp.hits)
+}
+
+// PutU16 returns a uint16 slab to the shard cache.
+func (sh *PoolShard) PutU16(s *Slab[uint16]) {
+	shardPut(&sh.u16, s, sh.bp.PutU16, &sh.bp.puts)
+}
+
+// GetF32 checks out a float32 slab of length n, preferring the shard cache.
+func (sh *PoolShard) GetF32(n int, zeroed bool) *Slab[float32] {
+	return shardGet(&sh.f32, n, zeroed, func() *Slab[float32] { return sh.bp.GetF32(n, zeroed) }, &sh.bp.gets, &sh.bp.hits)
+}
+
+// PutF32 returns a float32 slab to the shard cache.
+func (sh *PoolShard) PutF32(s *Slab[float32]) {
+	shardPut(&sh.f32, s, sh.bp.PutF32, &sh.bp.puts)
+}
+
+// Pool returns the backing shared pool (for element kinds the shard does
+// not cache).
+func (sh *PoolShard) Pool() *BufPool { return sh.bp }
+
+// Drain returns every cached slab to the shared pool. Call when the owning
+// goroutine retires; the shard remains usable (empty) afterwards. Cached
+// slabs were already accounted as returned when the owner put them, so the
+// transfer back to the class pools is not re-counted.
+func (sh *PoolShard) Drain() {
+	for _, s := range sh.bytes {
+		sh.bp.bytes[s.class].Put(s)
+	}
+	sh.bytes = sh.bytes[:0]
+	for _, s := range sh.u16 {
+		sh.bp.u16[s.class].Put(s)
+	}
+	sh.u16 = sh.u16[:0]
+	for _, s := range sh.f32 {
+		sh.bp.f32[s.class].Put(s)
+	}
+	sh.f32 = sh.f32[:0]
+}

@@ -451,6 +451,13 @@ func ParseTable(data []byte) (*Codec, int, error) {
 // branch-light and never reallocates; every checked-out slab is returned to
 // the pool on both the success and the error path.
 func (c *Codec) Encode(p *device.Platform, place device.Place, codes []uint16) ([]byte, error) {
+	return c.encodePrefixed(p, place, codes, nil)
+}
+
+// encodePrefixed is Encode emitting into a buffer that starts with prefix,
+// sized exactly up front — Compress uses it to lay the stream directly
+// behind the serialized table instead of concatenating two full buffers.
+func (c *Codec) encodePrefixed(p *device.Platform, place device.Place, codes []uint16, prefix []byte) ([]byte, error) {
 	pool := p.ScratchPool()
 	nChunks := (len(codes) + chunkSize - 1) / chunkSize
 	chunkBufs := make([][]byte, nChunks)
@@ -495,11 +502,12 @@ func (c *Codec) Encode(p *device.Platform, place device.Place, codes []uint16) (
 		release()
 		return nil, firstErr2
 	}
-	size := binary.MaxVarintLen64 * (2 + nChunks)
+	size := len(prefix) + binary.MaxVarintLen64*(2+nChunks)
 	for _, buf := range chunkBufs {
 		size += len(buf)
 	}
-	out := binary.AppendUvarint(make([]byte, 0, size), uint64(len(codes)))
+	out := append(make([]byte, 0, size), prefix...)
+	out = binary.AppendUvarint(out, uint64(len(codes)))
 	out = binary.AppendUvarint(out, uint64(nChunks))
 	for _, buf := range chunkBufs {
 		out = binary.AppendUvarint(out, uint64(len(buf)))
@@ -734,21 +742,15 @@ func firstIdxEnd(c *Codec, l int) int {
 }
 
 // Compress is the single-shot convenience: builds the codec from hist,
-// serializes the table, and appends the encoded stream.
+// serializes the table, and lays the encoded stream directly behind it in
+// one buffer — no table‖payload concatenation copy, which on the chunked
+// hot path used to re-copy every chunk's whole code stream.
 func Compress(p *device.Platform, place device.Place, codes []uint16, hist []uint32) ([]byte, error) {
 	c, err := Build(hist)
 	if err != nil {
 		return nil, err
 	}
-	payload, err := c.Encode(p, place, codes)
-	if err != nil {
-		return nil, err
-	}
-	table := c.SerializeTable()
-	out := make([]byte, 0, len(table)+len(payload))
-	out = append(out, table...)
-	out = append(out, payload...)
-	return out, nil
+	return c.encodePrefixed(p, place, codes, c.SerializeTable())
 }
 
 // Decompress inverts Compress.

@@ -73,15 +73,53 @@ func IsChunked(blob []byte) bool {
 // EB bits ‖ RelEB bits ‖ uvarint nominal planes ‖ uvarint chunk count;
 // then per chunk: uvarint offset, uvarint length, CRC32(payload), uvarint
 // planes; then the concatenated chunk payloads.
+//
+// MarshalChunked is the gather path (chunk payloads already materialized,
+// e.g. under a secondary encoder whose output size is unknown up front);
+// it lowers onto the same layout engine as the scatter path, so the two
+// produce identical bytes for identical chunk contents.
 func MarshalChunked(h ChunkedHeader, chunks [][]byte, planes []int) ([]byte, error) {
+	lengths := make([]int, len(chunks))
+	for i, c := range chunks {
+		lengths[i] = len(c)
+	}
+	a, err := NewChunkedAssembly(h, lengths, planes)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range chunks {
+		copy(a.ChunkSlice(i), c)
+		a.SealChunk(i)
+	}
+	return a.Bytes(), nil
+}
+
+// ChunkedAssembly is the zero-copy (scatter) writer of the chunked
+// container: the full layout — prologue, chunk table offsets and lengths,
+// payload area — is computed up front from the chunks' exact encoded
+// sizes, so each worker serializes its chunk directly into its disjoint
+// ChunkSlice window of the final buffer and then seals the table CRC,
+// with no per-chunk staging blob and no serial gather copy.
+type ChunkedAssembly struct {
+	buf     []byte
+	start   int   // payload area offset
+	offsets []int // per chunk, relative to start
+	lengths []int
+	crcOffs []int // absolute offset of each chunk's table CRC slot
+}
+
+// NewChunkedAssembly validates the geometry exactly as MarshalChunked does
+// and writes the container prologue plus the chunk table (CRC slots
+// zeroed) into a single exact-size buffer.
+func NewChunkedAssembly(h ChunkedHeader, lengths, planes []int) (*ChunkedAssembly, error) {
 	if !h.Dims.Valid() {
 		return nil, fmt.Errorf("fzio: invalid dims %v", h.Dims)
 	}
-	if len(chunks) == 0 {
+	if len(lengths) == 0 {
 		return nil, fmt.Errorf("fzio: chunked container needs at least one chunk")
 	}
-	if len(chunks) != len(planes) {
-		return nil, fmt.Errorf("fzio: %d chunks but %d plane counts", len(chunks), len(planes))
+	if len(lengths) != len(planes) {
+		return nil, fmt.Errorf("fzio: %d chunks but %d plane counts", len(lengths), len(planes))
 	}
 	total := 0
 	for i, k := range planes {
@@ -93,7 +131,29 @@ func MarshalChunked(h ChunkedHeader, chunks [][]byte, planes []int) ([]byte, err
 	if total != h.Dims.SlowExtent() {
 		return nil, fmt.Errorf("fzio: chunks cover %d planes, field has %d", total, h.Dims.SlowExtent())
 	}
-	out := []byte(ChunkedMagic)
+	// Exact layout: prologue + table size depend only on the header values
+	// and the chunk lengths, both known here.
+	size := len(ChunkedMagic) + 2 + stringLen(h.Pipeline)
+	size += uvarintLen(uint64(h.Dims.X)) + uvarintLen(uint64(h.Dims.Y)) + uvarintLen(uint64(h.Dims.Z))
+	size += 16 // EB + RelEB
+	size += uvarintLen(uint64(h.Planes)) + uvarintLen(uint64(len(lengths)))
+	payload := 0
+	for i, l := range lengths {
+		if l < 0 {
+			return nil, fmt.Errorf("fzio: chunk %d has negative length", i)
+		}
+		size += uvarintLen(uint64(payload)) + uvarintLen(uint64(l)) + 4 + uvarintLen(uint64(planes[i]))
+		payload += l
+	}
+	size += payload
+
+	a := &ChunkedAssembly{
+		buf:     make([]byte, 0, size),
+		offsets: make([]int, len(lengths)),
+		lengths: append([]int(nil), lengths...),
+		crcOffs: make([]int, len(lengths)),
+	}
+	out := append(a.buf, ChunkedMagic...)
 	out = binary.LittleEndian.AppendUint16(out, ChunkedVersion)
 	out = appendString(out, h.Pipeline)
 	out = binary.AppendUvarint(out, uint64(h.Dims.X))
@@ -102,20 +162,47 @@ func MarshalChunked(h ChunkedHeader, chunks [][]byte, planes []int) ([]byte, err
 	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(h.EB))
 	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(h.RelEB))
 	out = binary.AppendUvarint(out, uint64(h.Planes))
-	out = binary.AppendUvarint(out, uint64(len(chunks)))
+	out = binary.AppendUvarint(out, uint64(len(lengths)))
 	off := 0
-	for i, c := range chunks {
+	for i, l := range lengths {
+		a.offsets[i] = off
 		out = binary.AppendUvarint(out, uint64(off))
-		out = binary.AppendUvarint(out, uint64(len(c)))
-		out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(c))
+		out = binary.AppendUvarint(out, uint64(l))
+		a.crcOffs[i] = len(out)
+		out = binary.LittleEndian.AppendUint32(out, 0) // sealed by SealChunk
 		out = binary.AppendUvarint(out, uint64(planes[i]))
-		off += len(c)
+		off += l
 	}
-	for _, c := range chunks {
-		out = append(out, c...)
+	a.start = len(out)
+	if a.start+payload != size {
+		return nil, fmt.Errorf("fzio: assembly layout drifted: %d != %d", a.start+payload, size)
 	}
-	return out, nil
+	a.buf = out[:size]
+	return a, nil
 }
+
+// NumChunks returns the chunk count of the layout.
+func (a *ChunkedAssembly) NumChunks() int { return len(a.lengths) }
+
+// ChunkSlice returns chunk i's disjoint window of the payload area; the
+// chunk's serializer fills it completely and then calls SealChunk. Safe to
+// use concurrently for distinct indices.
+func (a *ChunkedAssembly) ChunkSlice(i int) []byte {
+	lo := a.start + a.offsets[i]
+	return a.buf[lo : lo+a.lengths[i] : lo+a.lengths[i]]
+}
+
+// SealChunk computes chunk i's payload CRC and writes its chunk-table
+// slot. Call once after ChunkSlice(i) has been filled; distinct chunks may
+// seal concurrently (the CRC slots are disjoint).
+func (a *ChunkedAssembly) SealChunk(i int) {
+	crc := crc32.ChecksumIEEE(a.ChunkSlice(i))
+	binary.LittleEndian.PutUint32(a.buf[a.crcOffs[i]:], crc)
+}
+
+// Bytes returns the assembled container. Valid once every chunk has been
+// filled and sealed.
+func (a *ChunkedAssembly) Bytes() []byte { return a.buf }
 
 // UnmarshalChunked parses a chunked container, verifying magic, version and
 // the consistency of the chunk table: offsets must be contiguous from zero

@@ -97,16 +97,61 @@ func (c *Container) Size() int {
 	return n
 }
 
-// Marshal serializes the container.
+// uvarintLen returns the encoded size of v in bytes.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// stringLen returns the encoded size of a length-prefixed string.
+func stringLen(s string) int { return uvarintLen(uint64(len(s))) + len(s) }
+
+// MarshaledSize returns the exact byte size Marshal/MarshalInto produce.
+// The chunked executor uses it to lay out the final container before any
+// chunk has serialized, so workers can scatter-write their chunks directly
+// into the assembled output.
+func (c *Container) MarshaledSize() int {
+	n := len(Magic) + 2 // magic + version
+	n += stringLen(c.Header.Pipeline)
+	n += uvarintLen(uint64(c.Header.Dims.X)) + uvarintLen(uint64(c.Header.Dims.Y)) + uvarintLen(uint64(c.Header.Dims.Z))
+	n += 16 // EB + RelEB
+	n += uvarintLen(c.Header.Extra)
+	n += uvarintLen(uint64(len(c.segments)))
+	for _, s := range c.segments {
+		n += stringLen(s.name) + uvarintLen(uint64(len(s.data))) + 4 + len(s.data)
+	}
+	return n
+}
+
+// Marshal serializes the container into a single exact-size allocation.
 //
 // Layout: "FZMD" ‖ u16 version ‖ uvarint fields:
 // pipeline, dims X/Y/Z, EB bits, RelEB bits, Extra, segment count; then per
 // segment: name, length, CRC32(payload); then concatenated payloads.
 func (c *Container) Marshal() ([]byte, error) {
-	if !c.Header.Dims.Valid() {
-		return nil, fmt.Errorf("fzio: invalid dims %v", c.Header.Dims)
+	out := make([]byte, c.MarshaledSize())
+	if _, err := c.MarshalInto(out); err != nil {
+		return nil, err
 	}
-	out := []byte(Magic)
+	return out, nil
+}
+
+// MarshalInto serializes the container into dst, which must hold at least
+// MarshaledSize bytes, and returns the bytes written. The byte stream is
+// identical to Marshal's.
+func (c *Container) MarshalInto(dst []byte) (int, error) {
+	if !c.Header.Dims.Valid() {
+		return 0, fmt.Errorf("fzio: invalid dims %v", c.Header.Dims)
+	}
+	size := c.MarshaledSize()
+	if len(dst) < size {
+		return 0, fmt.Errorf("fzio: container needs %d bytes, dst has %d", size, len(dst))
+	}
+	out := append(dst[:0], Magic...)
 	out = binary.LittleEndian.AppendUint16(out, Version)
 	out = appendString(out, c.Header.Pipeline)
 	out = binary.AppendUvarint(out, uint64(c.Header.Dims.X))
@@ -124,7 +169,10 @@ func (c *Container) Marshal() ([]byte, error) {
 	for _, s := range c.segments {
 		out = append(out, s.data...)
 	}
-	return out, nil
+	if len(out) != size {
+		return 0, fmt.Errorf("fzio: marshaled %d bytes, computed %d", len(out), size)
+	}
+	return size, nil
 }
 
 // Unmarshal parses a container, verifying magic, version and segment CRCs.

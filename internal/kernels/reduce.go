@@ -7,95 +7,115 @@
 package kernels
 
 import (
-	"math"
 	"sync"
 
 	"fzmod/internal/device"
 )
 
-// MinMaxF32 computes the minimum and maximum of data with a two-phase grid
-// reduction at place. It is the extrema kernel behind relative-error-bound
-// normalization (§3.2: "needing to find the data minimum and maximum to
-// normalize the user provided error by the data range").
+// minMaxBlock is the per-block extent of the MinMaxF32 tree reduction.
+const minMaxBlock = 1 << 16
+
+// MinMaxF32 computes the minimum and maximum of data with a two-phase tree
+// reduction at place: phase 1 reduces fixed-extent blocks into a pooled
+// partials array — each block writes its own disjoint slots, so there is
+// no merge lock for concurrent blocks to contend on and the result is
+// deterministic regardless of scheduling — and phase 2 folds the partials.
+// It is the extrema kernel behind relative-error-bound normalization
+// (§3.2: "needing to find the data minimum and maximum to normalize the
+// user provided error by the data range").
 func MinMaxF32(p *device.Platform, place device.Place, data []float32) (mn, mx float32) {
 	if len(data) == 0 {
 		return 0, 0
 	}
-	type partial struct {
-		mn, mx float32
+	nBlocks := (len(data) + minMaxBlock - 1) / minMaxBlock
+	if nBlocks == 1 {
+		return minMaxRange(data)
 	}
-	var mu sync.Mutex
-	mn, mx = float32(math.Inf(1)), float32(math.Inf(-1))
-	p.LaunchGrid(place, len(data), func(lo, hi int) {
-		// Four independent accumulator lanes break the compare-update
-		// dependency chain; the lanes fold together before the merge.
-		lmn, lmx := data[lo], data[lo]
-		mn1, mx1 := lmn, lmx
-		mn2, mx2 := lmn, lmx
-		mn3, mx3 := lmn, lmx
-		i := lo
-		for ; i+4 <= hi; i += 4 {
-			v0, v1, v2, v3 := data[i], data[i+1], data[i+2], data[i+3]
-			if v0 < lmn {
-				lmn = v0
+	slab := p.ScratchPool().GetF32(2*nBlocks, false)
+	partials := slab.Data
+	p.LaunchBlocks(place, nBlocks, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			end := (b + 1) * minMaxBlock
+			if end > len(data) {
+				end = len(data)
 			}
-			if v0 > lmx {
-				lmx = v0
-			}
-			if v1 < mn1 {
-				mn1 = v1
-			}
-			if v1 > mx1 {
-				mx1 = v1
-			}
-			if v2 < mn2 {
-				mn2 = v2
-			}
-			if v2 > mx2 {
-				mx2 = v2
-			}
-			if v3 < mn3 {
-				mn3 = v3
-			}
-			if v3 > mx3 {
-				mx3 = v3
-			}
+			partials[2*b], partials[2*b+1] = minMaxRange(data[b*minMaxBlock : end])
 		}
-		for ; i < hi; i++ {
-			if v := data[i]; v < lmn {
-				lmn = v
-			} else if v > lmx {
-				lmx = v
-			}
-		}
-		if mn1 < lmn {
-			lmn = mn1
-		}
-		if mn2 < lmn {
-			lmn = mn2
-		}
-		if mn3 < lmn {
-			lmn = mn3
-		}
-		if mx1 > lmx {
-			lmx = mx1
-		}
-		if mx2 > lmx {
-			lmx = mx2
-		}
-		if mx3 > lmx {
-			lmx = mx3
-		}
-		mu.Lock()
-		if lmn < mn {
-			mn = lmn
-		}
-		if lmx > mx {
-			mx = lmx
-		}
-		mu.Unlock()
 	})
+	mn, mx = partials[0], partials[1]
+	for b := 1; b < nBlocks; b++ {
+		if partials[2*b] < mn {
+			mn = partials[2*b]
+		}
+		if partials[2*b+1] > mx {
+			mx = partials[2*b+1]
+		}
+	}
+	p.ScratchPool().PutF32(slab)
 	return mn, mx
+}
+
+// minMaxRange scans one contiguous range with four independent accumulator
+// lanes, breaking the compare-update dependency chain.
+func minMaxRange(data []float32) (mn, mx float32) {
+	lmn, lmx := data[0], data[0]
+	mn1, mx1 := lmn, lmx
+	mn2, mx2 := lmn, lmx
+	mn3, mx3 := lmn, lmx
+	i := 0
+	for ; i+4 <= len(data); i += 4 {
+		v0, v1, v2, v3 := data[i], data[i+1], data[i+2], data[i+3]
+		if v0 < lmn {
+			lmn = v0
+		}
+		if v0 > lmx {
+			lmx = v0
+		}
+		if v1 < mn1 {
+			mn1 = v1
+		}
+		if v1 > mx1 {
+			mx1 = v1
+		}
+		if v2 < mn2 {
+			mn2 = v2
+		}
+		if v2 > mx2 {
+			mx2 = v2
+		}
+		if v3 < mn3 {
+			mn3 = v3
+		}
+		if v3 > mx3 {
+			mx3 = v3
+		}
+	}
+	for ; i < len(data); i++ {
+		if v := data[i]; v < lmn {
+			lmn = v
+		} else if v > lmx {
+			lmx = v
+		}
+	}
+	if mn1 < lmn {
+		lmn = mn1
+	}
+	if mn2 < lmn {
+		lmn = mn2
+	}
+	if mn3 < lmn {
+		lmn = mn3
+	}
+	if mx1 > lmx {
+		lmx = mx1
+	}
+	if mx2 > lmx {
+		lmx = mx2
+	}
+	if mx3 > lmx {
+		lmx = mx3
+	}
+	return lmn, lmx
 }
 
 // SumF64 accumulates data in float64 with per-block partials, matching the

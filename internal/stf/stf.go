@@ -22,6 +22,10 @@
 // Tasks whose data sets do not conflict run concurrently — this is what
 // gives FZMod-Default's decompression its branch-level concurrency
 // (outlier scatter on the accelerator ∥ Huffman decode on the host).
+// Ready tasks execute on per-place work-stealing worker pools (see
+// sched.go): each worker owns a bounded deque plus a private scratch-pool
+// shard, and idle workers steal, so skewed chunk sub-graphs rebalance
+// instead of convoying behind the slowest worker.
 //
 // Scratch data and device-side copies are drawn from the platform's
 // size-classed buffer pool (device.BufPool) and returned by Ctx.Release,

@@ -12,14 +12,18 @@ import (
 // Ctx owns a task graph: logical data registration, dependency inference,
 // and asynchronous execution. Create with NewCtx, submit tasks, then call
 // Finalize exactly once (Barrier may be used to drain mid-build). Release
-// returns pooled scratch to the platform pool once results have been read;
-// a Ctx is not reusable after Finalize.
+// returns pooled scratch to the platform pool and retires the worker
+// pools once results have been read; a Ctx is not reusable after Finalize
+// (Reset is the reuse path and keeps the workers warm).
 //
-// Execution model: the scheduler keeps a per-place device.StreamPool of
-// bounded size. A task is dispatched onto a stream the moment its last
-// dependency completes (dependency counting, no waiting goroutines), so
-// in-flight task bodies per place never exceed the pool width — the
-// bounded-worker discipline a finite ring of CUDA streams imposes.
+// Execution model: each place owns a bounded work-stealing worker pool. A
+// task becomes ready the moment its last dependency completes (dependency
+// counting, no waiting goroutines) and is pushed onto the completing
+// worker's own deque — the chunk sub-graph stays on the worker whose
+// caches (and scratch-pool shard) are warm — while idle workers steal the
+// oldest ready task from a sibling, so uneven sub-graphs rebalance. The
+// pool width bounds in-flight task bodies per place, the bounded-worker
+// discipline a finite ring of CUDA streams imposes.
 type Ctx struct {
 	p *Platform
 
@@ -28,7 +32,7 @@ type Ctx struct {
 	nextTask int
 	tasks    []*task
 	edges    map[[2]int]struct{} // dedup for DOT export
-	pools    map[device.Place]*device.StreamPool
+	scheds   map[device.Place]*sched
 	maxConc  int
 	cleanups []func() // pooled-slab returns, run by Release
 }
@@ -43,13 +47,13 @@ func NewCtx(p *Platform) *Ctx {
 	return NewCtxN(p, 0)
 }
 
-// NewCtxN creates a context with an explicit per-place stream-pool size
+// NewCtxN creates a context with an explicit per-place worker-pool width
 // bounding in-flight task bodies; n <= 0 selects the platform worker width.
 func NewCtxN(p *Platform, maxConcurrent int) *Ctx {
 	return &Ctx{
 		p:       p,
 		edges:   make(map[[2]int]struct{}),
-		pools:   make(map[device.Place]*device.StreamPool),
+		scheds:  make(map[device.Place]*sched),
 		maxConc: maxConcurrent,
 	}
 }
@@ -91,6 +95,7 @@ type task struct {
 
 	started time.Time
 	ended   time.Time
+	worker  int // pool slot that executed the task (for the trace)
 }
 
 type taskAccess struct {
@@ -144,12 +149,14 @@ func (b *TaskBuilder) ReadsWrites(ds ...DataRef) *TaskBuilder {
 
 // TaskInstance is passed to a task body: it identifies the resolved
 // execution place and the declared access set (used by Data.Acc for
-// misuse detection), and gives the body a grid-launch helper at its place.
+// misuse detection), and gives the body a grid-launch helper at its place
+// plus the executing worker's private scratch-pool shard.
 type TaskInstance struct {
 	ctx    *Ctx
 	name   string
 	place  device.Place
 	access map[*dataMeta]AccessMode
+	shard  *device.PoolShard
 }
 
 // Place reports where the task is executing.
@@ -162,6 +169,11 @@ func (ti *TaskInstance) Name() string { return ti.name }
 func (ti *TaskInstance) Launch(n int, kernel func(lo, hi int)) {
 	ti.ctx.p.LaunchGrid(ti.place, n, kernel)
 }
+
+// Shard returns the executing worker's private scratch-pool shard: slab
+// checkouts through it skip the shared pool when the worker has a cached
+// slab of the right class. The shard must not escape the task body.
+func (ti *TaskInstance) Shard() *device.PoolShard { return ti.shard }
 
 // Do finalizes the declaration and submits the task for asynchronous
 // execution. Dependencies are inferred from the access declarations against
@@ -222,29 +234,37 @@ func (b *TaskBuilder) Do(body func(*TaskInstance) error) {
 	c.mu.Unlock()
 
 	if ready {
-		c.dispatch(t)
+		c.dispatch(t, nil)
 	}
 }
 
-// dispatch enqueues a ready task onto the next stream of its place's pool.
-func (c *Ctx) dispatch(t *task) {
-	c.streamFor(t.place).Enqueue(func() { c.run(t) })
+// dispatch hands a ready task to its place's worker pool; from is the
+// worker that made it ready (nil for declaration-time submissions), so
+// same-pool completions keep the sub-graph on the warm worker.
+func (c *Ctx) dispatch(t *task, from *schedWorker) {
+	c.schedFor(t.place).submit(t, from)
 }
 
-func (c *Ctx) streamFor(place device.Place) *device.Stream {
+// schedFor returns the worker pool of a place, spawning it on first use
+// with the context's concurrency bound (or the platform worker width).
+func (c *Ctx) schedFor(place device.Place) *sched {
 	c.mu.Lock()
-	sp := c.pools[place]
-	if sp == nil {
-		sp = c.p.NewStreamPool(place, c.maxConc)
-		c.pools[place] = sp
+	s := c.scheds[place]
+	if s == nil {
+		n := c.maxConc
+		if n <= 0 {
+			n = c.p.Workers(place)
+		}
+		s = newSched(c, n)
+		c.scheds[place] = s
 	}
 	c.mu.Unlock()
-	return sp.Next()
+	return s
 }
 
-// run executes a dispatched task body and notifies dependents. All
-// dependencies are complete when it is called.
-func (c *Ctx) run(t *task) {
+// runOn executes a dispatched task body on a pool worker and notifies
+// dependents. All dependencies are complete when it is called.
+func (c *Ctx) runOn(t *task, w *schedWorker) {
 	var depErr error
 	for _, d := range t.deps {
 		if d.err != nil {
@@ -264,6 +284,7 @@ func (c *Ctx) run(t *task) {
 			name:   t.name,
 			place:  t.place,
 			access: make(map[*dataMeta]AccessMode, len(t.access)),
+			shard:  w.shard,
 		}
 		for _, a := range t.access {
 			ti.access[a.data.metaRef()] = a.mode
@@ -282,6 +303,7 @@ func (c *Ctx) run(t *task) {
 
 	c.mu.Lock()
 	t.completed = true
+	t.worker = w.id
 	var ready []*task
 	for _, dep := range t.dependents {
 		dep.pending--
@@ -293,7 +315,7 @@ func (c *Ctx) run(t *task) {
 	c.mu.Unlock()
 	close(t.done)
 	for _, r := range ready {
-		c.dispatch(r)
+		c.dispatch(r, w)
 	}
 }
 
@@ -347,7 +369,7 @@ func (c *Ctx) Finalize() error {
 // Reset drains the graph like Finalize, returns pooled scratch like
 // Release, and then clears the task and data registry so the context can
 // be reused for the next batch of a windowed pipeline: the per-place
-// stream pools stay warm across batches, which is what lets a streaming
+// worker pools stay warm across batches, which is what lets a streaming
 // compressor run thousands of window-sized graphs over one context.
 // Logical data created before Reset must not be used afterwards (register
 // fresh Data for the next batch); results must be copied out first.
@@ -355,7 +377,7 @@ func (c *Ctx) Finalize() error {
 // reports them.
 func (c *Ctx) Reset() error {
 	err := c.Finalize()
-	c.Release()
+	c.releaseData()
 	c.mu.Lock()
 	c.tasks = nil
 	c.edges = make(map[[2]int]struct{})
@@ -365,16 +387,31 @@ func (c *Ctx) Reset() error {
 	return err
 }
 
-// Release returns every pooled scratch slab and device-side copy owned by
-// the context to the platform's buffer pool. Call after Finalize, once all
-// results have been copied out or Detach-ed; data accessors must not be
-// used afterwards. Release is idempotent.
-func (c *Ctx) Release() {
+// releaseData returns every pooled scratch slab and device-side copy owned
+// by the context to the platform's buffer pool.
+func (c *Ctx) releaseData() {
 	c.mu.Lock()
 	fns := c.cleanups
 	c.cleanups = nil
 	c.mu.Unlock()
 	for _, fn := range fns {
 		fn()
+	}
+}
+
+// Release returns every pooled scratch slab and device-side copy owned by
+// the context to the platform's buffer pool and retires the worker pools
+// (their shard caches drain back to the shared pool). Call after Finalize
+// or Reset, once all results have been copied out or Detach-ed; data
+// accessors must not be used and no further tasks may be submitted
+// afterwards. Release is idempotent.
+func (c *Ctx) Release() {
+	c.releaseData()
+	c.mu.Lock()
+	scheds := c.scheds
+	c.scheds = make(map[device.Place]*sched)
+	c.mu.Unlock()
+	for _, s := range scheds {
+		s.close()
 	}
 }

@@ -13,9 +13,13 @@ type TaskTrace struct {
 	ID    int
 	Name  string
 	Place string
-	Start time.Time
-	End   time.Time
-	Err   error
+	// Worker is the pool slot of the place's work-stealing pool that
+	// executed the task; the scaling tests use it to check that skewed
+	// graphs still keep every worker busy.
+	Worker int
+	Start  time.Time
+	End    time.Time
+	Err    error
 }
 
 // Trace returns per-task execution records ordered by start time. Valid
@@ -26,7 +30,7 @@ func (c *Ctx) Trace() []TaskTrace {
 	out := make([]TaskTrace, 0, len(c.tasks))
 	for _, t := range c.tasks {
 		out = append(out, TaskTrace{
-			ID: t.id, Name: t.name, Place: t.place.String(),
+			ID: t.id, Name: t.name, Place: t.place.String(), Worker: t.worker,
 			Start: t.started, End: t.ended, Err: t.err,
 		})
 	}

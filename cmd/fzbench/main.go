@@ -3,15 +3,16 @@
 //
 // Usage:
 //
-//	fzbench -exp table3|fig1|fig2|fig3|fig4|stf|hist|secondary|fusion|chunked|stream|all [-large]
+//	fzbench -exp table3|fig1|fig2|fig3|fig4|stf|hist|secondary|fusion|chunked|stream|region|all [-large]
 //	fzbench -exp chunked -json BENCH_new.json [-baseline BENCH_chunked.json] [-alloc-tol 0.2] [-gbs-tol 0.2] [-scal-tol 0.2]
 //	fzbench -exp stream  -json BENCH_stream_new.json -baseline BENCH_chunked.json
 //	fzbench -exp chunked -large -cpuprofile cpu.pprof -mutexprofile mutex.pprof
 //
 // Small-scale workloads are the default so a full sweep finishes quickly;
 // -large switches to the harness default dimensions (scaled from the
-// paper's Table 2). -json writes the chunked or stream experiment's
-// machine-readable report; with -baseline the run exits nonzero when
+// paper's Table 2). -json writes the chunked, stream or region
+// experiment's machine-readable report; with -baseline the run exits
+// nonzero when
 // allocs/op regressed beyond -alloc-tol, when compression or decompression
 // throughput fell more than -gbs-tol below the recorded baseline, or when
 // a matrix row's scaling_efficiency fell more than -scal-tol below the
@@ -42,7 +43,7 @@ func main() {
 }
 
 func run() int {
-	exp := flag.String("exp", "all", "experiment: table3, fig1, fig2, fig3, fig4, stf, hist, secondary, fusion, place, chunked, stream, all")
+	exp := flag.String("exp", "all", "experiment: table3, fig1, fig2, fig3, fig4, stf, hist, secondary, fusion, place, chunked, stream, region, all")
 	large := flag.Bool("large", false, "use full-scale workloads")
 	jsonPath := flag.String("json", "", "write the chunked/stream experiment's machine-readable report to this path")
 	baseline := flag.String("baseline", "", "compare the chunked/stream report against this baseline JSON and fail on regression")
@@ -62,8 +63,8 @@ func run() int {
 	v100 := device.NewV100Platform()
 	w := os.Stdout
 
-	if (*jsonPath != "" || *baseline != "") && *exp != "chunked" && *exp != "stream" {
-		fmt.Fprintln(os.Stderr, "fzbench: -json/-baseline apply to -exp chunked or -exp stream only")
+	if (*jsonPath != "" || *baseline != "") && *exp != "chunked" && *exp != "stream" && *exp != "region" {
+		fmt.Fprintln(os.Stderr, "fzbench: -json/-baseline apply to -exp chunked, stream or region only")
 		return 2
 	}
 
@@ -165,6 +166,12 @@ func run() int {
 				return err
 			}
 			return gate(report)
+		case "region":
+			report, err := bench.RegionComparisonReport(w, h100, sc)
+			if err != nil {
+				return err
+			}
+			return gate(report)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -173,7 +180,7 @@ func run() int {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"table3", "fig1", "fig2", "fig3", "fig4", "stf", "hist", "secondary", "fusion", "place", "chunked", "stream"}
+		names = []string{"table3", "fig1", "fig2", "fig3", "fig4", "stf", "hist", "secondary", "fusion", "place", "chunked", "stream", "region"}
 	}
 	for _, name := range names {
 		fmt.Fprintf(w, "\n===== %s =====\n", name)

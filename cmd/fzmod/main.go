@@ -8,6 +8,7 @@
 //	       [-chunk elems] [-workers n] [-v]
 //	fzmod -z  -stream -i data.f32 -o data.fzs -dims 512x512x512 -eb 1e-3 -mode abs [-window n]
 //	fzmod -d  -i data.fz  -o back.f32 [-v]
+//	fzmod -d  -region 0:64,0:64,8:16 -i data.fz -o sub.f32
 //	fzmod -probe -i data.fz
 //
 // After -z the tool verifies the roundtrip and prints CR, bitrate, PSNR
@@ -29,6 +30,13 @@
 // first chunk could be emitted. Decompression detects the container
 // flavor from its magic, so -d handles monolithic, chunked and streaming
 // containers alike; streaming containers decode out-of-core.
+//
+// -region restricts decompression to a subvolume: only the slab chunks
+// the half-open selection i0:i1,j0:j1,k0:k1 intersects are fetched and
+// decoded (trailing axes may be omitted and span their full extent).
+// The input must be random-access — a local file or an http(s):// URL
+// served with Range support — so "-i -" is rejected. See docs/FORMAT.md
+// for the container layout that makes this possible.
 package main
 
 import (
@@ -65,6 +73,7 @@ type config struct {
 	workers                     int
 	stream                      bool
 	window                      int
+	region                      string
 	verbose                     bool
 
 	stdin  io.Reader
@@ -89,6 +98,7 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", 0, "scheduler stream-pool width (0 = platform width; forces the chunked executor)")
 	flag.BoolVar(&cfg.stream, "stream", false, "stream out-of-core: bounded-memory compression/decompression over files or pipes")
 	flag.IntVar(&cfg.window, "window", 0, "streaming: max slabs in flight (0 = default)")
+	flag.StringVar(&cfg.region, "region", "", "decompress only the subvolume i0:i1,j0:j1,k0:k1 (half-open, x fastest; needs a seekable -i)")
 	flag.BoolVar(&cfg.verbose, "v", false, "print the executor report (tasks, overlap, pool hit rate)")
 	flag.Parse()
 	cfg.stdin = os.Stdin
@@ -171,6 +181,9 @@ func run(cfg config) error {
 	}
 	if cfg.stderr == nil {
 		cfg.stderr = os.Stderr
+	}
+	if cfg.region != "" && !cfg.decompress {
+		return fmt.Errorf("-region only applies to decompression (-d)")
 	}
 	p := fzmod.NewPlatform()
 
@@ -333,6 +346,9 @@ func compressStream(cfg config, p *fzmod.Platform) error {
 }
 
 func decompress(cfg config, p *fzmod.Platform) error {
+	if cfg.region != "" {
+		return decompressRegion(cfg, p)
+	}
 	r, closeIn, err := cfg.openIn()
 	if err != nil {
 		return err
@@ -394,6 +410,98 @@ func decompress(cfg config, p *fzmod.Platform) error {
 		printReport(cfg.status(), "decompress", report)
 	}
 	return nil
+}
+
+// decompressRegion is the random-access read path: the container index is
+// fetched from a seekable source (local file or HTTP range requests), the
+// slab chunks intersecting -region are decoded, and only the selected
+// subvolume is written out.
+func decompressRegion(cfg config, p *fzmod.Platform) error {
+	if cfg.in == "-" {
+		return fmt.Errorf("-region needs random access; -i - (stdin) cannot seek")
+	}
+	isHTTP := strings.HasPrefix(cfg.in, "http://") || strings.HasPrefix(cfg.in, "https://")
+	var fetcher fzmod.ChunkFetcher
+	if isHTTP {
+		fetcher = fzmod.NewHTTPFetcher(cfg.in, nil)
+	} else {
+		f, err := fzmod.NewFileFetcher(cfg.in)
+		if err != nil {
+			return err
+		}
+		if c, ok := f.(io.Closer); ok {
+			defer c.Close()
+		}
+		fetcher = f
+	}
+	region, err := fzmod.OpenRegion(p, fetcher, fzmod.RegionOpts{Workers: cfg.workers})
+	if err != nil {
+		return err
+	}
+	sel, err := parseRegionSel(cfg.region, region.Dims())
+	if err != nil {
+		return err
+	}
+
+	t0 := time.Now()
+	data, report, err := region.ReadReport(sel)
+	sec := time.Since(t0).Seconds()
+	if err != nil {
+		return err
+	}
+
+	out := cfg.out
+	if out == "" {
+		name := cfg.in
+		if isHTTP {
+			name = name[strings.LastIndexByte(name, '/')+1:]
+			if name == "" {
+				name = "remote.fz"
+			}
+		}
+		out = strings.TrimSuffix(strings.TrimSuffix(name, ".fzs"), ".fz") + ".region.f32"
+	}
+	cfg.out = out
+	if err := cfg.writeOut(func(w io.Writer) error {
+		_, err := w.Write(device.F32Bytes(data))
+		return err
+	}); err != nil {
+		return err
+	}
+	rs := report.Region
+	fmt.Fprintf(cfg.status(), "region %s of %v: %d values (%d/%d chunks decoded)  %.3f GB/s → %s\n",
+		sel, region.Dims(), len(data), rs.Decoded, rs.Chunks,
+		metrics.Throughput(4*len(data), sec), out)
+	if cfg.verbose {
+		fmt.Fprintf(cfg.status(), "  fetched %d payload bytes, %d cache hits\n", rs.PayloadBytes, rs.CacheHits)
+	}
+	return nil
+}
+
+// parseRegionSel parses the -region i0:i1,j0:j1,k0:k1 syntax: up to three
+// comma-separated half-open ranges, x fastest. Trailing axes may be
+// omitted and span their full extent (matching the trailing singleton
+// convention of grid.Dims). Range bounds are validated by the read.
+func parseRegionSel(s string, d grid.Dims) (fzmod.RegionSel, error) {
+	sel := fzmod.FullRegion(d)
+	parts := strings.Split(s, ",")
+	if len(parts) > 3 {
+		return sel, fmt.Errorf("bad -region %q (want i0:i1,j0:j1,k0:k1)", s)
+	}
+	axes := [3][2]*int{{&sel.X0, &sel.X1}, {&sel.Y0, &sel.Y1}, {&sel.Z0, &sel.Z1}}
+	for i, ps := range parts {
+		los, his, ok := strings.Cut(ps, ":")
+		if !ok {
+			return sel, fmt.Errorf("bad -region range %q (want lo:hi)", ps)
+		}
+		lo, err1 := strconv.Atoi(los)
+		hi, err2 := strconv.Atoi(his)
+		if err1 != nil || err2 != nil {
+			return sel, fmt.Errorf("bad -region range %q (want lo:hi)", ps)
+		}
+		*axes[i][0], *axes[i][1] = lo, hi
+	}
+	return sel, nil
 }
 
 func probe(cfg config) error {

@@ -190,6 +190,66 @@ func TestCLIStreamPipe(t *testing.T) {
 	}
 }
 
+// TestCLIRegionRead: -d -region extracts a subvolume from a chunked
+// container and the values match slicing the full decompression.
+func TestCLIRegionRead(t *testing.T) {
+	in, dims, _ := writeField(t)
+	fz := filepath.Join(t.TempDir(), "field.fz")
+	if err := run(config{
+		compress: true, in: in, out: fz,
+		dims: "16x16x12", eb: 1e-3, mode: "rel",
+		pipeline: "default", chunk: 16 * 16 * 3, // 4 slab chunks
+		stdout: io.Discard,
+	}); err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+
+	full := filepath.Join(t.TempDir(), "full.f32")
+	if err := run(config{decompress: true, in: fz, out: full, stdout: io.Discard}); err != nil {
+		t.Fatalf("full decompress: %v", err)
+	}
+	want := readF32File(t, full)
+
+	sub := filepath.Join(t.TempDir(), "sub.f32")
+	var out bytes.Buffer
+	if err := run(config{
+		decompress: true, region: "2:10,4:12,7:9", in: fz, out: sub,
+		verbose: true, stdout: &out,
+	}); err != nil {
+		t.Fatalf("region decompress: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "region 2:10,4:12,7:9") ||
+		!strings.Contains(out.String(), "chunks decoded") {
+		t.Errorf("region output: %q", out.String())
+	}
+	got := readF32File(t, sub)
+	if len(got) != 8*8*2 {
+		t.Fatalf("region produced %d values, want %d", len(got), 8*8*2)
+	}
+	i := 0
+	for z := 7; z < 9; z++ {
+		for y := 4; y < 12; y++ {
+			for x := 2; x < 10; x++ {
+				if got[i] != want[dims.Idx(x, y, z)] {
+					t.Fatalf("region value (%d,%d,%d) = %g, full decompress has %g", x, y, z, got[i], want[dims.Idx(x, y, z)])
+				}
+				i++
+			}
+		}
+	}
+
+	// Trailing axes may be omitted: one range selects x-planes of the
+	// whole y×z extent.
+	if err := run(config{
+		decompress: true, region: "0:4", in: fz, out: sub, stdout: io.Discard,
+	}); err != nil {
+		t.Fatalf("partial region syntax: %v", err)
+	}
+	if got := readF32File(t, sub); len(got) != 4*dims.Y*dims.Z {
+		t.Errorf("x-only region produced %d values, want %d", len(got), 4*dims.Y*dims.Z)
+	}
+}
+
 // TestCLIErrors: the CLI surfaces usage errors instead of panicking.
 func TestCLIErrors(t *testing.T) {
 	in, _, _ := writeField(t)
@@ -203,6 +263,10 @@ func TestCLIErrors(t *testing.T) {
 		"stream auto":       {compress: true, stream: true, in: in, dims: "16x16x12", eb: 1, mode: "abs", pipeline: "auto"},
 		"stdin without -":   {compress: true, in: "-", dims: "16x16x12", eb: 1e-3, mode: "rel", pipeline: "default"},
 		"missing file":      {decompress: true, in: filepath.Join(t.TempDir(), "absent.fz")},
+		"region without -d": {compress: true, region: "0:4", in: in, dims: "16x16x12", eb: 1e-3, mode: "rel", pipeline: "default"},
+		"region on stdin":   {decompress: true, region: "0:4", in: "-"},
+		"region bad syntax": {decompress: true, region: "0-4", in: in},
+		"region bad range":  {decompress: true, region: "whole", in: in},
 		"not a container":   {decompress: true, in: in},
 		"probe not a cont.": {probe: true, in: in},
 	}

@@ -44,6 +44,27 @@
 // ExecReport with the executed task trace, the dependency DAG in Graphviz
 // dot syntax, and buffer-pool reuse statistics.
 //
+// # Random-access region reads
+//
+// Containers need not be decoded whole: DecompressRegion serves an
+// arbitrary subvolume by fetching and decoding only the slab chunks the
+// selection intersects, against any storage backend implementing
+// ChunkFetcher — an in-memory blob (NewBytesFetcher), a local file
+// (NewFileFetcher), or an HTTP object behind Range requests
+// (NewHTTPFetcher):
+//
+//	fetcher := fzmod.NewHTTPFetcher("https://data.example/field.fzmc", nil)
+//	region, err := fzmod.DecompressRegion(platform, fetcher,
+//	    fzmod.RegionSel{X0: 0, X1: 64, Y0: 0, Y1: 64, Z0: 128, Z1: 160},
+//	    fzmod.RegionOpts{})
+//
+// For repeated selections from one artifact, OpenRegion parses the chunk
+// index once and an optional SlabCache (RegionOpts.Cache) keeps decoded
+// slabs resident across reads — and across Regions, since entries are
+// keyed by container content — so overlapping requests pay each chunk's
+// fetch-and-decode cost once. The byte-level container layout the region
+// planner indexes against is specified normatively in docs/FORMAT.md.
+//
 // Three preset pipelines reproduce the paper's §3.3 designs: Default
 // (Lorenzo + histogram + CPU Huffman), Speed (Lorenzo + FZ-GPU
 // bitshuffle/dictionary), and Quality (G-Interp spline interpolation +
@@ -53,9 +74,11 @@ package fzmod
 
 import (
 	"io"
+	"net/http"
 
 	"fzmod/internal/core"
 	"fzmod/internal/device"
+	"fzmod/internal/fzio"
 	"fzmod/internal/grid"
 	"fzmod/internal/metrics"
 	"fzmod/internal/preprocess"
@@ -85,8 +108,30 @@ type (
 	// selects sane defaults.
 	StreamOpts = core.StreamOpts
 	// ExecReport is the execution evidence of one task-graph run: trace,
-	// DAG, critical path, and buffer-pool reuse statistics.
+	// DAG, critical path, buffer-pool reuse statistics and — for region
+	// reads — the chunk and slab-cache accounting in its Region field.
 	ExecReport = core.ExecReport
+	// RegionSel selects the half-open subvolume [X0,X1)×[Y0,Y1)×[Z0,Z1) of
+	// a field in its native x-fastest coordinates (see DecompressRegion).
+	RegionSel = core.RegionSel
+	// RegionOpts configures region reads: the Workers parallelism budget
+	// and an optional shared SlabCache. The zero value decodes with the
+	// platform's full width and no cache.
+	RegionOpts = core.RegionOpts
+	// RegionStats summarizes one region read: chunks intersected, chunks
+	// decoded vs. served from cache, and payload bytes fetched.
+	RegionStats = core.RegionStats
+	// Region is an open container positioned for random-access reads: the
+	// chunk index is parsed once and selections are served with per-chunk
+	// fetch → decode → reconstruct sub-graphs. Safe for concurrent Reads.
+	Region = core.Region
+	// SlabCache is the size-bounded LRU of decoded slabs shared between
+	// region reads; create with NewSlabCache.
+	SlabCache = core.SlabCache
+	// ChunkFetcher serves byte ranges of one container artifact — the
+	// pluggable storage abstraction region reads are built on.
+	// Implementations must be safe for concurrent ReadRange calls.
+	ChunkFetcher = fzio.ChunkFetcher
 )
 
 // Chunking policy of the default executor, re-exported from core.
@@ -177,6 +222,49 @@ func DecompressWithOpts(p *Platform, blob []byte, opts DecompressOpts) ([]float3
 // DecompressReport is Decompress returning the executor report.
 func DecompressReport(p *Platform, blob []byte) ([]float32, Dims, *ExecReport, error) {
 	return core.DecompressReport(p, blob)
+}
+
+// FullRegion selects a field's entire extent.
+func FullRegion(d Dims) RegionSel { return core.FullRegion(d) }
+
+// NewSlabCache creates a decoded-slab cache bounded to budgetBytes; pass
+// it in RegionOpts.Cache to share decode work across region reads.
+func NewSlabCache(budgetBytes int64) *SlabCache { return core.NewSlabCache(budgetBytes) }
+
+// NewBytesFetcher serves region reads from an in-memory container blob.
+func NewBytesFetcher(blob []byte) ChunkFetcher { return fzio.NewBytesFetcher(blob) }
+
+// NewFileFetcher serves region reads from a container file on local
+// storage; the returned fetcher also implements io.Closer.
+func NewFileFetcher(path string) (ChunkFetcher, error) { return fzio.NewFileFetcher(path) }
+
+// NewHTTPFetcher serves region reads from a container published over HTTP
+// using Range requests, so selections transfer only the chunks they need.
+// A nil client selects http.DefaultClient.
+func NewHTTPFetcher(url string, client *http.Client) ChunkFetcher {
+	return fzio.NewHTTPFetcher(url, client)
+}
+
+// OpenRegion fetches the container index behind f (never the chunk
+// payloads) and returns a Region serving subvolume reads. Works on chunked
+// (FZMC), streamed (FZMS) and monolithic (FZMD) artifacts.
+func OpenRegion(p *Platform, f ChunkFetcher, opts RegionOpts) (*Region, error) {
+	return core.OpenRegion(p, f, opts)
+}
+
+// DecompressRegion decodes the selected subvolume of the container behind
+// f, fetching and decoding only the slab chunks the selection intersects.
+// The result is a sel.Dims()-shaped field in x-fastest order. One-shot
+// convenience over OpenRegion + Region.Read; open a Region (with a
+// SlabCache in opts) when serving repeated selections from one artifact.
+func DecompressRegion(p *Platform, f ChunkFetcher, sel RegionSel, opts RegionOpts) ([]float32, error) {
+	return core.DecompressRegion(p, f, sel, opts)
+}
+
+// DecompressRegionReport is DecompressRegion returning the executor
+// report; report.Region carries the chunk and cache accounting.
+func DecompressRegionReport(p *Platform, f ChunkFetcher, sel RegionSel, opts RegionOpts) ([]float32, *ExecReport, error) {
+	return core.DecompressRegionReport(p, f, sel, opts)
 }
 
 // Evaluate computes reconstruction quality (PSNR, NRMSE, max error).

@@ -48,6 +48,13 @@ type ChunkedRow struct {
 	ScalingEfficiency float64 `json:"scaling_efficiency,omitempty"`
 	AllocsPerOp       uint64  `json:"allocs_per_op"`
 	BytesPerOp        uint64  `json:"bytes_per_op"`
+	// CacheHitRate/FetchFraction are region-experiment observations: the
+	// slab-cache hit fraction over the row's reads, and the compressed
+	// bytes fetched as a fraction of the whole container (region rows
+	// only; comparisons skip rows absent from the baseline, so adding
+	// them never trips an existing gate).
+	CacheHitRate  float64 `json:"cache_hit_rate,omitempty"`
+	FetchFraction float64 `json:"fetch_fraction,omitempty"`
 }
 
 // ChunkedReport is the machine-readable result of the chunked-executor

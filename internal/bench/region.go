@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"fzmod/internal/core"
+	"fzmod/internal/device"
+	"fzmod/internal/fzio"
+	"fzmod/internal/metrics"
+	"fzmod/internal/preprocess"
+	"fzmod/internal/sdrbench"
+)
+
+// RegionComparison measures random-access region reads and prints the
+// table; see RegionComparisonReport for the machine-readable form.
+func RegionComparison(w io.Writer, p *device.Platform, sc Scale) error {
+	_, err := RegionComparisonReport(w, p, sc)
+	return err
+}
+
+// RegionComparisonReport measures the random-access read path over one
+// chunked container (8 slab chunks, same geometry as the chunked matrix):
+//
+//   - region-1of8-cold: a chunk-interior slice read with a cold cache —
+//     the fetch+decode cost of touching 1 of 8 chunks, with the fraction
+//     of container bytes actually fetched (the byte-economy claim).
+//   - region-1of8-warm: the same slice re-read through a shared slab
+//     cache — the pure copy-out cost once the slab is resident.
+//   - region-scan-warm: a deterministic sweep of overlapping slices
+//     through the shared cache — the mixed regime with its observed
+//     cache hit rate.
+//   - region-full: the whole field through the region path, cold — the
+//     overhead bound against plain full decompression.
+//
+// Throughput is output bytes over wall time (best of two passes, like the
+// chunked matrix); every row's values are verified against slicing the
+// full decompression before it is reported. Cold rows record
+// fetch_fraction, warm rows cache_hit_rate; both land in ChunkedRow
+// fields absent from historical baselines, so the allocs/GB/s/scaling
+// gates skip region rows until a baseline records them.
+func RegionComparisonReport(w io.Writer, p *device.Platform, sc Scale) (*ChunkedReport, error) {
+	dims := chunkedDims(sc)
+	data := sdrbench.GenNYX(dims, 77)
+	eb := preprocess.RelBound(1e-4)
+	pl := core.NewDefault()
+	chunkElems := dims.N() / 8
+
+	blob, err := pl.CompressChunked(p, data, dims, eb, core.ChunkOpts{ChunkElems: chunkElems})
+	if err != nil {
+		return nil, err
+	}
+	full, _, err := core.Decompress(p, blob)
+	if err != nil {
+		return nil, err
+	}
+
+	report := &ChunkedReport{
+		Experiment: "region",
+		Workload:   fmt.Sprintf("nyx-%v", dims),
+		Pipeline:   pl.Name(),
+		RelEB:      1e-4,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	fmt.Fprintf(w, "Random-access region reads: %s, %v container (%d chunks, %d bytes)\n",
+		pl.Name(), dims, 8, len(blob))
+	fmt.Fprintf(w, "%-18s %8s %10s %10s %10s\n", "scenario", "chunks", "read GB/s", "hit rate", "fetched")
+
+	// verify checks a region read against slicing the full decompression —
+	// a bench row must never report throughput for wrong bytes.
+	verify := func(name string, sel core.RegionSel, got []float32) error {
+		sd := sel.Dims()
+		if len(got) != sd.N() {
+			return fmt.Errorf("bench: %s returned %d values, want %d", name, len(got), sd.N())
+		}
+		i := 0
+		for z := sel.Z0; z < sel.Z1; z++ {
+			for y := sel.Y0; y < sel.Y1; y++ {
+				for x := sel.X0; x < sel.X1; x++ {
+					if got[i] != full[dims.Idx(x, y, z)] {
+						return fmt.Errorf("bench: %s mismatch at (%d,%d,%d)", name, x, y, z)
+					}
+					i++
+				}
+			}
+		}
+		return nil
+	}
+
+	// row runs one scenario: fn performs the reads of one pass against a
+	// fresh (cold) or shared (warm) cache and returns the aggregate region
+	// stats; throughput is selected output bytes over the best of two
+	// passes.
+	row := func(name string, fn func() (int, core.RegionStats, error)) (*ChunkedRow, error) {
+		var best float64
+		var outBytes int
+		var rs core.RegionStats
+		for pass := 0; pass < 2; pass++ {
+			t0 := time.Now()
+			n, stats, err := fn()
+			sec := time.Since(t0).Seconds()
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+			outBytes, rs = n, stats
+			if pass == 0 || sec < best {
+				best = sec
+			}
+		}
+		r := ChunkedRow{
+			Executor:   name,
+			GoMaxProcs: report.GoMaxProcs,
+			Workers:    report.GoMaxProcs,
+			Chunks:     rs.Chunks,
+			DecGBs:     metrics.Throughput(outBytes, best),
+		}
+		if served := rs.CacheHits + rs.Decoded; served > 0 {
+			r.CacheHitRate = float64(rs.CacheHits) / float64(served)
+		}
+		r.FetchFraction = float64(rs.PayloadBytes) / float64(len(blob))
+		report.Rows = append(report.Rows, r)
+		fmt.Fprintf(w, "%-18s %8d %10.3f %10.2f %9.1f%%\n",
+			name, r.Chunks, r.DecGBs, r.CacheHitRate, 100*r.FetchFraction)
+		return &report.Rows[len(report.Rows)-1], nil
+	}
+
+	// A slice interior to the fourth chunk: every chunk holds dims.Z/8
+	// slowest-dim planes.
+	slab := dims.Z / 8
+	oneChunk := core.RegionSel{
+		X0: dims.X / 4, X1: 3 * dims.X / 4,
+		Y0: dims.Y / 4, Y1: 3 * dims.Y / 4,
+		Z0: 3*slab + 1, Z1: 4*slab - 1,
+	}
+
+	read := func(sel core.RegionSel, cache *core.SlabCache) (int, core.RegionStats, error) {
+		out, rep, err := core.DecompressRegionReport(p, fzio.NewBytesFetcher(blob), sel,
+			core.RegionOpts{Cache: cache})
+		if err != nil {
+			return 0, core.RegionStats{}, err
+		}
+		if err := verify(sel.String(), sel, out); err != nil {
+			return 0, core.RegionStats{}, err
+		}
+		return 4 * len(out), *rep.Region, nil
+	}
+
+	if _, err := row("region-1of8-cold", func() (int, core.RegionStats, error) {
+		return read(oneChunk, nil)
+	}); err != nil {
+		return nil, err
+	}
+
+	warm := core.NewSlabCache(int64(len(data)) * 8)
+	if _, _, err := read(oneChunk, warm); err != nil { // populate
+		return nil, err
+	}
+	if _, err := row("region-1of8-warm", func() (int, core.RegionStats, error) {
+		return read(oneChunk, warm)
+	}); err != nil {
+		return nil, err
+	}
+
+	// A deterministic sweep of overlapping z-slices through the shared
+	// cache: each read covers two adjacent chunks, stepping one chunk per
+	// read, so steady state is one hit + one decode until the wrap.
+	if _, err := row("region-scan-warm", func() (int, core.RegionStats, error) {
+		scan := core.NewSlabCache(int64(len(data)) * 8)
+		var total int
+		var agg core.RegionStats
+		for i := 0; i < 8; i++ {
+			z0 := (i * slab) % (dims.Z - slab)
+			sel := core.RegionSel{X0: 0, X1: dims.X, Y0: 0, Y1: dims.Y, Z0: z0, Z1: z0 + slab + 1}
+			n, rs, err := read(sel, scan)
+			if err != nil {
+				return 0, core.RegionStats{}, err
+			}
+			total += n
+			agg.Chunks += rs.Chunks
+			agg.Decoded += rs.Decoded
+			agg.CacheHits += rs.CacheHits
+			agg.PayloadBytes += rs.PayloadBytes
+		}
+		return total, agg, nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if _, err := row("region-full", func() (int, core.RegionStats, error) {
+		return read(core.FullRegion(dims), nil)
+	}); err != nil {
+		return nil, err
+	}
+	return report, nil
+}

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRegionComparisonReport smoke-runs the region experiment at Small
+// scale and checks the report's structural invariants: the byte-economy
+// rows really fetch a fraction of the container, and the warm row is
+// served from the cache.
+func TestRegionComparisonReport(t *testing.T) {
+	var buf bytes.Buffer
+	report, err := RegionComparisonReport(&buf, tp, Small)
+	if err != nil {
+		t.Fatalf("RegionComparisonReport: %v\n%s", err, buf.String())
+	}
+	if report.Experiment != "region" {
+		t.Errorf("experiment = %q, want region", report.Experiment)
+	}
+	for _, want := range []string{"region-1of8-cold", "region-1of8-warm", "region-scan-warm", "region-full"} {
+		if report.Row(want) == nil {
+			t.Fatalf("report missing row %q:\n%s", want, buf.String())
+		}
+	}
+
+	cold := report.Row("region-1of8-cold")
+	if cold.Chunks != 1 || cold.FetchFraction <= 0 || cold.FetchFraction > 0.25 {
+		t.Errorf("cold 1-of-8 read should fetch ≤1/4 of the container: %+v", cold)
+	}
+	warm := report.Row("region-1of8-warm")
+	if warm.CacheHitRate != 1 {
+		t.Errorf("warm re-read should be a pure cache hit: %+v", warm)
+	}
+	if warm.FetchFraction != 0 {
+		t.Errorf("warm re-read should fetch no payload bytes: %+v", warm)
+	}
+	scan := report.Row("region-scan-warm")
+	if scan.CacheHitRate <= 0 || scan.CacheHitRate >= 1 {
+		t.Errorf("scan should mix hits and decodes: %+v", scan)
+	}
+	full := report.Row("region-full")
+	if full.Chunks != 8 || full.FetchFraction < 0.9 {
+		t.Errorf("full region read should touch every chunk: %+v", full)
+	}
+	if !strings.Contains(buf.String(), "hit rate") {
+		t.Errorf("table header missing: %q", buf.String())
+	}
+}

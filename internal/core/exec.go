@@ -31,6 +31,9 @@ type ExecReport struct {
 	// report time; the hit rate approaches 1 as steady-state runs reuse
 	// warm slabs.
 	Pool device.PoolStats
+	// Region carries the chunk and slab-cache accounting of a region read
+	// (nil for full compress/decompress runs).
+	Region *RegionStats
 }
 
 // Overlapped reports whether any two tasks ran concurrently.

@@ -1,0 +1,397 @@
+package core
+
+import (
+	"fmt"
+
+	"fzmod/internal/device"
+	"fzmod/internal/fzio"
+	"fzmod/internal/fzio/cache"
+	"fzmod/internal/grid"
+	"fzmod/internal/stf"
+)
+
+// This file is the random-access read path: instead of decoding a whole
+// container, a region read plans against the container's chunk index
+// (fzio.FetchIndex), fetches and decodes only the slab chunks a requested
+// subvolume intersects — as per-chunk fetch → decode → reconstruct STF
+// sub-graphs on the same work-stealing executor as full decompression —
+// and assembles the caller-sized output by copying each slab's overlap
+// window, handling the halo where a selection crosses slab boundaries.
+// Decoded slabs can be kept in a shared size-bounded LRU (SlabCache), so
+// many readers of overlapping regions pay each chunk's fetch-and-decode
+// cost once.
+
+// RegionSel selects the half-open subvolume [X0,X1) × [Y0,Y1) × [Z0,Z1) of
+// a field in its native x-fastest coordinates. For 2-D fields use Z0=0,
+// Z1=1; for 1-D fields additionally Y0=0, Y1=1 (matching the trailing
+// singleton extents of grid.Dims).
+type RegionSel struct {
+	X0, X1 int
+	Y0, Y1 int
+	Z0, Z1 int
+}
+
+// FullRegion selects the entire field.
+func FullRegion(d grid.Dims) RegionSel {
+	return RegionSel{X1: d.X, Y1: d.Y, Z1: d.Z}
+}
+
+// Dims returns the selection's output geometry.
+func (s RegionSel) Dims() grid.Dims {
+	return grid.Dims{X: s.X1 - s.X0, Y: s.Y1 - s.Y0, Z: s.Z1 - s.Z0}
+}
+
+// String renders the selection in the CLI's i0:i1,j0:j1,k0:k1 syntax.
+func (s RegionSel) String() string {
+	return fmt.Sprintf("%d:%d,%d:%d,%d:%d", s.X0, s.X1, s.Y0, s.Y1, s.Z0, s.Z1)
+}
+
+// validate checks the selection against the field geometry: every axis
+// must be a non-empty half-open range inside the extent.
+func (s RegionSel) validate(d grid.Dims) error {
+	type axis struct {
+		name   string
+		lo, hi int
+		extent int
+	}
+	for _, a := range []axis{
+		{"x", s.X0, s.X1, d.X},
+		{"y", s.Y0, s.Y1, d.Y},
+		{"z", s.Z0, s.Z1, d.Z},
+	} {
+		if a.lo < 0 || a.hi > a.extent || a.lo >= a.hi {
+			return fmt.Errorf("core: region %s selects %s range [%d,%d) of a field with %s extent %d",
+				s, a.name, a.lo, a.hi, a.name, a.extent)
+		}
+	}
+	return nil
+}
+
+// slowRange returns the selection's half-open range along the field's
+// slowest-varying dimension — the axis chunks tile.
+func (s RegionSel) slowRange(d grid.Dims) (int, int) {
+	switch d.Rank() {
+	case 3:
+		return s.Z0, s.Z1
+	case 2:
+		return s.Y0, s.Y1
+	default:
+		return s.X0, s.X1
+	}
+}
+
+// slabKey identifies one decoded slab across every reader of the same
+// artifact: the container's content key plus the chunk index.
+type slabKey struct {
+	container uint64
+	chunk     int
+}
+
+// SlabCache is a size-bounded LRU of decoded slabs shared between region
+// reads (and safe for concurrent use). Entries are keyed by container
+// content — two Regions over byte-identical artifacts share entries — and
+// the budget counts decoded float32 bytes.
+type SlabCache struct {
+	lru *cache.LRU[slabKey, []float32]
+}
+
+// NewSlabCache creates a cache bounded to budgetBytes of decoded slabs.
+func NewSlabCache(budgetBytes int64) *SlabCache {
+	return &SlabCache{lru: cache.New[slabKey, []float32](budgetBytes)}
+}
+
+// Stats snapshots the cache counters.
+func (c *SlabCache) Stats() cache.Stats { return c.lru.Stats() }
+
+// Reset drops every cached slab and zeroes the counters.
+func (c *SlabCache) Reset() { c.lru.Reset() }
+
+// RegionOpts configures region reads. The zero value decodes with the
+// platform's full worker width and no slab cache.
+type RegionOpts struct {
+	// Workers is the operation's total parallelism budget, bounding both
+	// the chunk-level scheduler width and the kernel width of every launch,
+	// exactly as DecompressOpts.Workers does on the full read path. 0
+	// selects the platform's worker width.
+	Workers int
+	// Cache, when non-nil, holds decoded slabs across reads (and across
+	// Regions — entries are keyed by container content). nil disables
+	// caching: every read decodes the chunks it needs.
+	Cache *SlabCache
+}
+
+// RegionStats summarizes one region read for the ExecReport: how much of
+// the container the selection touched and how the slab cache fared.
+type RegionStats struct {
+	// Sel is the selection the read served.
+	Sel RegionSel
+	// Chunks is the number of slab chunks the selection intersects.
+	Chunks int
+	// Decoded is how many of those were fetched and decoded this read.
+	Decoded int
+	// CacheHits is how many were served from the slab cache.
+	CacheHits int
+	// PayloadBytes is the compressed payload volume fetched for the
+	// decoded chunks (index bytes excluded).
+	PayloadBytes int64
+	// Cache snapshots the slab cache after the read (zero without one).
+	Cache cache.Stats
+}
+
+// Region is an open container positioned for random-access reads: the
+// parsed chunk index plus the fetcher and options to serve selections
+// with. Open once, read many; concurrent Reads are safe.
+type Region struct {
+	p    *device.Platform
+	f    fzio.ChunkFetcher
+	ix   *fzio.ContainerIndex
+	opts RegionOpts
+}
+
+// OpenRegion fetches the container index behind f (never the payloads) and
+// returns a Region serving subvolume reads from it. Works on chunked
+// (FZMC), streamed (FZMS) and monolithic (FZMD) artifacts; a monolithic
+// artifact is treated as a single whole-field chunk.
+func OpenRegion(p *device.Platform, f fzio.ChunkFetcher, opts RegionOpts) (*Region, error) {
+	ix, err := fzio.FetchIndex(f)
+	if err != nil {
+		return nil, fmt.Errorf("core: opening region reader: %w", err)
+	}
+	return &Region{p: p, f: f, ix: ix, opts: opts}, nil
+}
+
+// Dims returns the full field geometry of the underlying container.
+func (r *Region) Dims() grid.Dims { return r.ix.Header.Dims }
+
+// Index returns the parsed container index.
+func (r *Region) Index() *fzio.ContainerIndex { return r.ix }
+
+// Read decodes the selected subvolume into a freshly allocated
+// sel.Dims().N()-element field (x-fastest, like every field in the
+// framework).
+func (r *Region) Read(sel RegionSel) ([]float32, error) {
+	vals, _, err := r.ReadReport(sel)
+	return vals, err
+}
+
+// ReadReport is Read returning the executor report; report.Region carries
+// the chunk and cache accounting.
+func (r *Region) ReadReport(sel RegionSel) ([]float32, *ExecReport, error) {
+	dims := r.ix.Header.Dims
+	if err := sel.validate(dims); err != nil {
+		return nil, nil, err
+	}
+	s0, s1 := sel.slowRange(dims)
+
+	// Plan: walk the chunk table accumulating plane coverage and keep the
+	// chunks whose slab [lo, lo+planes) intersects the selection's slow
+	// range.
+	var needs []regionNeed
+	lo := 0
+	for i, ref := range r.ix.Chunks {
+		if lo < s1 && lo+ref.Planes > s0 {
+			needs = append(needs, regionNeed{chunk: i, lo: lo, planes: ref.Planes})
+		}
+		lo += ref.Planes
+	}
+	if lo != dims.SlowExtent() {
+		return nil, nil, fmt.Errorf("core: index covers %d planes, field has %d", lo, dims.SlowExtent())
+	}
+
+	out := make([]float32, sel.Dims().N())
+	stats := &RegionStats{Sel: sel, Chunks: len(needs)}
+	st := r.p.Stats()
+	var before cache.Stats
+	if r.opts.Cache != nil {
+		before = r.opts.Cache.Stats()
+	}
+
+	// Serve cache hits by direct window copy; collect the misses for the
+	// decode graph.
+	var misses []regionNeed
+	for _, nd := range needs {
+		if r.opts.Cache != nil {
+			if slab, ok := r.opts.Cache.lru.Get(slabKey{r.ix.Key, nd.chunk}); ok {
+				copyWindow(out, sel, dims, slab, nd.lo, nd.planes)
+				stats.CacheHits++
+				st.RegionCacheHits.Add(1)
+				continue
+			}
+			st.RegionCacheMiss.Add(1)
+		}
+		misses = append(misses, nd)
+	}
+	stats.Decoded = len(misses)
+
+	report := &ExecReport{Region: stats}
+	var decodeErr error
+	if len(misses) > 0 {
+		report, decodeErr = r.decodeMisses(out, sel, misses)
+		report.Region = stats
+		for _, nd := range misses {
+			stats.PayloadBytes += int64(r.ix.Chunks[nd.chunk].Length)
+		}
+	}
+	if r.opts.Cache != nil {
+		after := r.opts.Cache.Stats()
+		st.RegionCacheEvict.Add(after.Evictions - before.Evictions)
+		stats.Cache = after
+	}
+	if decodeErr != nil {
+		return nil, report, decodeErr
+	}
+	return out, report, nil
+}
+
+// regionNeed is one chunk a selection intersects: its index in the
+// container's chunk table and the plane range its slab covers.
+type regionNeed struct {
+	chunk  int // index into the container's chunk table
+	lo     int // first plane the slab covers
+	planes int
+}
+
+// decodeMisses runs the fetch → decode → reconstruct sub-graphs for the
+// chunks not served from cache, scattering each slab's overlap window into
+// out and (when a cache is configured) admitting the decoded slab.
+func (r *Region) decodeMisses(out []float32, sel RegionSel, misses []regionNeed) (*ExecReport, error) {
+	dims := r.ix.Header.Dims
+	workers := r.opts.Workers
+	if workers <= 0 {
+		workers = r.p.Workers(device.Accel)
+	}
+	if workers > len(misses) {
+		workers = len(misses)
+	}
+	// The budget caps the whole operation: chunk-level width and, through
+	// the narrowed platform view, every kernel launch.
+	exec := r.p.WithWorkers(workers)
+	ctx := stf.NewCtxN(exec, workers)
+
+	for _, nd := range misses {
+		nd := nd
+		ref := r.ix.Chunks[nd.chunk]
+		want := dims.WithSlowExtent(nd.planes)
+		slab := make([]float32, want.N()) // plain alloc: may outlive the ctx in the cache
+		prefix := fmt.Sprintf("r%d.", nd.chunk)
+		job := &decompressJob{dst: slab}
+		fetchTok := stf.NewToken(ctx, prefix+"container")
+		codesTok := stf.NewToken(ctx, prefix+"codes")
+
+		ctx.Task(prefix + "fetch").On(device.Host).Writes(fetchTok.D()).
+			Do(func(ti *stf.TaskInstance) error {
+				payload, err := r.f.ReadRange(int64(ref.Offset), ref.Length)
+				if err != nil {
+					return fmt.Errorf("core: fetching chunk %d: %w", nd.chunk, err)
+				}
+				if err := r.ix.VerifyChunk(nd.chunk, payload); err != nil {
+					return fmt.Errorf("core: fetching chunk %d: %w", nd.chunk, err)
+				}
+				if fzio.IsChunked(payload) || fzio.IsStream(payload) {
+					return fmt.Errorf("core: chunk %d: nested chunked container", nd.chunk)
+				}
+				c, err := fzio.Unmarshal(payload)
+				if err != nil {
+					return fmt.Errorf("core: parsing chunk %d: %w", nd.chunk, err)
+				}
+				if c.Has(segSec) {
+					if c, err = unwrapSecondary(exec, c); err != nil {
+						return fmt.Errorf("core: chunk %d: %w", nd.chunk, err)
+					}
+				}
+				job.c = c
+				return nil
+			})
+		ctx.Task(prefix + "decode").On(device.Accel).Reads(fetchTok.D()).Writes(codesTok.D()).
+			Do(func(ti *stf.TaskInstance) error { return job.decode(exec) })
+		ctx.Task(prefix + "reconstruct").On(device.Accel).Reads(codesTok.D()).
+			Do(func(ti *stf.TaskInstance) error {
+				if job.dims != want {
+					return fmt.Errorf("core: chunk %d dims %v, want %v", nd.chunk, job.dims, want)
+				}
+				if err := job.reconstruct(exec); err != nil {
+					return err
+				}
+				if &job.vals[0] != &slab[0] {
+					copy(slab, job.vals)
+				}
+				copyWindow(out, sel, dims, slab, nd.lo, nd.planes)
+				if r.opts.Cache != nil {
+					r.opts.Cache.lru.Put(slabKey{r.ix.Key, nd.chunk}, slab, int64(len(slab))*4)
+				}
+				return nil
+			})
+	}
+
+	err := ctx.Finalize()
+	report := execReport(ctx)
+	ctx.Release()
+	return report, err
+}
+
+// copyWindow copies the overlap between the selection and one decoded slab
+// into the output field. slab covers planes [slabLo, slabLo+planes) of the
+// field's slowest dimension at full extent in the faster ones; rows along
+// x are contiguous in both source and destination, so the copy runs
+// row-at-a-time.
+func copyWindow(out []float32, sel RegionSel, dims grid.Dims, slab []float32, slabLo, planes int) {
+	od := sel.Dims()
+	switch dims.Rank() {
+	case 3:
+		sd := grid.Dims{X: dims.X, Y: dims.Y, Z: planes}
+		z0, z1 := maxInt(sel.Z0, slabLo), minInt(sel.Z1, slabLo+planes)
+		nx := sel.X1 - sel.X0
+		for z := z0; z < z1; z++ {
+			for y := sel.Y0; y < sel.Y1; y++ {
+				src := sd.Idx(sel.X0, y, z-slabLo)
+				dst := od.Idx(0, y-sel.Y0, z-sel.Z0)
+				copy(out[dst:dst+nx], slab[src:src+nx])
+			}
+		}
+	case 2:
+		sd := grid.Dims{X: dims.X, Y: planes, Z: 1}
+		y0, y1 := maxInt(sel.Y0, slabLo), minInt(sel.Y1, slabLo+planes)
+		nx := sel.X1 - sel.X0
+		for y := y0; y < y1; y++ {
+			src := sd.Idx(sel.X0, y-slabLo, 0)
+			dst := od.Idx(0, y-sel.Y0, 0)
+			copy(out[dst:dst+nx], slab[src:src+nx])
+		}
+	default:
+		x0, x1 := maxInt(sel.X0, slabLo), minInt(sel.X1, slabLo+planes)
+		copy(out[x0-sel.X0:x1-sel.X0], slab[x0-slabLo:x1-slabLo])
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// DecompressRegion decodes the selected subvolume of the container behind
+// f, fetching only the chunks the selection intersects. One-shot
+// convenience over OpenRegion + Read; use a Region (and a SlabCache in
+// opts) when serving repeated selections from the same artifact.
+func DecompressRegion(p *device.Platform, f fzio.ChunkFetcher, sel RegionSel, opts RegionOpts) ([]float32, error) {
+	vals, _, err := DecompressRegionReport(p, f, sel, opts)
+	return vals, err
+}
+
+// DecompressRegionReport is DecompressRegion returning the executor
+// report; report.Region carries the chunk and cache accounting.
+func DecompressRegionReport(p *device.Platform, f fzio.ChunkFetcher, sel RegionSel, opts RegionOpts) ([]float32, *ExecReport, error) {
+	r, err := OpenRegion(p, f, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r.ReadReport(sel)
+}

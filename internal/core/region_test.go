@@ -1,0 +1,399 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"fzmod/internal/fzio"
+	"fzmod/internal/grid"
+	"fzmod/internal/preprocess"
+	"fzmod/internal/sdrbench"
+)
+
+// naiveExtract slices a selection out of a fully decoded field with plain
+// nested loops — the independent oracle region reads are compared against.
+func naiveExtract(full []float32, dims grid.Dims, sel RegionSel) []float32 {
+	od := sel.Dims()
+	out := make([]float32, od.N())
+	for z := sel.Z0; z < sel.Z1; z++ {
+		for y := sel.Y0; y < sel.Y1; y++ {
+			for x := sel.X0; x < sel.X1; x++ {
+				out[od.Idx(x-sel.X0, y-sel.Y0, z-sel.Z0)] = full[dims.Idx(x, y, z)]
+			}
+		}
+	}
+	return out
+}
+
+// streamFromChunked rewrites an FZMC container as its FZMS serialization;
+// per-chunk payloads are bit-identical, only the framing differs.
+func streamFromChunked(t *testing.T, blob []byte) []byte {
+	t.Helper()
+	cc, err := fzio.UnmarshalChunked(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sw, err := fzio.NewStreamWriter(&buf, cc.Header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cc.NumChunks(); i++ {
+		payload, err := cc.Chunk(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.WriteChunk(payload, cc.Chunks[i].Planes); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// regionSels covers the shapes the acceptance criteria name: chunk-interior,
+// chunk-boundary-crossing, multi-chunk, full-field, and thin windows.
+// Chunks in these tests cover 8 planes each.
+func regionSels(dims grid.Dims) []RegionSel {
+	return []RegionSel{
+		{X0: 2, X1: dims.X - 3, Y0: 1, Y1: dims.Y - 1, Z0: 2, Z1: 6}, // interior of chunk 0
+		{X0: 0, X1: dims.X, Y0: 0, Y1: dims.Y, Z0: 6, Z1: 10},        // crosses the chunk 0/1 boundary
+		{X0: 3, X1: 9, Y0: 4, Y1: 12, Z0: 4, Z1: dims.Z - 4},         // multi-chunk, thin xy window
+		FullRegion(dims), // every chunk
+		{X0: 0, X1: 1, Y0: 0, Y1: 1, Z0: dims.Z - 1, Z1: dims.Z},             // single element, last plane
+		{X0: 0, X1: dims.X, Y0: dims.Y / 2, Y1: dims.Y/2 + 1, Z0: 7, Z1: 25}, // single-y slice across chunks
+	}
+}
+
+// TestRegionMatchesFullDecompress is the acceptance criterion: every
+// preset × FZMC/FZMS, DecompressRegion must be bit-identical to slicing
+// the same selection out of a full Decompress.
+func TestRegionMatchesFullDecompress(t *testing.T) {
+	dims := grid.D3(24, 20, 32)
+	data := sdrbench.GenHURR(dims, 31)
+	eb := preprocess.RelBound(1e-4)
+	for _, pl := range Presets() {
+		blob, err := pl.CompressChunked(tp, data, dims, eb, ChunkOpts{ChunkElems: dims.PlaneElems() * 8, Workers: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", pl.Name(), err)
+		}
+		full, _, err := Decompress(tp, blob)
+		if err != nil {
+			t.Fatalf("%s: %v", pl.Name(), err)
+		}
+		flavors := map[string][]byte{"fzmc": blob, "fzms": streamFromChunked(t, blob)}
+		for flavor, artifact := range flavors {
+			r, err := OpenRegion(tp, fzio.NewBytesFetcher(artifact), RegionOpts{Workers: 3})
+			if err != nil {
+				t.Fatalf("%s/%s: OpenRegion: %v", pl.Name(), flavor, err)
+			}
+			if r.Dims() != dims {
+				t.Fatalf("%s/%s: Dims = %v, want %v", pl.Name(), flavor, r.Dims(), dims)
+			}
+			for _, sel := range regionSels(dims) {
+				got, err := r.Read(sel)
+				if err != nil {
+					t.Fatalf("%s/%s sel %v: %v", pl.Name(), flavor, sel, err)
+				}
+				want := naiveExtract(full, dims, sel)
+				if len(got) != len(want) {
+					t.Fatalf("%s/%s sel %v: %d values, want %d", pl.Name(), flavor, sel, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s/%s sel %v: value %d differs: %v vs %v",
+							pl.Name(), flavor, sel, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Region reads over a monolithic FZMD artifact go through the same planner
+// (one whole-field chunk).
+func TestRegionMonolithic(t *testing.T) {
+	dims := grid.D3(16, 12, 10)
+	data := sdrbench.GenHURR(dims, 7)
+	pl := NewDefault()
+	blob, err := pl.CompressMonolithic(tp, data, dims, preprocess.RelBound(1e-4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _, err := Decompress(tp, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := RegionSel{X0: 1, X1: 9, Y0: 2, Y1: 11, Z0: 3, Z1: 7}
+	got, err := DecompressRegion(tp, fzio.NewBytesFetcher(blob), sel, RegionOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naiveExtract(full, dims, sel)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("value %d differs", i)
+		}
+	}
+}
+
+// 2-D fields partition along y; the window copy must handle the rank-2
+// slab-local coordinates.
+func TestRegion2D(t *testing.T) {
+	dims := grid.D2(40, 48)
+	data := sdrbench.GenHURR(dims, 13)
+	pl := NewDefault()
+	blob, err := pl.CompressChunked(tp, data, dims, preprocess.RelBound(1e-4),
+		ChunkOpts{ChunkElems: dims.PlaneElems() * 8, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _, err := Decompress(tp, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sel := range []RegionSel{
+		{X0: 3, X1: 30, Y0: 2, Y1: 7, Z0: 0, Z1: 1},  // interior of slab 0
+		{X0: 0, X1: 40, Y0: 6, Y1: 20, Z0: 0, Z1: 1}, // crosses slab boundaries
+		FullRegion(dims),
+	} {
+		got, err := DecompressRegion(tp, fzio.NewBytesFetcher(blob), sel, RegionOpts{})
+		if err != nil {
+			t.Fatalf("sel %v: %v", sel, err)
+		}
+		want := naiveExtract(full, dims, sel)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("sel %v: value %d differs", sel, i)
+			}
+		}
+	}
+}
+
+// TestRegionPartialFetch is the acceptance criterion on fetch economy: a
+// selection inside 1 of 8 chunks must read at most 1/4 of the container
+// bytes, and a repeated read must be served from the LRU cache.
+func TestRegionPartialFetch(t *testing.T) {
+	dims := grid.D3(48, 48, 64) // 8 chunks of 8 planes
+	data := sdrbench.GenHURR(dims, 5)
+	pl := NewDefault()
+	blob, err := pl.CompressChunked(tp, data, dims, preprocess.RelBound(1e-4),
+		ChunkOpts{ChunkElems: dims.PlaneElems() * 8, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for flavor, artifact := range map[string][]byte{"fzmc": blob, "fzms": streamFromChunked(t, blob)} {
+		cf := fzio.NewCountingFetcher(fzio.NewBytesFetcher(artifact))
+		cache := NewSlabCache(64 << 20)
+		r, err := OpenRegion(tp, cf, RegionOpts{Workers: 2, Cache: cache})
+		if err != nil {
+			t.Fatalf("%s: %v", flavor, err)
+		}
+		sel := RegionSel{X0: 4, X1: 40, Y0: 4, Y1: 40, Z0: 26, Z1: 30} // interior of chunk 3
+		if _, report, err := r.ReadReport(sel); err != nil {
+			t.Fatalf("%s: %v", flavor, err)
+		} else if report.Region.Chunks != 1 || report.Region.Decoded != 1 {
+			t.Fatalf("%s: region stats %+v, want 1 chunk decoded", flavor, report.Region)
+		}
+		if got, limit := cf.BytesRead(), int64(len(artifact))/4; got > limit {
+			t.Errorf("%s: 1-of-8-chunk read fetched %d of %d container bytes (limit %d)",
+				flavor, got, len(artifact), limit)
+		}
+
+		// Repeated read: served from the LRU, no further payload fetches.
+		fetched := cf.BytesRead()
+		tp.ResetStats()
+		_, report, err := r.ReadReport(sel)
+		if err != nil {
+			t.Fatalf("%s: repeat read: %v", flavor, err)
+		}
+		if report.Region.CacheHits != 1 || report.Region.Decoded != 0 {
+			t.Fatalf("%s: repeat read stats %+v, want pure cache hit", flavor, report.Region)
+		}
+		if cf.BytesRead() != fetched {
+			t.Errorf("%s: repeat read fetched %d more bytes", flavor, cf.BytesRead()-fetched)
+		}
+		if hits := tp.Stats().RegionCacheHits.Load(); hits != 1 {
+			t.Errorf("%s: platform hit counter = %d, want 1", flavor, hits)
+		}
+		if s := cache.Stats(); s.Hits != 1 || s.Entries != 1 {
+			t.Errorf("%s: cache stats %+v, want 1 hit / 1 entry", flavor, s)
+		}
+	}
+}
+
+// Overlapping selections share cached slabs: a second read that straddles
+// an already-decoded chunk decodes only the new ones.
+func TestRegionCacheOverlap(t *testing.T) {
+	dims := grid.D3(24, 20, 32)
+	data := sdrbench.GenHURR(dims, 31)
+	pl := NewDefault()
+	blob, err := pl.CompressChunked(tp, data, dims, preprocess.RelBound(1e-4),
+		ChunkOpts{ChunkElems: dims.PlaneElems() * 8, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewSlabCache(64 << 20)
+	r, err := OpenRegion(tp, fzio.NewBytesFetcher(blob), RegionOpts{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, report, err := r.ReadReport(RegionSel{X0: 0, X1: 24, Y0: 0, Y1: 20, Z0: 0, Z1: 10}); err != nil {
+		t.Fatal(err)
+	} else if report.Region.Decoded != 2 {
+		t.Fatalf("first read decoded %d chunks, want 2", report.Region.Decoded)
+	}
+	_, report, err := r.ReadReport(RegionSel{X0: 0, X1: 24, Y0: 0, Y1: 20, Z0: 8, Z1: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Region.CacheHits != 1 || report.Region.Decoded != 1 {
+		t.Fatalf("overlap read stats %+v, want 1 hit + 1 decode", report.Region)
+	}
+	// A second Region over the same bytes shares the cache via content keys.
+	r2, err := OpenRegion(tp, fzio.NewBytesFetcher(append([]byte(nil), blob...)), RegionOpts{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, report, err = r2.ReadReport(RegionSel{X0: 0, X1: 24, Y0: 0, Y1: 20, Z0: 0, Z1: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Region.CacheHits != 1 || report.Region.Decoded != 0 {
+		t.Fatalf("cross-Region read stats %+v, want pure cache hit", report.Region)
+	}
+}
+
+func TestRegionSelValidation(t *testing.T) {
+	dims := grid.D3(16, 12, 10)
+	data := sdrbench.GenHURR(dims, 7)
+	blob, err := NewDefault().CompressMonolithic(tp, data, dims, preprocess.RelBound(1e-4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenRegion(tp, fzio.NewBytesFetcher(blob), RegionOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []RegionSel{
+		{X0: -1, X1: 4, Y0: 0, Y1: 1, Z0: 0, Z1: 1},   // negative lo
+		{X0: 0, X1: 17, Y0: 0, Y1: 1, Z0: 0, Z1: 1},   // past the x extent
+		{X0: 0, X1: 16, Y0: 5, Y1: 5, Z0: 0, Z1: 1},   // empty axis
+		{X0: 4, X1: 2, Y0: 0, Y1: 1, Z0: 0, Z1: 1},    // inverted
+		{X0: 0, X1: 16, Y0: 0, Y1: 12, Z0: 9, Z1: 12}, // past the z extent
+		{}, // all-empty
+	}
+	for _, sel := range bad {
+		if _, err := r.Read(sel); err == nil {
+			t.Errorf("selection %v accepted against dims %v", sel, dims)
+		} else if !strings.Contains(err.Error(), "region") {
+			t.Errorf("selection %v: unhelpful error %v", sel, err)
+		}
+	}
+}
+
+// limitedShortFetcher serves small (index-sized) ranges faithfully but
+// under-delivers large (chunk payload) ranges — a misbehaving backend the
+// read path must reject rather than decode garbage from.
+type limitedShortFetcher struct{ inner fzio.ChunkFetcher }
+
+func (s limitedShortFetcher) ReadRange(off int64, n int) ([]byte, error) {
+	b, err := s.inner.ReadRange(off, n)
+	if err != nil || n < 512 {
+		return b, err
+	}
+	return b[:n/2], nil
+}
+func (s limitedShortFetcher) Size() (int64, error) { return s.inner.Size() }
+
+// truncatingFetcher serves index reads (which start at offset zero for
+// FZMC) but drops the connection on payload reads past cut, as a truncated
+// HTTP response mid-transfer would.
+type truncatingFetcher struct {
+	inner fzio.ChunkFetcher
+	cut   int64
+}
+
+func (tf truncatingFetcher) ReadRange(off int64, n int) ([]byte, error) {
+	if off >= tf.cut {
+		return nil, fmt.Errorf("range response truncated: connection reset")
+	}
+	return tf.inner.ReadRange(off, n)
+}
+func (tf truncatingFetcher) Size() (int64, error) { return tf.inner.Size() }
+
+func TestRegionCorruption(t *testing.T) {
+	dims := grid.D3(24, 20, 32)
+	data := sdrbench.GenHURR(dims, 31)
+	pl := NewDefault()
+	blob, err := pl.CompressChunked(tp, data, dims, preprocess.RelBound(1e-4),
+		ChunkOpts{ChunkElems: dims.PlaneElems() * 8, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := RegionSel{X0: 0, X1: 24, Y0: 0, Y1: 20, Z0: 0, Z1: 6} // chunk 0 only
+	ix, err := fzio.FetchIndex(fzio.NewBytesFetcher(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("crc flip in fetched chunk", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		bad[ix.Chunks[0].Offset+ix.Chunks[0].Length/2] ^= 0x10
+		_, err := DecompressRegion(tp, fzio.NewBytesFetcher(bad), sel, RegionOpts{})
+		if err == nil || !strings.Contains(err.Error(), "CRC") {
+			t.Fatalf("flipped payload: got %v, want CRC error", err)
+		}
+	})
+	t.Run("truncated range response", func(t *testing.T) {
+		tf := truncatingFetcher{inner: fzio.NewBytesFetcher(blob), cut: int64(ix.Chunks[0].Offset)}
+		_, err := DecompressRegion(tp, tf, sel, RegionOpts{})
+		if err == nil || !strings.Contains(err.Error(), "fetching chunk") {
+			t.Fatalf("truncated response: got %v, want wrapped fetch error", err)
+		}
+	})
+	t.Run("short reads", func(t *testing.T) {
+		_, err := DecompressRegion(tp, limitedShortFetcher{fzio.NewBytesFetcher(blob)}, sel, RegionOpts{})
+		if err == nil {
+			t.Fatal("short-read fetcher: silent acceptance")
+		}
+	})
+	t.Run("truncated artifact", func(t *testing.T) {
+		_, err := OpenRegion(tp, fzio.NewBytesFetcher(blob[:len(blob)-64]), RegionOpts{})
+		if err == nil {
+			t.Fatal("truncated artifact: index accepted")
+		}
+	})
+}
+
+// Region reads honor the Workers budget (smoke: budget 1 must still be
+// correct and strictly narrower than the platform).
+func TestRegionWorkersBudget(t *testing.T) {
+	dims := grid.D3(24, 20, 32)
+	data := sdrbench.GenHURR(dims, 31)
+	pl := NewDefault()
+	blob, err := pl.CompressChunked(tp, data, dims, preprocess.RelBound(1e-4),
+		ChunkOpts{ChunkElems: dims.PlaneElems() * 8, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _, err := Decompress(tp, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := FullRegion(dims)
+	got, err := DecompressRegion(tp, fzio.NewBytesFetcher(blob), sel, RegionOpts{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naiveExtract(full, dims, sel)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("value %d differs under Workers=1", i)
+		}
+	}
+}

@@ -262,6 +262,14 @@ type Stats struct {
 	_             [56]byte
 	TransferNanos atomic.Int64
 	_             [56]byte
+	// Region-read slab-cache counters, bumped by the region planner
+	// (internal/core) as selections hit or miss decoded-slab cache entries.
+	RegionCacheHits  atomic.Int64
+	_                [56]byte
+	RegionCacheMiss  atomic.Int64
+	_                [56]byte
+	RegionCacheEvict atomic.Int64
+	_                [56]byte
 }
 
 // NewH100Platform returns a platform modeled on the paper's Quartz H100 node
@@ -316,6 +324,9 @@ func (p *Platform) ResetStats() {
 	st.KernelLaunch.Store(0)
 	st.HostLaunch.Store(0)
 	st.TransferNanos.Store(0)
+	st.RegionCacheHits.Store(0)
+	st.RegionCacheMiss.Store(0)
+	st.RegionCacheEvict.Store(0)
 }
 
 // workersFor returns the kernel width for a place.

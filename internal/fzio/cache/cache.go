@@ -1,0 +1,145 @@
+// Package cache provides the size-bounded LRU the random-access read path
+// keeps decoded slabs in: many concurrent readers of overlapping regions
+// pay each chunk's fetch-and-decode cost once, and a byte budget (rather
+// than an entry count) bounds residency because decoded slabs vary widely
+// in size. The cache is generic over key and value so tests can exercise
+// it with small synthetic types, but its one production instantiation is
+// internal/core's SlabCache mapping (container key, chunk index) to
+// decoded float32 slabs.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Stats is a point-in-time snapshot of a cache's counters. Hits, Misses
+// and Evictions are cumulative; Entries and Bytes describe current
+// residency.
+type Stats struct {
+	Hits      int64 // Get calls that found a resident entry
+	Misses    int64 // Get calls that found nothing
+	Evictions int64 // entries displaced to fit newer ones
+	Entries   int64 // entries currently resident
+	Bytes     int64 // cost currently resident, vs. the byte budget
+}
+
+// LRU is a size-bounded least-recently-used cache. Every entry carries a
+// caller-assessed cost (bytes, for slab caching); inserting beyond the
+// budget evicts from the cold end until the new entry fits. All methods
+// are safe for concurrent use.
+type LRU[K comparable, V any] struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	order   *list.List // front = hottest
+	entries map[K]*list.Element
+
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type entry[K comparable, V any] struct {
+	key  K
+	val  V
+	cost int64
+}
+
+// New creates an LRU holding at most budget cost units. A budget <= 0
+// disables caching entirely: Get always misses and Put is a no-op, so
+// callers can thread a nil-object through without branching.
+func New[K comparable, V any](budget int64) *LRU[K, V] {
+	return &LRU[K, V]{
+		budget:  budget,
+		order:   list.New(),
+		entries: make(map[K]*list.Element),
+	}
+}
+
+// Get returns the value under key, marking it most recently used.
+func (c *LRU[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry[K, V]).val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Put inserts val under key at the given cost, evicting cold entries as
+// needed to respect the budget. An entry whose cost alone exceeds the
+// budget is not admitted (and evicts nothing); re-putting an existing key
+// replaces its value and cost.
+func (c *LRU[K, V]) Put(key K, val V, cost int64) {
+	if cost < 0 || cost > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*entry[K, V])
+		c.used += cost - e.cost
+		e.val, e.cost = val, cost
+		c.order.MoveToFront(el)
+	} else {
+		c.entries[key] = c.order.PushFront(&entry[K, V]{key: key, val: val, cost: cost})
+		c.used += cost
+	}
+	for c.used > c.budget {
+		c.evictOldest()
+	}
+}
+
+// evictOldest drops the coldest entry. Caller holds mu.
+func (c *LRU[K, V]) evictOldest() {
+	el := c.order.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*entry[K, V])
+	c.order.Remove(el)
+	delete(c.entries, e.key)
+	c.used -= e.cost
+	c.evictions++
+}
+
+// Len returns the resident entry count.
+func (c *LRU[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Bytes returns the resident cost total.
+func (c *LRU[K, V]) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Stats snapshots the cache's counters.
+func (c *LRU[K, V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   int64(len(c.entries)),
+		Bytes:     c.used,
+	}
+}
+
+// Reset drops every entry and zeroes the cumulative counters.
+func (c *LRU[K, V]) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	clear(c.entries)
+	c.used, c.hits, c.misses, c.evictions = 0, 0, 0, 0
+}

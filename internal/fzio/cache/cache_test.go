@@ -1,0 +1,138 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPut(t *testing.T) {
+	c := New[string, int](100)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	c.Put("a", 1, 10)
+	c.Put("b", 2, 20)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	if v, ok := c.Get("b"); !ok || v != 2 {
+		t.Fatalf("Get(b) = %d, %v", v, ok)
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 1 || s.Entries != 2 || s.Bytes != 30 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestEvictionOrder(t *testing.T) {
+	c := New[int, string](30)
+	c.Put(1, "one", 10)
+	c.Put(2, "two", 10)
+	c.Put(3, "three", 10)
+	c.Get(1) // heat 1: the cold end is now 2
+	c.Put(4, "four", 10)
+	if _, ok := c.Get(2); ok {
+		t.Fatal("LRU evicted the wrong entry: 2 should be gone")
+	}
+	for _, k := range []int{1, 3, 4} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("entry %d missing after eviction", k)
+		}
+	}
+	if s := c.Stats(); s.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", s.Evictions)
+	}
+}
+
+func TestBudgetRespected(t *testing.T) {
+	c := New[int, int](100)
+	for i := 0; i < 50; i++ {
+		c.Put(i, i, 30)
+	}
+	if b := c.Bytes(); b > 100 {
+		t.Fatalf("resident %d bytes over a 100-byte budget", b)
+	}
+	if n := c.Len(); n != 3 {
+		t.Fatalf("Len = %d, want 3 (3×30 fits, 4×30 does not)", n)
+	}
+}
+
+func TestOversizedEntryRejected(t *testing.T) {
+	c := New[int, int](100)
+	c.Put(1, 1, 50)
+	c.Put(2, 2, 500) // over budget by itself: not admitted, evicts nothing
+	if _, ok := c.Get(2); ok {
+		t.Fatal("oversized entry admitted")
+	}
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("oversized Put evicted resident entries")
+	}
+	c.Put(3, 3, -1) // negative cost: rejected
+	if _, ok := c.Get(3); ok {
+		t.Fatal("negative-cost entry admitted")
+	}
+}
+
+func TestReplaceAdjustsCost(t *testing.T) {
+	c := New[int, string](100)
+	c.Put(1, "small", 10)
+	c.Put(1, "large", 90)
+	if b := c.Bytes(); b != 90 {
+		t.Fatalf("Bytes = %d after replace, want 90", b)
+	}
+	if v, _ := c.Get(1); v != "large" {
+		t.Fatalf("Get = %q, want replacement", v)
+	}
+	c.Put(1, "tiny", 5)
+	if b := c.Bytes(); b != 5 {
+		t.Fatalf("Bytes = %d after shrink, want 5", b)
+	}
+}
+
+func TestZeroBudgetDisables(t *testing.T) {
+	c := New[int, int](0)
+	c.Put(1, 1, 10)
+	if _, ok := c.Get(1); ok {
+		t.Fatal("zero-budget cache cached")
+	}
+	if s := c.Stats(); s.Entries != 0 || s.Bytes != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New[int, int](100)
+	c.Put(1, 1, 10)
+	c.Get(1)
+	c.Get(2)
+	c.Reset()
+	if s := c.Stats(); s != (Stats{}) {
+		t.Fatalf("stats after Reset = %+v", s)
+	}
+	if _, ok := c.Get(1); ok {
+		t.Fatal("entry survived Reset")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New[int, int](1 << 10)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				k := (g*31 + i) % 64
+				if v, ok := c.Get(k); ok && v != k {
+					panic(fmt.Sprintf("key %d holds %d", k, v))
+				}
+				c.Put(k, k, 16)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if b := c.Bytes(); b > 1<<10 {
+		t.Fatalf("budget exceeded under concurrency: %d", b)
+	}
+}

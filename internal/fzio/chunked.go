@@ -209,105 +209,123 @@ func (a *ChunkedAssembly) Bytes() []byte { return a.buf }
 // and every chunk must lie inside the payload area. Chunk payload CRCs are
 // checked by Chunk, not here, so decoders can verify them in parallel.
 func UnmarshalChunked(blob []byte) (*ChunkedContainer, error) {
+	hdr, chunks, pos, err := parseChunkedTable(blob, int64(len(blob)))
+	if err != nil {
+		return nil, err
+	}
+	wantOff := 0
+	for _, ref := range chunks {
+		wantOff += ref.Length
+	}
+	if pos+wantOff > len(blob) {
+		return nil, fmt.Errorf("fzio: payload truncated: need %d bytes, have %d", wantOff, len(blob)-pos)
+	}
+	return &ChunkedContainer{Header: hdr, Chunks: chunks, payload: blob[pos : pos+wantOff]}, nil
+}
+
+// parseChunkedTable parses the FZMC prologue and chunk table from blob,
+// which may be only a prefix of the container: truncation mid-parse
+// surfaces as a truncatedErr (see index.go), so FetchIndex can grow its
+// prefix and retry, while UnmarshalChunked reports it verbatim. maxPayload
+// bounds the cumulative chunk payload — the blob length for in-memory
+// parses, the artifact size for index-only ones. Returns the header, the
+// validated chunk table, and the payload area's byte offset.
+func parseChunkedTable(blob []byte, maxPayload int64) (ChunkedHeader, []ChunkRef, int, error) {
+	var hdr ChunkedHeader
 	if !IsChunked(blob) {
-		return nil, fmt.Errorf("fzio: not a chunked FZModules container")
+		return hdr, nil, 0, fmt.Errorf("fzio: not a chunked FZModules container")
 	}
 	if len(blob) < 6 {
-		return nil, fmt.Errorf("fzio: truncated chunked header")
+		return hdr, nil, 0, truncf("fzio: truncated chunked header")
 	}
 	if v := binary.LittleEndian.Uint16(blob[4:]); v != ChunkedVersion {
-		return nil, fmt.Errorf("fzio: unsupported chunked version %d", v)
+		return hdr, nil, 0, fmt.Errorf("fzio: unsupported chunked version %d", v)
 	}
 	pos := 6
 	var err error
-	c := &ChunkedContainer{}
-	if c.Header.Pipeline, pos, err = readString(blob, pos); err != nil {
-		return nil, err
+	if hdr.Pipeline, pos, err = readStringT(blob, pos); err != nil {
+		return hdr, nil, 0, err
 	}
 	dims := [3]uint64{}
 	nElems := uint64(1)
 	for i := range dims {
 		v, k := binary.Uvarint(blob[pos:])
 		if k <= 0 {
-			return nil, fmt.Errorf("fzio: truncated dims")
+			return hdr, nil, 0, truncf("fzio: truncated dims")
 		}
 		dims[i], pos = v, pos+k
 		// Overflow-safe product bound: decoders allocate dims.N() output
 		// elements before any chunk CRC is checked. Zero extents fall
 		// through to the Valid check below.
 		if v > maxFieldElems || (v > 0 && nElems > maxFieldElems/v) {
-			return nil, fmt.Errorf("fzio: declared field too large")
+			return hdr, nil, 0, fmt.Errorf("fzio: declared field too large")
 		}
 		if v > 0 {
 			nElems *= v
 		}
 	}
-	c.Header.Dims = grid.Dims{X: int(dims[0]), Y: int(dims[1]), Z: int(dims[2])}
-	if !c.Header.Dims.Valid() {
-		return nil, fmt.Errorf("fzio: invalid dims %v", c.Header.Dims)
+	hdr.Dims = grid.Dims{X: int(dims[0]), Y: int(dims[1]), Z: int(dims[2])}
+	if !hdr.Dims.Valid() {
+		return hdr, nil, 0, fmt.Errorf("fzio: invalid dims %v", hdr.Dims)
 	}
 	if pos+16 > len(blob) {
-		return nil, fmt.Errorf("fzio: truncated chunked header")
+		return hdr, nil, 0, truncf("fzio: truncated chunked header")
 	}
-	c.Header.EB = math.Float64frombits(binary.LittleEndian.Uint64(blob[pos:]))
-	c.Header.RelEB = math.Float64frombits(binary.LittleEndian.Uint64(blob[pos+8:]))
+	hdr.EB = math.Float64frombits(binary.LittleEndian.Uint64(blob[pos:]))
+	hdr.RelEB = math.Float64frombits(binary.LittleEndian.Uint64(blob[pos+8:]))
 	pos += 16
 	nominal, k := binary.Uvarint(blob[pos:])
 	if k <= 0 {
-		return nil, fmt.Errorf("fzio: truncated nominal plane count")
+		return hdr, nil, 0, truncf("fzio: truncated nominal plane count")
 	}
-	c.Header.Planes = int(nominal)
+	hdr.Planes = int(nominal)
 	pos += k
 	nChunks, k := binary.Uvarint(blob[pos:])
 	if k <= 0 || nChunks == 0 || nChunks > maxChunksLimit {
-		return nil, fmt.Errorf("fzio: bad chunk count")
+		return hdr, nil, 0, fmt.Errorf("fzio: bad chunk count")
 	}
 	pos += k
-	c.Chunks = make([]ChunkRef, nChunks)
+	chunks := make([]ChunkRef, nChunks)
 	wantOff, totalPlanes := 0, 0
-	for i := range c.Chunks {
+	for i := range chunks {
 		fields := [2]uint64{}
 		for j := range fields {
 			v, k := binary.Uvarint(blob[pos:])
 			if k <= 0 {
-				return nil, fmt.Errorf("fzio: truncated chunk table")
+				return hdr, nil, 0, truncf("fzio: truncated chunk table")
 			}
 			fields[j], pos = v, pos+k
 		}
 		if pos+4 > len(blob) {
-			return nil, fmt.Errorf("fzio: truncated chunk CRC")
+			return hdr, nil, 0, truncf("fzio: truncated chunk CRC")
 		}
 		crc := binary.LittleEndian.Uint32(blob[pos:])
 		pos += 4
 		planes, k := binary.Uvarint(blob[pos:])
 		if k <= 0 {
-			return nil, fmt.Errorf("fzio: truncated chunk planes")
+			return hdr, nil, 0, truncf("fzio: truncated chunk planes")
 		}
 		pos += k
 		ref := ChunkRef{Offset: int(fields[0]), Length: int(fields[1]), CRC: crc, Planes: int(planes)}
 		if ref.Offset != wantOff {
-			return nil, fmt.Errorf("fzio: chunk %d offset %d, want %d", i, ref.Offset, wantOff)
+			return hdr, nil, 0, fmt.Errorf("fzio: chunk %d offset %d, want %d", i, ref.Offset, wantOff)
 		}
 		if ref.Length < 0 || ref.Planes <= 0 || ref.Planes > maxFieldElems {
-			return nil, fmt.Errorf("fzio: chunk %d malformed", i)
+			return hdr, nil, 0, fmt.Errorf("fzio: chunk %d malformed", i)
 		}
-		// Overflow-safe accumulation: wantOff stays <= len(blob), so the
-		// final bounds arithmetic below cannot wrap.
-		if ref.Length > len(blob)-wantOff {
-			return nil, fmt.Errorf("fzio: payload truncated: chunk %d needs %d bytes", i, ref.Length)
+		// Overflow-safe accumulation: wantOff stays <= maxPayload, so the
+		// caller's bounds arithmetic cannot wrap.
+		if int64(ref.Length) > maxPayload-int64(wantOff) {
+			return hdr, nil, 0, fmt.Errorf("fzio: payload truncated: chunk %d needs %d bytes", i, ref.Length)
 		}
 		wantOff += ref.Length
 		totalPlanes += ref.Planes
-		c.Chunks[i] = ref
+		chunks[i] = ref
 	}
-	if totalPlanes != c.Header.Dims.SlowExtent() {
-		return nil, fmt.Errorf("fzio: chunks cover %d planes, field has %d", totalPlanes, c.Header.Dims.SlowExtent())
+	if totalPlanes != hdr.Dims.SlowExtent() {
+		return hdr, nil, 0, fmt.Errorf("fzio: chunks cover %d planes, field has %d", totalPlanes, hdr.Dims.SlowExtent())
 	}
-	if pos+wantOff > len(blob) {
-		return nil, fmt.Errorf("fzio: payload truncated: need %d bytes, have %d", wantOff, len(blob)-pos)
-	}
-	c.payload = blob[pos : pos+wantOff]
-	return c, nil
+	return hdr, chunks, pos, nil
 }
 
 // NumChunks returns the chunk count.

@@ -1,0 +1,226 @@
+package fzio
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync/atomic"
+)
+
+// This file defines the pluggable byte-range storage abstraction the
+// random-access read path is built on. A ChunkFetcher serves ranges of one
+// container artifact — a local file, an in-memory blob, or an HTTP object
+// behind Range requests — and the region planner (internal/core) asks it
+// only for the index and the payloads of the chunks a selection actually
+// intersects, so serving a small subvolume of a huge remote dataset never
+// transfers the whole container.
+
+// ChunkFetcher serves byte ranges of one container artifact. Implementations
+// must be safe for concurrent ReadRange calls: the region read path fetches
+// the chunks of a selection in parallel.
+type ChunkFetcher interface {
+	// ReadRange returns exactly n bytes of the artifact starting at byte
+	// offset off. A response shorter than n bytes is an error, never a
+	// silent truncation; the returned slice is owned by the caller.
+	ReadRange(off int64, n int) ([]byte, error)
+	// Size returns the artifact's total length in bytes.
+	Size() (int64, error)
+}
+
+// BytesFetcher serves ranges of an in-memory container blob — the
+// zero-dependency fetcher for artifacts already resident, and the reference
+// implementation the others are tested against.
+type BytesFetcher struct {
+	blob []byte
+}
+
+// NewBytesFetcher wraps blob as a ChunkFetcher. The blob is not copied.
+func NewBytesFetcher(blob []byte) *BytesFetcher { return &BytesFetcher{blob: blob} }
+
+// ReadRange implements ChunkFetcher.
+func (b *BytesFetcher) ReadRange(off int64, n int) ([]byte, error) {
+	if err := checkRange(off, n, int64(len(b.blob))); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, b.blob[off:])
+	return out, nil
+}
+
+// Size implements ChunkFetcher.
+func (b *BytesFetcher) Size() (int64, error) { return int64(len(b.blob)), nil }
+
+// ReaderAtFetcher adapts any io.ReaderAt of known size — the local-storage
+// fetcher (os.File implements io.ReaderAt) and the adapter for mmap'd or
+// sectioned sources.
+type ReaderAtFetcher struct {
+	r    io.ReaderAt
+	size int64
+}
+
+// NewReaderAtFetcher wraps r, which must serve [0, size).
+func NewReaderAtFetcher(r io.ReaderAt, size int64) *ReaderAtFetcher {
+	return &ReaderAtFetcher{r: r, size: size}
+}
+
+// ReadRange implements ChunkFetcher.
+func (f *ReaderAtFetcher) ReadRange(off int64, n int) ([]byte, error) {
+	if err := checkRange(off, n, f.size); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	if k, err := f.r.ReadAt(out, off); k < n {
+		if err == nil || err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("fzio: fetcher short read: %d of %d bytes at %d: %w", k, n, off, err)
+	}
+	return out, nil
+}
+
+// Size implements ChunkFetcher.
+func (f *ReaderAtFetcher) Size() (int64, error) { return f.size, nil }
+
+// FileFetcher serves ranges of a container file on local storage.
+type FileFetcher struct {
+	ReaderAtFetcher
+	f *os.File
+}
+
+// NewFileFetcher opens path for random-access reads. Close releases the
+// file handle.
+func NewFileFetcher(path string) (*FileFetcher, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileFetcher{ReaderAtFetcher: ReaderAtFetcher{r: f, size: fi.Size()}, f: f}, nil
+}
+
+// Close releases the underlying file handle.
+func (f *FileFetcher) Close() error { return f.f.Close() }
+
+// HTTPFetcher serves ranges of a container published over HTTP using Range
+// requests (RFC 9110 §14), so region reads against an object store or a
+// plain file server transfer only the chunks a selection needs. Servers
+// that ignore Range and answer 200 with the full body still work — the
+// fetcher discards the prefix and truncates — but lose the partial-read
+// economy.
+type HTTPFetcher struct {
+	client *http.Client
+	url    string
+}
+
+// NewHTTPFetcher builds a fetcher for the container at url. A nil client
+// selects http.DefaultClient.
+func NewHTTPFetcher(url string, client *http.Client) *HTTPFetcher {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &HTTPFetcher{client: client, url: url}
+}
+
+// ReadRange implements ChunkFetcher with a single Range GET.
+func (h *HTTPFetcher) ReadRange(off int64, n int) ([]byte, error) {
+	if n <= 0 || off < 0 {
+		return nil, fmt.Errorf("fzio: bad range [%d,%d+%d)", off, off, n)
+	}
+	req, err := http.NewRequest(http.MethodGet, h.url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("fzio: range request: %w", err)
+	}
+	req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", off, off+int64(n)-1))
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("fzio: range request: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusPartialContent:
+		// The requested window, as asked.
+	case http.StatusOK:
+		// Range ignored: the body is the whole artifact. Skip to the
+		// window so the caller still gets exactly its bytes.
+		if _, err := io.CopyN(io.Discard, resp.Body, off); err != nil {
+			return nil, fmt.Errorf("fzio: range response truncated before offset %d: %w", off, err)
+		}
+	default:
+		return nil, fmt.Errorf("fzio: range request for [%d,%d): %s", off, off+int64(n), resp.Status)
+	}
+	out := make([]byte, n)
+	if k, err := io.ReadFull(resp.Body, out); k < n {
+		if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("fzio: range response truncated: %d of %d bytes at %d: %w", k, n, off, err)
+	}
+	return out, nil
+}
+
+// Size implements ChunkFetcher with a HEAD request.
+func (h *HTTPFetcher) Size() (int64, error) {
+	resp, err := h.client.Head(h.url)
+	if err != nil {
+		return 0, fmt.Errorf("fzio: HEAD: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("fzio: HEAD: %s", resp.Status)
+	}
+	if resp.ContentLength < 0 {
+		return 0, fmt.Errorf("fzio: HEAD response carries no Content-Length")
+	}
+	return resp.ContentLength, nil
+}
+
+// CountingFetcher wraps a fetcher with atomic request/byte counters — the
+// instrument behind the "a 1-of-8-chunk region reads a fraction of the
+// container" guarantee, used by tests, the region benchmark, and the
+// regionread example.
+type CountingFetcher struct {
+	inner ChunkFetcher
+	reads atomic.Int64
+	bytes atomic.Int64
+}
+
+// NewCountingFetcher wraps inner.
+func NewCountingFetcher(inner ChunkFetcher) *CountingFetcher {
+	return &CountingFetcher{inner: inner}
+}
+
+// ReadRange implements ChunkFetcher, counting the request and its bytes.
+func (c *CountingFetcher) ReadRange(off int64, n int) ([]byte, error) {
+	out, err := c.inner.ReadRange(off, n)
+	c.reads.Add(1)
+	c.bytes.Add(int64(len(out)))
+	return out, err
+}
+
+// Size implements ChunkFetcher.
+func (c *CountingFetcher) Size() (int64, error) { return c.inner.Size() }
+
+// Reads returns the ReadRange calls observed so far.
+func (c *CountingFetcher) Reads() int64 { return c.reads.Load() }
+
+// BytesRead returns the payload bytes returned so far.
+func (c *CountingFetcher) BytesRead() int64 { return c.bytes.Load() }
+
+// Reset zeroes both counters.
+func (c *CountingFetcher) Reset() {
+	c.reads.Store(0)
+	c.bytes.Store(0)
+}
+
+// checkRange validates a [off, off+n) window against an artifact size.
+func checkRange(off int64, n int, size int64) error {
+	if off < 0 || n <= 0 || off+int64(n) > size {
+		return fmt.Errorf("fzio: range [%d,%d) outside artifact of %d bytes", off, off+int64(n), size)
+	}
+	return nil
+}

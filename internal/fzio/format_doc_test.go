@@ -1,0 +1,161 @@
+package fzio
+
+import (
+	"bytes"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"fzmod/internal/grid"
+)
+
+// This file pins docs/FORMAT.md to the implementation: the worked hex
+// dumps in §8 are re-generated from the same parameters the document
+// states and compared byte-for-byte. A layout change that isn't reflected
+// in the spec (or vice versa) fails here.
+
+// docDump extracts the hex dump tagged `<!-- dump:<name> -->` from
+// FORMAT.md: the fenced code block following the marker, parsed as
+// `offset  byte byte ...` lines.
+func docDump(t *testing.T, doc, name string) []byte {
+	t.Helper()
+	marker := fmt.Sprintf("<!-- dump:%s -->", name)
+	_, rest, ok := strings.Cut(doc, marker)
+	if !ok {
+		t.Fatalf("FORMAT.md has no %q marker", marker)
+	}
+	_, rest, ok = strings.Cut(rest, "```text\n")
+	if !ok {
+		t.Fatalf("no fenced dump after %q", marker)
+	}
+	block, _, ok := strings.Cut(rest, "```")
+	if !ok {
+		t.Fatalf("unterminated dump block after %q", marker)
+	}
+	var out []byte
+	for _, line := range strings.Split(strings.TrimSpace(block), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		off, err := hex.DecodeString(fields[0])
+		if err != nil || len(off) != 4 {
+			t.Fatalf("bad offset column %q in %s dump", fields[0], name)
+		}
+		for _, f := range fields[1:] {
+			b, err := hex.DecodeString(f)
+			if err != nil || len(b) != 1 {
+				t.Fatalf("bad byte %q in %s dump", f, name)
+			}
+			out = append(out, b[0])
+		}
+	}
+	if len(out) == 0 {
+		t.Fatalf("empty %s dump", name)
+	}
+	return out
+}
+
+// docHeader is the example header every §8 container shares.
+func docHeader() ChunkedHeader {
+	return ChunkedHeader{
+		Pipeline: "demo",
+		Dims:     grid.D3(2, 2, 2),
+		EB:       0.5,
+		RelEB:    0,
+		Planes:   1,
+	}
+}
+
+func TestFormatDocDumpsMatchImplementation(t *testing.T) {
+	blob, err := os.ReadFile("../../docs/FORMAT.md")
+	if err != nil {
+		t.Fatalf("reading spec: %v", err)
+	}
+	doc := string(blob)
+	chunks := [][]byte{{0xAA, 0xBB}, {0xCC}}
+	planes := []int{1, 1}
+
+	t.Run("fzmd", func(t *testing.T) {
+		c := New(Header{Pipeline: "demo", Dims: grid.D3(2, 2, 2), EB: 0.5, Extra: 7})
+		if err := c.Add("q", []byte{0xAA, 0xBB, 0xCC}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareDump(t, docDump(t, doc, "fzmd"), got)
+		// The documented bytes must round-trip as a valid container.
+		back, err := Unmarshal(got)
+		if err != nil {
+			t.Fatalf("documented FZMD does not parse: %v", err)
+		}
+		if back.Header.Extra != 7 || !back.Has("q") {
+			t.Errorf("documented FZMD parsed to %+v", back.Header)
+		}
+	})
+
+	t.Run("fzmc", func(t *testing.T) {
+		got, err := MarshalChunked(docHeader(), chunks, planes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareDump(t, docDump(t, doc, "fzmc"), got)
+		cc, err := UnmarshalChunked(got)
+		if err != nil {
+			t.Fatalf("documented FZMC does not parse: %v", err)
+		}
+		for i, want := range chunks {
+			p, err := cc.Chunk(i)
+			if err != nil || !bytes.Equal(p, want) {
+				t.Errorf("chunk %d: %x, %v", i, p, err)
+			}
+		}
+	})
+
+	t.Run("fzms", func(t *testing.T) {
+		var buf bytes.Buffer
+		sw, err := NewStreamWriter(&buf, docHeader())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range chunks {
+			if err := sw.WriteChunk(c, planes[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		compareDump(t, docDump(t, doc, "fzms"), buf.Bytes())
+		// And the documented bytes must satisfy the random-access path:
+		// index fetched from the trailer alone.
+		ix, err := FetchIndex(NewBytesFetcher(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("documented FZMS index fetch: %v", err)
+		}
+		if ix.NumChunks() != 2 {
+			t.Errorf("documented FZMS has %d chunks in its index", ix.NumChunks())
+		}
+	})
+}
+
+func compareDump(t *testing.T, doc, got []byte) {
+	t.Helper()
+	if bytes.Equal(doc, got) {
+		return
+	}
+	n := len(doc)
+	if len(got) < n {
+		n = len(got)
+	}
+	for i := 0; i < n; i++ {
+		if doc[i] != got[i] {
+			t.Fatalf("spec dump diverges from implementation at byte 0x%02x: doc %02x, impl %02x", i, doc[i], got[i])
+		}
+	}
+	t.Fatalf("spec dump is %d bytes, implementation produced %d", len(doc), len(got))
+}

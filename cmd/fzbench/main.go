@@ -118,10 +118,14 @@ func run() int {
 		}
 		fmt.Fprintf(w, "allocs/op within %.0f%% of %s\n", 100**allocTol, *baseline)
 		if *gbsTol > 0 {
-			if err := bench.CompareThroughput(base, report, *gbsTol); err != nil {
+			if base.Kernels != report.Kernels {
+				fmt.Fprintf(w, "kernel tier differs (baseline %q, this run %q): absolute GB/s gate skipped\n",
+					base.Kernels, report.Kernels)
+			} else if err := bench.CompareThroughput(base, report, *gbsTol); err != nil {
 				return err
+			} else {
+				fmt.Fprintf(w, "comp/dec GB/s within %.0f%% of %s\n", 100**gbsTol, *baseline)
 			}
-			fmt.Fprintf(w, "comp/dec GB/s within %.0f%% of %s\n", 100**gbsTol, *baseline)
 		}
 		if *scalTol > 0 {
 			if err := bench.CompareScaling(base, report, *scalTol); err != nil {

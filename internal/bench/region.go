@@ -63,6 +63,7 @@ func RegionComparisonReport(w io.Writer, p *device.Platform, sc Scale) (*Chunked
 		Pipeline:   pl.Name(),
 		RelEB:      1e-4,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Kernels:    p.KernelImpl(),
 	}
 	fmt.Fprintf(w, "Random-access region reads: %s, %v container (%d chunks, %d bytes)\n",
 		pl.Name(), dims, 8, len(blob))

@@ -71,3 +71,43 @@ func TestCompareThroughputSkipsMultiCoreRows(t *testing.T) {
 		t.Error("single-core regression not caught")
 	}
 }
+
+// TestCompareThroughputSkipsKernelMismatch pins the cross-implementation
+// exemption: a purego run gated against an AVX2 baseline (or vice versa)
+// must not fail on absolute GB/s — the tiers differ by design. A legacy
+// baseline with no tier recorded counts as a mismatch against a tiered run.
+func TestCompareThroughputSkipsKernelMismatch(t *testing.T) {
+	base := &ChunkedReport{Kernels: "avx2", Rows: []ChunkedRow{
+		{Executor: "chunked-p1-w1", GoMaxProcs: 1, CompGBs: 1.0, DecGBs: 1.0},
+	}}
+	slow := &ChunkedReport{Kernels: "purego", Rows: []ChunkedRow{
+		{Executor: "chunked-p1-w1", GoMaxProcs: 1, CompGBs: 0.3, DecGBs: 0.3},
+	}}
+	if err := CompareThroughput(base, slow, 0.2); err != nil {
+		t.Errorf("cross-tier comparison should be skipped: %v", err)
+	}
+	legacy := &ChunkedReport{Rows: base.Rows}
+	if err := CompareThroughput(legacy, slow, 0.2); err != nil {
+		t.Errorf("legacy-baseline cross-tier comparison should be skipped: %v", err)
+	}
+	slow.Kernels = "avx2" // same tier: the gate must re-arm
+	if err := CompareThroughput(base, slow, 0.2); err == nil {
+		t.Error("same-tier regression not caught")
+	}
+}
+
+// TestCalibrationSpeedup sanity-checks the synthetic scaling calibration:
+// procs=1 is exactly 1, and every result is clamped to [1, procs] so the
+// efficiency denominator min(workers, calibration) stays well-defined on
+// any host.
+func TestCalibrationSpeedup(t *testing.T) {
+	if got := calibrationSpeedup(1); got != 1 {
+		t.Errorf("calibrationSpeedup(1) = %v, want 1", got)
+	}
+	if testing.Short() {
+		t.Skip("multi-proc calibration run in -short mode")
+	}
+	if got := calibrationSpeedup(2); got < 1 || got > 2 {
+		t.Errorf("calibrationSpeedup(2) = %v, want within [1, 2]", got)
+	}
+}

@@ -48,6 +48,7 @@ func StreamComparisonReport(w io.Writer, p *device.Platform, sc Scale) (*Chunked
 		Pipeline:   pl.Name(),
 		RelEB:      1e-4,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Kernels:    p.KernelImpl(),
 	}
 
 	fmt.Fprintf(w, "Streaming (out-of-core) executor: %s, %v (%.0f MiB), eb=rel 1e-4 resolved, %d-elem chunks\n",
@@ -131,7 +132,17 @@ func StreamComparisonReport(w io.Writer, p *device.Platform, sc Scale) (*Chunked
 // load, so those rows are gated relatively, through CompareScaling's
 // within-run scaling_efficiency, while the single-core rows (where a
 // kernel regression shows undiluted) keep the absolute gate.
+//
+// When the two reports record different kernel implementation tiers
+// (purego vs avx2/neon, or a legacy baseline with no tier recorded against
+// a tiered run), the whole gate is skipped: absolute GB/s between
+// implementations differs by design, and failing a purego CI lane against
+// an AVX2 baseline would gate on hardware, not on a regression. Refresh
+// the baseline on matching hardware to re-arm the gate.
 func CompareThroughput(baseline, new *ChunkedReport, tolerance float64) error {
+	if baseline.Kernels != new.Kernels {
+		return nil
+	}
 	for _, row := range new.Rows {
 		if row.GoMaxProcs > 1 {
 			continue

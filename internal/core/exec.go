@@ -31,6 +31,12 @@ type ExecReport struct {
 	// report time; the hit rate approaches 1 as steady-state runs reuse
 	// warm slabs.
 	Pool device.PoolStats
+	// Kernels names the SIMD implementation tier the dispatched hot-loop
+	// kernels ran with ("avx2", "neon", or "purego") and KernelDetail the
+	// per-kernel split — execution evidence for benchmark rows and for
+	// confirming which implementation a profile measured.
+	Kernels      string
+	KernelDetail map[string]string
 	// Region carries the chunk and slab-cache accounting of a region read
 	// (nil for full compress/decompress runs).
 	Region *RegionStats
@@ -48,6 +54,8 @@ func execReport(ctx *stf.Ctx) *ExecReport {
 		Tasks:        len(trace),
 		CriticalPath: ctx.CriticalPath(),
 		Pool:         ctx.Platform().ScratchPool().Stats(),
+		Kernels:      ctx.Platform().KernelImpl(),
+		KernelDetail: ctx.Platform().KernelDetail(),
 	}
 }
 

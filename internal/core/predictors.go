@@ -6,6 +6,7 @@ import (
 
 	"fzmod/internal/device"
 	"fzmod/internal/grid"
+	"fzmod/internal/kernels/dispatch"
 	"fzmod/internal/predictor/lorenzo"
 	"fzmod/internal/predictor/spline"
 )
@@ -107,31 +108,21 @@ func (LorenzoPredictor) ReconstructInto(p *device.Platform, place device.Place, 
 
 // outlierIndices rebuilds the ascending outlier index stream from the
 // escape codes (code 0). cap bounds the scan so a corrupt stream cannot
-// allocate unboundedly. Escapes are rare, so the scan tests eight codes
-// per iteration with a branch-free borrow trick ((c-1) &^ c has its top
-// bit set exactly when c == 0) and only walks a group that contains one.
+// allocate unboundedly. Escapes are rare, so the scan hops zero to zero
+// with the dispatched NextZero kernel (one vector compare covers sixteen
+// codes on AVX2; the pure-Go fallback keeps the branch-free borrow-trick
+// word scan) instead of testing every code.
 func outlierIndices(codes []uint16, cap int) []uint32 {
 	out := make([]uint32, 0, cap)
-	i := 0
-	for ; i+8 <= len(codes); i += 8 {
-		c0, c1, c2, c3 := codes[i], codes[i+1], codes[i+2], codes[i+3]
-		c4, c5, c6, c7 := codes[i+4], codes[i+5], codes[i+6], codes[i+7]
-		z := (c0-1)&^c0 | (c1-1)&^c1 | (c2-1)&^c2 | (c3-1)&^c3 |
-			(c4-1)&^c4 | (c5-1)&^c5 | (c6-1)&^c6 | (c7-1)&^c7
-		if z&0x8000 != 0 {
-			for j := i; j < i+8; j++ {
-				if codes[j] == 0 {
-					out = append(out, uint32(j))
-				}
-			}
+	base := 0
+	for {
+		k := dispatch.NextZero(codes[base:])
+		if k < 0 {
+			return out
 		}
+		out = append(out, uint32(base+k))
+		base += k + 1
 	}
-	for ; i < len(codes); i++ {
-		if codes[i] == 0 {
-			out = append(out, uint32(i))
-		}
-	}
-	return out
 }
 
 // SplinePredictor adapts the G-Interp interpolation module (package

@@ -25,6 +25,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"fzmod/internal/kernels/dispatch"
 )
 
 // Place identifies where a kernel executes or where a buffer lives.
@@ -315,6 +317,20 @@ func maxParallelism() int {
 // Stats returns a pointer to the live counters for inspection. Views share
 // one counter set.
 func (p *Platform) Stats() *Stats { return &p.state().stats }
+
+// KernelImpl reports the SIMD implementation tier the dispatched hot-loop
+// kernels run with ("avx2", "neon", or "purego"), fixed at process start
+// (auto-detected, or forced via the FZMOD_KERNELS environment variable /
+// the `purego` build tag). It is process-global — every Platform shares
+// the one dispatch — but lives on Platform because execution evidence is
+// read through it.
+func (p *Platform) KernelImpl() string { return dispatch.Active() }
+
+// KernelDetail reports the implementation behind each dispatched kernel by
+// name; on tiers where the assembler covers only part of the kernel set
+// (arm64), individual kernels may read "purego" under an active "neon"
+// tier.
+func (p *Platform) KernelDetail() map[string]string { return dispatch.PerKernel() }
 
 // ResetStats zeroes all counters.
 func (p *Platform) ResetStats() {

@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"fzmod/internal/device"
+	"fzmod/internal/kernels/dispatch"
 )
 
 // maxCodeLen bounds code lengths; histograms inducing longer codes are
@@ -45,8 +46,12 @@ const chunkSize = 1 << 16
 
 // Codec holds a canonical Huffman code for a dense alphabet [0, n).
 type Codec struct {
-	lengths []uint8  // per symbol; 0 = symbol absent
-	codes   []uint32 // canonical code bits (MSB-first semantics)
+	lengths []uint8 // per symbol; 0 = symbol absent
+	// lengths32 mirrors lengths widened to uint32 for the vectorized
+	// encode sizing pre-pass (dispatch.SumLengths gathers 32-bit table
+	// entries; a uint8 table would need per-lane masking).
+	lengths32 []uint32
+	codes     []uint32 // canonical code bits (MSB-first semantics)
 	// revCodes holds each code with its bits reversed into stream order
 	// (the stream packs code bits MSB-first at increasing LSB-first bit
 	// positions), precomputed once at table-build time so the encoder's
@@ -257,6 +262,10 @@ func buildLengths(freqs []uint64, sc *buildScratch) []uint8 {
 // fromLengths assigns canonical codes and builds decode structures.
 func fromLengths(lengths []uint8) (*Codec, error) {
 	c := &Codec{lengths: lengths, codes: make([]uint32, len(lengths))}
+	c.lengths32 = make([]uint32, len(lengths))
+	for s, l := range lengths {
+		c.lengths32[s] = uint32(l)
+	}
 	c.minLen, c.maxLen = maxCodeLen+1, 0
 	count := make([]int, maxCodeLen+1)
 	for _, l := range lengths {
@@ -521,16 +530,20 @@ func (c *Codec) encodePrefixed(p *device.Platform, place device.Place, codes []u
 
 // chunkBits returns the exact encoded size of a chunk in bits, failing on
 // any symbol the codebook has no code for. It doubles as the validation
-// pass: encodeChunk afterwards assumes every symbol is coded.
+// pass: encodeChunk afterwards assumes every symbol is coded. The sum runs
+// through the dispatched SIMD kernel (a gather-accumulate on AVX2); only
+// when that reports a bad symbol does the scalar re-scan run to name the
+// exact offender in the error.
 func (c *Codec) chunkBits(codes []uint16) (uint64, error) {
-	var bits uint64
+	if bits, ok := dispatch.SumLengths(c.lengths32, codes); ok {
+		return bits, nil
+	}
 	for _, s := range codes {
 		if int(s) >= len(c.lengths) || c.lengths[s] == 0 {
 			return 0, fmt.Errorf("huffman: symbol %d has no code (histogram missed it)", s)
 		}
-		bits += uint64(c.lengths[s])
 	}
-	return bits, nil
+	return 0, fmt.Errorf("huffman: sizing pre-pass failed without an uncoded symbol")
 }
 
 // encodeChunk emits the chunk's bitstream into buf word-at-a-time: codes

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"fzmod/internal/device"
+	"fzmod/internal/kernels/dispatch"
 )
 
 var tp = device.NewTestPlatform()
@@ -461,19 +462,34 @@ func benchCodes(n int) ([]uint16, []uint32) {
 	return codes, histOf(codes, 1024)
 }
 
+// benchKernelTiers runs f once per kernel implementation tier this build
+// supports, so one run reports the sizing pre-pass (dispatch.SumLengths)
+// under both the vector tier and the purego fallback.
+func benchKernelTiers(b *testing.B, f func(b *testing.B)) {
+	b.Helper()
+	defer func() { _ = dispatch.Use("auto") }()
+	for _, tier := range dispatch.Tiers() {
+		if err := dispatch.Use(tier); err != nil {
+			b.Fatalf("Use(%q): %v", tier, err)
+		}
+		b.Run(tier, f)
+	}
+}
+
 func BenchmarkHuffmanEncode(b *testing.B) {
 	codes, h := benchCodes(1 << 21)
 	c, err := Build(h)
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.SetBytes(int64(2 * len(codes)))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := c.Encode(tp, device.Host, codes); err != nil {
-			b.Fatal(err)
+	benchKernelTiers(b, func(b *testing.B) {
+		b.SetBytes(int64(2 * len(codes)))
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Encode(tp, device.Host, codes); err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
+	})
 }
 
 func BenchmarkHuffmanDecode(b *testing.B) {

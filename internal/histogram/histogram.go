@@ -13,15 +13,20 @@ import (
 	"sync/atomic"
 
 	"fzmod/internal/device"
+	"fzmod/internal/kernels/dispatch"
 )
 
 // Standard computes the exact histogram of codes over [0, bins) with
 // per-worker privatized counters merged at the end — the same structure as
 // the shared-memory-privatized CUDA histogram. Each worker accumulates
-// 8-way unrolled into four interleaved counter tables (the CPU analogue of
+// into four interleaved counter tables (the CPU analogue of
 // sub-histogramming across shared-memory banks), which breaks the
 // store-to-load dependency that serializes repeated increments of the same
 // bin — the common case for the spiky code distributions predictors emit.
+// Accumulation and the final table merge run through the dispatched SIMD
+// kernels (dispatch.HistAccum validates sixteen codes with one vector
+// compare on AVX2; dispatch.HistMerge folds the sub-tables eight bins at a
+// time), with the 8-way unrolled pure-Go loop as fallback.
 func Standard(p *device.Platform, place device.Place, codes []uint16, bins int) ([]uint32, error) {
 	if bins <= 0 {
 		return nil, fmt.Errorf("histogram: bins must be positive, got %d", bins)
@@ -32,43 +37,13 @@ func Standard(p *device.Platform, place device.Place, codes []uint16, bins int) 
 	var oob atomic.Bool
 	p.LaunchGrid(place, len(codes), func(lo, hi int) {
 		slab := pool.GetU32(4*bins, true) // 4 privatized sub-tables, pooled
-		t0 := slab.Data[:bins]
-		t1 := slab.Data[bins : 2*bins]
-		t2 := slab.Data[2*bins : 3*bins]
-		t3 := slab.Data[3*bins : 4*bins]
-		cs := codes[lo:hi]
-		i := 0
-		for ; i+8 <= len(cs); i += 8 {
-			c0, c1, c2, c3 := cs[i], cs[i+1], cs[i+2], cs[i+3]
-			c4, c5, c6, c7 := cs[i+4], cs[i+5], cs[i+6], cs[i+7]
-			if int(c0) >= bins || int(c1) >= bins || int(c2) >= bins || int(c3) >= bins ||
-				int(c4) >= bins || int(c5) >= bins || int(c6) >= bins || int(c7) >= bins {
-				oob.Store(true)
-				pool.PutU32(slab)
-				return
-			}
-			t0[c0]++
-			t1[c1]++
-			t2[c2]++
-			t3[c3]++
-			t0[c4]++
-			t1[c5]++
-			t2[c6]++
-			t3[c7]++
-		}
-		for ; i < len(cs); i++ {
-			c := cs[i]
-			if int(c) >= bins {
-				oob.Store(true)
-				pool.PutU32(slab)
-				return
-			}
-			t0[c]++
+		if !dispatch.HistAccum(slab.Data, codes[lo:hi], bins) {
+			oob.Store(true)
+			pool.PutU32(slab)
+			return
 		}
 		mu.Lock()
-		for i := range out {
-			out[i] += t0[i] + t1[i] + t2[i] + t3[i]
-		}
+		dispatch.HistMerge(out, slab.Data)
 		mu.Unlock()
 		pool.PutU32(slab)
 	})

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"fzmod/internal/device"
+	"fzmod/internal/kernels/dispatch"
 )
 
 var tp = device.NewTestPlatform()
@@ -160,4 +161,34 @@ func TestSpikiness(t *testing.T) {
 	if s := Spikiness(flat, 100); s != 1 {
 		t.Errorf("k>bins mass = %v, want 1", s)
 	}
+}
+
+// benchKernelTiers runs f once per kernel implementation tier this build
+// supports, so one run reports the accumulate+merge kernels under both the
+// vector tier and the purego fallback.
+func benchKernelTiers(b *testing.B, f func(b *testing.B)) {
+	b.Helper()
+	defer func() { _ = dispatch.Use("auto") }()
+	for _, tier := range dispatch.Tiers() {
+		if err := dispatch.Use(tier); err != nil {
+			b.Fatalf("Use(%q): %v", tier, err)
+		}
+		b.Run(tier, f)
+	}
+}
+
+func BenchmarkStandard(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	codes := make([]uint16, 1<<21)
+	for i := range codes {
+		codes[i] = uint16(rng.Intn(1024))
+	}
+	benchKernelTiers(b, func(b *testing.B) {
+		b.SetBytes(int64(2 * len(codes)))
+		for i := 0; i < b.N; i++ {
+			if _, err := Standard(tp, device.Host, codes, 1024); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

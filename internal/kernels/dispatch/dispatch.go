@@ -1,0 +1,191 @@
+// Package dispatch selects a SIMD implementation tier for the framework's
+// five hottest per-element loops — Lorenzo fused quantize+residual rows,
+// histogram accumulation, MinMaxF32, outlier code scanning, and the Huffman
+// encode length-summing pre-pass — at process start, keeping the pure-Go
+// word-level kernels as the always-available fallback.
+//
+// Tiers:
+//
+//   - "avx2"   — amd64 with AVX2 (detected via CPUID + XGETBV, no
+//     dependencies; the OS must have enabled YMM state).
+//   - "neon"   — arm64; ASIMD is architecturally baseline. Only the kernels
+//     the Go arm64 assembler can express are NEON; the rest of the tier
+//     stays pure Go per kernel.
+//   - "purego" — the portable reference implementations. Always compiled,
+//     always selectable, and the only tier under the `purego` build tag or
+//     on other GOARCHes.
+//
+// Selection order: the FZMOD_KERNELS environment variable ("purego",
+// "avx2", "neon", or "auto") is consulted once at init; an empty, unknown,
+// or unsupported value falls back to auto-detection. Tests can re-point the
+// tier at runtime with Use — kernels are plain package-level function
+// variables, so Use must not race with kernel callers (call it from
+// TestMain or a serial test only).
+//
+// Every non-purego kernel is bit-identical to its pure-Go twin on all
+// inputs, including non-finite floats (QuantizeF32 reports out-of-range for
+// NaN/Inf in every tier); the cross-implementation property and fuzz tests
+// in this package enforce that on odd lengths and alignments.
+package dispatch
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Tier names accepted by Use and returned by Active.
+const (
+	PureGo = "purego"
+	AVX2   = "avx2"
+	NEON   = "neon"
+)
+
+// The dispatched kernels. Assigned once during package init (and by Use in
+// tests); the default values make the package usable even if selection is
+// bypassed.
+var (
+	// QuantizeF32 writes q[i] = int32(round(data[i]*scale)) for i <
+	// len(data), rounding half away from zero (math.Round). It returns
+	// false — with q partially written — when any rounded value falls
+	// outside [-lim, lim]; NaN and ±Inf always fall outside. len(q) must
+	// be >= len(data).
+	QuantizeF32 func(data []float32, q []int32, scale, lim float64) bool = quantizeF32PureGo
+
+	// DiffCodes1 emits the 1-D Lorenzo residual codes for a quantized row:
+	// for each i < len(codes), d = q[i+1] - q[i] and codes[i] = uint16(d +
+	// r32) when -r32 < d < r32, else 0 (the outlier escape). len(q) must
+	// be >= len(codes)+1.
+	DiffCodes1 func(q []int32, codes []uint16, r32 int32) = diffCodes1PureGo
+
+	// DiffCodes2 is DiffCodes1 for the 2-D stencil:
+	// d = q[i+1] - q[i] - up[i+1] + up[i].
+	DiffCodes2 func(q, up []int32, codes []uint16, r32 int32) = diffCodes2PureGo
+
+	// DiffCodes3 is DiffCodes1 for the full 3-D stencil:
+	// d = q[i+1]-q[i] - up[i+1]+up[i] - back[i+1]+back[i] + backUp[i+1]-backUp[i].
+	DiffCodes3 func(q, up, back, backUp []int32, codes []uint16, r32 int32) = diffCodes3PureGo
+
+	// MinMaxF32 returns the minimum and maximum of a non-empty slice with
+	// the comparison semantics of the scalar accumulator loop: NaN values
+	// never replace an accumulator, and when -0.0 and +0.0 are both
+	// candidates the result's sign is unspecified (they compare equal).
+	MinMaxF32 func(data []float32) (mn, mx float32) = minMaxF32PureGo
+
+	// HistAccum accumulates codes into the four privatized sub-tables of
+	// tabs (len(tabs) == 4*bins, pre-zeroed by the caller) and returns
+	// false — with tabs contents unspecified — when any code is >= bins.
+	// The four sub-tables break the store-to-load dependency of repeated
+	// increments to one bin; HistMerge folds them.
+	HistAccum func(tabs []uint32, codes []uint16, bins int) bool = histAccumPureGo
+
+	// HistMerge adds the four sub-tables of tabs into out:
+	// out[i] += tabs[i] + tabs[b+i] + tabs[2b+i] + tabs[3b+i] with
+	// b = len(out); len(tabs) must be 4*len(out).
+	HistMerge func(out, tabs []uint32) = histMergePureGo
+
+	// NextZero returns the index of the first zero code (the outlier
+	// escape), or -1 when none occurs.
+	NextZero func(codes []uint16) int = nextZeroPureGo
+
+	// SumLengths sums lengths32[c] over every code c, the Huffman encode
+	// sizing pre-pass. It returns ok=false when any code is out of range
+	// or maps to a zero length (symbol absent from the codebook); the sum
+	// is then unspecified and the caller re-scans scalar for the exact
+	// offending symbol. Table entries must be at most 255 (they are
+	// Huffman code lengths widened from uint8), which lets vector tiers
+	// accumulate in 32-bit lanes.
+	SumLengths func(lengths32 []uint32, codes []uint16) (bits uint64, ok bool) = sumLengthsPureGo
+)
+
+// active names the installed tier.
+var active = PureGo
+
+// vectorRows is set by tiers whose QuantizeF32 and DiffCodes kernels are
+// genuinely vector implementations. The Lorenzo predictor only switches to
+// its two-phase row structure (quantize the row, then emit codes from the
+// stored lattice) when that structure buys vector speed; with scalar
+// kernels the single-pass fused rows are faster.
+var vectorRows bool
+
+// VectorRows reports whether the installed tier runs the Lorenzo row
+// kernels (QuantizeF32 + DiffCodes*) as vector code.
+func VectorRows() bool { return vectorRows }
+
+// Active returns the name of the installed implementation tier: "avx2",
+// "neon", or "purego". On arm64 a "neon" tier may still run individual
+// kernels pure-Go; PerKernel lists the split.
+func Active() string { return active }
+
+// PerKernel returns the implementation behind each dispatched kernel for
+// the installed tier, keyed by kernel name — execution evidence for
+// ExecReport and benchmark rows.
+func PerKernel() map[string]string { return perKernel() }
+
+// Tiers returns the implementation tiers this build supports on this CPU,
+// purego first: {"purego"} or {"purego", "avx2"/"neon"}. Benchmarks
+// iterate it (with Use) to report every implementation in one run.
+func Tiers() []string {
+	if best := bestName(); best != PureGo {
+		return []string{PureGo, best}
+	}
+	return []string{PureGo}
+}
+
+// Use installs an implementation tier by name ("purego", "avx2", "neon",
+// or "auto" for the best supported). It returns an error — leaving the
+// installed tier unchanged — when the name is unknown or the tier is not
+// supported on this CPU. Kernels are plain function variables: Use must
+// not run concurrently with kernel callers.
+func Use(name string) error {
+	switch n := strings.ToLower(strings.TrimSpace(name)); n {
+	case "auto", "":
+		installPureGo()
+		installBest()
+		return nil
+	case PureGo:
+		installPureGo()
+		active = PureGo
+		return nil
+	default:
+		if installTier(n) {
+			active = n
+			return nil
+		}
+		return fmt.Errorf("dispatch: kernel tier %q not supported on this CPU (have %q)", name, bestName())
+	}
+}
+
+// installPureGo points every kernel at its portable reference.
+func installPureGo() {
+	QuantizeF32 = quantizeF32PureGo
+	DiffCodes1 = diffCodes1PureGo
+	DiffCodes2 = diffCodes2PureGo
+	DiffCodes3 = diffCodes3PureGo
+	MinMaxF32 = minMaxF32PureGo
+	HistAccum = histAccumPureGo
+	HistMerge = histMergePureGo
+	NextZero = nextZeroPureGo
+	SumLengths = sumLengthsPureGo
+	vectorRows = false
+	active = PureGo
+}
+
+// installBest installs the best tier the CPU supports (purego when no
+// vector tier is available).
+func installBest() {
+	if name := bestName(); name != PureGo {
+		if installTier(name) {
+			active = name
+		}
+	}
+}
+
+func init() {
+	installPureGo()
+	if err := Use(os.Getenv("FZMOD_KERNELS")); err != nil {
+		// Unknown or unsupported request: fall back to auto-detection
+		// rather than failing init; Active()/PerKernel() report what ran.
+		_ = Use("auto")
+	}
+}

@@ -1,0 +1,146 @@
+//go:build amd64 && !purego
+
+package dispatch
+
+// Assembly cores (kernels_amd64.s). Each processes the longest prefix its
+// vector width covers (8 or 16 elements per iteration, unaligned loads, so
+// any slice alignment is fine); the Go wrappers finish the scalar tails
+// with the purego reference, which keeps every result bit-identical to the
+// fallback at any length.
+
+func quantAVX2Asm(data []float32, q []int32, scale, lim float64) bool
+func diff1AVX2Asm(q []int32, codes []uint16, r32 int32)
+func diff2AVX2Asm(q, up []int32, codes []uint16, r32 int32)
+func diff3AVX2Asm(q, up, back, backUp []int32, codes []uint16, r32 int32)
+func minMaxAVX2Asm(data []float32) (mn, mx float32)
+func histAccumAVX2Asm(tabs []uint32, codes []uint16, bins int) bool
+func histMergeAVX2Asm(out, tabs []uint32, stride int)
+func nextZeroAVX2Asm(codes []uint16) int
+func sumLengthsAVX2Asm(lengths32 []uint32, codes []uint16) (sum uint64, ok bool)
+
+func quantizeF32AVX2(data []float32, q []int32, scale, lim float64) bool {
+	n8 := len(data) &^ 7
+	if n8 > 0 && !quantAVX2Asm(data[:n8], q[:n8], scale, lim) {
+		return false
+	}
+	return quantizeF32PureGo(data[n8:], q[n8:len(data)], scale, lim)
+}
+
+// maxPackRadius bounds the quantizer radius the assembly diff kernels can
+// pack exactly: in-range codes are d+r32 in (0, 2*r32), and VPACKUSDW's
+// unsigned saturation matches Go's uint16 conversion only up to 65535.
+// Codes are uint16 so real codebooks never exceed this; larger radii (only
+// reachable through direct kernel calls) take the reference path.
+const maxPackRadius = 1 << 15
+
+func diffCodes1AVX2(q []int32, codes []uint16, r32 int32) {
+	if r32 > maxPackRadius {
+		diffCodes1PureGo(q, codes, r32)
+		return
+	}
+	n8 := len(codes) &^ 7
+	if n8 > 0 {
+		diff1AVX2Asm(q, codes[:n8], r32)
+	}
+	diffCodes1PureGo(q[n8:], codes[n8:], r32)
+}
+
+func diffCodes2AVX2(q, up []int32, codes []uint16, r32 int32) {
+	if r32 > maxPackRadius {
+		diffCodes2PureGo(q, up, codes, r32)
+		return
+	}
+	n8 := len(codes) &^ 7
+	if n8 > 0 {
+		diff2AVX2Asm(q, up, codes[:n8], r32)
+	}
+	diffCodes2PureGo(q[n8:], up[n8:], codes[n8:], r32)
+}
+
+func diffCodes3AVX2(q, up, back, backUp []int32, codes []uint16, r32 int32) {
+	if r32 > maxPackRadius {
+		diffCodes3PureGo(q, up, back, backUp, codes, r32)
+		return
+	}
+	n8 := len(codes) &^ 7
+	if n8 > 0 {
+		diff3AVX2Asm(q, up, back, backUp, codes[:n8], r32)
+	}
+	diffCodes3PureGo(q[n8:], up[n8:], back[n8:], backUp[n8:], codes[n8:], r32)
+}
+
+func minMaxF32AVX2(data []float32) (float32, float32) {
+	n8 := len(data) &^ 7
+	if n8 < 32 {
+		return minMaxF32PureGo(data)
+	}
+	mn, mx := minMaxAVX2Asm(data[:n8])
+	for _, v := range data[n8:] {
+		if v < mn {
+			mn = v
+		} else if v > mx {
+			mx = v
+		}
+	}
+	return mn, mx
+}
+
+func histAccumAVX2(tabs []uint32, codes []uint16, bins int) bool {
+	n16 := len(codes) &^ 15
+	if n16 > 0 && !histAccumAVX2Asm(tabs, codes[:n16], bins) {
+		return false
+	}
+	return histAccumPureGo(tabs, codes[n16:], bins)
+}
+
+func histMergeAVX2(out, tabs []uint32) {
+	b := len(out)
+	n8 := b &^ 7
+	if n8 > 0 {
+		histMergeAVX2Asm(out[:n8], tabs, b)
+	}
+	for i := n8; i < b; i++ {
+		out[i] += tabs[i] + tabs[b+i] + tabs[2*b+i] + tabs[3*b+i]
+	}
+}
+
+func nextZeroAVX2(codes []uint16) int {
+	n16 := len(codes) &^ 15
+	if n16 > 0 {
+		if idx := nextZeroAVX2Asm(codes[:n16]); idx >= 0 {
+			return idx
+		}
+	}
+	for i := n16; i < len(codes); i++ {
+		if codes[i] == 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+func sumLengthsAVX2(lengths32 []uint32, codes []uint16) (uint64, bool) {
+	var bits uint64
+	// Spans bound the asm core's eight uint32 lane accumulators: 1 Mi codes
+	// per call times the Huffman length ceiling (code lengths are <= 32,
+	// and the dispatch contract caps table entries at 255) stays far below
+	// 2^32 per lane.
+	const span = 1 << 20
+	n8 := len(codes) &^ 7
+	for lo := 0; lo < n8; lo += span {
+		hi := lo + span
+		if hi > n8 {
+			hi = n8
+		}
+		s, ok := sumLengthsAVX2Asm(lengths32, codes[lo:hi])
+		if !ok {
+			return 0, false
+		}
+		bits += s
+	}
+	tail, ok := sumLengthsPureGo(lengths32, codes[n8:])
+	if !ok {
+		return 0, false
+	}
+	return bits + tail, true
+}

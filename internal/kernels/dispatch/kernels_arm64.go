@@ -1,0 +1,36 @@
+//go:build arm64 && !purego
+
+package dispatch
+
+// Assembly cores (kernels_arm64.s). As on amd64, each processes only whole
+// vector groups and the Go wrappers finish the scalar tails with the
+// purego reference, keeping results bit-identical to the fallback.
+
+func histMergeNEONAsm(out, tabs []uint32, stride int)
+func nextZeroNEONAsm(codes []uint16) int
+
+func histMergeNEON(out, tabs []uint32) {
+	b := len(out)
+	n8 := b &^ 7
+	if n8 > 0 {
+		histMergeNEONAsm(out[:n8], tabs, b)
+	}
+	for i := n8; i < b; i++ {
+		out[i] += tabs[i] + tabs[b+i] + tabs[2*b+i] + tabs[3*b+i]
+	}
+}
+
+func nextZeroNEON(codes []uint16) int {
+	n16 := len(codes) &^ 15
+	if n16 > 0 {
+		if idx := nextZeroNEONAsm(codes[:n16]); idx >= 0 {
+			return idx
+		}
+	}
+	for i := n16; i < len(codes); i++ {
+		if codes[i] == 0 {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,85 @@
+//go:build !purego
+
+#include "textflag.h"
+
+// NEON kernel cores. Only whole vector groups; unaligned loads are native
+// on arm64, so callers never need aligned slices.
+
+// func histMergeNEONAsm(out, tabs []uint32, stride int)
+// out[i] += tabs[i] + tabs[stride+i] + tabs[2*stride+i] + tabs[3*stride+i],
+// eight bins per iteration. len(out) must be a multiple of 8.
+TEXT ·histMergeNEONAsm(SB), NOSPLIT, $0-56
+	MOVD out_base+0(FP), R0
+	MOVD out_len+8(FP), R1
+	MOVD tabs_base+24(FP), R2
+	MOVD stride+48(FP), R3
+	LSL  $2, R3, R3          // element stride -> byte stride
+	ADD  R3, R2, R4          // t1
+	ADD  R3, R4, R5          // t2
+	ADD  R3, R5, R6          // t3
+
+mergeloop:
+	CMP  $8, R1
+	BLT  mergedone
+	VLD1.P 32(R2), [V0.S4, V1.S4]
+	VLD1.P 32(R4), [V2.S4, V3.S4]
+	VLD1.P 32(R5), [V4.S4, V5.S4]
+	VLD1.P 32(R6), [V6.S4, V7.S4]
+	VLD1 (R0), [V16.S4, V17.S4]
+	VADD V2.S4, V0.S4, V0.S4
+	VADD V3.S4, V1.S4, V1.S4
+	VADD V6.S4, V4.S4, V4.S4
+	VADD V7.S4, V5.S4, V5.S4
+	VADD V4.S4, V0.S4, V0.S4
+	VADD V5.S4, V1.S4, V1.S4
+	VADD V16.S4, V0.S4, V0.S4
+	VADD V17.S4, V1.S4, V1.S4
+	VST1.P [V0.S4, V1.S4], 32(R0)
+	SUB  $8, R1
+	B    mergeloop
+
+mergedone:
+	RET
+
+// func nextZeroNEONAsm(codes []uint16) int
+// Index of the first zero code in the leading multiple-of-16 prefix, else
+// -1. One compare pair covers sixteen codes; a hit falls back to a scalar
+// walk of that group (the group is known to contain a zero, so the walk
+// terminates inside it).
+TEXT ·nextZeroNEONAsm(SB), NOSPLIT, $0-32
+	MOVD codes_base+0(FP), R0
+	MOVD codes_len+8(FP), R1
+	MOVD ZR, R2              // running base index
+	VEOR V0.B16, V0.B16, V0.B16
+
+zeroloop:
+	CMP  $16, R1
+	BLT  zeronone
+	VLD1.P 32(R0), [V1.H8, V2.H8]
+	VCMEQ V0.H8, V1.H8, V3.H8
+	VCMEQ V0.H8, V2.H8, V4.H8
+	VORR V4.B16, V3.B16, V5.B16
+	VUADDLV V5.H8, V6        // nonzero iff any lane matched
+	VMOV V6.S[0], R3
+	CBNZ R3, zerofound
+	ADD  $16, R2
+	SUB  $16, R1
+	B    zeroloop
+
+zerofound:
+	SUB  $32, R0             // back to the start of the matching group
+
+zeroscan:
+	MOVHU.P 2(R0), R3
+	CBZ  R3, zerohit
+	ADD  $1, R2
+	B    zeroscan
+
+zerohit:
+	MOVD R2, ret+24(FP)
+	RET
+
+zeronone:
+	MOVD $-1, R3
+	MOVD R3, ret+24(FP)
+	RET

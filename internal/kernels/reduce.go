@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"fzmod/internal/device"
+	"fzmod/internal/kernels/dispatch"
 )
 
 // minMaxBlock is the per-block extent of the MinMaxF32 tree reduction.
@@ -22,14 +23,16 @@ const minMaxBlock = 1 << 16
 // deterministic regardless of scheduling — and phase 2 folds the partials.
 // It is the extrema kernel behind relative-error-bound normalization
 // (§3.2: "needing to find the data minimum and maximum to normalize the
-// user provided error by the data range").
+// user provided error by the data range"). Per-range scans run through the
+// dispatched SIMD kernel (dispatch.MinMaxF32), with the pure-Go lane scan
+// as fallback.
 func MinMaxF32(p *device.Platform, place device.Place, data []float32) (mn, mx float32) {
 	if len(data) == 0 {
 		return 0, 0
 	}
 	nBlocks := (len(data) + minMaxBlock - 1) / minMaxBlock
 	if nBlocks == 1 {
-		return minMaxRange(data)
+		return dispatch.MinMaxF32(data)
 	}
 	slab := p.ScratchPool().GetF32(2*nBlocks, false)
 	partials := slab.Data
@@ -39,7 +42,7 @@ func MinMaxF32(p *device.Platform, place device.Place, data []float32) (mn, mx f
 			if end > len(data) {
 				end = len(data)
 			}
-			partials[2*b], partials[2*b+1] = minMaxRange(data[b*minMaxBlock : end])
+			partials[2*b], partials[2*b+1] = dispatch.MinMaxF32(data[b*minMaxBlock : end])
 		}
 	})
 	mn, mx = partials[0], partials[1]
@@ -53,69 +56,6 @@ func MinMaxF32(p *device.Platform, place device.Place, data []float32) (mn, mx f
 	}
 	p.ScratchPool().PutF32(slab)
 	return mn, mx
-}
-
-// minMaxRange scans one contiguous range with four independent accumulator
-// lanes, breaking the compare-update dependency chain.
-func minMaxRange(data []float32) (mn, mx float32) {
-	lmn, lmx := data[0], data[0]
-	mn1, mx1 := lmn, lmx
-	mn2, mx2 := lmn, lmx
-	mn3, mx3 := lmn, lmx
-	i := 0
-	for ; i+4 <= len(data); i += 4 {
-		v0, v1, v2, v3 := data[i], data[i+1], data[i+2], data[i+3]
-		if v0 < lmn {
-			lmn = v0
-		}
-		if v0 > lmx {
-			lmx = v0
-		}
-		if v1 < mn1 {
-			mn1 = v1
-		}
-		if v1 > mx1 {
-			mx1 = v1
-		}
-		if v2 < mn2 {
-			mn2 = v2
-		}
-		if v2 > mx2 {
-			mx2 = v2
-		}
-		if v3 < mn3 {
-			mn3 = v3
-		}
-		if v3 > mx3 {
-			mx3 = v3
-		}
-	}
-	for ; i < len(data); i++ {
-		if v := data[i]; v < lmn {
-			lmn = v
-		} else if v > lmx {
-			lmx = v
-		}
-	}
-	if mn1 < lmn {
-		lmn = mn1
-	}
-	if mn2 < lmn {
-		lmn = mn2
-	}
-	if mn3 < lmn {
-		lmn = mn3
-	}
-	if mx1 > lmx {
-		lmx = mx1
-	}
-	if mx2 > lmx {
-		lmx = mx2
-	}
-	if mx3 > lmx {
-		lmx = mx3
-	}
-	return lmn, lmx
 }
 
 // SumF64 accumulates data in float64 with per-block partials, matching the

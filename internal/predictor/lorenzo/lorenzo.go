@@ -18,13 +18,20 @@
 // the pipeline is the initial lattice rounding, which is ≤ eb by
 // construction. That is what makes the bound strict end to end.
 //
-// Kernel structure: the hot loops are rank-specialized row kernels that
-// fuse pre-quantization with residual+code emission, so the lattice is
-// walked once while hot in cache and all neighbor accesses are direct
-// stride offsets (q[i]-q[i-1]-q[i-nx]+q[i-nx-1] and the 3-D analogue).
-// Coordinate arithmetic appears only at block edges, where each parallel
-// block re-quantizes the single halo row/plane preceding it into private
-// scratch so blocks never read lattice entries another block writes.
+// Kernel structure: the hot loops are rank-specialized row kernels. With a
+// SIMD dispatch tier installed (dispatch.VectorRows) each row runs in two
+// vector phases — quantize the row onto the lattice, then emit codes from
+// the stored lattice with the stencil difference kernel, recovering the
+// rare outliers afterwards by re-deriving the residual at each escape
+// (in-range codes are always nonzero, so code 0 identifies escapes
+// exactly). Without a vector tier the rows fuse pre-quantization with
+// residual+code emission in one scalar pass, so the lattice is walked once
+// while hot in cache; both structures produce bit-identical codes and
+// outlier streams. All neighbor accesses are direct stride offsets
+// (q[i]-q[i-1]-q[i-nx]+q[i-nx-1] and the 3-D analogue). Coordinate
+// arithmetic appears only at block edges, where each parallel block
+// re-quantizes the single halo row/plane preceding it into private scratch
+// so blocks never read lattice entries another block writes.
 package lorenzo
 
 import (
@@ -34,6 +41,7 @@ import (
 
 	"fzmod/internal/device"
 	"fzmod/internal/grid"
+	"fzmod/internal/kernels/dispatch"
 )
 
 // DefaultRadius is the quantization-code radius used by cuSZ: residuals in
@@ -203,19 +211,18 @@ func EncodeInto(p *device.Platform, place device.Place, data []float32, dims gri
 }
 
 // quantRow pre-quantizes one contiguous run of values onto the 2·eb
-// lattice, reporting false on overflow. It is used for the private halo
-// rows/planes at block edges; interior quantization is fused into the
-// residual kernels below.
+// lattice through the dispatched SIMD kernel, reporting false on overflow
+// (NaN and ±Inf count as overflow in every tier). It is used for the
+// private halo rows/planes at block edges and the vector rows' first
+// phase; scalar-tier interior quantization is fused into the residual
+// kernels below.
 func quantRow(data []float32, q []int32, ebx2r float64) bool {
-	for i, v := range data {
-		t := math.Round(float64(v) * ebx2r)
-		if t > maxLattice || t < -maxLattice {
-			return false
-		}
-		q[i] = int32(t)
-	}
-	return true
+	return dispatch.QuantizeF32(data, q, ebx2r, maxLattice)
 }
+
+// minVecRow is the shortest row routed to the two-phase vector kernels; a
+// row below one vector group per phase gains nothing over the fused walk.
+const minVecRow = 16
 
 // fusedRow1 quantizes and encodes a row with no row above — the first row
 // of a 1-D or 2-D field (and the first row of a 3-D field's first plane).
@@ -224,7 +231,7 @@ func quantRow(data []float32, q []int32, ebx2r float64) bool {
 func fusedRow1(data []float32, q []int32, codes []uint16, base int, prev int32, r32 int32, ebx2r float64, b *encBlock) bool {
 	for x, v := range data {
 		t := math.Round(float64(v) * ebx2r)
-		if t > maxLattice || t < -maxLattice {
+		if !(t <= maxLattice && t >= -maxLattice) {
 			return false
 		}
 		cur := int32(t)
@@ -248,7 +255,7 @@ func fusedRow1(data []float32, q []int32, codes []uint16, base int, prev int32, 
 // are zero.
 func fusedRow2(data []float32, q, up []int32, codes []uint16, base int, r32 int32, ebx2r float64, b *encBlock) bool {
 	t := math.Round(float64(data[0]) * ebx2r)
-	if t > maxLattice || t < -maxLattice {
+	if !(t <= maxLattice && t >= -maxLattice) {
 		return false
 	}
 	left := int32(t)
@@ -263,7 +270,7 @@ func fusedRow2(data []float32, q, up []int32, codes []uint16, base int, r32 int3
 	}
 	for x := 1; x < len(data); x++ {
 		t := math.Round(float64(data[x]) * ebx2r)
-		if t > maxLattice || t < -maxLattice {
+		if !(t <= maxLattice && t >= -maxLattice) {
 			return false
 		}
 		cur := int32(t)
@@ -288,7 +295,7 @@ func fusedRow2(data []float32, q, up []int32, codes []uint16, base int, r32 int3
 // at x = 0 the x-1 terms are zero.
 func fusedRow3(data []float32, q, up, back, backUp []int32, codes []uint16, base int, r32 int32, ebx2r float64, b *encBlock) bool {
 	t := math.Round(float64(data[0]) * ebx2r)
-	if t > maxLattice || t < -maxLattice {
+	if !(t <= maxLattice && t >= -maxLattice) {
 		return false
 	}
 	left := int32(t)
@@ -303,7 +310,7 @@ func fusedRow3(data []float32, q, up, back, backUp []int32, codes []uint16, base
 	}
 	for x := 1; x < len(data); x++ {
 		t := math.Round(float64(data[x]) * ebx2r)
-		if t > maxLattice || t < -maxLattice {
+		if !(t <= maxLattice && t >= -maxLattice) {
 			return false
 		}
 		cur := int32(t)
@@ -321,6 +328,107 @@ func fusedRow3(data []float32, q, up, back, backUp []int32, codes []uint16, base
 	return true
 }
 
+// The two-phase vector rows: quantize the whole row onto the lattice with
+// the dispatched SIMD kernel, emit codes from the stored lattice with the
+// stencil difference kernel (the x = 0 element, whose x-1 terms come from
+// the seed/halo, stays scalar), then re-derive the residual at each escape
+// code. In-range residuals always produce a nonzero code (d > -r32 makes
+// d+r32 >= 1), so code 0 identifies exactly the points the fused scalar
+// rows escape — the two structures emit bit-identical streams.
+
+// vecRow1 is fusedRow1 in two vector phases.
+func vecRow1(data []float32, q []int32, codes []uint16, base int, prev int32, r32 int32, ebx2r float64, b *encBlock) bool {
+	if !quantRow(data, q, ebx2r) {
+		return false
+	}
+	if d := q[0] - prev; d > -r32 && d < r32 {
+		codes[0] = uint16(d + r32)
+	} else {
+		codes[0] = 0
+		b.add(base, d)
+	}
+	dispatch.DiffCodes1(q, codes[1:], r32)
+	for x := 1; x < len(codes); x++ {
+		k := dispatch.NextZero(codes[x:])
+		if k < 0 {
+			break
+		}
+		x += k
+		b.add(base+x, q[x]-q[x-1])
+	}
+	return true
+}
+
+// vecRow2 is fusedRow2 in two vector phases.
+func vecRow2(data []float32, q, up []int32, codes []uint16, base int, r32 int32, ebx2r float64, b *encBlock) bool {
+	if !quantRow(data, q, ebx2r) {
+		return false
+	}
+	if d := q[0] - up[0]; d > -r32 && d < r32 {
+		codes[0] = uint16(d + r32)
+	} else {
+		codes[0] = 0
+		b.add(base, d)
+	}
+	dispatch.DiffCodes2(q, up, codes[1:], r32)
+	for x := 1; x < len(codes); x++ {
+		k := dispatch.NextZero(codes[x:])
+		if k < 0 {
+			break
+		}
+		x += k
+		b.add(base+x, q[x]-q[x-1]-up[x]+up[x-1])
+	}
+	return true
+}
+
+// vecRow3 is fusedRow3 in two vector phases.
+func vecRow3(data []float32, q, up, back, backUp []int32, codes []uint16, base int, r32 int32, ebx2r float64, b *encBlock) bool {
+	if !quantRow(data, q, ebx2r) {
+		return false
+	}
+	if d := q[0] - up[0] - back[0] + backUp[0]; d > -r32 && d < r32 {
+		codes[0] = uint16(d + r32)
+	} else {
+		codes[0] = 0
+		b.add(base, d)
+	}
+	dispatch.DiffCodes3(q, up, back, backUp, codes[1:], r32)
+	for x := 1; x < len(codes); x++ {
+		k := dispatch.NextZero(codes[x:])
+		if k < 0 {
+			break
+		}
+		x += k
+		b.add(base+x, q[x]-q[x-1]-up[x]+up[x-1]-back[x]+back[x-1]+backUp[x]-backUp[x-1])
+	}
+	return true
+}
+
+// row1/row2/row3 route a row to the vector or fused structure. The tier
+// choice is uniform across a run (dispatch is fixed at init), so every
+// block takes the same path.
+func row1(data []float32, q []int32, codes []uint16, base int, prev int32, r32 int32, ebx2r float64, b *encBlock) bool {
+	if dispatch.VectorRows() && len(data) >= minVecRow {
+		return vecRow1(data, q, codes, base, prev, r32, ebx2r, b)
+	}
+	return fusedRow1(data, q, codes, base, prev, r32, ebx2r, b)
+}
+
+func row2(data []float32, q, up []int32, codes []uint16, base int, r32 int32, ebx2r float64, b *encBlock) bool {
+	if dispatch.VectorRows() && len(data) >= minVecRow {
+		return vecRow2(data, q, up, codes, base, r32, ebx2r, b)
+	}
+	return fusedRow2(data, q, up, codes, base, r32, ebx2r, b)
+}
+
+func row3(data []float32, q, up, back, backUp []int32, codes []uint16, base int, r32 int32, ebx2r float64, b *encBlock) bool {
+	if dispatch.VectorRows() && len(data) >= minVecRow {
+		return vecRow3(data, q, up, back, backUp, codes, base, r32, ebx2r, b)
+	}
+	return fusedRow3(data, q, up, back, backUp, codes, base, r32, ebx2r, b)
+}
+
 // encodeBlock1D runs the fused kernel over a 1-D element range (a single
 // row: no halo scratch and no interior row boundaries to poll overflow at).
 func encodeBlock1D(data []float32, lattice []int32, codes []uint16, b *encBlock, r32 int32, ebx2r float64) bool {
@@ -328,12 +436,12 @@ func encodeBlock1D(data []float32, lattice []int32, codes []uint16, b *encBlock,
 	if b.lo > 0 {
 		// Halo: the element before the block, re-quantized privately.
 		t := math.Round(float64(data[b.lo-1]) * ebx2r)
-		if t > maxLattice || t < -maxLattice {
+		if !(t <= maxLattice && t >= -maxLattice) {
 			return false
 		}
 		prev = int32(t)
 	}
-	return fusedRow1(data[b.lo:b.hi], lattice[b.lo:b.hi], codes[b.lo:b.hi], b.lo, prev, r32, ebx2r, b)
+	return row1(data[b.lo:b.hi], lattice[b.lo:b.hi], codes[b.lo:b.hi], b.lo, prev, r32, ebx2r, b)
 }
 
 // encodeBlock2D runs the fused kernel over a range of 2-D rows.
@@ -355,10 +463,10 @@ func encodeBlock2D(data []float32, lattice []int32, codes []uint16, b *encBlock,
 		base := y * nx
 		row := lattice[base : base+nx]
 		if y == 0 {
-			if !fusedRow1(data[base:base+nx], row, codes[base:base+nx], base, 0, r32, ebx2r, b) {
+			if !row1(data[base:base+nx], row, codes[base:base+nx], base, 0, r32, ebx2r, b) {
 				return false
 			}
-		} else if !fusedRow2(data[base:base+nx], row, up, codes[base:base+nx], base, r32, ebx2r, b) {
+		} else if !row2(data[base:base+nx], row, up, codes[base:base+nx], base, r32, ebx2r, b) {
 			return false
 		}
 		up = row
@@ -392,22 +500,22 @@ func encodeBlock3D(data []float32, lattice []int32, codes []uint16, b *encBlock,
 			cr := codes[base : base+nx]
 			switch {
 			case z == 0 && y == 0:
-				if !fusedRow1(dr, row, cr, base, 0, r32, ebx2r, b) {
+				if !row1(dr, row, cr, base, 0, r32, ebx2r, b) {
 					return false
 				}
 			case z == 0:
 				// First plane: the z-1 terms vanish, leaving the 2-D stencil.
-				if !fusedRow2(dr, row, cur[(y-1)*nx:y*nx], cr, base, r32, ebx2r, b) {
+				if !row2(dr, row, cur[(y-1)*nx:y*nx], cr, base, r32, ebx2r, b) {
 					return false
 				}
 			case y == 0:
 				// First row of a plane: the y-1 terms vanish, so the 2-D
 				// stencil applies against the plane behind's first row.
-				if !fusedRow2(dr, row, back[:nx], cr, base, r32, ebx2r, b) {
+				if !row2(dr, row, back[:nx], cr, base, r32, ebx2r, b) {
 					return false
 				}
 			default:
-				if !fusedRow3(dr, row, cur[(y-1)*nx:y*nx], back[y*nx:(y+1)*nx], back[(y-1)*nx:y*nx], cr, base, r32, ebx2r, b) {
+				if !row3(dr, row, cur[(y-1)*nx:y*nx], back[y*nx:(y+1)*nx], back[(y-1)*nx:y*nx], cr, base, r32, ebx2r, b) {
 					return false
 				}
 			}

@@ -7,6 +7,7 @@ import (
 
 	"fzmod/internal/device"
 	"fzmod/internal/grid"
+	"fzmod/internal/kernels/dispatch"
 )
 
 var tp = device.NewTestPlatform()
@@ -390,17 +391,32 @@ func benchField(dims grid.Dims) []float32 {
 	return data
 }
 
+// benchKernelTiers runs f once per kernel implementation tier this build
+// supports (purego plus the vector tier, when present), so one run reports
+// before/after numbers for the dispatch layer.
+func benchKernelTiers(b *testing.B, f func(b *testing.B)) {
+	b.Helper()
+	defer func() { _ = dispatch.Use("auto") }()
+	for _, tier := range dispatch.Tiers() {
+		if err := dispatch.Use(tier); err != nil {
+			b.Fatalf("Use(%q): %v", tier, err)
+		}
+		b.Run(tier, f)
+	}
+}
+
 func BenchmarkLorenzoQuantize(b *testing.B) {
 	dims := grid.D3(128, 128, 128)
 	data := benchField(dims)
 	codes := make([]uint16, dims.N())
-	b.SetBytes(int64(4 * dims.N()))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := EncodeInto(tp, device.Accel, data, dims, 1e-3, 0, codes); err != nil {
-			b.Fatal(err)
+	benchKernelTiers(b, func(b *testing.B) {
+		b.SetBytes(int64(4 * dims.N()))
+		for i := 0; i < b.N; i++ {
+			if _, err := EncodeInto(tp, device.Accel, data, dims, 1e-3, 0, codes); err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
+	})
 }
 
 func BenchmarkLorenzoReconstruct(b *testing.B) {

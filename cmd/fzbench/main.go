@@ -3,14 +3,15 @@
 //
 // Usage:
 //
-//	fzbench -exp table3|fig1|fig2|fig3|fig4|stf|hist|secondary|fusion|chunked|stream|region|all [-large]
+//	fzbench -exp table3|fig1|fig2|fig3|fig4|stf|hist|secondary|fusion|chunked|stream|region|serve|all [-large]
 //	fzbench -exp chunked -json BENCH_new.json [-baseline BENCH_chunked.json] [-alloc-tol 0.2] [-gbs-tol 0.2] [-scal-tol 0.2]
 //	fzbench -exp stream  -json BENCH_stream_new.json -baseline BENCH_chunked.json
+//	fzbench -exp serve   -clients 8 -iters 4 -json BENCH_serve_new.json
 //	fzbench -exp chunked -large -cpuprofile cpu.pprof -mutexprofile mutex.pprof
 //
 // Small-scale workloads are the default so a full sweep finishes quickly;
 // -large switches to the harness default dimensions (scaled from the
-// paper's Table 2). -json writes the chunked, stream or region
+// paper's Table 2). -json writes the chunked, stream, region or serve
 // experiment's machine-readable report; with -baseline the run exits
 // nonzero when
 // allocs/op regressed beyond -alloc-tol, when compression or decompression
@@ -43,13 +44,15 @@ func main() {
 }
 
 func run() int {
-	exp := flag.String("exp", "all", "experiment: table3, fig1, fig2, fig3, fig4, stf, hist, secondary, fusion, place, chunked, stream, region, all")
+	exp := flag.String("exp", "all", "experiment: table3, fig1, fig2, fig3, fig4, stf, hist, secondary, fusion, place, chunked, stream, region, serve, all")
 	large := flag.Bool("large", false, "use full-scale workloads")
 	jsonPath := flag.String("json", "", "write the chunked/stream experiment's machine-readable report to this path")
 	baseline := flag.String("baseline", "", "compare the chunked/stream report against this baseline JSON and fail on regression")
 	allocTol := flag.Float64("alloc-tol", 0.2, "allowed fractional allocs/op regression against -baseline")
 	gbsTol := flag.Float64("gbs-tol", 0.2, "allowed fractional comp/dec throughput regression against -baseline (0 disables)")
 	scalTol := flag.Float64("scal-tol", 0.2, "allowed fractional scaling_efficiency regression against -baseline (0 disables)")
+	clients := flag.Int("clients", 8, "serve experiment: concurrent clients")
+	iters := flag.Int("iters", 4, "serve experiment: requests per client per class")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the run to this path")
 	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention profile of the run to this path")
@@ -63,8 +66,8 @@ func run() int {
 	v100 := device.NewV100Platform()
 	w := os.Stdout
 
-	if (*jsonPath != "" || *baseline != "") && *exp != "chunked" && *exp != "stream" && *exp != "region" {
-		fmt.Fprintln(os.Stderr, "fzbench: -json/-baseline apply to -exp chunked, stream or region only")
+	if (*jsonPath != "" || *baseline != "") && *exp != "chunked" && *exp != "stream" && *exp != "region" && *exp != "serve" {
+		fmt.Fprintln(os.Stderr, "fzbench: -json/-baseline apply to -exp chunked, stream, region or serve only")
 		return 2
 	}
 
@@ -176,6 +179,12 @@ func run() int {
 				return err
 			}
 			return gate(report)
+		case "serve":
+			report, err := bench.ServeLoadReport(w, sc, *clients, *iters)
+			if err != nil {
+				return err
+			}
+			return gate(report)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -184,7 +193,7 @@ func run() int {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"table3", "fig1", "fig2", "fig3", "fig4", "stf", "hist", "secondary", "fusion", "place", "chunked", "stream", "region"}
+		names = []string{"table3", "fig1", "fig2", "fig3", "fig4", "stf", "hist", "secondary", "fusion", "place", "chunked", "stream", "region", "serve"}
 	}
 	for _, name := range names {
 		fmt.Fprintf(w, "\n===== %s =====\n", name)

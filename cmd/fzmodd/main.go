@@ -1,0 +1,95 @@
+// Command fzmodd is the FZModules compression daemon: a multi-tenant
+// HTTP service where every request executes over one warm shared
+// platform. The admission controller treats -workers as a global
+// parallelism budget (requests lease slices of it, excess requests queue
+// and shed), small compress requests coalesce into batches, and /metrics
+// exports the daemon's flat counters.
+//
+// Endpoints:
+//
+//	POST   /v1/compress?dims=XxYxZ&eb=1e-4[&mode=rel|abs][&preset=..][&workers=N][&chunk=E]
+//	POST   /v1/decompress[?workers=N]
+//	POST   /v1/probe
+//	PUT    /v1/objects/<name>
+//	GET    /v1/objects/<name>
+//	DELETE /v1/objects/<name>
+//	GET    /v1/objects/<name>/region?sel=i0:i1,j0:j1,k0:k1[&workers=N]
+//	GET    /metrics
+//	GET    /healthz
+//
+// Example:
+//
+//	fzmodd -listen :8092 -workers 8 &
+//	curl -s --data-binary @field.f32 'localhost:8092/v1/compress?dims=256x256x256&eb=1e-4' -o field.fzm
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fzmod/internal/device"
+	"fzmod/internal/serve"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", ":8092", "address to serve on")
+		workers   = flag.Int("workers", 0, "global worker budget (0 = platform width)")
+		preset    = flag.String("preset", "default", "default pipeline preset: default, speed, quality")
+		lease     = flag.Int("lease", 1, "workers leased per request when the request names none")
+		maxQueue  = flag.Int("max-queue", 64, "queued requests before shedding with 429 (-1 = none)")
+		maxWait   = flag.Duration("max-wait", 2*time.Second, "longest a request may queue before 429 (-1s = forever)")
+		batchN    = flag.Int("batch-items", 8, "batch size trigger, in requests")
+		batchB    = flag.Int("batch-bytes", 4<<20, "batch size trigger, in raw payload bytes")
+		batchWait = flag.Duration("batch-wait", 2*time.Millisecond, "batch max-wait trigger")
+		batchThr  = flag.Int("batch-threshold", 256<<10, "payloads up to this many raw bytes coalesce (-1 = never)")
+		cacheMB   = flag.Int64("cache-mb", 256, "region slab-cache budget in MiB")
+		timeout   = flag.Duration("timeout", 0, "per-request execution timeout (0 = none)")
+		maxBody   = flag.Int64("max-body-mb", 1024, "request body cap in MiB")
+	)
+	flag.Parse()
+
+	// One warm platform for the daemon's lifetime: its BufPool and stats
+	// are shared by every request. (Kernel tier comes from auto-detection
+	// or the FZMOD_KERNELS environment variable, as everywhere else.)
+	p := device.NewH100Platform()
+	srv := serve.New(p, serve.Config{
+		Preset:         *preset,
+		Workers:        *workers,
+		DefaultLease:   *lease,
+		MaxQueue:       *maxQueue,
+		MaxWait:        *maxWait,
+		BatchItems:     *batchN,
+		BatchBytes:     *batchB,
+		BatchWait:      *batchWait,
+		BatchThreshold: *batchThr,
+		CacheBytes:     *cacheMB << 20,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody << 20,
+	})
+	hs := &http.Server{Addr: *listen, Handler: srv.Handler()}
+
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-done
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+		srv.Close()
+	}()
+
+	log.Printf("fzmodd: serving on %s (budget %d workers, kernels %s)",
+		*listen, srv.Admission().Budget(), p.KernelImpl())
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -73,6 +73,7 @@
 package fzmod
 
 import (
+	"context"
 	"io"
 	"net/http"
 
@@ -100,8 +101,18 @@ type (
 	ErrorBound = preprocess.ErrorBound
 	// Quality bundles reconstruction-quality statistics.
 	Quality = metrics.Quality
+	// Opts is the unified options surface shared by every entry point:
+	// Workers (total parallelism budget), ChunkElems (write-path chunk
+	// granularity), Window (streaming slabs in flight) and Cache (decoded
+	// slabs shared across region reads). ChunkOpts, StreamOpts,
+	// DecompressOpts and RegionOpts are aliases of it, so one struct can
+	// configure a whole request pipeline — the fzmodd daemon maps its
+	// request parameters 1:1 onto this type. The zero value always selects
+	// an operation's documented defaults.
+	Opts = core.Opts
 	// ChunkOpts configures the chunked task graph (see
-	// Pipeline.CompressChunked); the zero value selects sane defaults.
+	// Pipeline.CompressChunked); an alias of the unified Opts — the zero
+	// value selects sane defaults.
 	ChunkOpts = core.ChunkOpts
 	// StreamOpts configures the streaming (out-of-core) entry points:
 	// chunk granularity, slabs in flight, scheduler width. The zero value
@@ -132,6 +143,14 @@ type (
 	// pluggable storage abstraction region reads are built on.
 	// Implementations must be safe for concurrent ReadRange calls.
 	ChunkFetcher = fzio.ChunkFetcher
+	// Snapshot is a read-only, point-in-time copy of a platform's
+	// counters — transfer and launch traffic, scratch-pool gets/hits/puts,
+	// region slab-cache hits, and the active SIMD kernel tier. Obtain one
+	// with Stats; it is plain data, safe to export.
+	Snapshot = device.Snapshot
+	// PoolStats is the scratch-pool traffic snapshot carried in
+	// Snapshot.Pool (gets, hits, puts; HitRate derives reuse).
+	PoolStats = device.PoolStats
 )
 
 // Chunking policy of the default executor, re-exported from core.
@@ -194,6 +213,17 @@ func CompressStream(p *Platform, pl *Pipeline, r io.Reader, dims Dims, eb ErrorB
 	return pl.CompressStream(p, r, dims, eb, w, opts)
 }
 
+// CompressStreamCtx is CompressStream bounded by ctx: once the context is
+// canceled or its deadline passes, task bodies not yet started are
+// abandoned at their dispatch boundary, the current window drains, pooled
+// intermediates are swept back, and the context's error is returned —
+// canceling a request stops its work instead of orphaning it. Every
+// non-ctx entry point is equivalent to its Ctx variant with
+// context.Background().
+func CompressStreamCtx(ctx context.Context, p *Platform, pl *Pipeline, r io.Reader, dims Dims, eb ErrorBound, w io.Writer, opts StreamOpts) (int64, error) {
+	return pl.CompressStreamCtx(ctx, p, r, dims, eb, w, opts)
+}
+
 // DecompressStream reconstructs a streaming container read from r,
 // writing the field to w as little-endian float32 bytes in storage order
 // with at most opts.Window chunks in flight. Returns the field geometry.
@@ -201,10 +231,23 @@ func DecompressStream(p *Platform, r io.Reader, w io.Writer, opts StreamOpts) (D
 	return core.DecompressStream(p, r, w, opts)
 }
 
+// DecompressStreamCtx is DecompressStream bounded by ctx, with the
+// cancellation semantics of CompressStreamCtx.
+func DecompressStreamCtx(ctx context.Context, p *Platform, r io.Reader, w io.Writer, opts StreamOpts) (Dims, error) {
+	return core.DecompressStreamCtx(ctx, p, r, w, opts)
+}
+
 // Decompress reconstructs a field from any FZModules container using the
 // module registry; the container is self-describing.
 func Decompress(p *Platform, blob []byte) ([]float32, Dims, error) {
 	return core.Decompress(p, blob)
+}
+
+// DecompressCtx is Decompress bounded by ctx, with the cancellation
+// semantics of CompressStreamCtx: unstarted task bodies are abandoned at
+// their dispatch boundary and the context's error is returned.
+func DecompressCtx(ctx context.Context, p *Platform, blob []byte) ([]float32, Dims, error) {
+	return core.DecompressCtx(ctx, p, blob)
 }
 
 // DecompressOpts configures the decompression executor; the zero value
@@ -217,6 +260,11 @@ type DecompressOpts = core.DecompressOpts
 // write path.
 func DecompressWithOpts(p *Platform, blob []byte, opts DecompressOpts) ([]float32, Dims, error) {
 	return core.DecompressWithOpts(p, blob, opts)
+}
+
+// DecompressWithOptsCtx is DecompressWithOpts bounded by ctx.
+func DecompressWithOptsCtx(ctx context.Context, p *Platform, blob []byte, opts DecompressOpts) ([]float32, Dims, error) {
+	return core.DecompressWithOptsCtx(ctx, p, blob, opts)
 }
 
 // DecompressReport is Decompress returning the executor report.
@@ -261,11 +309,27 @@ func DecompressRegion(p *Platform, f ChunkFetcher, sel RegionSel, opts RegionOpt
 	return core.DecompressRegion(p, f, sel, opts)
 }
 
+// DecompressRegionCtx is DecompressRegion bounded by ctx, with the
+// cancellation semantics of CompressStreamCtx: unstarted fetch/decode
+// bodies are abandoned at their dispatch boundary and the context's error
+// is returned.
+func DecompressRegionCtx(ctx context.Context, p *Platform, f ChunkFetcher, sel RegionSel, opts RegionOpts) ([]float32, error) {
+	return core.DecompressRegionCtx(ctx, p, f, sel, opts)
+}
+
 // DecompressRegionReport is DecompressRegion returning the executor
 // report; report.Region carries the chunk and cache accounting.
 func DecompressRegionReport(p *Platform, f ChunkFetcher, sel RegionSel, opts RegionOpts) ([]float32, *ExecReport, error) {
 	return core.DecompressRegionReport(p, f, sel, opts)
 }
+
+// Stats snapshots the platform's live counters into a read-only value:
+// simulated transfer volumes, kernel/host launch counts, scratch-pool
+// traffic (Pool.Gets == Pool.Puts when every checkout has been returned),
+// region slab-cache accounting, and the active SIMD kernel tier. This is
+// the supported way to observe a platform — metrics endpoints and
+// external users need never reach into internals.
+func Stats(p *Platform) Snapshot { return p.Snapshot() }
 
 // Evaluate computes reconstruction quality (PSNR, NRMSE, max error).
 func Evaluate(p *Platform, original, reconstructed []float32) (Quality, error) {

@@ -67,6 +67,13 @@ type ChunkedRow struct {
 	// them never trips an existing gate).
 	CacheHitRate  float64 `json:"cache_hit_rate,omitempty"`
 	FetchFraction float64 `json:"fetch_fraction,omitempty"`
+	// P50Ms/P99Ms/Requests are serve-experiment observations: per-request
+	// latency percentiles and the request count behind them (serve rows
+	// only; like the region fields, comparisons skip rows absent from the
+	// baseline, so adding them never trips an existing gate).
+	P50Ms    float64 `json:"p50_ms,omitempty"`
+	P99Ms    float64 `json:"p99_ms,omitempty"`
+	Requests int     `json:"requests,omitempty"`
 }
 
 // ChunkedReport is the machine-readable result of the chunked-executor

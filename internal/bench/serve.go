@@ -1,0 +1,237 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"fzmod/internal/device"
+	"fzmod/internal/grid"
+	"fzmod/internal/metrics"
+	"fzmod/internal/sdrbench"
+	"fzmod/internal/serve"
+)
+
+// The serve experiment load-tests the fzmodd service surface in-process:
+// an httptest server over internal/serve with N concurrent clients
+// driving three request classes — small compresses (the batched path),
+// large compresses (the direct admission path) and cached region reads —
+// and reports per-class p50/p99 latency plus aggregate raw-field GB/s.
+// Every response is checked; a single failed request fails the run,
+// which is the zero-errors property CI leans on.
+
+// serveClass is one request class of the load test.
+type serveClass struct {
+	name string
+	// fire issues one request and returns the raw field bytes it moved.
+	fire func(c *http.Client, base string) (int, error)
+}
+
+// quantile returns the q-quantile (0..1) of sorted latencies, in ms.
+func quantile(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+// ServeLoadReport runs the load test with `clients` concurrent clients
+// each issuing `iters` requests per class, and returns the
+// machine-readable report (experiment "serve"). clients and iters floor
+// at 1; with clients < 2 the admission controller is never contended, so
+// CI runs it at 8.
+func ServeLoadReport(w io.Writer, sc Scale, clients, iters int) (*ChunkedReport, error) {
+	if clients < 1 {
+		clients = 1
+	}
+	if iters < 1 {
+		iters = 1
+	}
+	smallDims := grid.D3(32, 32, 32) // 128 KiB: under the batch threshold
+	largeDims := grid.D3(96, 96, 96) // ~3.4 MiB: direct admission path
+	if sc == Full {
+		largeDims = grid.D3(192, 192, 192)
+	}
+	small := sdrbench.GenNYX(smallDims, 11)
+	large := sdrbench.GenNYX(largeDims, 12)
+	smallBody := f32Bytes(small)
+	largeBody := f32Bytes(large)
+
+	p := device.NewH100Platform()
+	srv := serve.New(p, serve.Config{
+		// Queue deep enough that clients*classes concurrent requests wait
+		// instead of shedding: the load test measures latency under
+		// contention, not the shed path.
+		MaxQueue: clients * 4,
+		MaxWait:  30 * time.Second,
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Seed one object for the region class: compress the large field
+	// through the service itself, then store it.
+	client := ts.Client()
+	blob, err := post(client, ts.URL+fmt.Sprintf("/v1/compress?dims=%s&eb=1e-3&chunk=%d",
+		dimsArg(largeDims), largeDims.N()/8), largeBody)
+	if err != nil {
+		return nil, fmt.Errorf("seeding region object: %w", err)
+	}
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/objects/load", bytes.NewReader(blob))
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return nil, fmt.Errorf("storing region object: status %d", resp.StatusCode)
+	}
+	regionBytes := (largeDims.X / 2) * (largeDims.Y / 2) * largeDims.Z * 4
+	regionURL := fmt.Sprintf("/v1/objects/load/region?sel=0:%d,0:%d,0:%d",
+		largeDims.X/2, largeDims.Y/2, largeDims.Z)
+
+	classes := []serveClass{
+		{"serve-small", func(c *http.Client, base string) (int, error) {
+			_, err := post(c, base+fmt.Sprintf("/v1/compress?dims=%s&eb=1e-3", dimsArg(smallDims)), smallBody)
+			return len(smallBody), err
+		}},
+		{"serve-large", func(c *http.Client, base string) (int, error) {
+			_, err := post(c, base+fmt.Sprintf("/v1/compress?dims=%s&eb=1e-3&chunk=%d",
+				dimsArg(largeDims), largeDims.N()/8), largeBody)
+			return len(largeBody), err
+		}},
+		{"serve-region", func(c *http.Client, base string) (int, error) {
+			body, err := get(c, base+regionURL)
+			if err != nil {
+				return 0, err
+			}
+			if len(body) != regionBytes {
+				return 0, fmt.Errorf("region read returned %d bytes, want %d", len(body), regionBytes)
+			}
+			return regionBytes, nil
+		}},
+	}
+
+	report := &ChunkedReport{
+		Experiment: "serve",
+		Workload:   fmt.Sprintf("nyx-%v+%v", smallDims, largeDims),
+		Pipeline:   "default",
+		RelEB:      1e-3,
+		GoMaxProcs: srv.Admission().Budget(),
+		Kernels:    p.KernelImpl(),
+	}
+	fmt.Fprintf(w, "Serve load test: %d clients x %d iters/class, budget %d workers\n",
+		clients, iters, srv.Admission().Budget())
+	fmt.Fprintf(w, "%-14s %8s %10s %10s %10s %8s\n", "class", "reqs", "p50 ms", "p99 ms", "GB/s", "errors")
+
+	for _, cl := range classes {
+		lats := make([]time.Duration, 0, clients*iters)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		var totalBytes int64
+		errs := make([]error, clients)
+		t0 := time.Now()
+		for i := 0; i < clients; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				c := ts.Client()
+				for it := 0; it < iters; it++ {
+					r0 := time.Now()
+					n, err := cl.fire(c, ts.URL)
+					lat := time.Since(r0)
+					if err != nil {
+						errs[i] = fmt.Errorf("client %d iter %d: %w", i, it, err)
+						return
+					}
+					mu.Lock()
+					lats = append(lats, lat)
+					totalBytes += int64(n)
+					mu.Unlock()
+				}
+			}(i)
+		}
+		wg.Wait()
+		wall := time.Since(t0).Seconds()
+		for _, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", cl.name, err)
+			}
+		}
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		row := ChunkedRow{
+			Executor: cl.name,
+			Workers:  clients,
+			CompGBs:  metrics.Throughput(int(totalBytes), wall),
+			P50Ms:    quantile(lats, 0.50),
+			P99Ms:    quantile(lats, 0.99),
+			Requests: len(lats),
+		}
+		report.Rows = append(report.Rows, row)
+		fmt.Fprintf(w, "%-14s %8d %10.2f %10.2f %10.3f %8d\n",
+			row.Executor, row.Requests, row.P50Ms, row.P99Ms, row.CompGBs, 0)
+	}
+	fmt.Fprintf(w, "admission: granted=%d shed=%d peak=%d/%d\n",
+		srv.Admission().Granted(), srv.Admission().Shed(),
+		srv.Admission().Peak(), srv.Admission().Budget())
+	if shed := srv.Admission().Shed(); shed > 0 {
+		return nil, fmt.Errorf("bench: %d requests shed under a %d-deep queue — queue sizing bug", shed, clients*4)
+	}
+	return report, nil
+}
+
+// dimsArg renders dims in the daemon's XxYxZ query syntax.
+func dimsArg(d grid.Dims) string { return fmt.Sprintf("%dx%dx%d", d.X, d.Y, d.Z) }
+
+// f32Bytes renders a field as the daemon's little-endian wire format.
+func f32Bytes(vals []float32) []byte {
+	var buf bytes.Buffer
+	stage := make([]byte, 64<<10)
+	if err := device.WriteF32(&buf, vals, stage); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// post issues one POST and returns the response body, erroring on any
+// non-200 status.
+func post(c *http.Client, url string, body []byte) ([]byte, error) {
+	resp, err := c.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, bytes.TrimSpace(out))
+	}
+	return out, nil
+}
+
+// get issues one GET and returns the response body, erroring on any
+// non-200 status.
+func get(c *http.Client, url string) ([]byte, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d: %s", url, resp.StatusCode, bytes.TrimSpace(out))
+	}
+	return out, nil
+}

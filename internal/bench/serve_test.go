@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestServeLoadReport smoke-runs the serve load test at minimum scale and
+// checks the report's structural invariants: all three request classes
+// ran their full request count with zero errors (an error fails the run
+// outright) and produced sane latency percentiles.
+func TestServeLoadReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up an in-process HTTP load test")
+	}
+	var buf bytes.Buffer
+	const clients, iters = 3, 1
+	report, err := ServeLoadReport(&buf, Small, clients, iters)
+	if err != nil {
+		t.Fatalf("ServeLoadReport: %v\n%s", err, buf.String())
+	}
+	if report.Experiment != "serve" {
+		t.Errorf("experiment = %q, want serve", report.Experiment)
+	}
+	for _, want := range []string{"serve-small", "serve-large", "serve-region"} {
+		row := report.Row(want)
+		if row == nil {
+			t.Fatalf("report missing row %q:\n%s", want, buf.String())
+		}
+		if row.Requests != clients*iters {
+			t.Errorf("%s: %d requests, want %d", want, row.Requests, clients*iters)
+		}
+		if row.P50Ms <= 0 || row.P99Ms < row.P50Ms {
+			t.Errorf("%s: implausible latency percentiles p50=%g p99=%g", want, row.P50Ms, row.P99Ms)
+		}
+		if row.CompGBs <= 0 {
+			t.Errorf("%s: nonpositive throughput %g", want, row.CompGBs)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"fzmod/internal/device"
@@ -43,24 +44,6 @@ const (
 	AutoChunkElems = 16 << 20
 )
 
-// ChunkOpts configures the chunked graph. The zero value selects sane
-// defaults: DefaultChunkElems-sized chunks and a parallelism budget as
-// wide as the platform's worker count.
-type ChunkOpts struct {
-	// ChunkElems is the target elements per chunk; the builder rounds it
-	// to whole planes of the slowest-varying dimension. 0 selects
-	// DefaultChunkElems.
-	ChunkElems int
-	// Workers is the operation's total parallelism budget: it bounds the
-	// chunk-level scheduler width at each place AND the kernel width of
-	// every launch the operation performs (the scheduler runs the graph
-	// over a narrowed platform view sharing the machine's pools). Workers
-	// = 1 therefore compresses strictly serially, and the w1 → wN bench
-	// rows measure true multi-core scaling of shared-nothing chunk
-	// workers. 0 selects the platform's worker width.
-	Workers int
-}
-
 // planesFor converts a target element count into whole planes of the
 // slowest dimension (at least one).
 func planesFor(dims grid.Dims, chunkElems int) int {
@@ -78,19 +61,35 @@ func planesFor(dims grid.Dims, chunkElems int) int {
 // Fields that fit in a single chunk lower to the monolithic one-chunk
 // graph (producing a monolithic container); Decompress handles both.
 func (pl *Pipeline) CompressChunked(p *device.Platform, data []float32, dims grid.Dims, eb preprocess.ErrorBound, opts ChunkOpts) ([]byte, error) {
-	blob, _, err := pl.CompressChunkedReport(p, data, dims, eb, opts)
+	blob, _, err := pl.CompressChunkedReportCtx(context.Background(), p, data, dims, eb, opts)
+	return blob, err
+}
+
+// CompressChunkedCtx is CompressChunked bounded by gctx: once the context
+// is canceled or its deadline passes, task bodies not yet started are
+// abandoned at their dispatch boundary, the graph drains, and the
+// context's error is returned (pooled intermediates are swept back, so a
+// canceled request leaks neither goroutines nor slabs).
+func (pl *Pipeline) CompressChunkedCtx(gctx context.Context, p *device.Platform, data []float32, dims grid.Dims, eb preprocess.ErrorBound, opts ChunkOpts) ([]byte, error) {
+	blob, _, err := pl.CompressChunkedReportCtx(gctx, p, data, dims, eb, opts)
 	return blob, err
 }
 
 // CompressChunkedReport is CompressChunked returning the executor report.
 func (pl *Pipeline) CompressChunkedReport(p *device.Platform, data []float32, dims grid.Dims, eb preprocess.ErrorBound, opts ChunkOpts) ([]byte, *ExecReport, error) {
+	return pl.CompressChunkedReportCtx(context.Background(), p, data, dims, eb, opts)
+}
+
+// CompressChunkedReportCtx is CompressChunkedCtx returning the executor
+// report.
+func (pl *Pipeline) CompressChunkedReportCtx(gctx context.Context, p *device.Platform, data []float32, dims grid.Dims, eb preprocess.ErrorBound, opts ChunkOpts) ([]byte, *ExecReport, error) {
 	if dims.N() != len(data) {
 		return nil, nil, fmt.Errorf("core: dims %v do not match %d values", dims, len(data))
 	}
 	planes := planesFor(dims, opts.ChunkElems)
 	slabs := grid.SplitSlabs(dims, planes)
 	if len(slabs) < 2 {
-		return pl.CompressMonolithicReport(p, data, dims, eb)
+		return pl.CompressMonolithicReportCtx(gctx, p, data, dims, eb)
 	}
 	absEB, _, err := preprocess.Resolve(p, pl.PredPlace, data, eb)
 	if err != nil {
@@ -114,7 +113,7 @@ func (pl *Pipeline) CompressChunkedReport(p *device.Platform, data []float32, di
 	// its chunk's stages inline on one core when the budget equals the
 	// chunk-level width.
 	exec := p.WithWorkers(workers)
-	ctx := stf.NewCtxN(exec, workers)
+	ctx := stf.NewCtxN(exec, workers).Bind(gctx)
 
 	hdr := fzio.ChunkedHeader{
 		Pipeline: pl.PipelineName,
@@ -161,6 +160,7 @@ func (pl *Pipeline) CompressChunkedReport(p *device.Platform, data []float32, di
 		report := execReport(ctx)
 		ctx.Release()
 		if err != nil {
+			sweepJobs(p.ScratchPool(), jobs)
 			return nil, report, err
 		}
 		return out, report, nil
@@ -215,6 +215,7 @@ func (pl *Pipeline) CompressChunkedReport(p *device.Platform, data []float32, di
 	report := execReport(ctx)
 	ctx.Release()
 	if err != nil {
+		sweepJobs(p.ScratchPool(), jobs)
 		return nil, report, err
 	}
 	return asm.Bytes(), report, nil
@@ -224,6 +225,6 @@ func (pl *Pipeline) CompressChunkedReport(p *device.Platform, data []float32, di
 // the per-chunk decode graph. Each chunk payload is a self-describing
 // monolithic container, so any registered module set can decode it.
 func DecompressChunked(p *device.Platform, blob []byte) ([]float32, grid.Dims, error) {
-	vals, dims, _, err := decompressChunkedReport(p, blob, 0)
+	vals, dims, _, err := decompressChunkedReport(context.Background(), p, blob, 0)
 	return vals, dims, err
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"fzmod/internal/device"
@@ -79,6 +80,35 @@ type compressJob struct {
 	// (the streaming path, which recycles each chunk's container bytes
 	// after the frame is flushed).
 	blobSlab *device.Slab[byte]
+}
+
+// releaseSlabs hands back any pooled slab the sub-graph still holds. The
+// encode and secondary task bodies normally recycle codesSlab/blobSlab,
+// but a failed or canceled graph skips those bodies — the caller must
+// sweep after Finalize/Reset reports an error, or the checkout leaks and
+// the pool's gets==puts accounting breaks. Safe only once the graph is
+// drained (no task body can still touch the job).
+func (job *compressJob) releaseSlabs(bp *device.BufPool) {
+	if job.codesSlab != nil {
+		bp.PutU16(job.codesSlab)
+		job.codesSlab = nil
+		if job.pred != nil {
+			job.pred.Codes = nil
+		}
+	}
+	if job.blobSlab != nil {
+		bp.PutBytes(job.blobSlab)
+		job.blobSlab = nil
+	}
+}
+
+// sweepJobs releaseSlabs-es every declared job after a failed graph.
+func sweepJobs(bp *device.BufPool, jobs []*compressJob) {
+	for _, job := range jobs {
+		if job != nil {
+			job.releaseSlabs(bp)
+		}
+	}
 }
 
 // addPredictEncodeTasks declares the first half of one block's compression
@@ -258,13 +288,13 @@ func (job *decompressJob) reconstruct(p *device.Platform) error {
 }
 
 // decompressMonolithicReport lowers a monolithic container onto the graph
-// secondary-decode (when present) → decode → reconstruct.
-func decompressMonolithicReport(p *device.Platform, blob []byte) ([]float32, grid.Dims, *ExecReport, error) {
+// secondary-decode (when present) → decode → reconstruct, bounded by gctx.
+func decompressMonolithicReport(gctx context.Context, p *device.Platform, blob []byte) ([]float32, grid.Dims, *ExecReport, error) {
 	c, err := fzio.Unmarshal(blob)
 	if err != nil {
 		return nil, grid.Dims{}, nil, err
 	}
-	ctx := stf.NewCtx(p)
+	ctx := stf.NewCtx(p).Bind(gctx)
 	job := &decompressJob{c: c}
 	innerTok := stf.NewToken(ctx, "container")
 	codesTok := stf.NewToken(ctx, "codes")
@@ -300,7 +330,7 @@ func decompressMonolithicReport(p *device.Platform, blob []byte) ([]float32, gri
 // parallel across the context's worker pools. workers is the chunk-level
 // scheduler width (0 selects the platform width); the caller narrows the
 // platform itself when the budget should also cap kernel widths.
-func decompressChunkedReport(p *device.Platform, blob []byte, workers int) ([]float32, grid.Dims, *ExecReport, error) {
+func decompressChunkedReport(gctx context.Context, p *device.Platform, blob []byte, workers int) ([]float32, grid.Dims, *ExecReport, error) {
 	cc, err := fzio.UnmarshalChunked(blob)
 	if err != nil {
 		return nil, grid.Dims{}, nil, err
@@ -315,7 +345,7 @@ func decompressChunkedReport(p *device.Platform, blob []byte, workers int) ([]fl
 	if workers > cc.NumChunks() {
 		workers = cc.NumChunks()
 	}
-	ctx := stf.NewCtxN(p, workers)
+	ctx := stf.NewCtxN(p, workers).Bind(gctx)
 	nextLo := 0
 	for i := range cc.Chunks {
 		i, lo := i, nextLo

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fzmod/internal/device"
+)
+
+// Opts is the one options surface every facade entry point shares. The
+// four historical names — ChunkOpts, StreamOpts, DecompressOpts,
+// RegionOpts — are aliases of this struct, so existing call sites keep
+// compiling unchanged while servers and tools configure every operation
+// through a single shape. Each entry point reads the fields it
+// understands and documents its own zero-value defaults; fields an
+// operation does not use are ignored (a Window on a chunked compress, a
+// Cache on a stream read).
+//
+// The zero value is always valid and selects that operation's defaults.
+type Opts struct {
+	// Workers is the operation's total parallelism budget: it bounds the
+	// chunk-level scheduler width at each place AND the kernel width of
+	// every launch the operation performs (the scheduler runs the graph
+	// over a narrowed platform view sharing the machine's pools). Workers
+	// = 1 therefore runs strictly serially. 0 selects each entry point's
+	// default — the platform's worker width for chunked compress,
+	// decompress and region reads; one worker per in-flight window slab
+	// (capped at the platform width) for the streaming entry points.
+	Workers int
+
+	// ChunkElems is the target elements per chunk for the chunked and
+	// streaming write paths; the builder rounds it to whole planes of the
+	// slowest-varying dimension. 0 selects DefaultChunkElems. Read paths
+	// ignore it (chunk geometry is recorded in the container).
+	ChunkElems int
+
+	// Window caps the slabs in flight on the streaming entry points (and
+	// with them resident memory: the pipeline holds at most Window input
+	// slabs plus their intermediates). 0 selects DefaultStreamWindow.
+	// Non-streaming entry points ignore it.
+	Window int
+
+	// Cache, when non-nil, holds decoded slabs across region reads (and
+	// across Regions — entries are keyed by container content). nil
+	// disables caching: every read decodes the chunks it needs. Entry
+	// points other than the region read path ignore it.
+	Cache *SlabCache
+}
+
+// ChunkOpts configures the chunked compression graph; it is an alias of
+// the unified Opts (ChunkElems and Workers are read, the zero value
+// selects DefaultChunkElems-sized chunks and a parallelism budget as wide
+// as the platform's worker count).
+type ChunkOpts = Opts
+
+// StreamOpts configures the streaming entry points; it is an alias of the
+// unified Opts (ChunkElems, Window and Workers are read; the zero value
+// selects DefaultChunkElems-sized chunks, a DefaultStreamWindow window,
+// and scheduler pools as wide as the window).
+type StreamOpts = Opts
+
+// DecompressOpts configures the decompression executor; it is an alias of
+// the unified Opts (only Workers is read; the zero value selects the
+// platform's full worker width).
+type DecompressOpts = Opts
+
+// RegionOpts configures region reads; it is an alias of the unified Opts
+// (Workers and Cache are read; the zero value decodes with the platform's
+// full worker width and no slab cache).
+type RegionOpts = Opts
+
+// window resolves the effective streaming window for n chunks.
+func (o Opts) window(n int) int {
+	w := o.Window
+	if w <= 0 {
+		w = DefaultStreamWindow
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// workers resolves the streaming scheduler width for a window.
+func (o Opts) workers(p *device.Platform, place device.Place, window int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = window
+	}
+	if pw := p.Workers(place); w > pw {
+		w = pw
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

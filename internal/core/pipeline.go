@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -53,23 +54,38 @@ const (
 // by an assembly task, see chunked.go); smaller fields lower to a
 // single-chunk graph.
 func (pl *Pipeline) Compress(p *device.Platform, data []float32, dims grid.Dims, eb preprocess.ErrorBound) ([]byte, error) {
+	return pl.CompressCtx(context.Background(), p, data, dims, eb)
+}
+
+// CompressCtx is Compress bounded by gctx: a cancellation or deadline
+// stops task bodies not yet started at their dispatch boundary, drains
+// the graph, sweeps pooled intermediates back, and returns the context's
+// error — the entry point a server maps request contexts onto.
+func (pl *Pipeline) CompressCtx(gctx context.Context, p *device.Platform, data []float32, dims grid.Dims, eb preprocess.ErrorBound) ([]byte, error) {
 	if dims.N() >= AutoChunkElems {
-		return pl.CompressChunked(p, data, dims, eb, ChunkOpts{})
+		return pl.CompressChunkedCtx(gctx, p, data, dims, eb, ChunkOpts{})
 	}
-	return pl.CompressMonolithic(p, data, dims, eb)
+	blob, _, err := pl.CompressMonolithicReportCtx(gctx, p, data, dims, eb)
+	return blob, err
 }
 
 // CompressMonolithic compresses the whole field as one block — a
 // single-chunk task graph — producing a monolithic container. It is the
 // explicit opt-out from auto-chunking.
 func (pl *Pipeline) CompressMonolithic(p *device.Platform, data []float32, dims grid.Dims, eb preprocess.ErrorBound) ([]byte, error) {
-	blob, _, err := pl.CompressMonolithicReport(p, data, dims, eb)
+	blob, _, err := pl.CompressMonolithicReportCtx(context.Background(), p, data, dims, eb)
 	return blob, err
 }
 
 // CompressMonolithicReport is CompressMonolithic returning the executor
 // report alongside the container.
 func (pl *Pipeline) CompressMonolithicReport(p *device.Platform, data []float32, dims grid.Dims, eb preprocess.ErrorBound) ([]byte, *ExecReport, error) {
+	return pl.CompressMonolithicReportCtx(context.Background(), p, data, dims, eb)
+}
+
+// CompressMonolithicReportCtx is CompressMonolithicReport bounded by
+// gctx, with the cancellation semantics of CompressCtx.
+func (pl *Pipeline) CompressMonolithicReportCtx(gctx context.Context, p *device.Platform, data []float32, dims grid.Dims, eb preprocess.ErrorBound) ([]byte, *ExecReport, error) {
 	if dims.N() != len(data) {
 		return nil, nil, fmt.Errorf("core: dims %v do not match %d values", dims, len(data))
 	}
@@ -81,12 +97,13 @@ func (pl *Pipeline) CompressMonolithicReport(p *device.Platform, data []float32,
 	if eb.Mode == preprocess.Rel {
 		relEB = eb.Value
 	}
-	ctx := stf.NewCtx(p)
+	ctx := stf.NewCtx(p).Bind(gctx)
 	job := pl.addCompressTasks(ctx, "", data, dims, absEB, relEB, false)
 	err = ctx.Finalize()
 	report := execReport(ctx)
 	ctx.Release()
 	if err != nil {
+		job.releaseSlabs(p.ScratchPool())
 		return nil, report, err
 	}
 	return job.blob, report, nil
@@ -152,19 +169,23 @@ func Decompress(p *device.Platform, blob []byte) ([]float32, grid.Dims, error) {
 	return vals, dims, err
 }
 
-// DecompressOpts configures the decompression executor. The zero value
-// selects the platform's full worker width.
-type DecompressOpts struct {
-	// Workers is the operation's total parallelism budget: it bounds both
-	// the chunk-level scheduler width and the kernel width of every launch
-	// the operation performs, exactly mirroring ChunkOpts.Workers on the
-	// write path. 0 selects the platform's worker width.
-	Workers int
+// DecompressCtx is Decompress bounded by gctx, with the cancellation
+// semantics of CompressCtx: unstarted task bodies are abandoned at their
+// dispatch boundary and the context's error is returned.
+func DecompressCtx(gctx context.Context, p *device.Platform, blob []byte) ([]float32, grid.Dims, error) {
+	vals, dims, _, err := DecompressReportWithOptsCtx(gctx, p, blob, DecompressOpts{})
+	return vals, dims, err
 }
 
 // DecompressWithOpts is Decompress with an explicit parallelism budget.
 func DecompressWithOpts(p *device.Platform, blob []byte, opts DecompressOpts) ([]float32, grid.Dims, error) {
 	vals, dims, _, err := DecompressReportWithOpts(p, blob, opts)
+	return vals, dims, err
+}
+
+// DecompressWithOptsCtx is DecompressWithOpts bounded by gctx.
+func DecompressWithOptsCtx(gctx context.Context, p *device.Platform, blob []byte, opts DecompressOpts) ([]float32, grid.Dims, error) {
+	vals, dims, _, err := DecompressReportWithOptsCtx(gctx, p, blob, opts)
 	return vals, dims, err
 }
 
@@ -179,13 +200,19 @@ func DecompressReport(p *device.Platform, blob []byte) ([]float32, grid.Dims, *E
 // DecompressReportWithOpts is DecompressReport with an explicit
 // parallelism budget.
 func DecompressReportWithOpts(p *device.Platform, blob []byte, opts DecompressOpts) ([]float32, grid.Dims, *ExecReport, error) {
+	return DecompressReportWithOptsCtx(context.Background(), p, blob, opts)
+}
+
+// DecompressReportWithOptsCtx is DecompressReportWithOpts bounded by
+// gctx.
+func DecompressReportWithOptsCtx(gctx context.Context, p *device.Platform, blob []byte, opts DecompressOpts) ([]float32, grid.Dims, *ExecReport, error) {
 	if opts.Workers > 0 {
 		p = p.WithWorkers(opts.Workers)
 	}
 	if fzio.IsChunked(blob) {
-		return decompressChunkedReport(p, blob, opts.Workers)
+		return decompressChunkedReport(gctx, p, blob, opts.Workers)
 	}
-	return decompressMonolithicReport(p, blob)
+	return decompressMonolithicReport(gctx, p, blob)
 }
 
 // unwrapSecondary decodes a container's secondary layer and parses the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"fzmod/internal/device"
@@ -106,20 +107,6 @@ func (c *SlabCache) Stats() cache.Stats { return c.lru.Stats() }
 // Reset drops every cached slab and zeroes the counters.
 func (c *SlabCache) Reset() { c.lru.Reset() }
 
-// RegionOpts configures region reads. The zero value decodes with the
-// platform's full worker width and no slab cache.
-type RegionOpts struct {
-	// Workers is the operation's total parallelism budget, bounding both
-	// the chunk-level scheduler width and the kernel width of every launch,
-	// exactly as DecompressOpts.Workers does on the full read path. 0
-	// selects the platform's worker width.
-	Workers int
-	// Cache, when non-nil, holds decoded slabs across reads (and across
-	// Regions — entries are keyed by container content). nil disables
-	// caching: every read decodes the chunks it needs.
-	Cache *SlabCache
-}
-
 // RegionStats summarizes one region read for the ExecReport: how much of
 // the container the selection touched and how the slab cache fared.
 type RegionStats struct {
@@ -170,13 +157,27 @@ func (r *Region) Index() *fzio.ContainerIndex { return r.ix }
 // sel.Dims().N()-element field (x-fastest, like every field in the
 // framework).
 func (r *Region) Read(sel RegionSel) ([]float32, error) {
-	vals, _, err := r.ReadReport(sel)
+	vals, _, err := r.ReadReportCtx(context.Background(), sel)
+	return vals, err
+}
+
+// ReadCtx is Read bounded by gctx: a cancellation or deadline stops
+// fetch/decode task bodies not yet started at their dispatch boundary,
+// drains the sub-graphs, and returns the context's error. Chunks already
+// decoded are still admitted to the cache.
+func (r *Region) ReadCtx(gctx context.Context, sel RegionSel) ([]float32, error) {
+	vals, _, err := r.ReadReportCtx(gctx, sel)
 	return vals, err
 }
 
 // ReadReport is Read returning the executor report; report.Region carries
 // the chunk and cache accounting.
 func (r *Region) ReadReport(sel RegionSel) ([]float32, *ExecReport, error) {
+	return r.ReadReportCtx(context.Background(), sel)
+}
+
+// ReadReportCtx is ReadCtx returning the executor report.
+func (r *Region) ReadReportCtx(gctx context.Context, sel RegionSel) ([]float32, *ExecReport, error) {
 	dims := r.ix.Header.Dims
 	if err := sel.validate(dims); err != nil {
 		return nil, nil, err
@@ -226,7 +227,7 @@ func (r *Region) ReadReport(sel RegionSel) ([]float32, *ExecReport, error) {
 	report := &ExecReport{Region: stats}
 	var decodeErr error
 	if len(misses) > 0 {
-		report, decodeErr = r.decodeMisses(out, sel, misses)
+		report, decodeErr = r.decodeMisses(gctx, out, sel, misses)
 		report.Region = stats
 		for _, nd := range misses {
 			stats.PayloadBytes += int64(r.ix.Chunks[nd.chunk].Length)
@@ -254,7 +255,7 @@ type regionNeed struct {
 // decodeMisses runs the fetch → decode → reconstruct sub-graphs for the
 // chunks not served from cache, scattering each slab's overlap window into
 // out and (when a cache is configured) admitting the decoded slab.
-func (r *Region) decodeMisses(out []float32, sel RegionSel, misses []regionNeed) (*ExecReport, error) {
+func (r *Region) decodeMisses(gctx context.Context, out []float32, sel RegionSel, misses []regionNeed) (*ExecReport, error) {
 	dims := r.ix.Header.Dims
 	workers := r.opts.Workers
 	if workers <= 0 {
@@ -266,7 +267,7 @@ func (r *Region) decodeMisses(out []float32, sel RegionSel, misses []regionNeed)
 	// The budget caps the whole operation: chunk-level width and, through
 	// the narrowed platform view, every kernel launch.
 	exec := r.p.WithWorkers(workers)
-	ctx := stf.NewCtxN(exec, workers)
+	ctx := stf.NewCtxN(exec, workers).Bind(gctx)
 
 	for _, nd := range misses {
 		nd := nd
@@ -383,6 +384,17 @@ func minInt(a, b int) int {
 // opts) when serving repeated selections from the same artifact.
 func DecompressRegion(p *device.Platform, f fzio.ChunkFetcher, sel RegionSel, opts RegionOpts) ([]float32, error) {
 	vals, _, err := DecompressRegionReport(p, f, sel, opts)
+	return vals, err
+}
+
+// DecompressRegionCtx is DecompressRegion bounded by gctx, with the
+// cancellation semantics of Region.ReadCtx.
+func DecompressRegionCtx(gctx context.Context, p *device.Platform, f fzio.ChunkFetcher, sel RegionSel, opts RegionOpts) ([]float32, error) {
+	r, err := OpenRegion(p, f, opts)
+	if err != nil {
+		return nil, err
+	}
+	vals, _, err := r.ReadReportCtx(gctx, sel)
 	return vals, err
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -36,51 +37,6 @@ const (
 	streamStageBytes = 256 << 10
 )
 
-// StreamOpts configures the streaming entry points. The zero value selects
-// sane defaults: DefaultChunkElems-sized chunks, a DefaultStreamWindow
-// window, and scheduler pools as wide as the window.
-type StreamOpts struct {
-	// ChunkElems is the target elements per chunk, rounded to whole planes
-	// of the slowest dimension. 0 selects DefaultChunkElems.
-	ChunkElems int
-	// Window caps the slabs in flight (and with them resident memory: the
-	// pipeline holds at most Window input slabs plus their intermediates).
-	// 0 selects DefaultStreamWindow.
-	Window int
-	// Workers is the operation's total parallelism budget: chunk-level
-	// scheduler width and the kernel width of every launch, exactly as
-	// ChunkOpts.Workers. 0 budgets one worker per in-flight window slab
-	// (capped at the platform width), which keeps every chunk moving.
-	Workers int
-}
-
-// window resolves the effective window for n chunks.
-func (o StreamOpts) window(n int) int {
-	w := o.Window
-	if w <= 0 {
-		w = DefaultStreamWindow
-	}
-	if w > n {
-		w = n
-	}
-	return w
-}
-
-// workers resolves the scheduler width for a window.
-func (o StreamOpts) workers(p *device.Platform, place device.Place, window int) int {
-	w := o.Workers
-	if w <= 0 {
-		w = window
-	}
-	if pw := p.Workers(place); w > pw {
-		w = pw
-	}
-	if w < 1 {
-		w = 1
-	}
-	return w
-}
-
 // CompressStream compresses a dims-shaped field of little-endian float32
 // values read from r into a streaming (FZMS) container written to w,
 // holding at most opts.Window slabs in memory at a time. The error bound
@@ -91,6 +47,16 @@ func (o StreamOpts) workers(p *device.Platform, place device.Place, window int) 
 // field, so reassembling the stream yields that container byte for byte.
 // Returns the compressed bytes written.
 func (pl *Pipeline) CompressStream(p *device.Platform, r io.Reader, dims grid.Dims, eb preprocess.ErrorBound, w io.Writer, opts StreamOpts) (int64, error) {
+	return pl.CompressStreamCtx(context.Background(), p, r, dims, eb, w, opts)
+}
+
+// CompressStreamCtx is CompressStream bounded by gctx: cancellation stops
+// the current window's unstarted task bodies at their dispatch boundary,
+// drains the graph, sweeps pooled intermediates back, and returns the
+// context's error with the bytes written so far (the stream is left
+// truncated mid-container, exactly as any other mid-stream error leaves
+// it).
+func (pl *Pipeline) CompressStreamCtx(gctx context.Context, p *device.Platform, r io.Reader, dims grid.Dims, eb preprocess.ErrorBound, w io.Writer, opts StreamOpts) (int64, error) {
 	if !dims.Valid() {
 		return 0, fmt.Errorf("core: invalid dims %v", dims)
 	}
@@ -123,7 +89,7 @@ func (pl *Pipeline) CompressStream(p *device.Platform, r io.Reader, dims grid.Di
 	bp := p.ScratchPool()
 	stage := bp.GetBytes(streamStageBytes, false)
 	defer bp.PutBytes(stage)
-	ctx := stf.NewCtxN(exec, workers)
+	ctx := stf.NewCtxN(exec, workers).Bind(gctx)
 	defer ctx.Release()
 
 	for start := 0; start < len(slabs); start += window {
@@ -150,12 +116,9 @@ func (pl *Pipeline) CompressStream(p *device.Platform, r io.Reader, dims grid.Di
 			bp.PutF32(b)
 		}
 		release := func(from int) {
-			for j := from; j < len(jobs); j++ {
-				if jobs[j] != nil && jobs[j].blobSlab != nil {
-					bp.PutBytes(jobs[j].blobSlab)
-					jobs[j].blobSlab = nil
-				}
-			}
+			// Failed or canceled sub-graphs may still hold their pooled code
+			// buffers as well as the container slab; sweep both.
+			sweepJobs(bp, jobs[from:])
 		}
 		if readErr != nil {
 			release(0)
@@ -190,6 +153,13 @@ func (pl *Pipeline) CompressStream(p *device.Platform, r io.Reader, dims grid.Di
 // in-memory chunked read path uses; output is flushed in order as each
 // window completes. Returns the decoded field geometry.
 func DecompressStream(p *device.Platform, r io.Reader, w io.Writer, opts StreamOpts) (grid.Dims, error) {
+	return DecompressStreamCtx(context.Background(), p, r, w, opts)
+}
+
+// DecompressStreamCtx is DecompressStream bounded by gctx, with the
+// cancellation semantics of CompressStreamCtx: the current window drains,
+// nothing further is read, and the context's error is returned.
+func DecompressStreamCtx(gctx context.Context, p *device.Platform, r io.Reader, w io.Writer, opts StreamOpts) (grid.Dims, error) {
 	sr, err := fzio.NewStreamReader(r)
 	if err != nil {
 		return grid.Dims{}, err
@@ -205,7 +175,7 @@ func DecompressStream(p *device.Platform, r io.Reader, w io.Writer, opts StreamO
 	bp := p.ScratchPool()
 	stage := bp.GetBytes(streamStageBytes, false)
 	defer bp.PutBytes(stage)
-	ctx := stf.NewCtxN(exec, workers)
+	ctx := stf.NewCtxN(exec, workers).Bind(gctx)
 	defer ctx.Release()
 
 	// Per-slot payload buffers are reused across windows; they grow to the

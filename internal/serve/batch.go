@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fzmod/internal/grid"
+	"fzmod/internal/preprocess"
+)
+
+// Small compress requests are coalesced: instead of each paying its own
+// admission round-trip, pending requests accumulate until a size trigger
+// (items or raw bytes) or a max-wait trigger fires, then the whole batch
+// executes under one worker lease, each caller receiving its result on
+// its own response channel along with queue/flush/execute timestamps.
+
+// ErrClosed marks work submitted to a draining server.
+var ErrClosed = errors.New("serve: server closed")
+
+// BatchTiming records the life of one coalesced request: Enqueued when
+// the handler queued it, Flushed when a trigger sealed its batch, Started
+// when its own compression began, Done when its result was ready.
+type BatchTiming struct {
+	Enqueued time.Time
+	Flushed  time.Time
+	Started  time.Time
+	Done     time.Time
+}
+
+// Queued is the time spent waiting for a flush trigger.
+func (t BatchTiming) Queued() time.Duration { return t.Flushed.Sub(t.Enqueued) }
+
+// Flush is the time between the flush trigger and this request's
+// execution start (admission wait plus earlier batch members).
+func (t BatchTiming) Flush() time.Duration { return t.Started.Sub(t.Flushed) }
+
+// Execute is the compression time itself.
+func (t BatchTiming) Execute() time.Duration { return t.Done.Sub(t.Started) }
+
+// compressReq is one parsed compress request, batched or direct.
+type compressReq struct {
+	ctx        context.Context
+	preset     string
+	vals       []float32
+	dims       grid.Dims
+	eb         preprocess.ErrorBound
+	chunkElems int
+	workers    int
+}
+
+// batchResult is what a coalesced caller receives on its channel.
+type batchResult struct {
+	blob   []byte
+	timing BatchTiming
+	err    error
+}
+
+// batchItem couples a request with its per-caller response channel.
+type batchItem struct {
+	req    *compressReq
+	resp   chan batchResult
+	timing BatchTiming
+}
+
+// Batcher coalesces batchItems and hands sealed batches to run (on a
+// fresh goroutine, in seal order). Flush triggers: maxItems pending,
+// maxBytes of raw payload pending, or maxWait since the batch's first
+// item. run must deliver exactly one result to every item.
+type Batcher struct {
+	maxItems int
+	maxBytes int
+	maxWait  time.Duration
+	run      func([]*batchItem)
+
+	mu      sync.Mutex
+	pending []*batchItem
+	bytes   int
+	gen     int // bumps on every flush; stale timers no-op
+	timer   *time.Timer
+	closed  bool
+
+	flushSize atomic.Int64
+	flushWait atomic.Int64
+	items     atomic.Int64
+}
+
+// newBatcher builds a batcher over run. maxItems and maxBytes floor at 1;
+// maxWait <= 0 flushes every enqueue immediately (batching disabled in
+// all but name).
+func newBatcher(maxItems, maxBytes int, maxWait time.Duration, run func([]*batchItem)) *Batcher {
+	if maxItems < 1 {
+		maxItems = 1
+	}
+	if maxBytes < 1 {
+		maxBytes = 1
+	}
+	return &Batcher{maxItems: maxItems, maxBytes: maxBytes, maxWait: maxWait, run: run}
+}
+
+// enqueue admits one item, arming the max-wait timer with the batch's
+// first item and flushing on a size trigger.
+func (b *Batcher) enqueue(it *batchItem) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	it.timing.Enqueued = time.Now()
+	b.pending = append(b.pending, it)
+	b.bytes += len(it.req.vals) * 4
+	b.items.Add(1)
+	if len(b.pending) >= b.maxItems || b.bytes >= b.maxBytes || b.maxWait <= 0 {
+		b.flushLocked(&b.flushSize)
+	} else if len(b.pending) == 1 {
+		gen := b.gen
+		b.timer = time.AfterFunc(b.maxWait, func() { b.flushGen(gen) })
+	}
+	b.mu.Unlock()
+	return nil
+}
+
+// flushGen fires the max-wait trigger for generation gen; a stale gen
+// means the batch already flushed on size.
+func (b *Batcher) flushGen(gen int) {
+	b.mu.Lock()
+	if b.gen == gen && len(b.pending) > 0 {
+		b.flushLocked(&b.flushWait)
+	}
+	b.mu.Unlock()
+}
+
+// flushLocked seals the pending batch, stamps Flushed, and hands it to
+// run on a fresh goroutine. Caller holds mu.
+func (b *Batcher) flushLocked(trigger *atomic.Int64) {
+	items := b.pending
+	b.pending = nil
+	b.bytes = 0
+	b.gen++
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	if len(items) == 0 {
+		return
+	}
+	trigger.Add(1)
+	now := time.Now()
+	for _, it := range items {
+		it.timing.Flushed = now
+	}
+	go b.run(items)
+}
+
+// close flushes whatever is pending and refuses further enqueues.
+func (b *Batcher) close() {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		b.flushLocked(&b.flushSize)
+	}
+	b.mu.Unlock()
+}
+
+// FlushesBySize and FlushesByWait report how many batches each trigger
+// sealed; Items the total coalesced requests.
+func (b *Batcher) FlushesBySize() int64 { return b.flushSize.Load() }
+
+// FlushesByWait reports batches sealed by the max-wait timer.
+func (b *Batcher) FlushesByWait() int64 { return b.flushWait.Load() }
+
+// Items reports the total requests that went through the batcher.
+func (b *Batcher) Items() int64 { return b.items.Load() }

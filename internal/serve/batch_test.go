@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"fzmod/internal/grid"
+)
+
+// collectBatches returns a run func that records every sealed batch and
+// acknowledges each item.
+func collectBatches(mu *sync.Mutex, batches *[][]*batchItem) func([]*batchItem) {
+	return func(items []*batchItem) {
+		now := time.Now()
+		mu.Lock()
+		*batches = append(*batches, items)
+		mu.Unlock()
+		for _, it := range items {
+			it.timing.Started, it.timing.Done = now, now
+			it.resp <- batchResult{timing: it.timing}
+		}
+	}
+}
+
+func testItem(elems int) *batchItem {
+	return &batchItem{
+		req:  &compressReq{ctx: context.Background(), vals: make([]float32, elems), dims: grid.D1(elems)},
+		resp: make(chan batchResult, 1),
+	}
+}
+
+func TestBatcherFlushesOnItemCount(t *testing.T) {
+	var mu sync.Mutex
+	var batches [][]*batchItem
+	b := newBatcher(3, 1<<30, time.Hour, collectBatches(&mu, &batches))
+	items := []*batchItem{testItem(8), testItem(8), testItem(8)}
+	for _, it := range items {
+		if err := b.enqueue(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, it := range items {
+		<-it.resp
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(batches) != 1 || len(batches[0]) != 3 {
+		t.Fatalf("batches = %d of sizes %v, want one batch of 3", len(batches), sizes(batches))
+	}
+	if b.FlushesBySize() != 1 || b.FlushesByWait() != 0 {
+		t.Fatalf("flush counters size=%d wait=%d, want 1, 0", b.FlushesBySize(), b.FlushesByWait())
+	}
+}
+
+func TestBatcherFlushesOnByteSize(t *testing.T) {
+	var mu sync.Mutex
+	var batches [][]*batchItem
+	// 100-float items are 400 bytes each; the 600-byte cap seals at two.
+	b := newBatcher(100, 600, time.Hour, collectBatches(&mu, &batches))
+	a, c := testItem(100), testItem(100)
+	b.enqueue(a)
+	b.enqueue(c)
+	<-a.resp
+	<-c.resp
+	mu.Lock()
+	defer mu.Unlock()
+	if len(batches) != 1 || len(batches[0]) != 2 {
+		t.Fatalf("batches = %d of sizes %v, want one batch of 2", len(batches), sizes(batches))
+	}
+}
+
+func TestBatcherFlushesOnMaxWait(t *testing.T) {
+	var mu sync.Mutex
+	var batches [][]*batchItem
+	b := newBatcher(100, 1<<30, 5*time.Millisecond, collectBatches(&mu, &batches))
+	it := testItem(8)
+	t0 := time.Now()
+	if err := b.enqueue(it); err != nil {
+		t.Fatal(err)
+	}
+	res := <-it.resp
+	if waited := time.Since(t0); waited < 5*time.Millisecond {
+		t.Fatalf("flushed after %v, before the 5ms max-wait", waited)
+	}
+	if b.FlushesByWait() != 1 || b.FlushesBySize() != 0 {
+		t.Fatalf("flush counters wait=%d size=%d, want 1, 0", b.FlushesByWait(), b.FlushesBySize())
+	}
+	if res.timing.Queued() < 0 || res.timing.Flush() < 0 || res.timing.Execute() < 0 {
+		t.Fatalf("timing not monotonic: %+v", res.timing)
+	}
+	if res.timing.Enqueued.IsZero() || res.timing.Flushed.IsZero() || res.timing.Started.IsZero() || res.timing.Done.IsZero() {
+		t.Fatalf("timing incomplete: %+v", res.timing)
+	}
+}
+
+// TestBatcherStaleTimerDoesNotDoubleFlush: a size flush must neutralize
+// the armed max-wait timer so it cannot seal the next batch early.
+func TestBatcherStaleTimerDoesNotDoubleFlush(t *testing.T) {
+	var mu sync.Mutex
+	var batches [][]*batchItem
+	b := newBatcher(2, 1<<30, 20*time.Millisecond, collectBatches(&mu, &batches))
+	a, c := testItem(8), testItem(8)
+	b.enqueue(a)
+	b.enqueue(c) // size flush; the timer from a's enqueue is now stale
+	<-a.resp
+	<-c.resp
+	d := testItem(8)
+	b.enqueue(d)
+	time.Sleep(30 * time.Millisecond) // let both the stale and live timers fire
+	<-d.resp
+	mu.Lock()
+	defer mu.Unlock()
+	if len(batches) != 2 || len(batches[0]) != 2 || len(batches[1]) != 1 {
+		t.Fatalf("batches of sizes %v, want [2 1]", sizes(batches))
+	}
+	if b.FlushesBySize() != 1 || b.FlushesByWait() != 1 {
+		t.Fatalf("flush counters size=%d wait=%d, want 1, 1", b.FlushesBySize(), b.FlushesByWait())
+	}
+}
+
+func TestBatcherCloseFlushesAndRefuses(t *testing.T) {
+	var mu sync.Mutex
+	var batches [][]*batchItem
+	b := newBatcher(100, 1<<30, time.Hour, collectBatches(&mu, &batches))
+	it := testItem(8)
+	b.enqueue(it)
+	b.close()
+	<-it.resp
+	if err := b.enqueue(testItem(8)); err != ErrClosed {
+		t.Fatalf("enqueue after close = %v, want ErrClosed", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(batches) != 1 {
+		t.Fatalf("close flushed %d batches, want 1", len(batches))
+	}
+}
+
+func sizes(batches [][]*batchItem) []int {
+	out := make([]int, len(batches))
+	for i, b := range batches {
+		out[i] = len(b)
+	}
+	return out
+}

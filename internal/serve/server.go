@@ -1,0 +1,708 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"fzmod/internal/core"
+	"fzmod/internal/device"
+	"fzmod/internal/fzio"
+	"fzmod/internal/grid"
+	"fzmod/internal/preprocess"
+)
+
+// stageBytes sizes the pooled staging buffer for float32<->byte I/O.
+const stageBytes = 256 << 10
+
+// Config sizes the daemon. The zero value of every field selects a
+// sensible default (a negative value, where noted, selects "none").
+type Config struct {
+	// Preset is the pipeline compress requests use when they name none:
+	// "default", "speed" or "quality". Default "default".
+	Preset string
+	// Workers is the global parallelism budget the admission controller
+	// leases from — the daemon-wide analogue of Opts.Workers. Default:
+	// the platform's worker width.
+	Workers int
+	// DefaultLease is the workers a request leases when it names none.
+	// Default 1: under load, cross-request parallelism beats per-request
+	// width.
+	DefaultLease int
+	// MaxQueue bounds the requests waiting for a lease; beyond it
+	// requests shed with 429. Default 64; negative sheds at once when the
+	// budget is exhausted.
+	MaxQueue int
+	// MaxWait bounds how long a request may queue before shedding with
+	// 429. Default 2s; negative waits forever.
+	MaxWait time.Duration
+	// BatchItems / BatchBytes are the batcher's size triggers (pending
+	// requests / pending raw payload bytes). Defaults 8 and 4 MiB.
+	BatchItems int
+	BatchBytes int
+	// BatchWait is the batcher's max-wait trigger. Default 2ms.
+	BatchWait time.Duration
+	// BatchThreshold routes compress payloads of at most this many raw
+	// bytes through the batcher. Default 256 KiB; negative disables
+	// coalescing.
+	BatchThreshold int
+	// CacheBytes budgets the shared decoded-slab cache serving region
+	// reads. Default 256 MiB.
+	CacheBytes int64
+	// RequestTimeout caps each request's execution (compression observes
+	// it at every task dispatch boundary). Default: none.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request bodies. Default 1 GiB.
+	MaxBodyBytes int64
+}
+
+// withDefaults resolves the zero values against the platform.
+func (c Config) withDefaults(p *device.Platform) Config {
+	if c.Preset == "" {
+		c.Preset = "default"
+	}
+	if c.Workers <= 0 {
+		c.Workers = p.Workers(device.Accel)
+	}
+	if c.DefaultLease <= 0 {
+		c.DefaultLease = 1
+	}
+	switch {
+	case c.MaxQueue == 0:
+		c.MaxQueue = 64
+	case c.MaxQueue < 0:
+		c.MaxQueue = 0
+	}
+	switch {
+	case c.MaxWait == 0:
+		c.MaxWait = 2 * time.Second
+	case c.MaxWait < 0:
+		c.MaxWait = 0
+	}
+	if c.BatchItems <= 0 {
+		c.BatchItems = 8
+	}
+	if c.BatchBytes <= 0 {
+		c.BatchBytes = 4 << 20
+	}
+	if c.BatchWait <= 0 {
+		c.BatchWait = 2 * time.Millisecond
+	}
+	if c.BatchThreshold == 0 {
+		c.BatchThreshold = 256 << 10
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 30
+	}
+	return c
+}
+
+// Server is the multi-tenant compression service: every request executes
+// over one shared warm Platform (and its BufPool), leases its parallelism
+// from one admission controller, and region reads share one SlabCache.
+type Server struct {
+	cfg   Config
+	p     *device.Platform
+	adm   *Admission
+	batch *Batcher
+	cache *core.SlabCache
+	met   metrics
+	mux   *http.ServeMux
+
+	objMu   sync.RWMutex
+	objects map[string][]byte
+}
+
+// New builds a server over the platform. The platform's pools stay warm
+// across requests — that sharing is the point of the daemon.
+func New(p *device.Platform, cfg Config) *Server {
+	cfg = cfg.withDefaults(p)
+	s := &Server{
+		cfg:     cfg,
+		p:       p,
+		adm:     NewAdmission(cfg.Workers, cfg.MaxQueue, cfg.MaxWait),
+		cache:   core.NewSlabCache(cfg.CacheBytes),
+		objects: make(map[string][]byte),
+	}
+	s.batch = newBatcher(cfg.BatchItems, cfg.BatchBytes, cfg.BatchWait, s.runBatch)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/compress", s.handleCompress)
+	mux.HandleFunc("/v1/decompress", s.handleDecompress)
+	mux.HandleFunc("/v1/probe", s.handleProbe)
+	mux.HandleFunc("/v1/objects/", s.handleObjects)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the daemon's HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Platform returns the shared execution platform (its Snapshot feeds
+// load-test reports).
+func (s *Server) Platform() *device.Platform { return s.p }
+
+// Admission returns the admission controller (load tests read its
+// counters).
+func (s *Server) Admission() *Admission { return s.adm }
+
+// Close drains the batcher; in-flight requests finish on their own.
+func (s *Server) Close() { s.batch.close() }
+
+// reqCtx derives the request execution context, applying the configured
+// per-request timeout.
+func (s *Server) reqCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	}
+	return r.Context(), func() {}
+}
+
+// fail maps an execution error onto its status class: 429 for admission
+// shed, 503 for canceled/expired requests, 500 otherwise.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrOverloaded) || errors.Is(err, ErrClosed):
+		s.met.errShed.Add(1)
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.met.errCanceled.Add(1)
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		s.met.errInternal.Add(1)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// badRequest rejects a malformed request with 400.
+func (s *Server) badRequest(w http.ResponseWriter, format string, args ...any) {
+	s.met.errBadRequest.Add(1)
+	http.Error(w, fmt.Sprintf(format, args...), http.StatusBadRequest)
+}
+
+// pipelineFor resolves a preset name.
+func pipelineFor(name string) (*core.Pipeline, error) {
+	switch name {
+	case "default":
+		return core.NewDefault(), nil
+	case "speed":
+		return core.NewSpeed(), nil
+	case "quality":
+		return core.NewQuality(), nil
+	default:
+		return nil, fmt.Errorf("unknown preset %q (want default, speed, quality)", name)
+	}
+}
+
+// parseDims parses "XxYxZ" (1–3 axes, x fastest).
+func parseDims(s string) (grid.Dims, error) {
+	if s == "" {
+		return grid.Dims{}, fmt.Errorf("missing dims")
+	}
+	parts := strings.Split(strings.ToLower(s), "x")
+	if len(parts) > 3 {
+		return grid.Dims{}, fmt.Errorf("dims %q: want XxYxZ with at most 3 axes", s)
+	}
+	ext := [3]int{1, 1, 1}
+	for i, part := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return grid.Dims{}, fmt.Errorf("dims %q: bad extent %q", s, part)
+		}
+		ext[i] = v
+	}
+	d := grid.Dims{X: ext[0], Y: ext[1], Z: ext[2]}
+	if !d.Valid() {
+		return grid.Dims{}, fmt.Errorf("dims %q: invalid geometry", s)
+	}
+	return d, nil
+}
+
+// parseBound parses eb + mode query params into an error bound.
+func parseBound(ebStr, mode string) (preprocess.ErrorBound, error) {
+	v, err := strconv.ParseFloat(ebStr, 64)
+	if err != nil || v <= 0 {
+		return preprocess.ErrorBound{}, fmt.Errorf("eb %q: want a positive float", ebStr)
+	}
+	switch mode {
+	case "", "rel":
+		return preprocess.RelBound(v), nil
+	case "abs":
+		return preprocess.AbsBound(v), nil
+	default:
+		return preprocess.ErrorBound{}, fmt.Errorf("mode %q: want rel or abs", mode)
+	}
+}
+
+// parseSel parses "i0:i1,j0:j1,k0:k1" (trailing axes optional) against
+// the field geometry, defaulting omitted axes to their full extent.
+func parseSel(s string, d grid.Dims) (core.RegionSel, error) {
+	sel := core.FullRegion(d)
+	if s == "" {
+		return sel, nil
+	}
+	axes := strings.Split(s, ",")
+	if len(axes) > 3 {
+		return core.RegionSel{}, fmt.Errorf("sel %q: at most 3 axes", s)
+	}
+	set := func(lo, hi *int, spec string) error {
+		bounds := strings.SplitN(spec, ":", 2)
+		if len(bounds) != 2 {
+			return fmt.Errorf("sel %q: axis %q: want lo:hi", s, spec)
+		}
+		l, err1 := strconv.Atoi(strings.TrimSpace(bounds[0]))
+		h, err2 := strconv.Atoi(strings.TrimSpace(bounds[1]))
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("sel %q: axis %q: bad bound", s, spec)
+		}
+		*lo, *hi = l, h
+		return nil
+	}
+	targets := [][2]*int{{&sel.X0, &sel.X1}, {&sel.Y0, &sel.Y1}, {&sel.Z0, &sel.Z1}}
+	for i, spec := range axes {
+		if err := set(targets[i][0], targets[i][1], spec); err != nil {
+			return core.RegionSel{}, err
+		}
+	}
+	return sel, nil
+}
+
+// parseWorkers resolves the request's lease size (its Opts.Workers).
+func (s *Server) parseWorkers(q string) (int, error) {
+	if q == "" {
+		return s.cfg.DefaultLease, nil
+	}
+	v, err := strconv.Atoi(q)
+	if err != nil || v < 1 {
+		return 0, fmt.Errorf("workers %q: want a positive integer", q)
+	}
+	return v, nil
+}
+
+// readBody reads the request body up to the configured cap.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		return nil, fmt.Errorf("reading body: %w", err)
+	}
+	s.met.bytesIn.Add(int64(len(body)))
+	return body, nil
+}
+
+// timingHeaders exposes the batch lifecycle to the caller.
+func timingHeaders(h http.Header, t BatchTiming, batched bool) {
+	h.Set("X-Fzmod-Queue-Ns", strconv.FormatInt(t.Queued().Nanoseconds(), 10))
+	h.Set("X-Fzmod-Flush-Ns", strconv.FormatInt(t.Flush().Nanoseconds(), 10))
+	h.Set("X-Fzmod-Execute-Ns", strconv.FormatInt(t.Execute().Nanoseconds(), 10))
+	h.Set("X-Fzmod-Batched", strconv.FormatBool(batched))
+}
+
+// handleCompress serves POST /v1/compress: the body is the raw
+// little-endian float32 field, geometry and bound ride in query
+// parameters (dims=XxYxZ, eb=1e-4, mode=rel|abs, preset=..., workers=N,
+// chunk=ELEMS), and the response body is the container. Payloads at most
+// BatchThreshold bytes coalesce through the batcher; the response
+// headers carry the queue/flush/execute split either way.
+func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.met.reqCompress.Add(1)
+	q := r.URL.Query()
+	dims, err := parseDims(q.Get("dims"))
+	if err != nil {
+		s.badRequest(w, "%v", err)
+		return
+	}
+	eb, err := parseBound(q.Get("eb"), q.Get("mode"))
+	if err != nil {
+		s.badRequest(w, "%v", err)
+		return
+	}
+	preset := q.Get("preset")
+	if preset == "" {
+		preset = s.cfg.Preset
+	}
+	if _, err := pipelineFor(preset); err != nil {
+		s.badRequest(w, "%v", err)
+		return
+	}
+	workers, err := s.parseWorkers(q.Get("workers"))
+	if err != nil {
+		s.badRequest(w, "%v", err)
+		return
+	}
+	chunkElems := 0
+	if c := q.Get("chunk"); c != "" {
+		chunkElems, err = strconv.Atoi(c)
+		if err != nil || chunkElems < 1 {
+			s.badRequest(w, "chunk %q: want a positive element count", c)
+			return
+		}
+	}
+	rawBytes := dims.N() * 4
+	if int64(rawBytes) > s.cfg.MaxBodyBytes {
+		s.badRequest(w, "dims %v: %d raw bytes exceed the %d-byte body cap", dims, rawBytes, s.cfg.MaxBodyBytes)
+		return
+	}
+
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+
+	// The field stages through a pooled slab: request churn rides the
+	// platform's warm BufPool, not the garbage collector.
+	bp := s.p.ScratchPool()
+	valsSlab := bp.GetF32(dims.N(), false)
+	defer bp.PutF32(valsSlab)
+	stage := bp.GetBytes(stageBytes, false)
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	err = device.ReadF32(body, valsSlab.Data, stage.Data)
+	bp.PutBytes(stage)
+	if err != nil {
+		s.badRequest(w, "reading %d float32 values for dims %v: %v", dims.N(), dims, err)
+		return
+	}
+	if n, _ := body.Read(make([]byte, 1)); n != 0 {
+		s.badRequest(w, "body longer than dims %v (%d raw bytes)", dims, rawBytes)
+		return
+	}
+	s.met.bytesIn.Add(int64(rawBytes))
+
+	req := &compressReq{
+		ctx:        ctx,
+		preset:     preset,
+		vals:       valsSlab.Data,
+		dims:       dims,
+		eb:         eb,
+		chunkElems: chunkElems,
+		workers:    workers,
+	}
+
+	var res batchResult
+	if s.cfg.BatchThreshold > 0 && rawBytes <= s.cfg.BatchThreshold {
+		// Coalesced path: wait for the batch to deliver on our channel.
+		it := &batchItem{req: req, resp: make(chan batchResult, 1)}
+		if err := s.batch.enqueue(it); err != nil {
+			s.fail(w, err)
+			return
+		}
+		res = <-it.resp
+	} else {
+		lease, err := s.adm.Acquire(ctx, workers)
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		now := time.Now()
+		res.timing = BatchTiming{Enqueued: now, Flushed: now, Started: now}
+		res.blob, res.err = s.compressOne(req, lease.Workers())
+		res.timing.Done = time.Now()
+		lease.Release()
+	}
+	if res.err != nil {
+		s.fail(w, res.err)
+		return
+	}
+	s.met.rawBytes.Add(int64(rawBytes))
+	s.met.compressedBytes.Add(int64(len(res.blob)))
+	s.met.bytesOut.Add(int64(len(res.blob)))
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("X-Fzmod-Ratio", strconv.FormatFloat(ratio(int64(rawBytes), int64(len(res.blob))), 'g', 5, 64))
+	timingHeaders(h, res.timing, s.cfg.BatchThreshold > 0 && rawBytes <= s.cfg.BatchThreshold)
+	w.Write(res.blob)
+}
+
+// compressOne runs one parsed request at the leased width.
+func (s *Server) compressOne(req *compressReq, width int) ([]byte, error) {
+	pl, err := pipelineFor(req.preset)
+	if err != nil {
+		return nil, err
+	}
+	opts := core.ChunkOpts{Workers: width, ChunkElems: req.chunkElems}
+	if req.chunkElems > 0 || req.dims.N() >= core.AutoChunkElems {
+		return pl.CompressChunkedCtx(req.ctx, s.p, req.vals, req.dims, req.eb, opts)
+	}
+	return pl.CompressCtx(req.ctx, s.p.WithWorkers(width), req.vals, req.dims, req.eb)
+}
+
+// runBatch executes one sealed batch under a single lease sized to the
+// batch (clamped to the budget), delivering every item's result on its
+// own channel. A caller that canceled while queued is skipped, not
+// compressed.
+func (s *Server) runBatch(items []*batchItem) {
+	lease, err := s.adm.Acquire(context.Background(), len(items))
+	if err != nil {
+		now := time.Now()
+		for _, it := range items {
+			it.timing.Started, it.timing.Done = now, now
+			it.resp <- batchResult{timing: it.timing, err: err}
+		}
+		return
+	}
+	defer lease.Release()
+	for _, it := range items {
+		it.timing.Started = time.Now()
+		var res batchResult
+		if err := it.req.ctx.Err(); err != nil {
+			res.err = err
+		} else {
+			res.blob, res.err = s.compressOne(it.req, lease.Workers())
+		}
+		it.timing.Done = time.Now()
+		res.timing = it.timing
+		it.resp <- res
+	}
+}
+
+// handleDecompress serves POST /v1/decompress: the body is any FZModules
+// container, the response the raw little-endian float32 field with its
+// geometry in X-Fzmod-Dims.
+func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.met.reqDecompress.Add(1)
+	workers, err := s.parseWorkers(r.URL.Query().Get("workers"))
+	if err != nil {
+		s.badRequest(w, "%v", err)
+		return
+	}
+	blob, err := s.readBody(w, r)
+	if err != nil {
+		s.badRequest(w, "%v", err)
+		return
+	}
+	// Parse the container index before spending a lease: junk is the
+	// caller's fault, not the daemon's.
+	if _, err := fzio.FetchIndex(fzio.NewBytesFetcher(blob)); err != nil {
+		s.badRequest(w, "not an FZModules container: %v", err)
+		return
+	}
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	lease, err := s.adm.Acquire(ctx, workers)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	vals, dims, err := core.DecompressWithOptsCtx(ctx, s.p, blob, core.DecompressOpts{Workers: lease.Workers()})
+	lease.Release()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.writeField(w, vals, dims)
+}
+
+// writeField streams a field as little-endian float32 bytes with its
+// geometry in X-Fzmod-Dims.
+func (s *Server) writeField(w http.ResponseWriter, vals []float32, dims grid.Dims) {
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("X-Fzmod-Dims", fmt.Sprintf("%dx%dx%d", dims.X, dims.Y, dims.Z))
+	h.Set("Content-Length", strconv.Itoa(len(vals)*4))
+	bp := s.p.ScratchPool()
+	stage := bp.GetBytes(stageBytes, false)
+	defer bp.PutBytes(stage)
+	if err := device.WriteF32(w, vals, stage.Data); err != nil {
+		return // client went away mid-body; nothing to report
+	}
+	s.met.bytesOut.Add(int64(len(vals) * 4))
+}
+
+// probeResponse is the JSON shape of POST /v1/probe.
+type probeResponse struct {
+	Flavor        string  `json:"flavor"`
+	Pipeline      string  `json:"pipeline"`
+	Dims          [3]int  `json:"dims"`
+	EB            float64 `json:"eb"`
+	RelEB         float64 `json:"rel_eb,omitempty"`
+	Planes        int     `json:"planes,omitempty"`
+	Chunks        int     `json:"chunks"`
+	PayloadBytes  int64   `json:"payload_bytes"`
+	ArtifactBytes int64   `json:"artifact_bytes"`
+}
+
+// handleProbe serves POST /v1/probe: the body is a container (or its
+// index-bearing prefix plus trailer — the whole artifact is simplest),
+// the response its parsed identity without decoding any payload.
+func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.met.reqProbe.Add(1)
+	blob, err := s.readBody(w, r)
+	if err != nil {
+		s.badRequest(w, "%v", err)
+		return
+	}
+	ix, err := fzio.FetchIndex(fzio.NewBytesFetcher(blob))
+	if err != nil {
+		s.badRequest(w, "not an FZModules container: %v", err)
+		return
+	}
+	var payload int64
+	for _, ref := range ix.Chunks {
+		payload += int64(ref.Length)
+	}
+	resp := probeResponse{
+		Flavor:        ix.Flavor,
+		Pipeline:      ix.Header.Pipeline,
+		Dims:          [3]int{ix.Header.Dims.X, ix.Header.Dims.Y, ix.Header.Dims.Z},
+		EB:            ix.Header.EB,
+		RelEB:         ix.Header.RelEB,
+		Planes:        ix.Header.Planes,
+		Chunks:        ix.NumChunks(),
+		PayloadBytes:  payload,
+		ArtifactBytes: ix.ArtifactSize,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// handleObjects routes the in-memory object store:
+//
+//	PUT    /v1/objects/<name>         store a container
+//	GET    /v1/objects/<name>         fetch it back
+//	DELETE /v1/objects/<name>         drop it
+//	GET    /v1/objects/<name>/region  random-access read (?sel=i0:i1,...)
+//
+// Region reads over stored objects share the server's SlabCache, so
+// overlapping selections from any number of tenants decode each chunk
+// once.
+func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/v1/objects/")
+	if region := strings.TrimSuffix(name, "/region"); region != name {
+		s.handleRegion(w, r, region)
+		return
+	}
+	if name == "" || strings.Contains(name, "/") {
+		s.badRequest(w, "object name %q: want /v1/objects/<name>", name)
+		return
+	}
+	s.met.reqObjects.Add(1)
+	switch r.Method {
+	case http.MethodPut, http.MethodPost:
+		blob, err := s.readBody(w, r)
+		if err != nil {
+			s.badRequest(w, "%v", err)
+			return
+		}
+		if _, err := fzio.FetchIndex(fzio.NewBytesFetcher(blob)); err != nil {
+			s.badRequest(w, "not an FZModules container: %v", err)
+			return
+		}
+		s.objMu.Lock()
+		s.objects[name] = blob
+		s.objMu.Unlock()
+		w.WriteHeader(http.StatusCreated)
+	case http.MethodGet:
+		s.objMu.RLock()
+		blob, ok := s.objects[name]
+		s.objMu.RUnlock()
+		if !ok {
+			http.Error(w, fmt.Sprintf("no object %q", name), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(blob)
+		s.met.bytesOut.Add(int64(len(blob)))
+	case http.MethodDelete:
+		s.objMu.Lock()
+		delete(s.objects, name)
+		s.objMu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "PUT, GET or DELETE", http.StatusMethodNotAllowed)
+	}
+}
+
+// handleRegion serves GET /v1/objects/<name>/region?sel=i0:i1,j0:j1,k0:k1:
+// the selected subvolume of a stored container, decoding only the chunks
+// the selection intersects, with cache/decode accounting in the response
+// headers.
+func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request, name string) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.met.reqRegion.Add(1)
+	s.objMu.RLock()
+	blob, ok := s.objects[name]
+	s.objMu.RUnlock()
+	if !ok {
+		http.Error(w, fmt.Sprintf("no object %q", name), http.StatusNotFound)
+		return
+	}
+	workers, err := s.parseWorkers(r.URL.Query().Get("workers"))
+	if err != nil {
+		s.badRequest(w, "%v", err)
+		return
+	}
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	lease, err := s.adm.Acquire(ctx, workers)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer lease.Release()
+	reg, err := core.OpenRegion(s.p, fzio.NewBytesFetcher(blob), core.RegionOpts{
+		Workers: lease.Workers(),
+		Cache:   s.cache,
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	d := reg.Dims()
+	sel, err := parseSel(r.URL.Query().Get("sel"), d)
+	if err != nil {
+		s.badRequest(w, "%v", err)
+		return
+	}
+	if sel.X0 < 0 || sel.X1 > d.X || sel.X0 >= sel.X1 ||
+		sel.Y0 < 0 || sel.Y1 > d.Y || sel.Y0 >= sel.Y1 ||
+		sel.Z0 < 0 || sel.Z1 > d.Z || sel.Z0 >= sel.Z1 {
+		s.badRequest(w, "sel %v: outside field %dx%dx%d", sel, d.X, d.Y, d.Z)
+		return
+	}
+	vals, rep, err := reg.ReadReportCtx(ctx, sel)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	h := w.Header()
+	if rep != nil && rep.Region != nil {
+		h.Set("X-Fzmod-Region-Chunks", strconv.Itoa(rep.Region.Chunks))
+		h.Set("X-Fzmod-Region-Decoded", strconv.Itoa(rep.Region.Decoded))
+		h.Set("X-Fzmod-Region-Cache-Hits", strconv.Itoa(rep.Region.CacheHits))
+	}
+	s.writeField(w, vals, sel.Dims())
+}
+
+// handleMetrics serves GET /metrics in the Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.writeMetrics(w)
+}
+
+// handleHealthz reports liveness.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	io.WriteString(w, "ok\n")
+}

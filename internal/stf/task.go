@@ -1,6 +1,7 @@
 package stf
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -26,6 +27,11 @@ import (
 // discipline a finite ring of CUDA streams imposes.
 type Ctx struct {
 	p *Platform
+
+	// gctx, when non-nil, bounds the graph's execution (see Bind): the
+	// scheduler checks it at every dispatch boundary, so a cancellation or
+	// deadline stops declared-but-not-started work instead of orphaning it.
+	gctx context.Context
 
 	mu       sync.Mutex
 	nextData int
@@ -60,6 +66,43 @@ func NewCtxN(p *Platform, maxConcurrent int) *Ctx {
 
 // Platform returns the underlying execution platform.
 func (c *Ctx) Platform() *Platform { return c.p }
+
+// Bind attaches a cancellation context to the graph and returns the Ctx
+// for chaining. Once gctx is done, every task body not yet started fails
+// with the context's error at its dispatch boundary (already-running
+// bodies finish normally), dependents skip through the usual ErrSkipped
+// chain, and Finalize/Reset drain the whole graph and surface the
+// cancellation once — so no goroutine or pooled buffer is orphaned, work
+// just stops being done. Bind before submitting tasks; a nil gctx (or not
+// calling Bind) leaves the graph unbounded, exactly as context.Background.
+func (c *Ctx) Bind(gctx context.Context) *Ctx {
+	if gctx != nil && gctx != context.Background() {
+		c.gctx = gctx
+	}
+	return c
+}
+
+// Context returns the bound cancellation context (context.Background when
+// none was bound) — task bodies pass it to context-aware I/O.
+func (c *Ctx) Context() context.Context {
+	if c.gctx == nil {
+		return context.Background()
+	}
+	return c.gctx
+}
+
+// ctxErr reports the bound context's cancellation error, or nil.
+func (c *Ctx) ctxErr() error {
+	if c.gctx == nil {
+		return nil
+	}
+	select {
+	case <-c.gctx.Done():
+		return c.gctx.Err()
+	default:
+		return nil
+	}
+}
 
 func (c *Ctx) register(m *dataMeta, name string) {
 	c.mu.Lock()
@@ -274,6 +317,11 @@ func (c *Ctx) runOn(t *task, w *schedWorker) {
 	}
 	if depErr != nil {
 		t.err = depErr
+	} else if gerr := c.ctxErr(); gerr != nil {
+		// Dispatch boundary of the bound context: the body never starts.
+		// The message carries no task name so Finalize folds the fate of
+		// every not-yet-started task into one reported cancellation.
+		t.err = fmt.Errorf("stf: graph canceled: %w", gerr)
 	} else {
 		// Coherence: materialize every declared datum at the task's place.
 		for _, a := range t.access {
@@ -347,9 +395,16 @@ func (c *Ctx) Finalize() error {
 		<-t.done
 		if t.err != nil && !errors.Is(t.err, ErrSkipped) {
 			key := t.name + ":" + t.err.Error()
+			wrapped := fmt.Errorf("task %q: %w", t.name, t.err)
+			if errors.Is(t.err, context.Canceled) || errors.Is(t.err, context.DeadlineExceeded) {
+				// A canceled graph fails every unstarted task identically;
+				// report the cancellation once, unattributed.
+				key = t.err.Error()
+				wrapped = t.err
+			}
 			if !seen[key] {
 				seen[key] = true
-				errs = append(errs, fmt.Errorf("task %q: %w", t.name, t.err))
+				errs = append(errs, wrapped)
 			}
 		}
 	}

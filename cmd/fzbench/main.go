@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	fzbench -exp table3|fig1|fig2|fig3|fig4|stf|hist|secondary|fusion|chunked|stream|region|serve|all [-large]
+//	fzbench -exp table3|fig1|fig2|fig3|fig4|stf|hist|secondary|fusion|chunked|stream|region|faults|serve|all [-large]
 //	fzbench -exp chunked -json BENCH_new.json [-baseline BENCH_chunked.json] [-alloc-tol 0.2] [-gbs-tol 0.2] [-scal-tol 0.2]
 //	fzbench -exp stream  -json BENCH_stream_new.json -baseline BENCH_chunked.json
 //	fzbench -exp serve   -clients 8 -iters 4 -json BENCH_serve_new.json
@@ -44,7 +44,7 @@ func main() {
 }
 
 func run() int {
-	exp := flag.String("exp", "all", "experiment: table3, fig1, fig2, fig3, fig4, stf, hist, secondary, fusion, place, chunked, stream, region, serve, all")
+	exp := flag.String("exp", "all", "experiment: table3, fig1, fig2, fig3, fig4, stf, hist, secondary, fusion, place, chunked, stream, region, faults, serve, all")
 	large := flag.Bool("large", false, "use full-scale workloads")
 	jsonPath := flag.String("json", "", "write the chunked/stream experiment's machine-readable report to this path")
 	baseline := flag.String("baseline", "", "compare the chunked/stream report against this baseline JSON and fail on regression")
@@ -66,8 +66,8 @@ func run() int {
 	v100 := device.NewV100Platform()
 	w := os.Stdout
 
-	if (*jsonPath != "" || *baseline != "") && *exp != "chunked" && *exp != "stream" && *exp != "region" && *exp != "serve" {
-		fmt.Fprintln(os.Stderr, "fzbench: -json/-baseline apply to -exp chunked, stream, region or serve only")
+	if (*jsonPath != "" || *baseline != "") && *exp != "chunked" && *exp != "stream" && *exp != "region" && *exp != "faults" && *exp != "serve" {
+		fmt.Fprintln(os.Stderr, "fzbench: -json/-baseline apply to -exp chunked, stream, region, faults or serve only")
 		return 2
 	}
 
@@ -179,6 +179,12 @@ func run() int {
 				return err
 			}
 			return gate(report)
+		case "faults":
+			report, err := bench.FaultsComparisonReport(w, h100, sc)
+			if err != nil {
+				return err
+			}
+			return gate(report)
 		case "serve":
 			report, err := bench.ServeLoadReport(w, sc, *clients, *iters)
 			if err != nil {
@@ -193,7 +199,7 @@ func run() int {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"table3", "fig1", "fig2", "fig3", "fig4", "stf", "hist", "secondary", "fusion", "place", "chunked", "stream", "region", "serve"}
+		names = []string{"table3", "fig1", "fig2", "fig3", "fig4", "stf", "hist", "secondary", "fusion", "place", "chunked", "stream", "region", "faults", "serve"}
 	}
 	for _, name := range names {
 		fmt.Fprintf(w, "\n===== %s =====\n", name)

@@ -14,8 +14,16 @@
 //	GET    /v1/objects/<name>
 //	DELETE /v1/objects/<name>
 //	GET    /v1/objects/<name>/region?sel=i0:i1,j0:j1,k0:k1[&workers=N]
+//	POST   /v1/admin/budget?workers=N
 //	GET    /metrics
 //	GET    /healthz
+//	GET    /readyz
+//
+// SIGTERM/SIGINT drains gracefully: new requests are refused with 503 +
+// Retry-After while in-flight requests complete (bounded by
+// -drain-timeout). SIGHUP hot-reloads the worker budget from
+// FZMODD_WORKERS (falling back to -workers) without dropping queued
+// requests; POST /v1/admin/budget does the same over HTTP.
 //
 // Example:
 //
@@ -31,6 +39,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -53,6 +62,7 @@ func main() {
 		cacheMB   = flag.Int64("cache-mb", 256, "region slab-cache budget in MiB")
 		timeout   = flag.Duration("timeout", 0, "per-request execution timeout (0 = none)")
 		maxBody   = flag.Int64("max-body-mb", 1024, "request body cap in MiB")
+		drainWait = flag.Duration("drain-timeout", 10*time.Second, "longest a graceful shutdown waits for in-flight requests")
 	)
 	flag.Parse()
 
@@ -76,14 +86,44 @@ func main() {
 	})
 	hs := &http.Server{Addr: *listen, Handler: srv.Handler()}
 
+	// SIGHUP hot-reloads the worker budget: FZMODD_WORKERS if set, else
+	// the -workers flag (0 = platform width) — queued requests are never
+	// dropped by a reload.
+	reload := make(chan os.Signal, 1)
+	signal.Notify(reload, syscall.SIGHUP)
+	go func() {
+		for range reload {
+			budget := *workers
+			if env := os.Getenv("FZMODD_WORKERS"); env != "" {
+				if v, err := strconv.Atoi(env); err == nil && v > 0 {
+					budget = v
+				} else {
+					log.Printf("fzmodd: ignoring FZMODD_WORKERS=%q: want a positive integer", env)
+				}
+			}
+			if budget <= 0 {
+				budget = p.Workers(device.Accel)
+			}
+			srv.Admission().Resize(budget)
+			log.Printf("fzmodd: worker budget reloaded to %d (%d leased, %d queued)",
+				srv.Admission().Budget(), srv.Admission().InUse(), srv.Admission().QueueDepth())
+		}
+	}()
+
+	// SIGTERM/SIGINT drains: stop accepting (readyz flips, new requests
+	// get 503 + Retry-After), flush the batcher, wait out in-flight
+	// requests up to -drain-timeout, then close the listener.
 	done := make(chan os.Signal, 1)
 	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-done
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		log.Printf("fzmodd: draining (%d in flight, up to %v)", srv.InFlight(), *drainWait)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			log.Printf("fzmodd: %v", err)
+		}
 		hs.Shutdown(ctx)
-		srv.Close()
 	}()
 
 	log.Printf("fzmodd: serving on %s (budget %d workers, kernels %s)",
@@ -92,4 +132,5 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	log.Printf("fzmodd: shutdown complete")
 }

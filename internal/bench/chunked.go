@@ -74,6 +74,14 @@ type ChunkedRow struct {
 	P50Ms    float64 `json:"p50_ms,omitempty"`
 	P99Ms    float64 `json:"p99_ms,omitempty"`
 	Requests int     `json:"requests,omitempty"`
+	// FaultRate/FetchAttempts/FetchRetries are faults-experiment
+	// observations: the injected transient-fault probability the row ran
+	// under and the fetch attempts/retries the retry layer spent absorbing
+	// it (faults rows only; absent from historical baselines, so gates
+	// skip them).
+	FaultRate     float64 `json:"fault_rate,omitempty"`
+	FetchAttempts int64   `json:"fetch_attempts,omitempty"`
+	FetchRetries  int64   `json:"fetch_retries,omitempty"`
 }
 
 // ChunkedReport is the machine-readable result of the chunked-executor

@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"fzmod/internal/core"
+	"fzmod/internal/device"
+	"fzmod/internal/fzio"
+	"fzmod/internal/metrics"
+	"fzmod/internal/preprocess"
+	"fzmod/internal/sdrbench"
+)
+
+// FaultsComparison measures resilient reads under injected faults and
+// prints the table; see FaultsComparisonReport for the machine-readable
+// form.
+func FaultsComparison(w io.Writer, p *device.Platform, sc Scale) error {
+	_, err := FaultsComparisonReport(w, p, sc)
+	return err
+}
+
+// FaultsComparisonReport is the resilience experiment: full-container
+// region reads through a retrying fetcher over a seeded fault injector,
+// at increasing transient-fault rates. Every row's output is verified
+// bit-identical to the fault-free full decompression before any
+// throughput is reported — the experiment's claim is exactly that reads
+// stay correct while the retry layer absorbs the faults, with the cost
+// visible as fetch attempts and retries. Rows:
+//
+//   - faults-0: the fault-free baseline through the same stack.
+//   - faults-30: 30% transient error rate plus 10% truncated ranges —
+//     the acceptance threshold for the chaos suite.
+//   - faults-50: half of all fetch attempts fail; the read still
+//     completes bit-identically.
+//
+// After the rate rows, the experiment verifies the complementary
+// contract: a corrupted payload (bit flips on every fetch) must be
+// refused with a CRC mismatch, never silently decoded — corruption is
+// not a retryable fault.
+func FaultsComparisonReport(w io.Writer, p *device.Platform, sc Scale) (*ChunkedReport, error) {
+	dims := chunkedDims(sc)
+	data := sdrbench.GenNYX(dims, 77)
+	eb := preprocess.RelBound(1e-4)
+	pl := core.NewDefault()
+
+	blob, err := pl.CompressChunked(p, data, dims, eb, core.ChunkOpts{ChunkElems: dims.N() / 8})
+	if err != nil {
+		return nil, err
+	}
+	full, _, err := core.Decompress(p, blob)
+	if err != nil {
+		return nil, err
+	}
+
+	report := &ChunkedReport{
+		Experiment: "faults",
+		Workload:   fmt.Sprintf("nyx-%v", dims),
+		Pipeline:   pl.Name(),
+		RelEB:      1e-4,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Kernels:    p.KernelImpl(),
+	}
+	fmt.Fprintf(w, "Resilient reads under injected faults: %s, %v container (%d bytes)\n",
+		pl.Name(), dims, len(blob))
+	fmt.Fprintf(w, "%-12s %10s %10s %10s %10s\n", "scenario", "fault rate", "read GB/s", "attempts", "retries")
+
+	sel := core.FullRegion(dims)
+	row := func(name string, errorRate, truncateRate float64, seed int64) error {
+		var best float64
+		var attempts, retries int64
+		for pass := 0; pass < 2; pass++ {
+			faulty := fzio.NewFaultFetcher(fzio.NewBytesFetcher(blob), fzio.FaultConfig{
+				Seed:         seed + int64(pass),
+				ErrorRate:    errorRate,
+				TruncateRate: truncateRate,
+			})
+			retrying := fzio.NewRetryFetcher(faulty, fzio.RetryPolicy{
+				MaxAttempts: 16,
+				Sleep:       func(time.Duration) {}, // measure decode cost, not backoff
+			})
+			t0 := time.Now()
+			out, rep, err := core.DecompressRegionReport(p, retrying, sel, core.RegionOpts{})
+			sec := time.Since(t0).Seconds()
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			for i := range full {
+				if out[i] != full[i] {
+					return fmt.Errorf("%s: byte-diverged at element %d under faults", name, i)
+				}
+			}
+			attempts, retries = rep.Region.FetchAttempts, rep.Region.FetchRetries
+			if errorRate > 0 && retries == 0 {
+				return fmt.Errorf("%s: no retries at a %g fault rate — injector inert", name, errorRate)
+			}
+			if pass == 0 || sec < best {
+				best = sec
+			}
+		}
+		r := ChunkedRow{
+			Executor:      name,
+			GoMaxProcs:    report.GoMaxProcs,
+			Workers:       report.GoMaxProcs,
+			Chunks:        8,
+			DecGBs:        metrics.Throughput(4*len(full), best),
+			FaultRate:     errorRate,
+			FetchAttempts: attempts,
+			FetchRetries:  retries,
+		}
+		report.Rows = append(report.Rows, r)
+		fmt.Fprintf(w, "%-12s %9.0f%% %10.3f %10d %10d\n",
+			name, 100*errorRate, r.DecGBs, attempts, retries)
+		return nil
+	}
+
+	if err := row("faults-0", 0, 0, 11); err != nil {
+		return nil, err
+	}
+	if err := row("faults-30", 0.30, 0.10, 13); err != nil {
+		return nil, err
+	}
+	if err := row("faults-50", 0.50, 0.10, 17); err != nil {
+		return nil, err
+	}
+
+	// Corruption is the non-retryable side of the taxonomy: wrong bytes
+	// must surface as a CRC failure, never as silently wrong values.
+	corrupting := fzio.NewRetryFetcher(
+		fzio.NewFaultFetcher(fzio.NewBytesFetcher(blob), fzio.FaultConfig{Seed: 19, CorruptRate: 1}),
+		fzio.RetryPolicy{MaxAttempts: 16, Sleep: func(time.Duration) {}})
+	if _, err := core.DecompressRegion(p, corrupting, sel, core.RegionOpts{}); err == nil {
+		return nil, errors.New("bench: corrupted payload decoded silently")
+	} else if !errors.Is(err, fzio.ErrCRCMismatch) {
+		return nil, fmt.Errorf("bench: corrupted payload failed with %w, want a CRC mismatch", err)
+	} else if corrupting.Retries() != 0 {
+		return nil, fmt.Errorf("bench: CRC failures were retried %d times", corrupting.Retries())
+	}
+	fmt.Fprintf(w, "%-12s corruption refused with CRC mismatch, 0 retries\n", "faults-crc")
+	return report, nil
+}

@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"fzmod/internal/device"
 	"fzmod/internal/fzio"
@@ -92,20 +94,105 @@ type slabKey struct {
 // reads (and safe for concurrent use). Entries are keyed by container
 // content — two Regions over byte-identical artifacts share entries — and
 // the budget counts decoded float32 bytes.
+//
+// The cache is also the single-flight rendezvous: concurrent reads that
+// miss on the same slab share one fetch→decode→insert flight instead of
+// redundantly fetching and decoding it N times. The first reader to reach
+// a missing slab leads its flight; later readers wait for the leader's
+// slab (counted as dedup hits) and fall back to decoding themselves only
+// if the leader fails.
 type SlabCache struct {
 	lru *cache.LRU[slabKey, []float32]
+
+	mu      sync.Mutex
+	flights map[slabKey]*slabFlight
+	dedup   atomic.Int64
+}
+
+// slabFlight is one in-progress fetch→decode→insert shared by every
+// reader that missed on the same slab while it ran. done closes when the
+// leader finishes; slab/err are valid after.
+type slabFlight struct {
+	done chan struct{}
+	slab []float32
+	err  error
 }
 
 // NewSlabCache creates a cache bounded to budgetBytes of decoded slabs.
 func NewSlabCache(budgetBytes int64) *SlabCache {
-	return &SlabCache{lru: cache.New[slabKey, []float32](budgetBytes)}
+	return &SlabCache{
+		lru:     cache.New[slabKey, []float32](budgetBytes),
+		flights: make(map[slabKey]*slabFlight),
+	}
+}
+
+// join enters the single-flight protocol for key. Exactly one of the
+// returns is meaningful: a non-nil slab (the key landed in the cache
+// since the read planned — no work at all), a flight to wait on
+// (leader=false), or a freshly-registered flight the caller now leads
+// (leader=true) and must complete with finish.
+func (c *SlabCache) join(key slabKey) (slab []float32, fl *slabFlight, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v, ok := c.lru.Peek(key); ok {
+		return v, nil, false
+	}
+	if fl, ok := c.flights[key]; ok {
+		return nil, fl, false
+	}
+	fl = &slabFlight{done: make(chan struct{})}
+	c.flights[key] = fl
+	return nil, fl, true
+}
+
+// finish completes a flight: on success the slab is admitted to the LRU
+// and handed to every waiter; on error the flight is simply retired, so
+// the next joiner becomes a fresh leader. Idempotent — decode graphs call
+// it from their error sweep as well as their success path.
+func (c *SlabCache) finish(key slabKey, fl *slabFlight, slab []float32, err error) {
+	c.mu.Lock()
+	if c.flights[key] != fl { // already finished
+		c.mu.Unlock()
+		return
+	}
+	delete(c.flights, key)
+	fl.slab, fl.err = slab, err
+	if err == nil {
+		c.lru.Put(key, slab, int64(len(slab))*4)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+}
+
+// DedupHits returns the chunk decodes avoided by joining another reader's
+// in-flight decode.
+func (c *SlabCache) DedupHits() int64 { return c.dedup.Load() }
+
+// SlabCacheStats extends the LRU counters with the single-flight
+// accounting.
+type SlabCacheStats struct {
+	cache.Stats
+	// DedupHits is the cumulative chunk decodes served by another
+	// reader's in-flight decode instead of a redundant fetch+decode.
+	DedupHits int64
+	// Flights is the in-progress decodes at snapshot time.
+	Flights int64
 }
 
 // Stats snapshots the cache counters.
-func (c *SlabCache) Stats() cache.Stats { return c.lru.Stats() }
+func (c *SlabCache) Stats() SlabCacheStats {
+	c.mu.Lock()
+	flights := int64(len(c.flights))
+	c.mu.Unlock()
+	return SlabCacheStats{Stats: c.lru.Stats(), DedupHits: c.dedup.Load(), Flights: flights}
+}
 
-// Reset drops every cached slab and zeroes the counters.
-func (c *SlabCache) Reset() { c.lru.Reset() }
+// Reset drops every cached slab and zeroes the counters. In-progress
+// flights are left to complete; only the LRU and counters reset.
+func (c *SlabCache) Reset() {
+	c.lru.Reset()
+	c.dedup.Store(0)
+}
 
 // RegionStats summarizes one region read for the ExecReport: how much of
 // the container the selection touched and how the slab cache fared.
@@ -114,15 +201,24 @@ type RegionStats struct {
 	Sel RegionSel
 	// Chunks is the number of slab chunks the selection intersects.
 	Chunks int
-	// Decoded is how many of those were fetched and decoded this read.
+	// Decoded is how many of those this read fetched and decoded itself.
 	Decoded int
 	// CacheHits is how many were served from the slab cache.
 	CacheHits int
+	// DedupHits is how many were served by joining another reader's
+	// in-flight decode (single-flight) instead of fetching redundantly.
+	DedupHits int
+	// FetchAttempts / FetchRetries count the fetcher tries behind the
+	// decoded chunks: attempts is every try issued, retries the tries
+	// beyond each fetch's first. Both stay at Decoded/0 unless the
+	// Region's fetcher is (or wraps) an fzio.RetryFetcher.
+	FetchAttempts int64
+	FetchRetries  int64
 	// PayloadBytes is the compressed payload volume fetched for the
 	// decoded chunks (index bytes excluded).
 	PayloadBytes int64
 	// Cache snapshots the slab cache after the read (zero without one).
-	Cache cache.Stats
+	Cache SlabCacheStats
 }
 
 // Region is an open container positioned for random-access reads: the
@@ -202,7 +298,7 @@ func (r *Region) ReadReportCtx(gctx context.Context, sel RegionSel) ([]float32, 
 	out := make([]float32, sel.Dims().N())
 	stats := &RegionStats{Sel: sel, Chunks: len(needs)}
 	st := r.p.Stats()
-	var before cache.Stats
+	var before SlabCacheStats
 	if r.opts.Cache != nil {
 		before = r.opts.Cache.Stats()
 	}
@@ -222,17 +318,18 @@ func (r *Region) ReadReportCtx(gctx context.Context, sel RegionSel) ([]float32, 
 		}
 		misses = append(misses, nd)
 	}
-	stats.Decoded = len(misses)
-
 	report := &ExecReport{Region: stats}
 	var decodeErr error
 	if len(misses) > 0 {
-		report, decodeErr = r.decodeMisses(gctx, out, sel, misses)
+		var acct fetchAccounting
+		report, decodeErr = r.decodeMisses(gctx, out, sel, misses, &acct)
 		report.Region = stats
-		for _, nd := range misses {
-			stats.PayloadBytes += int64(r.ix.Chunks[nd.chunk].Length)
-		}
+		stats.DedupHits = int(acct.dedup.Load())
+		stats.FetchAttempts = acct.attempts.Load()
+		stats.FetchRetries = acct.retries.Load()
+		stats.PayloadBytes = acct.payloadBytes.Load()
 	}
+	stats.Decoded = len(misses) - stats.DedupHits
 	if r.opts.Cache != nil {
 		after := r.opts.Cache.Stats()
 		st.RegionCacheEvict.Add(after.Evictions - before.Evictions)
@@ -252,10 +349,39 @@ type regionNeed struct {
 	planes int
 }
 
+// fetchAccounting accumulates per-read fetch evidence from concurrently
+// running task bodies; ReadReportCtx folds it into RegionStats.
+type fetchAccounting struct {
+	dedup        atomic.Int64 // chunks served by another reader's flight
+	attempts     atomic.Int64 // fetcher tries issued by this read
+	retries      atomic.Int64 // tries beyond each fetch's first
+	payloadBytes atomic.Int64 // compressed bytes actually fetched
+}
+
+// attemptFetcher is the optional per-call attempt reporting surface of
+// fzio.RetryFetcher; plain fetchers fall back to one attempt per fetch.
+type attemptFetcher interface {
+	ReadRangeAttempts(off int64, n int) ([]byte, int, error)
+}
+
+// missState carries one miss's single-flight position across its three
+// tasks: the flight it leads (nil when the chunk is decoded privately or
+// served by someone else's flight) and the slab another flight delivered
+// (non-nil skips the decode entirely).
+type missState struct {
+	job    *decompressJob
+	flight *slabFlight
+	shared []float32
+}
+
 // decodeMisses runs the fetch → decode → reconstruct sub-graphs for the
 // chunks not served from cache, scattering each slab's overlap window into
-// out and (when a cache is configured) admitting the decoded slab.
-func (r *Region) decodeMisses(gctx context.Context, out []float32, sel RegionSel, misses []regionNeed) (*ExecReport, error) {
+// out and (when a cache is configured) admitting the decoded slab. With a
+// shared cache the misses are single-flight deduplicated: a chunk another
+// reader is already decoding is awaited (in the Host-place fetch task,
+// which blocks on I/O anyway) rather than fetched again, and a chunk this
+// read decodes is published to every waiter.
+func (r *Region) decodeMisses(gctx context.Context, out []float32, sel RegionSel, misses []regionNeed, acct *fetchAccounting) (*ExecReport, error) {
 	dims := r.ix.Header.Dims
 	workers := r.opts.Workers
 	if workers <= 0 {
@@ -268,28 +394,54 @@ func (r *Region) decodeMisses(gctx context.Context, out []float32, sel RegionSel
 	// the narrowed platform view, every kernel launch.
 	exec := r.p.WithWorkers(workers)
 	ctx := stf.NewCtxN(exec, workers).Bind(gctx)
+	states := make([]*missState, len(misses))
 
-	for _, nd := range misses {
+	for i, nd := range misses {
 		nd := nd
 		ref := r.ix.Chunks[nd.chunk]
 		want := dims.WithSlowExtent(nd.planes)
+		key := slabKey{r.ix.Key, nd.chunk}
 		slab := make([]float32, want.N()) // plain alloc: may outlive the ctx in the cache
 		prefix := fmt.Sprintf("r%d.", nd.chunk)
-		job := &decompressJob{dst: slab}
+		ms := &missState{job: &decompressJob{dst: slab}}
+		states[i] = ms
 		fetchTok := stf.NewToken(ctx, prefix+"container")
 		codesTok := stf.NewToken(ctx, prefix+"codes")
 
 		ctx.Task(prefix + "fetch").On(device.Host).Writes(fetchTok.D()).
 			Do(func(ti *stf.TaskInstance) error {
-				payload, err := r.f.ReadRange(int64(ref.Offset), ref.Length)
+				if r.opts.Cache != nil {
+					for {
+						cached, fl, leader := r.opts.Cache.join(key)
+						if cached != nil {
+							// Landed in the cache since this read planned.
+							ms.shared = cached
+							r.opts.Cache.dedup.Add(1)
+							acct.dedup.Add(1)
+							return nil
+						}
+						if leader {
+							ms.flight = fl
+							break
+						}
+						select {
+						case <-fl.done:
+						case <-ctx.Context().Done():
+							return ctx.Context().Err()
+						}
+						if fl.err == nil {
+							ms.shared = fl.slab
+							r.opts.Cache.dedup.Add(1)
+							acct.dedup.Add(1)
+							return nil
+						}
+						// The leader failed; loop to claim the flight and
+						// decode it ourselves.
+					}
+				}
+				payload, err := r.fetchChunk(nd.chunk, ref, acct)
 				if err != nil {
-					return fmt.Errorf("core: fetching chunk %d: %w", nd.chunk, err)
-				}
-				if err := r.ix.VerifyChunk(nd.chunk, payload); err != nil {
-					return fmt.Errorf("core: fetching chunk %d: %w", nd.chunk, err)
-				}
-				if fzio.IsChunked(payload) || fzio.IsStream(payload) {
-					return fmt.Errorf("core: chunk %d: nested chunked container", nd.chunk)
+					return err
 				}
 				c, err := fzio.Unmarshal(payload)
 				if err != nil {
@@ -300,13 +452,23 @@ func (r *Region) decodeMisses(gctx context.Context, out []float32, sel RegionSel
 						return fmt.Errorf("core: chunk %d: %w", nd.chunk, err)
 					}
 				}
-				job.c = c
+				ms.job.c = c
 				return nil
 			})
 		ctx.Task(prefix + "decode").On(device.Accel).Reads(fetchTok.D()).Writes(codesTok.D()).
-			Do(func(ti *stf.TaskInstance) error { return job.decode(exec) })
+			Do(func(ti *stf.TaskInstance) error {
+				if ms.shared != nil {
+					return nil
+				}
+				return ms.job.decode(exec)
+			})
 		ctx.Task(prefix + "reconstruct").On(device.Accel).Reads(codesTok.D()).
 			Do(func(ti *stf.TaskInstance) error {
+				if ms.shared != nil {
+					copyWindow(out, sel, dims, ms.shared, nd.lo, nd.planes)
+					return nil
+				}
+				job := ms.job
 				if job.dims != want {
 					return fmt.Errorf("core: chunk %d dims %v, want %v", nd.chunk, job.dims, want)
 				}
@@ -318,16 +480,57 @@ func (r *Region) decodeMisses(gctx context.Context, out []float32, sel RegionSel
 				}
 				copyWindow(out, sel, dims, slab, nd.lo, nd.planes)
 				if r.opts.Cache != nil {
-					r.opts.Cache.lru.Put(slabKey{r.ix.Key, nd.chunk}, slab, int64(len(slab))*4)
+					r.opts.Cache.finish(key, ms.flight, slab, nil)
 				}
 				return nil
 			})
 	}
 
 	err := ctx.Finalize()
+	// Flights this read still leads — its tasks failed, were canceled, or
+	// never dispatched — must complete with the graph's error, or waiters
+	// (and every future joiner) would hang on an abandoned flight.
+	if r.opts.Cache != nil {
+		for i := range misses {
+			if fl := states[i].flight; fl != nil {
+				ferr := err
+				if ferr == nil {
+					ferr = fmt.Errorf("core: chunk decode abandoned")
+				}
+				r.opts.Cache.finish(slabKey{r.ix.Key, misses[i].chunk}, fl, nil, ferr)
+			}
+		}
+	}
 	report := execReport(ctx)
 	ctx.Release()
 	return report, err
+}
+
+// fetchChunk fetches and verifies one chunk payload, recording attempt
+// and byte accounting.
+func (r *Region) fetchChunk(chunk int, ref fzio.ChunkRef, acct *fetchAccounting) ([]byte, error) {
+	var payload []byte
+	var err error
+	if af, ok := r.f.(attemptFetcher); ok {
+		var attempts int
+		payload, attempts, err = af.ReadRangeAttempts(int64(ref.Offset), ref.Length)
+		acct.attempts.Add(int64(attempts))
+		acct.retries.Add(int64(attempts - 1))
+	} else {
+		payload, err = r.f.ReadRange(int64(ref.Offset), ref.Length)
+		acct.attempts.Add(1)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: fetching chunk %d: %w", chunk, err)
+	}
+	acct.payloadBytes.Add(int64(len(payload)))
+	if err := r.ix.VerifyChunk(chunk, payload); err != nil {
+		return nil, fmt.Errorf("core: fetching chunk %d: %w", chunk, err)
+	}
+	if fzio.IsChunked(payload) || fzio.IsStream(payload) {
+		return nil, fmt.Errorf("core: chunk %d: nested chunked container", chunk)
+	}
+	return payload, nil
 }
 
 // copyWindow copies the overlap between the selection and one decoded slab

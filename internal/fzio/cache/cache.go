@@ -71,6 +71,20 @@ func (c *LRU[K, V]) Get(key K) (V, bool) {
 	return zero, false
 }
 
+// Peek returns the value under key without touching recency order or the
+// hit/miss counters — the single-flight double-check uses it to spot a
+// slab that landed between a read's plan and its fetch without skewing
+// the cache statistics the plan already recorded.
+func (c *LRU[K, V]) Peek(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		return el.Value.(*entry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
 // Put inserts val under key at the given cost, evicting cold entries as
 // needed to respect the budget. An entry whose cost alone exceeds the
 // budget is not admitted (and evicts nothing); re-putting an existing key

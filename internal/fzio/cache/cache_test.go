@@ -136,3 +136,24 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Fatalf("budget exceeded under concurrency: %d", b)
 	}
 }
+
+func TestPeekDoesNotTouchStatsOrRecency(t *testing.T) {
+	c := New[string, int](2)
+	c.Put("a", 1, 1)
+	c.Put("b", 2, 1)
+	if v, ok := c.Peek("a"); !ok || v != 1 {
+		t.Fatalf("Peek(a) = %d,%v", v, ok)
+	}
+	if _, ok := c.Peek("zzz"); ok {
+		t.Fatal("Peek found a phantom entry")
+	}
+	s := c.Stats()
+	if s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("Peek moved the counters: %+v", s)
+	}
+	// "a" must still be the cold end: Peek must not refresh recency.
+	c.Put("c", 3, 1)
+	if _, ok := c.Peek("a"); ok {
+		t.Fatal("Peek refreshed recency: a survived an eviction that should have taken it")
+	}
+}

@@ -1,0 +1,147 @@
+package fzio
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FaultFetcher is a seeded deterministic fault injector for chaos tests
+// and the fzbench faults experiment. It wraps any ChunkFetcher and, per
+// ReadRange, may inject a transient error, a latency spike, a truncated
+// range (surfaced as the short-read error the fetcher contract demands),
+// or bit corruption in the returned payload. The injected error classes
+// are all transient under the Transient taxonomy except corruption, which
+// is not an error at the fetcher at all: it must travel undetected until
+// the container CRC check refuses it — that refusal, not a retry, is the
+// correct answer to wrong bytes.
+//
+// Faults draw from one seeded PRNG, so a given seed and call count
+// produce the same fault decisions run over run (concurrent callers
+// interleave their draws, but the aggregate mix is stable). The injector
+// is safe for concurrent use.
+type FaultFetcher struct {
+	inner ChunkFetcher
+	cfg   FaultConfig
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	calls int64 // ReadRange calls, for the every-Nth trigger
+
+	stats struct {
+		calls       atomic.Int64
+		errors      atomic.Int64
+		latencies   atomic.Int64
+		truncations atomic.Int64
+		corruptions atomic.Int64
+	}
+}
+
+// FaultConfig selects the injected fault mix. All rates are per-ReadRange
+// probabilities in [0,1]; zero disables that class.
+type FaultConfig struct {
+	// Seed fixes the PRNG; runs with the same seed inject the same fault
+	// sequence.
+	Seed int64
+	// ErrorRate injects a transient error (wrapping ErrTransient) before
+	// the inner fetch runs.
+	ErrorRate float64
+	// ErrorEveryN deterministically fails every Nth ReadRange call
+	// (counted across the fetcher's lifetime) the same way; 0 disables.
+	// Combines with ErrorRate.
+	ErrorEveryN int
+	// LatencyRate delays the call by Latency before serving it.
+	LatencyRate float64
+	Latency     time.Duration
+	// TruncateRate makes the fetch come back short: the fetcher surfaces
+	// the short-read error (io.ErrUnexpectedEOF class) a truncated range
+	// response produces, which the taxonomy retries.
+	TruncateRate float64
+	// CorruptRate flips one random bit of the returned payload — the
+	// silent-corruption fault the container CRC check must catch.
+	CorruptRate float64
+}
+
+// NewFaultFetcher wraps inner with the injector.
+func NewFaultFetcher(inner ChunkFetcher, cfg FaultConfig) *FaultFetcher {
+	return &FaultFetcher{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// decide draws this call's fault plan under the lock, so the PRNG stream
+// stays one deterministic sequence.
+func (f *FaultFetcher) decide(n int) (fail, spike, truncate bool, corruptBit int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	if f.cfg.ErrorEveryN > 0 && f.calls%int64(f.cfg.ErrorEveryN) == 0 {
+		fail = true
+	}
+	if f.cfg.ErrorRate > 0 && f.rng.Float64() < f.cfg.ErrorRate {
+		fail = true
+	}
+	if f.cfg.LatencyRate > 0 && f.rng.Float64() < f.cfg.LatencyRate {
+		spike = true
+	}
+	if f.cfg.TruncateRate > 0 && f.rng.Float64() < f.cfg.TruncateRate {
+		truncate = true
+	}
+	corruptBit = -1
+	if f.cfg.CorruptRate > 0 && f.rng.Float64() < f.cfg.CorruptRate {
+		corruptBit = f.rng.Intn(n * 8)
+	}
+	return fail, spike, truncate, corruptBit
+}
+
+// ReadRange implements ChunkFetcher, injecting this call's faults.
+func (f *FaultFetcher) ReadRange(off int64, n int) ([]byte, error) {
+	f.stats.calls.Add(1)
+	fail, spike, truncate, corruptBit := f.decide(n)
+	if spike {
+		f.stats.latencies.Add(1)
+		time.Sleep(f.cfg.Latency)
+	}
+	if fail {
+		f.stats.errors.Add(1)
+		return nil, fmt.Errorf("%w: injected error for [%d,%d)", ErrTransient, off, off+int64(n))
+	}
+	if truncate {
+		// Serve a genuinely shortened range and let the wrapped fetcher
+		// contract turn it into the short-read error a flaky server causes.
+		f.stats.truncations.Add(1)
+		short := n / 2
+		if short < 1 {
+			short = 1
+		}
+		out, err := f.inner.ReadRange(off, short)
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("fzio: fetcher short read: %d of %d bytes at %d: %w",
+			len(out), n, off, io.ErrUnexpectedEOF)
+	}
+	out, err := f.inner.ReadRange(off, n)
+	if err != nil {
+		return nil, err
+	}
+	if corruptBit >= 0 && len(out) > 0 {
+		f.stats.corruptions.Add(1)
+		out[(corruptBit/8)%len(out)] ^= 1 << (corruptBit % 8)
+	}
+	return out, nil
+}
+
+// Size implements ChunkFetcher; sizing is served fault-free so chaos runs
+// fail in the fetch path under test, not while opening the container.
+func (f *FaultFetcher) Size() (int64, error) { return f.inner.Size() }
+
+// Injected reports the faults delivered so far by class.
+func (f *FaultFetcher) Injected() (errors, latencies, truncations, corruptions int64) {
+	return f.stats.errors.Load(), f.stats.latencies.Load(),
+		f.stats.truncations.Load(), f.stats.corruptions.Load()
+}
+
+// Calls reports the ReadRange calls observed.
+func (f *FaultFetcher) Calls() int64 { return f.stats.calls.Load() }

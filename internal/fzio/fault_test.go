@@ -1,0 +1,128 @@
+package fzio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestFaultFetcherDeterministicSequence(t *testing.T) {
+	blob := make([]byte, 4096)
+	for i := range blob {
+		blob[i] = byte(i)
+	}
+	run := func() []bool {
+		f := NewFaultFetcher(NewBytesFetcher(blob), FaultConfig{Seed: 42, ErrorRate: 0.5})
+		var outcomes []bool
+		for i := 0; i < 64; i++ {
+			_, err := f.ReadRange(0, 16)
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault sequence diverged at call %d despite identical seeds", i)
+		}
+	}
+}
+
+func TestFaultFetcherErrorEveryN(t *testing.T) {
+	f := NewFaultFetcher(NewBytesFetcher(make([]byte, 64)), FaultConfig{ErrorEveryN: 3})
+	var failed int
+	for i := 1; i <= 12; i++ {
+		_, err := f.ReadRange(0, 8)
+		if i%3 == 0 {
+			if err == nil {
+				t.Fatalf("call %d: want injected error", i)
+			}
+			if !Transient(err) {
+				t.Fatalf("call %d: injected error %v must classify transient", i, err)
+			}
+			failed++
+		} else if err != nil {
+			t.Fatalf("call %d: unexpected error %v", i, err)
+		}
+	}
+	injected, _, _, _ := f.Injected()
+	if failed != 4 || injected != 4 {
+		t.Fatalf("failed=%d injected=%d, want 4/4", failed, injected)
+	}
+}
+
+func TestFaultFetcherTruncationIsTransientShortRead(t *testing.T) {
+	f := NewFaultFetcher(NewBytesFetcher(make([]byte, 64)), FaultConfig{TruncateRate: 1})
+	_, err := f.ReadRange(0, 16)
+	if !errors.Is(err, io.ErrUnexpectedEOF) || !Transient(err) {
+		t.Fatalf("truncation fault = %v, want a transient short-read error", err)
+	}
+}
+
+func TestFaultFetcherCorruptionFlipsOneBit(t *testing.T) {
+	blob := make([]byte, 256)
+	f := NewFaultFetcher(NewBytesFetcher(blob), FaultConfig{Seed: 7, CorruptRate: 1})
+	out, err := f.ReadRange(0, 256)
+	if err != nil {
+		t.Fatalf("ReadRange: %v", err)
+	}
+	diff := 0
+	for i := range out {
+		if out[i] != blob[i] {
+			for b := 0; b < 8; b++ {
+				if (out[i]^blob[i])>>b&1 == 1 {
+					diff++
+				}
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corruption flipped %d bits, want exactly 1", diff)
+	}
+}
+
+func TestFaultFetcherLatencySpike(t *testing.T) {
+	f := NewFaultFetcher(NewBytesFetcher(make([]byte, 64)), FaultConfig{
+		LatencyRate: 1, Latency: 20 * time.Millisecond,
+	})
+	t0 := time.Now()
+	if _, err := f.ReadRange(0, 8); err != nil {
+		t.Fatalf("ReadRange: %v", err)
+	}
+	if d := time.Since(t0); d < 20*time.Millisecond {
+		t.Fatalf("latency spike not applied: call took %v", d)
+	}
+	if _, lat, _, _ := f.Injected(); lat != 1 {
+		t.Fatalf("latency counter = %d, want 1", lat)
+	}
+}
+
+// The headline composition: a retrying fetcher over a heavily faulty
+// store still serves exact bytes.
+func TestRetryOverFaultFetcherBitIdentical(t *testing.T) {
+	blob := make([]byte, 1<<16)
+	for i := range blob {
+		blob[i] = byte(i * 31)
+	}
+	faulty := NewFaultFetcher(NewBytesFetcher(blob), FaultConfig{
+		Seed:         1,
+		ErrorRate:    0.3,
+		TruncateRate: 0.1,
+	})
+	sleep := func(time.Duration) {}
+	r := NewRetryFetcher(faulty, RetryPolicy{MaxAttempts: 12, Sleep: sleep})
+	for off := int64(0); off < int64(len(blob)); off += 4096 {
+		got, err := r.ReadRange(off, 4096)
+		if err != nil {
+			t.Fatalf("ReadRange(%d): %v", off, err)
+		}
+		if !bytes.Equal(got, blob[off:off+4096]) {
+			t.Fatalf("bytes at %d differ from the fault-free artifact", off)
+		}
+	}
+	if r.Retries() == 0 {
+		t.Fatal("no retries recorded at a 30% fault rate — injector inert?")
+	}
+}

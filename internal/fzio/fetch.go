@@ -1,10 +1,13 @@
 package fzio
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"sync/atomic"
 )
 
@@ -15,6 +18,22 @@ import (
 // only for the index and the payloads of the chunks a selection actually
 // intersects, so serving a small subvolume of a huge remote dataset never
 // transfers the whole container.
+
+// ErrRangeViolation marks a request for bytes outside the artifact — a
+// caller bug or a poisoned index, never a storage hiccup, so Transient
+// reports false and RetryFetcher fails it without retrying.
+var ErrRangeViolation = errors.New("fzio: range violation")
+
+// HTTPStatusError is a non-success HTTP response surfaced by HTTPFetcher.
+// It preserves the status code so the retry taxonomy can separate server
+// trouble (5xx, worth retrying) from request trouble (4xx, never).
+type HTTPStatusError struct {
+	Code   int
+	Status string
+}
+
+// Error implements error.
+func (e *HTTPStatusError) Error() string { return "fzio: http status " + e.Status }
 
 // ChunkFetcher serves byte ranges of one container artifact. Implementations
 // must be safe for concurrent ReadRange calls: the region read path fetches
@@ -129,7 +148,7 @@ func NewHTTPFetcher(url string, client *http.Client) *HTTPFetcher {
 // ReadRange implements ChunkFetcher with a single Range GET.
 func (h *HTTPFetcher) ReadRange(off int64, n int) ([]byte, error) {
 	if n <= 0 || off < 0 {
-		return nil, fmt.Errorf("fzio: bad range [%d,%d+%d)", off, off, n)
+		return nil, fmt.Errorf("%w: bad range [%d,%d+%d)", ErrRangeViolation, off, off, n)
 	}
 	req, err := http.NewRequest(http.MethodGet, h.url, nil)
 	if err != nil {
@@ -151,7 +170,8 @@ func (h *HTTPFetcher) ReadRange(off int64, n int) ([]byte, error) {
 			return nil, fmt.Errorf("fzio: range response truncated before offset %d: %w", off, err)
 		}
 	default:
-		return nil, fmt.Errorf("fzio: range request for [%d,%d): %s", off, off+int64(n), resp.Status)
+		return nil, fmt.Errorf("fzio: range request for [%d,%d): %w",
+			off, off+int64(n), &HTTPStatusError{Code: resp.StatusCode, Status: resp.Status})
 	}
 	out := make([]byte, n)
 	if k, err := io.ReadFull(resp.Body, out); k < n {
@@ -163,20 +183,74 @@ func (h *HTTPFetcher) ReadRange(off int64, n int) ([]byte, error) {
 	return out, nil
 }
 
-// Size implements ChunkFetcher with a HEAD request.
+// Size implements ChunkFetcher with a HEAD request. Servers that reject
+// HEAD (405/403/501 are all seen in the wild) or answer it without a
+// Content-Length fall back to a one-byte Range GET whose Content-Range
+// header carries the artifact's total length.
 func (h *HTTPFetcher) Size() (int64, error) {
 	resp, err := h.client.Head(h.url)
 	if err != nil {
-		return 0, fmt.Errorf("fzio: HEAD: %w", err)
+		return h.sizeViaRange(fmt.Errorf("fzio: HEAD: %w", err))
 	}
-	defer resp.Body.Close()
+	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("fzio: HEAD: %s", resp.Status)
+		return h.sizeViaRange(fmt.Errorf("fzio: HEAD: %w",
+			&HTTPStatusError{Code: resp.StatusCode, Status: resp.Status}))
 	}
 	if resp.ContentLength < 0 {
-		return 0, fmt.Errorf("fzio: HEAD response carries no Content-Length")
+		return h.sizeViaRange(errors.New("fzio: HEAD response carries no Content-Length"))
 	}
 	return resp.ContentLength, nil
+}
+
+// sizeViaRange recovers the artifact size from a `Range: bytes=0-0` GET
+// when HEAD failed with headErr: a 206 answer states the total after the
+// slash in Content-Range (RFC 9110 §14.4), and a 200 answer (Range
+// ignored) states it in Content-Length. Any other outcome surfaces the
+// original HEAD error, which names the more fundamental problem.
+func (h *HTTPFetcher) sizeViaRange(headErr error) (int64, error) {
+	req, err := http.NewRequest(http.MethodGet, h.url, nil)
+	if err != nil {
+		return 0, headErr
+	}
+	req.Header.Set("Range", "bytes=0-0")
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return 0, headErr
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusPartialContent:
+		total, ok := parseContentRangeTotal(resp.Header.Get("Content-Range"))
+		if !ok {
+			return 0, fmt.Errorf("fzio: probe GET carries no usable Content-Range (HEAD failed: %w)", headErr)
+		}
+		return total, nil
+	case http.StatusOK:
+		if resp.ContentLength >= 0 {
+			return resp.ContentLength, nil
+		}
+	}
+	return 0, headErr
+}
+
+// parseContentRangeTotal extracts the complete length from a
+// "bytes first-last/complete" Content-Range value. An unknown total
+// ("bytes 0-0/*") or any other shape reports false.
+func parseContentRangeTotal(v string) (int64, bool) {
+	v = strings.TrimSpace(v)
+	if !strings.HasPrefix(v, "bytes") {
+		return 0, false
+	}
+	_, totalStr, ok := strings.Cut(v, "/")
+	if !ok {
+		return 0, false
+	}
+	total, err := strconv.ParseInt(strings.TrimSpace(totalStr), 10, 64)
+	if err != nil || total < 0 {
+		return 0, false
+	}
+	return total, true
 }
 
 // CountingFetcher wraps a fetcher with atomic request/byte counters — the
@@ -220,7 +294,7 @@ func (c *CountingFetcher) Reset() {
 // checkRange validates a [off, off+n) window against an artifact size.
 func checkRange(off int64, n int, size int64) error {
 	if off < 0 || n <= 0 || off+int64(n) > size {
-		return fmt.Errorf("fzio: range [%d,%d) outside artifact of %d bytes", off, off+int64(n), size)
+		return fmt.Errorf("%w: [%d,%d) outside artifact of %d bytes", ErrRangeViolation, off, off+int64(n), size)
 	}
 	return nil
 }

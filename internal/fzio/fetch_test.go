@@ -495,3 +495,91 @@ func TestFetchIndexShortReads(t *testing.T) {
 }
 
 var _ io.ReaderAt = (*bytes.Reader)(nil) // documents the ReaderAtFetcher pairing
+
+// A server that rejects HEAD outright must still be sizable through the
+// one-byte Range GET fallback.
+func TestHTTPFetcherSizeHeadRejected(t *testing.T) {
+	blob := make([]byte, 12345)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodHead {
+			http.Error(w, "HEAD not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if rng := r.Header.Get("Range"); rng != "bytes=0-0" {
+			t.Errorf("fallback sent Range %q, want bytes=0-0", rng)
+		}
+		w.Header().Set("Content-Range", fmt.Sprintf("bytes 0-0/%d", len(blob)))
+		w.WriteHeader(http.StatusPartialContent)
+		w.Write(blob[:1])
+	}))
+	defer srv.Close()
+	f := NewHTTPFetcher(srv.URL, srv.Client())
+	size, err := f.Size()
+	if err != nil {
+		t.Fatalf("Size: %v", err)
+	}
+	if size != int64(len(blob)) {
+		t.Fatalf("Size = %d, want %d", size, len(blob))
+	}
+}
+
+// A server that answers HEAD without Content-Length (chunked proxies do
+// this) is sized through the same fallback; one that also ignores Range
+// resolves through the 200 answer's Content-Length.
+func TestHTTPFetcherSizeHeadNoLengthRangeIgnored(t *testing.T) {
+	blob := make([]byte, 777)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodHead {
+			w.Header()["Content-Length"] = nil // suppress the implicit header
+			w.(http.Flusher).Flush()           // forces chunked, no length
+			return
+		}
+		w.WriteHeader(http.StatusOK) // Range ignored
+		w.Write(blob)
+	}))
+	defer srv.Close()
+	f := NewHTTPFetcher(srv.URL, srv.Client())
+	size, err := f.Size()
+	if err != nil {
+		t.Fatalf("Size: %v", err)
+	}
+	if size != int64(len(blob)) {
+		t.Fatalf("Size = %d, want %d", size, len(blob))
+	}
+}
+
+// When both HEAD and the probe GET fail, the HEAD error (the more
+// fundamental diagnosis) surfaces.
+func TestHTTPFetcherSizeBothFail(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusForbidden)
+	}))
+	defer srv.Close()
+	f := NewHTTPFetcher(srv.URL, srv.Client())
+	_, err := f.Size()
+	if err == nil || !strings.Contains(err.Error(), "HEAD") {
+		t.Fatalf("want the HEAD error surfaced, got %v", err)
+	}
+}
+
+func TestParseContentRangeTotal(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"bytes 0-0/12345", 12345, true},
+		{"bytes 0-0/0", 0, true},
+		{" bytes 5-9/100 ", 100, true},
+		{"bytes 0-0/*", 0, false},
+		{"items 0-0/10", 0, false},
+		{"bytes 0-0", 0, false},
+		{"", 0, false},
+	}
+	for _, tc := range cases {
+		got, ok := parseContentRangeTotal(tc.in)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("parseContentRangeTotal(%q) = %d,%v; want %d,%v", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}

@@ -78,7 +78,7 @@ func (ix *ContainerIndex) VerifyChunk(i int, payload []byte) error {
 		return nil
 	}
 	if crc32.ChecksumIEEE(payload) != ref.CRC {
-		return fmt.Errorf("fzio: chunk %d CRC mismatch (corrupt or tampered payload)", i)
+		return fmt.Errorf("%w: chunk %d (corrupt or tampered payload)", ErrCRCMismatch, i)
 	}
 	return nil
 }

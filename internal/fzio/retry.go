@@ -1,0 +1,238 @@
+package fzio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the retry layer of the resilient read path: an error
+// taxonomy separating storage hiccups from real failures, and a
+// RetryFetcher that wraps any ChunkFetcher with deadline-aware capped
+// exponential backoff. The taxonomy is deliberately conservative — a
+// retried 4xx would hammer a server that already said no, a retried CRC
+// failure would re-fetch bytes an upstream bug corrupted deterministically
+// — so only faults that plausibly heal on their own (5xx, timeouts, short
+// reads, connection drops) are retried.
+
+// ErrCRCMismatch marks a payload whose checksum contradicts the container
+// index: corruption or tampering, detected — never silently decoded, and
+// never retried (the bytes the store holds are wrong; fetching them again
+// cannot help).
+var ErrCRCMismatch = errors.New("fzio: CRC mismatch")
+
+// ErrTransient marks a fault worth retrying. Fault injectors and custom
+// fetchers wrap it to opt an error into the retry taxonomy explicitly;
+// Transient also recognizes the common organic shapes (HTTP 5xx, net
+// timeouts, short reads) without it.
+var ErrTransient = errors.New("fzio: transient fault")
+
+// errAttemptTimeout marks an attempt the RetryFetcher gave up waiting on.
+// It wraps ErrTransient: a stuck attempt is exactly the fault class the
+// next attempt may dodge.
+var errAttemptTimeout = fmt.Errorf("%w: attempt timed out", ErrTransient)
+
+// Transient classifies err for the retry loop: true for faults a fresh
+// attempt may dodge — anything marked ErrTransient, HTTP 5xx answers,
+// network errors and timeouts, and short reads (io.ErrUnexpectedEOF) —
+// and false for everything that will fail identically on the next try:
+// HTTP 4xx, range violations, CRC mismatches, cancellation, and nil.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	// The definitive non-transient classes win even when wrapped alongside
+	// transient markers: wrong bytes and bad requests never heal.
+	if errors.Is(err, ErrCRCMismatch) || errors.Is(err, ErrRangeViolation) {
+		return false
+	}
+	if errors.Is(err, ErrTransient) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var httpErr *HTTPStatusError
+	if errors.As(err, &httpErr) {
+		return httpErr.Code >= 500
+	}
+	var netErr net.Error
+	return errors.As(err, &netErr)
+}
+
+// RetryPolicy shapes a RetryFetcher's loop. The zero value selects the
+// defaults documented per field; Jitter, Sleep and Now are injectable so
+// tests (and deterministic chaos suites) control time completely.
+type RetryPolicy struct {
+	// MaxAttempts bounds the tries per call, first attempt included.
+	// Default 4.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; each further
+	// attempt doubles it, capped at MaxDelay. Defaults 10ms and 1s.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// AttemptTimeout bounds each individual attempt; an attempt still
+	// running when it elapses is abandoned (its goroutine finishes in the
+	// background) and counted as a transient fault. 0 waits forever.
+	AttemptTimeout time.Duration
+	// Budget bounds the whole call, attempts and backoffs included: the
+	// loop never starts a sleep or an attempt that cannot finish before
+	// the budget elapses, surfacing the last transient error instead.
+	// 0 means no overall deadline.
+	Budget time.Duration
+	// Jitter perturbs a computed backoff delay. nil applies none, keeping
+	// the schedule fully deterministic; production callers wanting
+	// decorrelation inject their own source.
+	Jitter func(d time.Duration) time.Duration
+	// Sleep and Now are the loop's clock. nil selects time.Sleep and
+	// time.Now.
+	Sleep func(d time.Duration)
+	Now   func() time.Time
+}
+
+// withDefaults resolves the zero values.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	if p.Now == nil {
+		p.Now = time.Now
+	}
+	return p
+}
+
+// delay computes the backoff after the given 1-based attempt: capped
+// exponential doubling from BaseDelay, then the caller's jitter.
+func (p RetryPolicy) delay(attempt int) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < attempt && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if p.Jitter != nil {
+		d = p.Jitter(d)
+	}
+	return d
+}
+
+// RetryFetcher wraps a ChunkFetcher with the retry loop: transient
+// failures (per Transient) are re-attempted under the policy's backoff
+// schedule, everything else fails immediately. Counters expose the
+// traffic: Attempts is every try issued, Retries the tries beyond each
+// call's first, Exhausted the calls that failed with their transient
+// error after the last allowed attempt. Safe for concurrent use when the
+// inner fetcher is.
+type RetryFetcher struct {
+	inner ChunkFetcher
+	pol   RetryPolicy
+
+	attempts  atomic.Int64
+	retries   atomic.Int64
+	exhausted atomic.Int64
+}
+
+// NewRetryFetcher wraps inner under pol (zero value: 4 attempts, 10ms
+// base backoff doubling to 1s, no jitter, no deadlines).
+func NewRetryFetcher(inner ChunkFetcher, pol RetryPolicy) *RetryFetcher {
+	return &RetryFetcher{inner: inner, pol: pol.withDefaults()}
+}
+
+// retry drives op under the policy, returning its result and the attempts
+// spent. Methods route through it so ReadRange and Size share one loop.
+func retry[T any](r *RetryFetcher, op func() (T, error)) (T, int, error) {
+	var zero T
+	var deadline time.Time
+	if r.pol.Budget > 0 {
+		deadline = r.pol.Now().Add(r.pol.Budget)
+	}
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		r.attempts.Add(1)
+		out, err := runAttempt(r.pol.AttemptTimeout, op)
+		if err == nil {
+			return out, attempt, nil
+		}
+		lastErr = err
+		if !Transient(err) {
+			return zero, attempt, err
+		}
+		if attempt >= r.pol.MaxAttempts {
+			r.exhausted.Add(1)
+			return zero, attempt, fmt.Errorf("fzio: %d attempts exhausted: %w", attempt, lastErr)
+		}
+		d := r.pol.delay(attempt)
+		if !deadline.IsZero() && r.pol.Now().Add(d).After(deadline) {
+			r.exhausted.Add(1)
+			return zero, attempt, fmt.Errorf("fzio: retry budget %v exhausted after %d attempts: %w",
+				r.pol.Budget, attempt, lastErr)
+		}
+		r.retries.Add(1)
+		r.pol.Sleep(d)
+	}
+}
+
+// runAttempt runs one attempt, bounding it by timeout when one is set. A
+// timed-out attempt's goroutine is abandoned to finish in the background;
+// its late result is discarded.
+func runAttempt[T any](timeout time.Duration, op func() (T, error)) (T, error) {
+	if timeout <= 0 {
+		return op()
+	}
+	type result struct {
+		out T
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		out, err := op()
+		ch <- result{out, err}
+	}()
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case res := <-ch:
+		return res.out, res.err
+	case <-t.C:
+		var zero T
+		return zero, fmt.Errorf("%w after %v", errAttemptTimeout, timeout)
+	}
+}
+
+// ReadRange implements ChunkFetcher with retries.
+func (r *RetryFetcher) ReadRange(off int64, n int) ([]byte, error) {
+	out, _, err := r.ReadRangeAttempts(off, n)
+	return out, err
+}
+
+// ReadRangeAttempts is ReadRange additionally reporting the attempts this
+// call spent — the per-fetch accounting behind RegionStats.FetchAttempts.
+func (r *RetryFetcher) ReadRangeAttempts(off int64, n int) ([]byte, int, error) {
+	return retry(r, func() ([]byte, error) { return r.inner.ReadRange(off, n) })
+}
+
+// Size implements ChunkFetcher with retries.
+func (r *RetryFetcher) Size() (int64, error) {
+	size, _, err := retry(r, func() (int64, error) { return r.inner.Size() })
+	return size, err
+}
+
+// Attempts returns the tries issued so far, first attempts included.
+func (r *RetryFetcher) Attempts() int64 { return r.attempts.Load() }
+
+// Retries returns the tries issued beyond each call's first.
+func (r *RetryFetcher) Retries() int64 { return r.retries.Load() }
+
+// Exhausted returns the calls that failed after their last allowed
+// attempt (or after the budget ran out) with a transient error.
+func (r *RetryFetcher) Exhausted() int64 { return r.exhausted.Load() }

@@ -1,0 +1,225 @@
+package fzio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// flakyFetcher fails the first failures calls to each method with err,
+// then delegates.
+type flakyFetcher struct {
+	inner    ChunkFetcher
+	err      error
+	mu       sync.Mutex
+	failures int
+	calls    int
+}
+
+func (f *flakyFetcher) fault() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	if f.failures > 0 {
+		f.failures--
+		return f.err
+	}
+	return nil
+}
+
+func (f *flakyFetcher) ReadRange(off int64, n int) ([]byte, error) {
+	if err := f.fault(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadRange(off, n)
+}
+
+func (f *flakyFetcher) Size() (int64, error) {
+	if err := f.fault(); err != nil {
+		return 0, err
+	}
+	return f.inner.Size()
+}
+
+func TestTransientTaxonomy(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"marked transient", fmt.Errorf("wrapped: %w", ErrTransient), true},
+		{"short read", fmt.Errorf("short: %w", io.ErrUnexpectedEOF), true},
+		{"http 503", fmt.Errorf("range: %w", &HTTPStatusError{Code: 503, Status: "503 Service Unavailable"}), true},
+		{"http 500", &HTTPStatusError{Code: 500, Status: "500 Internal Server Error"}, true},
+		{"http 404", &HTTPStatusError{Code: 404, Status: "404 Not Found"}, false},
+		{"http 416", &HTTPStatusError{Code: 416, Status: "416 Range Not Satisfiable"}, false},
+		{"net timeout", &net.DNSError{Err: "timeout", IsTimeout: true}, true},
+		{"range violation", fmt.Errorf("x: %w", ErrRangeViolation), false},
+		{"crc mismatch", fmt.Errorf("x: %w", ErrCRCMismatch), false},
+		{"crc beats transient mark", fmt.Errorf("%w: %w", ErrTransient, ErrCRCMismatch), false},
+		{"plain error", errors.New("nope"), false},
+	}
+	for _, tc := range cases {
+		if got := Transient(tc.err); got != tc.want {
+			t.Errorf("Transient(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// noSleep is the injectable clock chaos tests run retries under: backoff
+// delays are recorded, not slept.
+func noSleep(t *testing.T) (func(time.Duration), *[]time.Duration) {
+	t.Helper()
+	var slept []time.Duration
+	return func(d time.Duration) { slept = append(slept, d) }, &slept
+}
+
+func TestRetryFetcherRecoversTransient(t *testing.T) {
+	blob := []byte("0123456789abcdef")
+	sleep, slept := noSleep(t)
+	flaky := &flakyFetcher{inner: NewBytesFetcher(blob), err: fmt.Errorf("%w: blip", ErrTransient), failures: 2}
+	r := NewRetryFetcher(flaky, RetryPolicy{MaxAttempts: 4, BaseDelay: 10 * time.Millisecond, Sleep: sleep})
+
+	got, attempts, err := r.ReadRangeAttempts(10, 4)
+	if err != nil {
+		t.Fatalf("ReadRangeAttempts: %v", err)
+	}
+	if string(got) != "abcd" || attempts != 3 {
+		t.Fatalf("got %q in %d attempts, want \"abcd\" in 3", got, attempts)
+	}
+	if r.Attempts() != 3 || r.Retries() != 2 || r.Exhausted() != 0 {
+		t.Fatalf("counters = %d/%d/%d, want 3/2/0", r.Attempts(), r.Retries(), r.Exhausted())
+	}
+	// Deterministic schedule without jitter: 10ms then 20ms.
+	if len(*slept) != 2 || (*slept)[0] != 10*time.Millisecond || (*slept)[1] != 20*time.Millisecond {
+		t.Fatalf("backoff schedule = %v, want [10ms 20ms]", *slept)
+	}
+}
+
+func TestRetryFetcherBackoffCapAndJitter(t *testing.T) {
+	pol := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 35 * time.Millisecond}.withDefaults()
+	for attempt, want := range map[int]time.Duration{
+		1: 10 * time.Millisecond,
+		2: 20 * time.Millisecond,
+		3: 35 * time.Millisecond, // capped
+		9: 35 * time.Millisecond,
+	} {
+		if got := pol.delay(attempt); got != want {
+			t.Errorf("delay(%d) = %v, want %v", attempt, got, want)
+		}
+	}
+	pol.Jitter = func(d time.Duration) time.Duration { return d / 2 }
+	if got := pol.delay(2); got != 10*time.Millisecond {
+		t.Errorf("jittered delay(2) = %v, want 10ms", got)
+	}
+}
+
+func TestRetryFetcherNeverRetriesFatal(t *testing.T) {
+	for _, fatal := range []error{
+		fmt.Errorf("status: %w", &HTTPStatusError{Code: 404, Status: "404 Not Found"}),
+		fmt.Errorf("verify: %w", ErrCRCMismatch),
+		fmt.Errorf("plan: %w", ErrRangeViolation),
+	} {
+		sleep, slept := noSleep(t)
+		flaky := &flakyFetcher{inner: NewBytesFetcher(make([]byte, 8)), err: fatal, failures: 99}
+		r := NewRetryFetcher(flaky, RetryPolicy{Sleep: sleep})
+		if _, err := r.ReadRange(0, 4); !errors.Is(err, fatal) && err == nil {
+			t.Fatalf("want the fatal error surfaced, got %v", err)
+		}
+		if flaky.calls != 1 || len(*slept) != 0 {
+			t.Fatalf("fatal %v: %d calls, %d sleeps — must not retry", fatal, flaky.calls, len(*slept))
+		}
+	}
+}
+
+func TestRetryFetcherExhausts(t *testing.T) {
+	sleep, _ := noSleep(t)
+	flaky := &flakyFetcher{inner: NewBytesFetcher(make([]byte, 8)), err: fmt.Errorf("%w: down", ErrTransient), failures: 99}
+	r := NewRetryFetcher(flaky, RetryPolicy{MaxAttempts: 3, Sleep: sleep})
+	_, attempts, err := r.ReadRangeAttempts(0, 4)
+	if err == nil || !Transient(err) {
+		t.Fatalf("want a transient exhaustion error, got %v", err)
+	}
+	if attempts != 3 || flaky.calls != 3 || r.Exhausted() != 1 {
+		t.Fatalf("attempts=%d calls=%d exhausted=%d, want 3/3/1", attempts, flaky.calls, r.Exhausted())
+	}
+}
+
+func TestRetryFetcherBudgetDeadline(t *testing.T) {
+	// A fake clock: every Now() call advances 1ms, every sleep its delay.
+	now := time.Unix(0, 0)
+	pol := RetryPolicy{
+		MaxAttempts: 10,
+		BaseDelay:   40 * time.Millisecond,
+		Budget:      100 * time.Millisecond,
+		Now:         func() time.Time { return now },
+		Sleep:       func(d time.Duration) { now = now.Add(d) },
+	}
+	flaky := &flakyFetcher{inner: NewBytesFetcher(make([]byte, 8)), err: fmt.Errorf("%w: down", ErrTransient), failures: 99}
+	r := NewRetryFetcher(flaky, pol)
+	_, attempts, err := r.ReadRangeAttempts(0, 4)
+	if err == nil {
+		t.Fatal("want budget-exhaustion error")
+	}
+	// Schedule: attempt 1, sleep 40ms, attempt 2, sleep 80ms would land at
+	// 120ms > 100ms budget — so exactly 2 attempts.
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (deadline-aware backoff)", attempts)
+	}
+}
+
+func TestRetryFetcherAttemptTimeout(t *testing.T) {
+	stall := make(chan struct{})
+	var once sync.Once
+	inner := fetcherFunc{
+		read: func(off int64, n int) ([]byte, error) {
+			var stalled bool
+			once.Do(func() { stalled = true })
+			if stalled {
+				<-stall // first attempt hangs until the test ends
+			}
+			return make([]byte, n), nil
+		},
+		size: func() (int64, error) { return 1 << 20, nil },
+	}
+	defer close(stall)
+	sleep, _ := noSleep(t)
+	r := NewRetryFetcher(inner, RetryPolicy{
+		MaxAttempts:    3,
+		AttemptTimeout: 20 * time.Millisecond,
+		Sleep:          sleep,
+	})
+	got, attempts, err := r.ReadRangeAttempts(0, 4)
+	if err != nil || len(got) != 4 {
+		t.Fatalf("ReadRangeAttempts = %d bytes, %v", len(got), err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (stuck attempt abandoned)", attempts)
+	}
+}
+
+func TestRetryFetcherSize(t *testing.T) {
+	sleep, _ := noSleep(t)
+	flaky := &flakyFetcher{inner: NewBytesFetcher(make([]byte, 123)), err: fmt.Errorf("%w: blip", ErrTransient), failures: 1}
+	r := NewRetryFetcher(flaky, RetryPolicy{Sleep: sleep})
+	if size, err := r.Size(); err != nil || size != 123 {
+		t.Fatalf("Size = %d, %v; want 123", size, err)
+	}
+	if r.Retries() != 1 {
+		t.Fatalf("Retries = %d, want 1", r.Retries())
+	}
+}
+
+// fetcherFunc adapts closures to ChunkFetcher.
+type fetcherFunc struct {
+	read func(off int64, n int) ([]byte, error)
+	size func() (int64, error)
+}
+
+func (f fetcherFunc) ReadRange(off int64, n int) ([]byte, error) { return f.read(off, n) }
+func (f fetcherFunc) Size() (int64, error)                       { return f.size() }

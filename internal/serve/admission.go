@@ -28,20 +28,23 @@ var ErrOverloaded = errors.New("serve: overloaded")
 // are not starved by smaller ones slipping past). Waiters beyond maxQueue
 // and waiters that outwait maxWait are shed with ErrOverloaded.
 type Admission struct {
-	budget   int
 	maxQueue int
 	maxWait  time.Duration
 
-	mu    sync.Mutex
-	inUse int
-	peak  int
-	queue []*waiter
+	mu     sync.Mutex
+	budget int // mutable: Resize hot-reloads it under mu
+	inUse  int
+	peak   int
+	queue  []*waiter
 
 	granted int64
 	queued  int64
 	shed    int64
 }
 
+// waiter.n is the width the waiter will be granted; a shrink may clamp it
+// while queued (under mu), so Acquire reads it back only after the grant
+// channel closes.
 type waiter struct {
 	n       int
 	granted chan struct{}
@@ -86,11 +89,11 @@ func (a *Admission) Acquire(ctx context.Context, n int) (*Lease, error) {
 	if n < 1 {
 		n = 1
 	}
+
+	a.mu.Lock()
 	if n > a.budget {
 		n = a.budget
 	}
-
-	a.mu.Lock()
 	if len(a.queue) == 0 && a.inUse+n <= a.budget {
 		a.grantLocked(n)
 		a.mu.Unlock()
@@ -113,16 +116,18 @@ func (a *Admission) Acquire(ctx context.Context, n int) (*Lease, error) {
 		defer t.Stop()
 		timeout = t.C
 	}
+	// After the grant channel closes, w.n is the granted width — a
+	// concurrent Resize shrink may have clamped it below the requested n.
 	select {
 	case <-w.granted:
-		return &Lease{a: a, n: n}, nil
+		return &Lease{a: a, n: w.n}, nil
 	case <-timeout:
 		if a.abandon(w, true) {
 			return nil, fmt.Errorf("%w: queued longer than %v", ErrOverloaded, a.maxWait)
 		}
 		// The grant raced the timeout; it is ours, so run with it.
 		<-w.granted
-		return &Lease{a: a, n: n}, nil
+		return &Lease{a: a, n: w.n}, nil
 	case <-ctx.Done():
 		if a.abandon(w, false) {
 			return nil, ctx.Err()
@@ -130,7 +135,7 @@ func (a *Admission) Acquire(ctx context.Context, n int) (*Lease, error) {
 		// Granted concurrently with cancellation — the caller is leaving,
 		// hand the workers straight back.
 		<-w.granted
-		a.release(n)
+		a.release(w.n)
 		return nil, ctx.Err()
 	}
 }
@@ -167,6 +172,16 @@ func (a *Admission) abandon(w *waiter, shed bool) bool {
 func (a *Admission) release(n int) {
 	a.mu.Lock()
 	a.inUse -= n
+	grants := a.grantFittingLocked()
+	a.mu.Unlock()
+	for _, w := range grants {
+		close(w.granted)
+	}
+}
+
+// grantFittingLocked dequeues waiters from the head while their leases
+// fit the budget, returning them for the caller to signal outside mu.
+func (a *Admission) grantFittingLocked() []*waiter {
 	var grants []*waiter
 	for len(a.queue) > 0 {
 		w := a.queue[0]
@@ -177,6 +192,26 @@ func (a *Admission) release(n int) {
 		a.queue = a.queue[1:]
 		grants = append(grants, w)
 	}
+	return grants
+}
+
+// Resize hot-reloads the worker budget without dropping queued requests.
+// Growing immediately grants queued waiters that now fit; shrinking takes
+// effect as leases release (outstanding leases are never revoked) and
+// clamps queued waiters' widths to the new budget so none is starved by
+// asking for more workers than will ever exist again.
+func (a *Admission) Resize(budget int) {
+	if budget < 1 {
+		budget = 1
+	}
+	a.mu.Lock()
+	a.budget = budget
+	for _, w := range a.queue {
+		if w.n > budget {
+			w.n = budget
+		}
+	}
+	grants := a.grantFittingLocked()
 	a.mu.Unlock()
 	for _, w := range grants {
 		close(w.granted)
@@ -184,7 +219,11 @@ func (a *Admission) release(n int) {
 }
 
 // Budget returns the total leasable workers.
-func (a *Admission) Budget() int { return a.budget }
+func (a *Admission) Budget() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.budget
+}
 
 // InUse returns the workers currently leased.
 func (a *Admission) InUse() int {

@@ -81,6 +81,7 @@ type Batcher struct {
 	gen     int // bumps on every flush; stale timers no-op
 	timer   *time.Timer
 	closed  bool
+	runs    sync.WaitGroup // in-flight run goroutines; close waits them out
 
 	flushSize atomic.Int64
 	flushWait atomic.Int64
@@ -151,10 +152,17 @@ func (b *Batcher) flushLocked(trigger *atomic.Int64) {
 	for _, it := range items {
 		it.timing.Flushed = now
 	}
-	go b.run(items)
+	b.runs.Add(1)
+	go func() {
+		defer b.runs.Done()
+		b.run(items)
+	}()
 }
 
-// close flushes whatever is pending and refuses further enqueues.
+// close flushes whatever is pending, refuses further enqueues, and waits
+// for every in-flight batch run to deliver its results — after close
+// returns, the batcher owns no goroutines and its max-wait timer is
+// stopped.
 func (b *Batcher) close() {
 	b.mu.Lock()
 	if !b.closed {
@@ -162,6 +170,7 @@ func (b *Batcher) close() {
 		b.flushLocked(&b.flushSize)
 	}
 	b.mu.Unlock()
+	b.runs.Wait()
 }
 
 // FlushesBySize and FlushesByWait report how many batches each trigger

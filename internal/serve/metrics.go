@@ -105,6 +105,19 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "fzmodd_slab_cache_evictions_total %d\n", cs.Evictions)
 	fmt.Fprintf(w, "# TYPE fzmodd_slab_cache_bytes gauge\n")
 	fmt.Fprintf(w, "fzmodd_slab_cache_bytes %d\n", cs.Bytes)
+	fmt.Fprintf(w, "# HELP fzmodd_slab_singleflight_dedup_total Chunk decodes served by another reader's in-flight decode.\n")
+	fmt.Fprintf(w, "# TYPE fzmodd_slab_singleflight_dedup_total counter\n")
+	fmt.Fprintf(w, "fzmodd_slab_singleflight_dedup_total %d\n", cs.DedupHits)
+	fmt.Fprintf(w, "# HELP fzmodd_slab_flights In-progress chunk decodes.\n")
+	fmt.Fprintf(w, "# TYPE fzmodd_slab_flights gauge\n")
+	fmt.Fprintf(w, "fzmodd_slab_flights %d\n", cs.Flights)
+
+	fmt.Fprintf(w, "# HELP fzmodd_draining Whether the server is draining (1) or serving (0).\n")
+	fmt.Fprintf(w, "# TYPE fzmodd_draining gauge\n")
+	fmt.Fprintf(w, "fzmodd_draining %d\n", b2i(s.draining.Load()))
+	fmt.Fprintf(w, "# HELP fzmodd_inflight_requests Data-plane requests currently executing.\n")
+	fmt.Fprintf(w, "# TYPE fzmodd_inflight_requests gauge\n")
+	fmt.Fprintf(w, "fzmodd_inflight_requests %d\n", s.InFlight())
 
 	fmt.Fprintf(w, "# TYPE fzmodd_kernel_launches_total counter\n")
 	fmt.Fprintf(w, "fzmodd_kernel_launches_total %d\n", snap.KernelLaunches)
@@ -120,6 +133,13 @@ func ratio(raw, compressed int64) float64 {
 		return 0
 	}
 	return float64(raw) / float64(compressed)
+}
+
+func b2i(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
 }
 
 func ratio64(num, den int64) float64 {

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fzmod/internal/core"
@@ -119,6 +120,14 @@ type Server struct {
 	met   metrics
 	mux   *http.ServeMux
 
+	// Drain lifecycle: once draining flips, data-plane requests are
+	// refused with 503 + Retry-After while control endpoints (/healthz,
+	// /readyz, /metrics, /v1/admin/*) stay up; inflight tracks data-plane
+	// requests still executing so Drain can wait them out.
+	draining  atomic.Bool
+	inflight  sync.WaitGroup
+	inflightN atomic.Int64
+
 	objMu   sync.RWMutex
 	objects map[string][]byte
 }
@@ -142,12 +151,72 @@ func New(p *device.Platform, cfg Config) *Server {
 	mux.HandleFunc("/v1/objects/", s.handleObjects)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/v1/admin/budget", s.handleAdminBudget)
 	s.mux = mux
 	return s
 }
 
-// Handler returns the daemon's HTTP surface.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the daemon's HTTP surface: the route mux behind the
+// drain gate, which refuses data-plane work on a draining server and
+// tracks in-flight requests for Drain to wait on.
+func (s *Server) Handler() http.Handler { return http.HandlerFunc(s.serveHTTP) }
+
+// controlPath reports whether p is a control endpoint that must stay
+// reachable while draining — health, readiness, metrics and admin.
+func controlPath(p string) bool {
+	return p == "/healthz" || p == "/readyz" || p == "/metrics" ||
+		strings.HasPrefix(p, "/v1/admin/")
+}
+
+// serveHTTP is the drain gate in front of the mux.
+func (s *Server) serveHTTP(w http.ResponseWriter, r *http.Request) {
+	if controlPath(r.URL.Path) {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	if s.draining.Load() {
+		s.met.errShed.Add(1)
+		w.Header().Set("Retry-After", retryAfterSecs)
+		http.Error(w, "server draining", http.StatusServiceUnavailable)
+		return
+	}
+	s.inflight.Add(1)
+	s.inflightN.Add(1)
+	defer func() {
+		s.inflightN.Add(-1)
+		s.inflight.Done()
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// InFlight returns the data-plane requests currently executing.
+func (s *Server) InFlight() int64 { return s.inflightN.Load() }
+
+// Drain gracefully shuts the server down: stop accepting data-plane
+// requests (503 + Retry-After; /readyz flips not-ready), flush the
+// batcher and wait for its runs to deliver, then wait for every in-flight
+// request to finish. The ctx deadline bounds the wait; on expiry Drain
+// returns the ctx error with requests still in flight. Idempotent —
+// later calls wait on the same shutdown.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.batch.close()   // flush pending items; wait for batch runs
+		s.inflight.Wait() // wait for every admitted request
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain deadline with %d requests in flight: %w", s.InFlight(), ctx.Err())
+	}
+}
 
 // Platform returns the shared execution platform (its Snapshot feeds
 // load-test reports).
@@ -157,7 +226,8 @@ func (s *Server) Platform() *device.Platform { return s.p }
 // counters).
 func (s *Server) Admission() *Admission { return s.adm }
 
-// Close drains the batcher; in-flight requests finish on their own.
+// Close flushes the batcher and waits for its runs; in-flight requests
+// finish on their own. Prefer Drain for a full graceful shutdown.
 func (s *Server) Close() { s.batch.close() }
 
 // reqCtx derives the request execution context, applying the configured
@@ -169,15 +239,24 @@ func (s *Server) reqCtx(r *http.Request) (context.Context, context.CancelFunc) {
 	return r.Context(), func() {}
 }
 
+// retryAfterSecs is the Retry-After hint on every 429/503: long enough
+// for a load balancer to rotate away, short enough that a retrying client
+// rides out a transient overload.
+const retryAfterSecs = "1"
+
 // fail maps an execution error onto its status class: 429 for admission
-// shed, 503 for canceled/expired requests, 500 otherwise.
+// shed, 503 for canceled/expired requests, 500 otherwise. The retryable
+// classes (429, 503) carry Retry-After so well-behaved clients back off
+// instead of hammering an overloaded or draining daemon.
 func (s *Server) fail(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrOverloaded) || errors.Is(err, ErrClosed):
 		s.met.errShed.Add(1)
+		w.Header().Set("Retry-After", retryAfterSecs)
 		http.Error(w, err.Error(), http.StatusTooManyRequests)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		s.met.errCanceled.Add(1)
+		w.Header().Set("Retry-After", retryAfterSecs)
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	default:
 		s.met.errInternal.Add(1)
@@ -692,6 +771,8 @@ func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request, name strin
 		h.Set("X-Fzmod-Region-Chunks", strconv.Itoa(rep.Region.Chunks))
 		h.Set("X-Fzmod-Region-Decoded", strconv.Itoa(rep.Region.Decoded))
 		h.Set("X-Fzmod-Region-Cache-Hits", strconv.Itoa(rep.Region.CacheHits))
+		h.Set("X-Fzmod-Region-Dedup-Hits", strconv.Itoa(rep.Region.DedupHits))
+		h.Set("X-Fzmod-Region-Fetch-Attempts", strconv.FormatInt(rep.Region.FetchAttempts, 10))
 	}
 	s.writeField(w, vals, sel.Dims())
 }
@@ -702,7 +783,47 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.writeMetrics(w)
 }
 
-// handleHealthz reports liveness.
+// handleHealthz reports liveness: 200 as long as the process serves HTTP,
+// draining or not — a draining daemon is alive, just not ready.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	io.WriteString(w, "ok\n")
+}
+
+// handleReadyz reports readiness for new work: 503 once draining so load
+// balancers rotate the instance out while in-flight requests complete.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", retryAfterSecs)
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	io.WriteString(w, "ready\n")
+}
+
+// handleAdminBudget serves POST /v1/admin/budget?workers=N: hot-reload
+// the admission controller's worker budget without dropping queued
+// requests (growth grants queued waiters immediately; shrink takes
+// effect as leases release). GET returns the current budget. The same
+// reload path backs SIGHUP in cmd/fzmodd.
+func (s *Server) handleAdminBudget(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		// fallthrough to the response below
+	case http.MethodPost:
+		n, err := strconv.Atoi(r.URL.Query().Get("workers"))
+		if err != nil || n < 1 {
+			s.badRequest(w, "workers %q: want a positive integer", r.URL.Query().Get("workers"))
+			return
+		}
+		s.adm.Resize(n)
+	default:
+		http.Error(w, "GET or POST", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"budget": s.adm.Budget(),
+		"in_use": s.adm.InUse(),
+		"queued": s.adm.QueueDepth(),
+	})
 }

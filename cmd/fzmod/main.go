@@ -8,8 +8,10 @@
 //	       [-chunk elems] [-workers n] [-v]
 //	fzmod -z  -stream -i data.f32 -o data.fzs -dims 512x512x512 -eb 1e-3 -mode abs [-window n]
 //	fzmod -d  -i data.fz  -o back.f32 [-v]
-//	fzmod -d  -region 0:64,0:64,8:16 -i data.fz -o sub.f32
+//	fzmod -d  -region 0:64,0:64,8:16 [-proofs] -i data.fz -o sub.f32
 //	fzmod -probe -i data.fz
+//	fzmod -verify  -i data.fzc
+//	fzmod -salvage -i damaged.fzc -o recovered.fzc
 //
 // After -z the tool verifies the roundtrip and prints CR, bitrate, PSNR
 // and the measured throughput. -chunk and -workers drive the concurrent
@@ -36,7 +38,18 @@
 // decoded (trailing axes may be omitted and span their full extent).
 // The input must be random-access — a local file or an http(s):// URL
 // served with Range support — so "-i -" is rejected. See docs/FORMAT.md
-// for the container layout that makes this possible.
+// for the container layout that makes this possible. -proofs forces
+// Merkle proof verification of every fetched chunk (it is automatic over
+// http(s) inputs); tampered bytes are refused with a proof mismatch even
+// when the chunk CRC32 collides.
+//
+// -verify (without -z, -d or -probe) is the integrity audit: the whole
+// artifact is walked, every chunk is checked against its recorded CRC32
+// and (on version ≥ 2 containers) its Merkle leaf hash, and the exit
+// status is nonzero when any chunk is damaged — naming the chunk.
+// -salvage rebuilds a fully valid chunked container from every intact
+// chunk of a damaged artifact; recovered payloads are bit-identical to
+// the originals.
 package main
 
 import (
@@ -74,7 +87,13 @@ type config struct {
 	stream                      bool
 	window                      int
 	region                      string
+	proofs                      bool
+	salvage                     bool
 	verbose                     bool
+	// verifyArtifact selects the integrity-audit mode: -verify given
+	// explicitly with none of -z/-d/-probe/-salvage (main detects the
+	// explicit flag via flag.Visit; tests set this field directly).
+	verifyArtifact bool
 
 	stdin  io.Reader
 	stdout io.Writer
@@ -99,8 +118,20 @@ func main() {
 	flag.BoolVar(&cfg.stream, "stream", false, "stream out-of-core: bounded-memory compression/decompression over files or pipes")
 	flag.IntVar(&cfg.window, "window", 0, "streaming: max slabs in flight (0 = default)")
 	flag.StringVar(&cfg.region, "region", "", "decompress only the subvolume i0:i1,j0:j1,k0:k1 (half-open, x fastest; needs a seekable -i)")
+	flag.BoolVar(&cfg.proofs, "proofs", false, "region reads: verify every fetched chunk against the container's Merkle root (automatic for http(s) inputs)")
+	flag.BoolVar(&cfg.salvage, "salvage", false, "rebuild a valid chunked container from every intact chunk of a damaged artifact")
 	flag.BoolVar(&cfg.verbose, "v", false, "print the executor report (tasks, overlap, pool hit rate)")
 	flag.Parse()
+	// -verify alone (no -z/-d/-probe/-salvage) is the artifact integrity
+	// audit rather than the post-compress roundtrip check the same flag
+	// gates after -z.
+	if !cfg.compress && !cfg.decompress && !cfg.probe && !cfg.salvage {
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "verify" {
+				cfg.verifyArtifact = true
+			}
+		})
+	}
 	cfg.stdin = os.Stdin
 	cfg.stdout = os.Stdout
 	cfg.stderr = os.Stderr
@@ -185,11 +216,18 @@ func run(cfg config) error {
 	if cfg.region != "" && !cfg.decompress {
 		return fmt.Errorf("-region only applies to decompression (-d)")
 	}
+	if cfg.proofs && cfg.region == "" {
+		return fmt.Errorf("-proofs only applies to region reads (-d -region)")
+	}
 	p := fzmod.NewPlatform()
 
 	switch {
 	case cfg.probe:
 		return probe(cfg)
+	case cfg.salvage:
+		return salvageArtifact(cfg)
+	case cfg.verifyArtifact:
+		return verifyArtifact(cfg)
 	case cfg.compress:
 		if cfg.stream {
 			return compressStream(cfg, p)
@@ -198,7 +236,107 @@ func run(cfg config) error {
 	case cfg.decompress:
 		return decompress(cfg, p)
 	}
-	return fmt.Errorf("one of -z, -d, -probe is required")
+	return fmt.Errorf("one of -z, -d, -probe, -verify, -salvage is required")
+}
+
+// openFetcher resolves -i to a random-access ChunkFetcher: an HTTP range
+// fetcher for http(s) URLs, a file fetcher otherwise. The cleanup closes
+// the file when there is one.
+func openFetcher(in string) (fzmod.ChunkFetcher, bool, func(), error) {
+	if in == "-" {
+		return nil, false, nil, fmt.Errorf("random access needed; -i - (stdin) cannot seek")
+	}
+	if strings.HasPrefix(in, "http://") || strings.HasPrefix(in, "https://") {
+		return fzmod.NewHTTPFetcher(in, nil), true, func() {}, nil
+	}
+	f, err := fzmod.NewFileFetcher(in)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	cleanup := func() {}
+	if c, ok := f.(io.Closer); ok {
+		cleanup = func() { c.Close() }
+	}
+	return f, false, cleanup, nil
+}
+
+// verifyArtifact is the integrity audit: survey the whole artifact,
+// report every chunk's verdict, and fail (nonzero exit) when any chunk
+// is damaged or the container-level integrity facts do not hold.
+func verifyArtifact(cfg config) error {
+	fetcher, _, cleanup, err := openFetcher(cfg.in)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	s, err := fzmod.SurveyArtifact(fetcher)
+	if err != nil {
+		return err
+	}
+	w := cfg.stdout
+	fmt.Fprintf(w, "pipeline:  %s (%s)\ndims:      %v\nchunks:    %d\n",
+		s.Header.Pipeline, s.Flavor, s.Header.Dims, len(s.Chunks))
+	switch {
+	case s.Root == nil:
+		fmt.Fprintf(w, "merkle:    none (format v1 or monolithic; CRC32 only)\n")
+	case s.RootVerified:
+		fmt.Fprintf(w, "merkle:    root verified (%x…)\n", s.Root[:8])
+	default:
+		fmt.Fprintf(w, "merkle:    ROOT MISMATCH (index tampered or damaged)\n")
+	}
+	var damaged []string
+	for _, sc := range s.Chunks {
+		if sc.State == fzmod.ChunkIntact {
+			fmt.Fprintf(w, "  chunk %-3d %s\n", sc.Index, sc.State)
+			continue
+		}
+		fmt.Fprintf(w, "  chunk %-3d %s: %s\n", sc.Index, sc.State, sc.Detail)
+		damaged = append(damaged, fmt.Sprintf("chunk %d %s (%s)", sc.Index, sc.State, sc.Detail))
+	}
+	if s.Truncated {
+		fmt.Fprintf(w, "artifact:  TRUNCATED\n")
+	}
+	if s.Damaged() {
+		if len(damaged) == 0 {
+			return fmt.Errorf("artifact damaged: container-level integrity failure (truncation or root mismatch)")
+		}
+		return fmt.Errorf("artifact damaged: %s", strings.Join(damaged, "; "))
+	}
+	fmt.Fprintf(w, "artifact:  OK (%d/%d chunks intact)\n", s.Intact(), len(s.Chunks))
+	return nil
+}
+
+// salvageArtifact rebuilds a valid chunked container from every intact
+// chunk of a damaged artifact. Succeeds (exit 0) whenever at least one
+// chunk was recoverable; the report says what was lost.
+func salvageArtifact(cfg config) error {
+	fetcher, _, cleanup, err := openFetcher(cfg.in)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	blob, s, err := fzmod.SalvageChunked(fetcher)
+	if err != nil {
+		return err
+	}
+	if cfg.out == "" {
+		cfg.out = cfg.in + ".salvaged"
+	}
+	if err := cfg.writeOut(func(w io.Writer) error {
+		_, err := w.Write(blob)
+		return err
+	}); err != nil {
+		return err
+	}
+	st := cfg.status()
+	fmt.Fprintf(st, "salvaged %d/%d chunks of %s artifact → %s (%d bytes)\n",
+		s.Intact(), len(s.Chunks), s.Flavor, cfg.out, len(blob))
+	for _, sc := range s.Chunks {
+		if sc.State != fzmod.ChunkIntact {
+			fmt.Fprintf(st, "  lost chunk %d (%s: %s)\n", sc.Index, sc.State, sc.Detail)
+		}
+	}
+	return nil
 }
 
 func compressInMemory(cfg config, p *fzmod.Platform) error {
@@ -417,24 +555,12 @@ func decompress(cfg config, p *fzmod.Platform) error {
 // slab chunks intersecting -region are decoded, and only the selected
 // subvolume is written out.
 func decompressRegion(cfg config, p *fzmod.Platform) error {
-	if cfg.in == "-" {
-		return fmt.Errorf("-region needs random access; -i - (stdin) cannot seek")
+	fetcher, isHTTP, cleanup, err := openFetcher(cfg.in)
+	if err != nil {
+		return err
 	}
-	isHTTP := strings.HasPrefix(cfg.in, "http://") || strings.HasPrefix(cfg.in, "https://")
-	var fetcher fzmod.ChunkFetcher
-	if isHTTP {
-		fetcher = fzmod.NewHTTPFetcher(cfg.in, nil)
-	} else {
-		f, err := fzmod.NewFileFetcher(cfg.in)
-		if err != nil {
-			return err
-		}
-		if c, ok := f.(io.Closer); ok {
-			defer c.Close()
-		}
-		fetcher = f
-	}
-	region, err := fzmod.OpenRegion(p, fetcher, fzmod.RegionOpts{Workers: cfg.workers})
+	defer cleanup()
+	region, err := fzmod.OpenRegion(p, fetcher, fzmod.RegionOpts{Workers: cfg.workers, VerifyProofs: cfg.proofs})
 	if err != nil {
 		return err
 	}
@@ -473,7 +599,8 @@ func decompressRegion(cfg config, p *fzmod.Platform) error {
 		sel, region.Dims(), len(data), rs.Decoded, rs.Chunks,
 		metrics.Throughput(4*len(data), sec), out)
 	if cfg.verbose {
-		fmt.Fprintf(cfg.status(), "  fetched %d payload bytes, %d cache hits\n", rs.PayloadBytes, rs.CacheHits)
+		fmt.Fprintf(cfg.status(), "  fetched %d payload bytes, %d cache hits, %d proofs verified\n",
+			rs.PayloadBytes, rs.CacheHits, rs.ProofVerified)
 	}
 	return nil
 }

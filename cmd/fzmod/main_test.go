@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 	"testing"
 
 	"fzmod/internal/device"
+	"fzmod/internal/fzio"
 	"fzmod/internal/grid"
 	"fzmod/internal/sdrbench"
 )
@@ -316,5 +318,126 @@ func TestCLINoPartialOutputOnFailure(t *testing.T) {
 	}
 	if _, err := os.Stat(back); !os.IsNotExist(err) {
 		t.Errorf("partial output left behind: stat err %v", err)
+	}
+}
+
+// TestCLIVerifyAndSalvage: the integrity-audit flow end to end — a clean
+// artifact verifies OK; one flipped payload byte makes -verify exit
+// nonzero naming the damaged chunk; -salvage rebuilds a valid container
+// from the survivors that round-trips through a normal decompress.
+func TestCLIVerifyAndSalvage(t *testing.T) {
+	in, dims, _ := writeField(t)
+	fz := filepath.Join(t.TempDir(), "field.fzc")
+	if err := run(config{
+		compress: true, in: in, out: fz,
+		dims: "16x16x12", eb: 1e-3, mode: "rel",
+		pipeline: "default", chunk: 16 * 16 * 3, // 4 slab chunks
+		stdout: io.Discard,
+	}); err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+
+	var out bytes.Buffer
+	if err := run(config{verifyArtifact: true, in: fz, stdout: &out}); err != nil {
+		t.Fatalf("verify of a clean artifact: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "root verified") || !strings.Contains(out.String(), "OK (4/4 chunks intact)") {
+		t.Errorf("clean verify output: %q", out.String())
+	}
+
+	// Flip one payload byte of chunk 2.
+	blob, err := os.ReadFile(fz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := fzio.FetchIndex(fzio.NewBytesFetcher(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[ix.Chunks[2].Offset+7] ^= 0x08
+	damaged := filepath.Join(t.TempDir(), "damaged.fzc")
+	if err := os.WriteFile(damaged, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	err = run(config{verifyArtifact: true, in: damaged, stdout: &out})
+	if err == nil {
+		t.Fatalf("verify of a damaged artifact succeeded:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "chunk 2") {
+		t.Errorf("verify error does not name the damaged chunk: %v", err)
+	}
+	if !strings.Contains(out.String(), "chunk 2   corrupt") {
+		t.Errorf("verify output: %q", out.String())
+	}
+
+	// Salvage: survivors rebuilt into a valid container that verifies and
+	// decompresses normally.
+	recovered := filepath.Join(t.TempDir(), "recovered.fzc")
+	out.Reset()
+	if err := run(config{salvage: true, in: damaged, out: recovered, stdout: &out}); err != nil {
+		t.Fatalf("salvage: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "salvaged 3/4 chunks") || !strings.Contains(out.String(), "lost chunk 2") {
+		t.Errorf("salvage output: %q", out.String())
+	}
+	out.Reset()
+	if err := run(config{verifyArtifact: true, in: recovered, stdout: &out}); err != nil {
+		t.Fatalf("verify of the salvaged artifact: %v\n%s", err, out.String())
+	}
+	back := filepath.Join(t.TempDir(), "back.f32")
+	if err := run(config{decompress: true, in: recovered, out: back, stdout: io.Discard}); err != nil {
+		t.Fatalf("decompressing the salvaged artifact: %v", err)
+	}
+	if got := readF32File(t, back); len(got) != 16*16*9 {
+		t.Errorf("salvaged decode has %d values, want %d (9 surviving planes)", len(got), 16*16*9)
+	}
+	_ = dims
+}
+
+// A proof-checked region read over a CRC-collision-tampered store must
+// refuse with the proof error, not a CRC or decode error.
+func TestCLIRegionProofs(t *testing.T) {
+	in, _, _ := writeField(t)
+	fz := filepath.Join(t.TempDir(), "field.fzc")
+	if err := run(config{
+		compress: true, in: in, out: fz,
+		dims: "16x16x12", eb: 1e-3, mode: "rel",
+		pipeline: "default", chunk: 16 * 16 * 3,
+		stdout: io.Discard,
+	}); err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+	blob, err := os.ReadFile(fz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := fzio.FetchIndex(fzio.NewBytesFetcher(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := ix.Chunks[1]
+	if !fzio.CorruptPreservingCRC32(blob[ref.Offset:ref.Offset+ref.Length], 3) {
+		t.Fatal("could not build a CRC-preserving tamper")
+	}
+	tampered := filepath.Join(t.TempDir(), "tampered.fzc")
+	if err := os.WriteFile(tampered, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sub := filepath.Join(t.TempDir(), "sub.f32")
+	err = run(config{
+		decompress: true, region: "0:16,0:16,0:12", proofs: true,
+		in: tampered, out: sub, stdout: io.Discard,
+	})
+	if err == nil {
+		t.Fatal("proof-checked read of a tampered store succeeded")
+	}
+	if !errors.Is(err, fzio.ErrProofMismatch) {
+		t.Fatalf("got %v, want ErrProofMismatch", err)
+	}
+	// -proofs outside a region read is a usage error.
+	if err := run(config{decompress: true, proofs: true, in: fz, out: sub, stdout: io.Discard}); err == nil {
+		t.Fatal("-proofs without -region accepted")
 	}
 }

@@ -350,3 +350,71 @@ func CompressionRatio(inputBytes, compressedBytes int) float64 {
 func OverallSpeedup(throughputGBs, bandwidthGBs, ratio float64) float64 {
 	return metrics.OverallSpeedup(throughputGBs, bandwidthGBs, ratio)
 }
+
+// Verifiable integrity and salvage. Version ≥ 2 chunked (FZMC) and
+// streamed (FZMS) artifacts carry a SHA-256 Merkle tree over their chunk
+// payloads: the per-chunk leaf hashes live in the chunk table, the root
+// after it, so a reader can prove any fetched payload belongs to the
+// artifact without trusting the byte transport. Region reads verify
+// proofs automatically over HTTP-backed fetchers (opt in elsewhere with
+// Opts.VerifyProofs) and refuse tampered bytes with ErrProofMismatch —
+// even bytes a 32-bit CRC collision would let through. For artifacts
+// that are already damaged, SurveyArtifact classifies every chunk,
+// SalvageChunked rebuilds a valid container from the intact ones, and
+// DecompressSalvage decodes what survived behind a DamageMask.
+
+// ErrProofMismatch marks bytes that contradict a container's Merkle
+// tree: a fetched payload whose inclusion proof does not fold to the
+// recorded root, or an index whose root disagrees with its own entries.
+// Never retried (the stored bytes are wrong; refetching cannot help).
+var ErrProofMismatch = fzio.ErrProofMismatch
+
+// ErrCRCMismatch marks a payload whose CRC32 contradicts the container
+// index — corruption detected before decode, never retried.
+var ErrCRCMismatch = fzio.ErrCRCMismatch
+
+type (
+	// Survey is the damage report of one artifact: per-chunk intact /
+	// corrupt / missing verdicts plus container-level facts (Merkle root
+	// verification, truncation). Produce one with SurveyArtifact.
+	Survey = fzio.Survey
+	// SurveyChunk is one chunk's salvage verdict within a Survey.
+	SurveyChunk = fzio.SurveyChunk
+	// DamageMask records which planes of a salvage-read field are real
+	// and which are zero-filled fabrication (see DecompressSalvage).
+	DamageMask = core.DamageMask
+)
+
+// Chunk survey states, as reported in SurveyChunk.State.
+const (
+	// ChunkIntact marks a chunk that passes every integrity check its
+	// artifact carries.
+	ChunkIntact = fzio.ChunkIntact
+	// ChunkCorrupt marks a chunk present but failing an integrity check.
+	ChunkCorrupt = fzio.ChunkCorrupt
+	// ChunkMissing marks a chunk lying (at least partly) beyond the end
+	// of a truncated artifact.
+	ChunkMissing = fzio.ChunkMissing
+)
+
+// SurveyArtifact walks the whole artifact behind f and classifies every
+// chunk as intact, corrupt or missing, tolerating damage the normal
+// readers refuse (truncated payloads, tampered roots, cut trailers).
+// Errors only when nothing at all is recoverable.
+func SurveyArtifact(f ChunkFetcher) (*Survey, error) { return fzio.SurveyArtifact(f) }
+
+// SalvageChunked rebuilds a fully valid chunked (FZMC) container from
+// every intact chunk of the damaged artifact behind f; recovered chunk
+// payloads are bit-identical to the originals, and the rebuilt container
+// carries fresh CRCs, leaf hashes and Merkle root over the survivors.
+// The Survey reports what made it and what was lost.
+func SalvageChunked(f ChunkFetcher) ([]byte, *Survey, error) { return fzio.SalvageChunked(f) }
+
+// DecompressSalvage decodes whatever survives of a damaged artifact at
+// its full recorded geometry: planes covered by intact chunks decode
+// normally, damaged or missing planes come back zero-filled, and the
+// DamageMask says which is which. Values are never silently wrong — the
+// mask is the only place uncertainty lives.
+func DecompressSalvage(p *Platform, f ChunkFetcher, opts DecompressOpts) ([]float32, *DamageMask, error) {
+	return core.DecompressSalvage(p, f, opts)
+}

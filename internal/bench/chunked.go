@@ -82,6 +82,10 @@ type ChunkedRow struct {
 	FaultRate     float64 `json:"fault_rate,omitempty"`
 	FetchAttempts int64   `json:"fetch_attempts,omitempty"`
 	FetchRetries  int64   `json:"fetch_retries,omitempty"`
+	// ProofVerifications counts chunk payloads that passed Merkle
+	// inclusion verification during the row's reads (faults rows only;
+	// omitempty keeps historical baselines comparable, so gates skip it).
+	ProofVerifications int64 `json:"proof_verifications,omitempty"`
 }
 
 // ChunkedReport is the machine-readable result of the chunked-executor

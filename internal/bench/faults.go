@@ -71,7 +71,7 @@ func FaultsComparisonReport(w io.Writer, p *device.Platform, sc Scale) (*Chunked
 	sel := core.FullRegion(dims)
 	row := func(name string, errorRate, truncateRate float64, seed int64) error {
 		var best float64
-		var attempts, retries int64
+		var attempts, retries, proofs int64
 		for pass := 0; pass < 2; pass++ {
 			faulty := fzio.NewFaultFetcher(fzio.NewBytesFetcher(blob), fzio.FaultConfig{
 				Seed:         seed + int64(pass),
@@ -83,7 +83,7 @@ func FaultsComparisonReport(w io.Writer, p *device.Platform, sc Scale) (*Chunked
 				Sleep:       func(time.Duration) {}, // measure decode cost, not backoff
 			})
 			t0 := time.Now()
-			out, rep, err := core.DecompressRegionReport(p, retrying, sel, core.RegionOpts{})
+			out, rep, err := core.DecompressRegionReport(p, retrying, sel, core.RegionOpts{VerifyProofs: true})
 			sec := time.Since(t0).Seconds()
 			if err != nil {
 				return fmt.Errorf("%s: %w", name, err)
@@ -93,23 +93,27 @@ func FaultsComparisonReport(w io.Writer, p *device.Platform, sc Scale) (*Chunked
 					return fmt.Errorf("%s: byte-diverged at element %d under faults", name, i)
 				}
 			}
-			attempts, retries = rep.Region.FetchAttempts, rep.Region.FetchRetries
+			attempts, retries, proofs = rep.Region.FetchAttempts, rep.Region.FetchRetries, rep.Region.ProofVerified
 			if errorRate > 0 && retries == 0 {
 				return fmt.Errorf("%s: no retries at a %g fault rate — injector inert", name, errorRate)
+			}
+			if proofs == 0 {
+				return fmt.Errorf("%s: no proof verifications on a Merkle-rooted container", name)
 			}
 			if pass == 0 || sec < best {
 				best = sec
 			}
 		}
 		r := ChunkedRow{
-			Executor:      name,
-			GoMaxProcs:    report.GoMaxProcs,
-			Workers:       report.GoMaxProcs,
-			Chunks:        8,
-			DecGBs:        metrics.Throughput(4*len(full), best),
-			FaultRate:     errorRate,
-			FetchAttempts: attempts,
-			FetchRetries:  retries,
+			Executor:           name,
+			GoMaxProcs:         report.GoMaxProcs,
+			Workers:            report.GoMaxProcs,
+			Chunks:             8,
+			DecGBs:             metrics.Throughput(4*len(full), best),
+			FaultRate:          errorRate,
+			FetchAttempts:      attempts,
+			FetchRetries:       retries,
+			ProofVerifications: proofs,
 		}
 		report.Rows = append(report.Rows, r)
 		fmt.Fprintf(w, "%-12s %9.0f%% %10.3f %10d %10d\n",
@@ -140,5 +144,21 @@ func FaultsComparisonReport(w io.Writer, p *device.Platform, sc Scale) (*Chunked
 		return nil, fmt.Errorf("bench: CRC failures were retried %d times", corrupting.Retries())
 	}
 	fmt.Fprintf(w, "%-12s corruption refused with CRC mismatch, 0 retries\n", "faults-crc")
+
+	// The adversarial tier: corruption crafted to preserve CRC32 slips
+	// past the checksum and must be caught one layer up, by Merkle proof
+	// verification — again without retries, since a proof mismatch is as
+	// permanent as a CRC one.
+	colliding := fzio.NewRetryFetcher(
+		fzio.NewFaultFetcher(fzio.NewBytesFetcher(blob), fzio.FaultConfig{Seed: 23, CollideCRCRate: 1}),
+		fzio.RetryPolicy{MaxAttempts: 16, Sleep: func(time.Duration) {}})
+	if _, err := core.DecompressRegion(p, colliding, sel, core.RegionOpts{VerifyProofs: true}); err == nil {
+		return nil, errors.New("bench: CRC-colliding corruption decoded silently")
+	} else if !errors.Is(err, fzio.ErrProofMismatch) {
+		return nil, fmt.Errorf("bench: CRC-colliding corruption failed with %w, want a proof mismatch", err)
+	} else if colliding.Retries() != 0 {
+		return nil, fmt.Errorf("bench: proof failures were retried %d times", colliding.Retries())
+	}
+	fmt.Fprintf(w, "%-12s CRC-colliding corruption refused with proof mismatch, 0 retries\n", "faults-proof")
 	return report, nil
 }

@@ -42,6 +42,17 @@ type Opts struct {
 	// disables caching: every read decodes the chunks it needs. Entry
 	// points other than the region read path ignore it.
 	Cache *SlabCache
+
+	// VerifyProofs makes region reads check every fetched chunk payload
+	// against the container's Merkle root (fzio.ContainerIndex.VerifyProof)
+	// before decoding it, refusing tampered bytes with
+	// fzio.ErrProofMismatch even when the 32-bit chunk CRC happens to
+	// collide. Proof checking is on by default when the Region's fetcher
+	// is (or wraps) an fzio.HTTPFetcher — remote bytes are the threat
+	// model — and opt-in through this field otherwise. Artifacts without
+	// a Merkle root (format version 1, monolithic) verify vacuously
+	// either way. Entry points other than the region read path ignore it.
+	VerifyProofs bool
 }
 
 // ChunkOpts configures the chunked compression graph; it is an alias of

@@ -214,6 +214,11 @@ type RegionStats struct {
 	// Region's fetcher is (or wraps) an fzio.RetryFetcher.
 	FetchAttempts int64
 	FetchRetries  int64
+	// ProofVerified counts the fetched payloads this read checked against
+	// the container's Merkle root (substantive checks only — reads over
+	// rootless v1 or monolithic artifacts report 0 even with verification
+	// enabled).
+	ProofVerified int64
 	// PayloadBytes is the compressed payload volume fetched for the
 	// decoded chunks (index bytes excluded).
 	PayloadBytes int64
@@ -225,22 +230,25 @@ type RegionStats struct {
 // parsed chunk index plus the fetcher and options to serve selections
 // with. Open once, read many; concurrent Reads are safe.
 type Region struct {
-	p    *device.Platform
-	f    fzio.ChunkFetcher
-	ix   *fzio.ContainerIndex
-	opts RegionOpts
+	p      *device.Platform
+	f      fzio.ChunkFetcher
+	ix     *fzio.ContainerIndex
+	opts   RegionOpts
+	verify bool // proof-check fetched payloads (Opts.VerifyProofs or HTTP-backed)
 }
 
 // OpenRegion fetches the container index behind f (never the payloads) and
 // returns a Region serving subvolume reads from it. Works on chunked
 // (FZMC), streamed (FZMS) and monolithic (FZMD) artifacts; a monolithic
-// artifact is treated as a single whole-field chunk.
+// artifact is treated as a single whole-field chunk. Merkle proof
+// verification of fetched payloads is enabled by opts.VerifyProofs, and
+// unconditionally when f is (or wraps) an fzio.HTTPFetcher.
 func OpenRegion(p *device.Platform, f fzio.ChunkFetcher, opts RegionOpts) (*Region, error) {
 	ix, err := fzio.FetchIndex(f)
 	if err != nil {
 		return nil, fmt.Errorf("core: opening region reader: %w", err)
 	}
-	return &Region{p: p, f: f, ix: ix, opts: opts}, nil
+	return &Region{p: p, f: f, ix: ix, opts: opts, verify: opts.VerifyProofs || fzio.IsHTTPBacked(f)}, nil
 }
 
 // Dims returns the full field geometry of the underlying container.
@@ -328,6 +336,7 @@ func (r *Region) ReadReportCtx(gctx context.Context, sel RegionSel) ([]float32, 
 		stats.FetchAttempts = acct.attempts.Load()
 		stats.FetchRetries = acct.retries.Load()
 		stats.PayloadBytes = acct.payloadBytes.Load()
+		stats.ProofVerified = acct.proofVerified.Load()
 	}
 	stats.Decoded = len(misses) - stats.DedupHits
 	if r.opts.Cache != nil {
@@ -352,10 +361,11 @@ type regionNeed struct {
 // fetchAccounting accumulates per-read fetch evidence from concurrently
 // running task bodies; ReadReportCtx folds it into RegionStats.
 type fetchAccounting struct {
-	dedup        atomic.Int64 // chunks served by another reader's flight
-	attempts     atomic.Int64 // fetcher tries issued by this read
-	retries      atomic.Int64 // tries beyond each fetch's first
-	payloadBytes atomic.Int64 // compressed bytes actually fetched
+	dedup         atomic.Int64 // chunks served by another reader's flight
+	attempts      atomic.Int64 // fetcher tries issued by this read
+	retries       atomic.Int64 // tries beyond each fetch's first
+	payloadBytes  atomic.Int64 // compressed bytes actually fetched
+	proofVerified atomic.Int64 // payloads checked against the Merkle root
 }
 
 // attemptFetcher is the optional per-call attempt reporting surface of
@@ -526,6 +536,12 @@ func (r *Region) fetchChunk(chunk int, ref fzio.ChunkRef, acct *fetchAccounting)
 	acct.payloadBytes.Add(int64(len(payload)))
 	if err := r.ix.VerifyChunk(chunk, payload); err != nil {
 		return nil, fmt.Errorf("core: fetching chunk %d: %w", chunk, err)
+	}
+	if r.verify && r.ix.HasProofs() {
+		if err := r.ix.VerifyProof(chunk, payload); err != nil {
+			return nil, fmt.Errorf("core: fetching chunk %d: %w", chunk, err)
+		}
+		acct.proofVerified.Add(1)
 	}
 	if fzio.IsChunked(payload) || fzio.IsStream(payload) {
 		return nil, fmt.Errorf("core: chunk %d: nested chunked container", chunk)

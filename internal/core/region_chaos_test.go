@@ -290,6 +290,114 @@ func TestChaosLeaderFailurePromotesFollower(t *testing.T) {
 	}
 }
 
+// TestChaosProofCatchesCRCCollision is the adversarial acceptance
+// criterion: corruption crafted to preserve each range's CRC32 slips
+// past the checksum, so the proof-checked read must refuse it with
+// ErrProofMismatch (not a CRC or decode error), without retries — while
+// a salvage pass over the same damaged artifact still recovers every
+// untampered chunk bit-identically.
+func TestChaosProofCatchesCRCCollision(t *testing.T) {
+	blob, full, dims := chaosContainer(t)
+
+	ix, err := fzio.FetchIndex(fzio.NewBytesFetcher(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := 3
+	ref := ix.Chunks[victim]
+
+	// Live tampering: the injector corrupts every fetched range while
+	// preserving its CRC32, so only proof verification can object.
+	faulty := fzio.NewFaultFetcher(fzio.NewBytesFetcher(blob), fzio.FaultConfig{Seed: 41, CollideCRCRate: 1})
+	colliding := retryOver(faulty)
+
+	_, err = DecompressRegion(tp, colliding, FullRegion(dims), RegionOpts{Workers: 2, VerifyProofs: true})
+	if err == nil {
+		t.Fatal("CRC-colliding corruption decoded silently")
+	}
+	if !errors.Is(err, fzio.ErrProofMismatch) {
+		t.Fatalf("got %v, want ErrProofMismatch (not a CRC or decode error)", err)
+	}
+	if errors.Is(err, fzio.ErrCRCMismatch) {
+		t.Fatalf("proof-checked read failed as a CRC mismatch: %v", err)
+	}
+	if colliding.Retries() != 0 {
+		t.Fatalf("proof failures were retried %d times; the taxonomy forbids it", colliding.Retries())
+	}
+	if faulty.CRCCollisions() == 0 {
+		t.Fatal("injector never collided a CRC — the test exercised nothing")
+	}
+
+	// The accounting side: a clean proof-checked read counts one
+	// substantive verification per decoded chunk.
+	_, rep, err := DecompressRegionReport(tp, fzio.NewBytesFetcher(blob), FullRegion(dims),
+		RegionOpts{Workers: 2, VerifyProofs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Region.ProofVerified != int64(rep.Region.Decoded) || rep.Region.ProofVerified == 0 {
+		t.Fatalf("ProofVerified=%d, Decoded=%d: want one verification per decoded chunk",
+			rep.Region.ProofVerified, rep.Region.Decoded)
+	}
+
+	// Salvage the persistently tampered artifact: one chunk is lost, the
+	// rest come back bit-identical.
+	tampered2 := append([]byte(nil), blob...)
+	payload := tampered2[ref.Offset : ref.Offset+ref.Length]
+	ok := false
+	for delta := uint32(1); delta < 16 && !ok; delta++ {
+		ok = fzio.CorruptPreservingCRC32(payload, delta)
+	}
+	if !ok {
+		t.Fatal("could not build a CRC-preserving tamper")
+	}
+	salvaged, survey, err := fzio.SalvageChunked(fzio.NewBytesFetcher(tampered2))
+	if err != nil {
+		t.Fatalf("SalvageChunked: %v", err)
+	}
+	if survey.Intact() != len(ix.Chunks)-1 || survey.Chunks[victim].State != fzio.ChunkCorrupt {
+		t.Fatalf("survey = %d intact, victim %q", survey.Intact(), survey.Chunks[victim].State)
+	}
+	out, mask, err := DecompressSalvage(tp, fzio.NewBytesFetcher(tampered2), DecompressOpts{})
+	if err != nil {
+		t.Fatalf("DecompressSalvage: %v", err)
+	}
+	if !mask.Any() {
+		t.Fatal("damage mask empty for a tampered artifact")
+	}
+	plane := dims.PlaneElems()
+	lo := 0
+	for i, ref := range ix.Chunks {
+		for z := lo; z < lo+ref.Planes; z++ {
+			for e := z * plane; e < (z+1)*plane; e++ {
+				if i == victim {
+					if !mask.Planes[z] || out[e] != 0 {
+						t.Fatalf("damaged plane %d not zero-masked", z)
+					}
+				} else {
+					if mask.Planes[z] {
+						t.Fatalf("intact plane %d flagged damaged", z)
+					}
+					if out[e] != full[e] {
+						t.Fatalf("salvage-read diverged at element %d", e)
+					}
+				}
+			}
+		}
+		lo += ref.Planes
+	}
+	// The rebuilt container decodes end to end and matches the surviving
+	// planes of the original decode exactly.
+	recovered, _, err := Decompress(tp, salvaged)
+	if err != nil {
+		t.Fatalf("decoding the salvaged container: %v", err)
+	}
+	wantElems := (dims.SlowExtent() - ix.Chunks[victim].Planes) * plane
+	if len(recovered) != wantElems {
+		t.Fatalf("salvaged decode has %d elements, want %d", len(recovered), wantElems)
+	}
+}
+
 // fetcherFunc adapts closures to fzio.ChunkFetcher for fault shaping the
 // injector doesn't model.
 type fetcherFunc struct {

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"fzmod/internal/device"
+	"fzmod/internal/fzio"
+	"fzmod/internal/grid"
+	"fzmod/internal/stf"
+)
+
+// This file is the salvage read: where every normal decode path refuses a
+// damaged artifact outright, DecompressSalvage surveys it
+// (fzio.SurveyArtifact), decodes the chunks that survived, and returns
+// the full-geometry field with the damaged planes zero-filled plus a
+// DamageMask saying exactly which planes are fabrication. The caller gets
+// everything the artifact still proves correct, and an explicit record of
+// what it does not.
+
+// DamageMask records which planes of a salvage-read field are real. The
+// field keeps the artifact's full recorded geometry; planes no intact
+// chunk covers are zero-filled and flagged here.
+type DamageMask struct {
+	// Dims is the full field geometry the mask (and the salvaged field)
+	// covers.
+	Dims grid.Dims
+	// Planes flags each plane of the slowest-varying dimension: true
+	// means the plane was damaged or missing and its values are zeros,
+	// false means an intact, integrity-checked chunk supplied it.
+	Planes []bool
+}
+
+// DamagedPlanes returns how many planes are zero-filled.
+func (m *DamageMask) DamagedPlanes() int {
+	n := 0
+	for _, d := range m.Planes {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// Any reports whether the mask flags any damage at all.
+func (m *DamageMask) Any() bool { return m.DamagedPlanes() > 0 }
+
+// DecompressSalvage decodes whatever survives of the (possibly damaged)
+// artifact behind f: the field comes back at the artifact's full recorded
+// geometry with every plane an intact chunk covers decoded normally and
+// every damaged or missing plane zero-filled, as recorded by the returned
+// DamageMask. Intact chunks pass the same integrity checks as a normal
+// read (CRC32 plus, on version ≥ 2 artifacts, the recorded leaf hash), so
+// salvaged values are never silently wrong — the mask is the only place
+// uncertainty lives. Errors only when the artifact is unsalvageable
+// (unrecognizable, or no chunk survived).
+func DecompressSalvage(p *device.Platform, f fzio.ChunkFetcher, opts DecompressOpts) ([]float32, *DamageMask, error) {
+	return DecompressSalvageCtx(context.Background(), p, f, opts)
+}
+
+// DecompressSalvageCtx is DecompressSalvage bounded by gctx.
+func DecompressSalvageCtx(gctx context.Context, p *device.Platform, f fzio.ChunkFetcher, opts DecompressOpts) ([]float32, *DamageMask, error) {
+	s, err := fzio.SurveyArtifact(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	dims := s.Header.Dims
+	mask := &DamageMask{Dims: dims, Planes: make([]bool, dims.SlowExtent())}
+	for z := range mask.Planes {
+		mask.Planes[z] = true // proven false per plane as intact chunks decode
+	}
+	out := make([]float32, dims.N())
+	plane := dims.PlaneElems()
+
+	// The surveyed chunks tile the slow dimension in order; collect the
+	// intact ones with their plane windows. A survey of a derailed stream
+	// can overrun the geometry — chunks past the extent are undecodable
+	// (no window exists for them) and stay masked.
+	type salvageNeed struct {
+		chunk   int
+		lo      int // first plane the chunk covers
+		payload []byte
+		planes  int
+	}
+	var needs []salvageNeed
+	lo := 0
+	for _, sc := range s.Chunks {
+		if lo+sc.Planes > dims.SlowExtent() {
+			break
+		}
+		if sc.State == fzio.ChunkIntact {
+			needs = append(needs, salvageNeed{chunk: sc.Index, lo: lo, payload: sc.Payload(), planes: sc.Planes})
+		}
+		lo += sc.Planes
+	}
+	if len(needs) == 0 {
+		return nil, nil, fmt.Errorf("core: nothing to salvage: no intact chunk in %s artifact", s.Flavor)
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = p.Workers(device.Accel)
+	}
+	if workers > len(needs) {
+		workers = len(needs)
+	}
+	exec := p.WithWorkers(workers)
+	ctx := stf.NewCtxN(exec, workers).Bind(gctx)
+	for _, nd := range needs {
+		nd := nd
+		want := dims.WithSlowExtent(nd.planes)
+		o := nd.lo * plane
+		prefix := fmt.Sprintf("s%d.", nd.chunk)
+		job := &decompressJob{dst: out[o : o+want.N()]}
+		fetchTok := stf.NewToken(ctx, prefix+"container")
+		codesTok := stf.NewToken(ctx, prefix+"codes")
+
+		ctx.Task(prefix + "parse").On(device.Host).Writes(fetchTok.D()).
+			Do(func(ti *stf.TaskInstance) error {
+				if fzio.IsChunked(nd.payload) || fzio.IsStream(nd.payload) {
+					return fmt.Errorf("core: chunk %d: nested chunked container", nd.chunk)
+				}
+				c, err := fzio.Unmarshal(nd.payload)
+				if err != nil {
+					return fmt.Errorf("core: parsing chunk %d: %w", nd.chunk, err)
+				}
+				if c.Has(segSec) {
+					if c, err = unwrapSecondary(exec, c); err != nil {
+						return fmt.Errorf("core: chunk %d: %w", nd.chunk, err)
+					}
+				}
+				job.c = c
+				return nil
+			})
+		ctx.Task(prefix + "decode").On(device.Accel).Reads(fetchTok.D()).Writes(codesTok.D()).
+			Do(func(ti *stf.TaskInstance) error { return job.decode(exec) })
+		ctx.Task(prefix + "reconstruct").On(device.Accel).Reads(codesTok.D()).
+			Do(func(ti *stf.TaskInstance) error {
+				if job.dims != want {
+					return fmt.Errorf("core: chunk %d dims %v, want %v", nd.chunk, job.dims, want)
+				}
+				if err := job.reconstruct(exec); err != nil {
+					return err
+				}
+				if &job.vals[0] != &out[o] {
+					copy(out[o:o+len(job.vals)], job.vals)
+				}
+				for z := nd.lo; z < nd.lo+nd.planes; z++ {
+					mask.Planes[z] = false
+				}
+				return nil
+			})
+	}
+	err = ctx.Finalize()
+	ctx.Release()
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, mask, nil
+}

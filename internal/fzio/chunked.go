@@ -21,8 +21,16 @@ import (
 // ChunkedMagic identifies chunked FZModules containers.
 const ChunkedMagic = "FZMC"
 
-// ChunkedVersion is the chunked container format version.
-const ChunkedVersion = 1
+// ChunkedVersion is the chunked container format version writers emit.
+// Version 2 extends each chunk-table entry with the chunk's SHA-256
+// leaf hash and appends the Merkle root after the table (see merkle.go
+// and docs/FORMAT.md §Integrity); readers accept versions 1 and 2, so
+// v1 artifacts stay decodable everywhere.
+const ChunkedVersion = 2
+
+// chunkedVersionLegacy is the pre-integrity table layout (no hashes,
+// no root) still accepted by every parser.
+const chunkedVersionLegacy = 1
 
 // maxChunksLimit bounds the chunk count a container may declare, so a
 // corrupt header cannot drive a huge allocation.
@@ -49,14 +57,23 @@ type ChunkRef struct {
 	Length int    // payload bytes
 	CRC    uint32 // CRC32 (IEEE) of the chunk payload
 	Planes int    // planes of the slowest dimension this chunk covers
+	// Hash is the chunk's Merkle leaf hash (SHA-256 over 0x00 ‖ payload)
+	// recorded by version ≥ 2 containers; all zero for v1 artifacts,
+	// whose tables carry no hashes.
+	Hash [HashSize]byte
 }
 
 // ChunkedContainer is a decoded chunked container: the header, the chunk
 // table, and the (not yet CRC-verified) payload area. Chunk payloads are
 // verified lazily by Chunk so the checks can run on the parallel read path.
 type ChunkedContainer struct {
-	Header  ChunkedHeader
-	Chunks  []ChunkRef
+	Header ChunkedHeader
+	Chunks []ChunkRef
+	// Root is the Merkle root over the chunk table's leaf hashes for
+	// version ≥ 2 containers; nil for v1 artifacts. UnmarshalChunked has
+	// already checked it against the table entries, so a non-nil Root
+	// means the table itself is tamper-evident.
+	Root    []byte
 	payload []byte
 }
 
@@ -72,7 +89,8 @@ func IsChunked(blob []byte) bool {
 // Layout: "FZMC" ‖ u16 version ‖ pipeline string ‖ uvarint dims X/Y/Z ‖
 // EB bits ‖ RelEB bits ‖ uvarint nominal planes ‖ uvarint chunk count;
 // then per chunk: uvarint offset, uvarint length, CRC32(payload), uvarint
-// planes; then the concatenated chunk payloads.
+// planes, SHA-256 leaf hash (version ≥ 2); then the 32-byte Merkle root
+// (version ≥ 2); then the concatenated chunk payloads.
 //
 // MarshalChunked is the gather path (chunk payloads already materialized,
 // e.g. under a secondary encoder whose output size is unknown up front);
@@ -101,11 +119,13 @@ func MarshalChunked(h ChunkedHeader, chunks [][]byte, planes []int) ([]byte, err
 // ChunkSlice window of the final buffer and then seals the table CRC,
 // with no per-chunk staging blob and no serial gather copy.
 type ChunkedAssembly struct {
-	buf     []byte
-	start   int   // payload area offset
-	offsets []int // per chunk, relative to start
-	lengths []int
-	crcOffs []int // absolute offset of each chunk's table CRC slot
+	buf      []byte
+	start    int   // payload area offset
+	offsets  []int // per chunk, relative to start
+	lengths  []int
+	crcOffs  []int // absolute offset of each chunk's table CRC slot
+	hashOffs []int // absolute offset of each chunk's table hash slot
+	rootOff  int   // absolute offset of the Merkle root slot
 }
 
 // NewChunkedAssembly validates the geometry exactly as MarshalChunked does
@@ -142,16 +162,18 @@ func NewChunkedAssembly(h ChunkedHeader, lengths, planes []int) (*ChunkedAssembl
 		if l < 0 {
 			return nil, fmt.Errorf("fzio: chunk %d has negative length", i)
 		}
-		size += uvarintLen(uint64(payload)) + uvarintLen(uint64(l)) + 4 + uvarintLen(uint64(planes[i]))
+		size += uvarintLen(uint64(payload)) + uvarintLen(uint64(l)) + 4 + uvarintLen(uint64(planes[i])) + HashSize
 		payload += l
 	}
+	size += HashSize // Merkle root after the table
 	size += payload
 
 	a := &ChunkedAssembly{
-		buf:     make([]byte, 0, size),
-		offsets: make([]int, len(lengths)),
-		lengths: append([]int(nil), lengths...),
-		crcOffs: make([]int, len(lengths)),
+		buf:      make([]byte, 0, size),
+		offsets:  make([]int, len(lengths)),
+		lengths:  append([]int(nil), lengths...),
+		crcOffs:  make([]int, len(lengths)),
+		hashOffs: make([]int, len(lengths)),
 	}
 	out := append(a.buf, ChunkedMagic...)
 	out = binary.LittleEndian.AppendUint16(out, ChunkedVersion)
@@ -171,8 +193,12 @@ func NewChunkedAssembly(h ChunkedHeader, lengths, planes []int) (*ChunkedAssembl
 		a.crcOffs[i] = len(out)
 		out = binary.LittleEndian.AppendUint32(out, 0) // sealed by SealChunk
 		out = binary.AppendUvarint(out, uint64(planes[i]))
+		a.hashOffs[i] = len(out)
+		out = append(out, make([]byte, HashSize)...) // sealed by SealChunk
 		off += l
 	}
+	a.rootOff = len(out)
+	out = append(out, make([]byte, HashSize)...) // finalized by Bytes
 	a.start = len(out)
 	if a.start+payload != size {
 		return nil, fmt.Errorf("fzio: assembly layout drifted: %d != %d", a.start+payload, size)
@@ -192,24 +218,42 @@ func (a *ChunkedAssembly) ChunkSlice(i int) []byte {
 	return a.buf[lo : lo+a.lengths[i] : lo+a.lengths[i]]
 }
 
-// SealChunk computes chunk i's payload CRC and writes its chunk-table
-// slot. Call once after ChunkSlice(i) has been filled; distinct chunks may
-// seal concurrently (the CRC slots are disjoint).
+// SealChunk computes chunk i's payload CRC and Merkle leaf hash and
+// writes its chunk-table slots. Call once after ChunkSlice(i) has been
+// filled; distinct chunks may seal concurrently (the table slots are
+// disjoint).
 func (a *ChunkedAssembly) SealChunk(i int) {
-	crc := crc32.ChecksumIEEE(a.ChunkSlice(i))
-	binary.LittleEndian.PutUint32(a.buf[a.crcOffs[i]:], crc)
+	payload := a.ChunkSlice(i)
+	binary.LittleEndian.PutUint32(a.buf[a.crcOffs[i]:], crc32.ChecksumIEEE(payload))
+	leaf := LeafHash(payload)
+	copy(a.buf[a.hashOffs[i]:], leaf[:])
 }
 
-// Bytes returns the assembled container. Valid once every chunk has been
-// filled and sealed.
-func (a *ChunkedAssembly) Bytes() []byte { return a.buf }
+// Bytes finalizes the Merkle root over the sealed leaf hashes and
+// returns the assembled container. Valid once every chunk has been
+// filled and sealed; idempotent (the root is recomputed from the table
+// slots each call).
+func (a *ChunkedAssembly) Bytes() []byte {
+	leaves := make([][HashSize]byte, len(a.lengths))
+	for i := range leaves {
+		copy(leaves[i][:], a.buf[a.hashOffs[i]:])
+	}
+	t, err := NewMerkleTree(leaves)
+	if err != nil {
+		// Unreachable: NewChunkedAssembly rejects zero-chunk layouts.
+		panic(err)
+	}
+	root := t.Root()
+	copy(a.buf[a.rootOff:], root[:])
+	return a.buf
+}
 
 // UnmarshalChunked parses a chunked container, verifying magic, version and
 // the consistency of the chunk table: offsets must be contiguous from zero
 // and every chunk must lie inside the payload area. Chunk payload CRCs are
 // checked by Chunk, not here, so decoders can verify them in parallel.
 func UnmarshalChunked(blob []byte) (*ChunkedContainer, error) {
-	hdr, chunks, pos, err := parseChunkedTable(blob, int64(len(blob)))
+	hdr, chunks, root, pos, err := parseChunkedTable(blob, int64(len(blob)))
 	if err != nil {
 		return nil, err
 	}
@@ -220,7 +264,7 @@ func UnmarshalChunked(blob []byte) (*ChunkedContainer, error) {
 	if pos+wantOff > len(blob) {
 		return nil, fmt.Errorf("fzio: payload truncated: need %d bytes, have %d", wantOff, len(blob)-pos)
 	}
-	return &ChunkedContainer{Header: hdr, Chunks: chunks, payload: blob[pos : pos+wantOff]}, nil
+	return &ChunkedContainer{Header: hdr, Chunks: chunks, Root: root, payload: blob[pos : pos+wantOff]}, nil
 }
 
 // parseChunkedTable parses the FZMC prologue and chunk table from blob,
@@ -229,36 +273,57 @@ func UnmarshalChunked(blob []byte) (*ChunkedContainer, error) {
 // prefix and retry, while UnmarshalChunked reports it verbatim. maxPayload
 // bounds the cumulative chunk payload — the blob length for in-memory
 // parses, the artifact size for index-only ones. Returns the header, the
-// validated chunk table, and the payload area's byte offset.
-func parseChunkedTable(blob []byte, maxPayload int64) (ChunkedHeader, []ChunkRef, int, error) {
-	var hdr ChunkedHeader
+// validated chunk table, the Merkle root (nil for v1 containers; already
+// checked against the table's leaf hashes for v2), and the payload
+// area's byte offset.
+func parseChunkedTable(blob []byte, maxPayload int64) (ChunkedHeader, []ChunkRef, []byte, int, error) {
+	hdr, chunks, root, rootOK, pos, err := parseChunkedTableLoose(blob, maxPayload)
+	if err != nil {
+		return hdr, nil, nil, 0, err
+	}
+	if root != nil && !rootOK {
+		// The root must reproduce from the table's own leaf hashes — a
+		// tampered table (or root) surfaces here, before any payload is
+		// fetched or trusted.
+		return hdr, nil, nil, 0, fmt.Errorf("%w: chunk table root disagrees with entries", ErrProofMismatch)
+	}
+	return hdr, chunks, root, pos, nil
+}
+
+// parseChunkedTableLoose is parseChunkedTable with the root check relaxed
+// for the salvage survey: a recorded Merkle root that fails to reproduce
+// from the entries is reported through rootOK instead of failing the
+// parse, so a tampered root still yields the chunk map salvage walks.
+// Callers that trust payloads (UnmarshalChunked, FetchIndex) go through
+// the strict wrapper above.
+func parseChunkedTableLoose(blob []byte, maxPayload int64) (hdr ChunkedHeader, chunks []ChunkRef, root []byte, rootOK bool, pos int, err error) {
 	if !IsChunked(blob) {
-		return hdr, nil, 0, fmt.Errorf("fzio: not a chunked FZModules container")
+		return hdr, nil, nil, false, 0, fmt.Errorf("fzio: not a chunked FZModules container")
 	}
 	if len(blob) < 6 {
-		return hdr, nil, 0, truncf("fzio: truncated chunked header")
+		return hdr, nil, nil, false, 0, truncf("fzio: truncated chunked header")
 	}
-	if v := binary.LittleEndian.Uint16(blob[4:]); v != ChunkedVersion {
-		return hdr, nil, 0, fmt.Errorf("fzio: unsupported chunked version %d", v)
+	version := int(binary.LittleEndian.Uint16(blob[4:]))
+	if version != chunkedVersionLegacy && version != ChunkedVersion {
+		return hdr, nil, nil, false, 0, fmt.Errorf("fzio: unsupported chunked version %d", version)
 	}
-	pos := 6
-	var err error
+	pos = 6
 	if hdr.Pipeline, pos, err = readStringT(blob, pos); err != nil {
-		return hdr, nil, 0, err
+		return hdr, nil, nil, false, 0, err
 	}
 	dims := [3]uint64{}
 	nElems := uint64(1)
 	for i := range dims {
 		v, k := binary.Uvarint(blob[pos:])
 		if k <= 0 {
-			return hdr, nil, 0, truncf("fzio: truncated dims")
+			return hdr, nil, nil, false, 0, truncf("fzio: truncated dims")
 		}
 		dims[i], pos = v, pos+k
 		// Overflow-safe product bound: decoders allocate dims.N() output
 		// elements before any chunk CRC is checked. Zero extents fall
 		// through to the Valid check below.
 		if v > maxFieldElems || (v > 0 && nElems > maxFieldElems/v) {
-			return hdr, nil, 0, fmt.Errorf("fzio: declared field too large")
+			return hdr, nil, nil, false, 0, fmt.Errorf("fzio: declared field too large")
 		}
 		if v > 0 {
 			nElems *= v
@@ -266,66 +331,85 @@ func parseChunkedTable(blob []byte, maxPayload int64) (ChunkedHeader, []ChunkRef
 	}
 	hdr.Dims = grid.Dims{X: int(dims[0]), Y: int(dims[1]), Z: int(dims[2])}
 	if !hdr.Dims.Valid() {
-		return hdr, nil, 0, fmt.Errorf("fzio: invalid dims %v", hdr.Dims)
+		return hdr, nil, nil, false, 0, fmt.Errorf("fzio: invalid dims %v", hdr.Dims)
 	}
 	if pos+16 > len(blob) {
-		return hdr, nil, 0, truncf("fzio: truncated chunked header")
+		return hdr, nil, nil, false, 0, truncf("fzio: truncated chunked header")
 	}
 	hdr.EB = math.Float64frombits(binary.LittleEndian.Uint64(blob[pos:]))
 	hdr.RelEB = math.Float64frombits(binary.LittleEndian.Uint64(blob[pos+8:]))
 	pos += 16
 	nominal, k := binary.Uvarint(blob[pos:])
 	if k <= 0 {
-		return hdr, nil, 0, truncf("fzio: truncated nominal plane count")
+		return hdr, nil, nil, false, 0, truncf("fzio: truncated nominal plane count")
 	}
 	hdr.Planes = int(nominal)
 	pos += k
 	nChunks, k := binary.Uvarint(blob[pos:])
 	if k <= 0 || nChunks == 0 || nChunks > maxChunksLimit {
-		return hdr, nil, 0, fmt.Errorf("fzio: bad chunk count")
+		return hdr, nil, nil, false, 0, fmt.Errorf("fzio: bad chunk count")
 	}
 	pos += k
-	chunks := make([]ChunkRef, nChunks)
+	chunks = make([]ChunkRef, nChunks)
 	wantOff, totalPlanes := 0, 0
 	for i := range chunks {
 		fields := [2]uint64{}
 		for j := range fields {
 			v, k := binary.Uvarint(blob[pos:])
 			if k <= 0 {
-				return hdr, nil, 0, truncf("fzio: truncated chunk table")
+				return hdr, nil, nil, false, 0, truncf("fzio: truncated chunk table")
 			}
 			fields[j], pos = v, pos+k
 		}
 		if pos+4 > len(blob) {
-			return hdr, nil, 0, truncf("fzio: truncated chunk CRC")
+			return hdr, nil, nil, false, 0, truncf("fzio: truncated chunk CRC")
 		}
 		crc := binary.LittleEndian.Uint32(blob[pos:])
 		pos += 4
 		planes, k := binary.Uvarint(blob[pos:])
 		if k <= 0 {
-			return hdr, nil, 0, truncf("fzio: truncated chunk planes")
+			return hdr, nil, nil, false, 0, truncf("fzio: truncated chunk planes")
 		}
 		pos += k
 		ref := ChunkRef{Offset: int(fields[0]), Length: int(fields[1]), CRC: crc, Planes: int(planes)}
+		if version >= 2 {
+			if pos+HashSize > len(blob) {
+				return hdr, nil, nil, false, 0, truncf("fzio: truncated chunk hash")
+			}
+			copy(ref.Hash[:], blob[pos:])
+			pos += HashSize
+		}
 		if ref.Offset != wantOff {
-			return hdr, nil, 0, fmt.Errorf("fzio: chunk %d offset %d, want %d", i, ref.Offset, wantOff)
+			return hdr, nil, nil, false, 0, fmt.Errorf("fzio: chunk %d offset %d, want %d", i, ref.Offset, wantOff)
 		}
 		if ref.Length < 0 || ref.Planes <= 0 || ref.Planes > maxFieldElems {
-			return hdr, nil, 0, fmt.Errorf("fzio: chunk %d malformed", i)
+			return hdr, nil, nil, false, 0, fmt.Errorf("fzio: chunk %d malformed", i)
 		}
 		// Overflow-safe accumulation: wantOff stays <= maxPayload, so the
 		// caller's bounds arithmetic cannot wrap.
 		if int64(ref.Length) > maxPayload-int64(wantOff) {
-			return hdr, nil, 0, fmt.Errorf("fzio: payload truncated: chunk %d needs %d bytes", i, ref.Length)
+			return hdr, nil, nil, false, 0, fmt.Errorf("fzio: payload truncated: chunk %d needs %d bytes", i, ref.Length)
 		}
 		wantOff += ref.Length
 		totalPlanes += ref.Planes
 		chunks[i] = ref
 	}
 	if totalPlanes != hdr.Dims.SlowExtent() {
-		return hdr, nil, 0, fmt.Errorf("fzio: chunks cover %d planes, field has %d", totalPlanes, hdr.Dims.SlowExtent())
+		return hdr, nil, nil, false, 0, fmt.Errorf("fzio: chunks cover %d planes, field has %d", totalPlanes, hdr.Dims.SlowExtent())
 	}
-	return hdr, chunks, pos, nil
+	if version >= 2 {
+		if pos+HashSize > len(blob) {
+			return hdr, nil, nil, false, 0, truncf("fzio: truncated Merkle root")
+		}
+		root = append([]byte(nil), blob[pos:pos+HashSize]...)
+		pos += HashSize
+		want, err := merkleRoot(chunks)
+		if err != nil {
+			return hdr, nil, nil, false, 0, err
+		}
+		rootOK = string(root) == string(want[:])
+	}
+	return hdr, chunks, root, rootOK, pos, nil
 }
 
 // NumChunks returns the chunk count.

@@ -154,8 +154,9 @@ func TestChunkedBadOffset(t *testing.T) {
 	mut := append([]byte(nil), good...)
 	payload := []byte{1, 2, 3}
 	tableStart := len(mut) - len(payload)
-	// chunk 1 entry: offset varint, length varint, 4-byte CRC, planes varint.
-	off1Pos := tableStart - (1 + 1 + 4 + 1)
+	// chunk 1 entry: offset varint, length varint, 4-byte CRC, planes
+	// varint, 32-byte leaf hash; the 32-byte Merkle root follows the table.
+	off1Pos := tableStart - HashSize - (1 + 1 + 4 + 1 + HashSize)
 	if mut[off1Pos] != 2 {
 		t.Fatalf("test layout assumption broken: byte %d is %d, want 2", off1Pos, mut[off1Pos])
 	}

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 )
 
 // This file defines the pluggable byte-range storage abstraction the
@@ -26,14 +27,52 @@ var ErrRangeViolation = errors.New("fzio: range violation")
 
 // HTTPStatusError is a non-success HTTP response surfaced by HTTPFetcher.
 // It preserves the status code so the retry taxonomy can separate server
-// trouble (5xx, worth retrying) from request trouble (4xx, never).
+// trouble (5xx and 429, worth retrying) from request trouble (other
+// 4xx, never), and the server's Retry-After hint so the retry loop can
+// honor the server's own backoff request instead of guessing.
 type HTTPStatusError struct {
 	Code   int
 	Status string
+	// RetryAfter is the parsed Retry-After header of a 429 or 503
+	// response (0 when absent or unparseable). RetryFetcher uses it as
+	// the backoff before the next attempt.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
 func (e *HTTPStatusError) Error() string { return "fzio: http status " + e.Status }
+
+// newHTTPStatusError captures a non-success response, including the
+// Retry-After hint on the status codes that conventionally carry one.
+func newHTTPStatusError(resp *http.Response) *HTTPStatusError {
+	e := &HTTPStatusError{Code: resp.StatusCode, Status: resp.Status}
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+		e.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
+	}
+	return e
+}
+
+// parseRetryAfter parses a Retry-After value: delay-seconds or an
+// HTTP-date (RFC 9110 §10.2.3). Absent, unparseable or past values
+// report 0.
+func parseRetryAfter(v string) time.Duration {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
 
 // ChunkFetcher serves byte ranges of one container artifact. Implementations
 // must be safe for concurrent ReadRange calls: the region read path fetches
@@ -171,7 +210,7 @@ func (h *HTTPFetcher) ReadRange(off int64, n int) ([]byte, error) {
 		}
 	default:
 		return nil, fmt.Errorf("fzio: range request for [%d,%d): %w",
-			off, off+int64(n), &HTTPStatusError{Code: resp.StatusCode, Status: resp.Status})
+			off, off+int64(n), newHTTPStatusError(resp))
 	}
 	out := make([]byte, n)
 	if k, err := io.ReadFull(resp.Body, out); k < n {
@@ -194,8 +233,7 @@ func (h *HTTPFetcher) Size() (int64, error) {
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return h.sizeViaRange(fmt.Errorf("fzio: HEAD: %w",
-			&HTTPStatusError{Code: resp.StatusCode, Status: resp.Status}))
+		return h.sizeViaRange(fmt.Errorf("fzio: HEAD: %w", newHTTPStatusError(resp)))
 	}
 	if resp.ContentLength < 0 {
 		return h.sizeViaRange(errors.New("fzio: HEAD response carries no Content-Length"))
@@ -290,6 +328,34 @@ func (c *CountingFetcher) Reset() {
 	c.reads.Store(0)
 	c.bytes.Store(0)
 }
+
+// WrappedFetcher is implemented by fetcher decorators (RetryFetcher,
+// CountingFetcher, FaultFetcher) that delegate to an inner fetcher, so
+// policy code can inspect the base storage behind a decoration stack.
+type WrappedFetcher interface {
+	// Inner returns the fetcher this one wraps.
+	Inner() ChunkFetcher
+}
+
+// IsHTTPBacked reports whether f is an HTTPFetcher or a decoration
+// stack bottoming out in one — the untrusted-transport case where
+// region reads turn Merkle proof verification on by default.
+func IsHTTPBacked(f ChunkFetcher) bool {
+	for f != nil {
+		if _, ok := f.(*HTTPFetcher); ok {
+			return true
+		}
+		w, ok := f.(WrappedFetcher)
+		if !ok {
+			return false
+		}
+		f = w.Inner()
+	}
+	return false
+}
+
+// Inner returns the wrapped fetcher.
+func (c *CountingFetcher) Inner() ChunkFetcher { return c.inner }
 
 // checkRange validates a [off, off+n) window against an artifact size.
 func checkRange(off int64, n int, size int64) error {

@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"hash/crc64"
 	"math"
+	"sync"
 
 	"fzmod/internal/grid"
 )
@@ -50,6 +51,13 @@ type ContainerIndex struct {
 	// Offset here is absolute in the artifact, so ChunkFetcher.ReadRange
 	// can serve it directly.
 	Chunks []ChunkRef
+	// Root is the container's Merkle root over the chunk leaf hashes,
+	// recorded by version ≥ 2 FZMC and FZMS artifacts; nil for v1 and
+	// monolithic artifacts, which carry no integrity tree. FetchIndex
+	// has already checked a non-nil Root against the table's own leaf
+	// hashes, so the index is tamper-evident as a whole; per-payload
+	// verification is VerifyProof.
+	Root []byte
 	// ArtifactSize is the container's total byte length.
 	ArtifactSize int64
 	// Key is a content fingerprint of the header and chunk table (CRC64
@@ -57,6 +65,10 @@ type ContainerIndex struct {
 	// describe byte-identical chunk layouts, which is what lets a shared
 	// decoded-slab cache serve every reader of the same artifact.
 	Key uint64
+
+	treeOnce sync.Once
+	tree     *MerkleTree
+	treeErr  error
 }
 
 // NumChunks returns the chunk count.
@@ -82,6 +94,69 @@ func (ix *ContainerIndex) VerifyChunk(i int, payload []byte) error {
 	}
 	return nil
 }
+
+// merkleTree lazily builds (once) the Merkle tree over the index's leaf
+// hashes. Safe for concurrent use — the region read path verifies
+// chunks from many goroutines.
+func (ix *ContainerIndex) merkleTree() (*MerkleTree, error) {
+	ix.treeOnce.Do(func() {
+		leaves := make([][HashSize]byte, len(ix.Chunks))
+		for i, ref := range ix.Chunks {
+			leaves[i] = ref.Hash
+		}
+		ix.tree, ix.treeErr = NewMerkleTree(leaves)
+	})
+	return ix.tree, ix.treeErr
+}
+
+// Proof returns chunk i's Merkle inclusion proof — the per-level
+// sibling hashes a client folds a fetched payload's leaf hash through
+// to reproduce Root. Errors when the index carries no root (v1 or
+// monolithic artifact).
+func (ix *ContainerIndex) Proof(i int) ([]ProofStep, error) {
+	if ix.Root == nil {
+		return nil, fmt.Errorf("fzio: %s artifact carries no Merkle root", ix.Flavor)
+	}
+	t, err := ix.merkleTree()
+	if err != nil {
+		return nil, err
+	}
+	return t.Proof(i)
+}
+
+// VerifyProof checks a fetched payload for chunk i against the
+// container's Merkle root: the payload's leaf hash must match the
+// table's, and its inclusion proof must fold to Root. Returns an
+// ErrProofMismatch-wrapped error on divergence. Indexes without a root
+// (v1 or monolithic artifacts) verify vacuously — there is nothing to
+// prove against — so callers can apply it unconditionally; HasProofs
+// reports whether the check is substantive.
+func (ix *ContainerIndex) VerifyProof(i int, payload []byte) error {
+	if ix.Root == nil {
+		return nil
+	}
+	if i < 0 || i >= len(ix.Chunks) {
+		return fmt.Errorf("fzio: chunk index %d out of range [0,%d)", i, len(ix.Chunks))
+	}
+	leaf := LeafHash(payload)
+	if leaf != ix.Chunks[i].Hash {
+		return fmt.Errorf("%w: chunk %d payload hash diverges from the index", ErrProofMismatch, i)
+	}
+	proof, err := ix.Proof(i)
+	if err != nil {
+		return err
+	}
+	var root [HashSize]byte
+	copy(root[:], ix.Root)
+	if !VerifyProof(leaf, proof, root) {
+		return fmt.Errorf("%w: chunk %d inclusion proof does not fold to the root", ErrProofMismatch, i)
+	}
+	return nil
+}
+
+// HasProofs reports whether the index carries a Merkle root, i.e.
+// whether VerifyProof performs a substantive check.
+func (ix *ContainerIndex) HasProofs() bool { return ix.Root != nil }
 
 // truncatedErr marks a parse that ran off the end of the bytes at hand —
 // corruption when the whole artifact was present, "fetch a longer prefix"
@@ -185,7 +260,7 @@ func fetchExact(f ChunkFetcher, off int64, n int, what string) ([]byte, error) {
 // growing prefix and rebases chunk offsets to absolute artifact offsets.
 func fetchChunkedIndex(f ChunkFetcher, size int64, prefix []byte) (*ContainerIndex, error) {
 	for {
-		hdr, chunks, payloadStart, err := parseChunkedTable(prefix, size)
+		hdr, chunks, root, payloadStart, err := parseChunkedTable(prefix, size)
 		if err == nil {
 			payload := int64(0)
 			for i := range chunks {
@@ -196,7 +271,7 @@ func fetchChunkedIndex(f ChunkFetcher, size int64, prefix []byte) (*ContainerInd
 				return nil, fmt.Errorf("fzio: payload truncated: need %d bytes, have %d",
 					payload, size-int64(payloadStart))
 			}
-			return finishIndex(FlavorChunked, hdr, chunks, size), nil
+			return finishIndex(FlavorChunked, hdr, chunks, root, size), nil
 		}
 		if !isTruncated(err) {
 			return nil, err
@@ -213,12 +288,12 @@ func fetchChunkedIndex(f ChunkFetcher, size int64, prefix []byte) (*ContainerInd
 // so the offsets are arithmetic, not a scan.
 func fetchStreamIndex(f ChunkFetcher, size int64, prefix []byte) (*ContainerIndex, error) {
 	// Prologue (with its own CRC) from the prefix.
-	hdr, prologueLen, err := parseStreamPrologue(prefix)
+	hdr, version, prologueLen, err := parseStreamPrologue(prefix)
 	for isTruncated(err) {
 		if prefix, err = fetchPrefix(f, size, prefix); err != nil {
 			return nil, err
 		}
-		hdr, prologueLen, err = parseStreamPrologue(prefix)
+		hdr, version, prologueLen, err = parseStreamPrologue(prefix)
 	}
 	if err != nil {
 		return nil, err
@@ -286,8 +361,32 @@ func fetchStreamIndex(f ChunkFetcher, size int64, prefix []byte) (*ContainerInde
 		// its size follows exactly from the recorded values.
 		off += int64(uvarintLen(length)) + int64(uvarintLen(planes)) + 4
 		chunks[i] = ChunkRef{Offset: int(off), Length: int(length), CRC: crc, Planes: int(planes)}
+		if version >= 2 {
+			if pos+HashSize > len(idx) {
+				return nil, fmt.Errorf("fzio: truncated stream index")
+			}
+			copy(chunks[i].Hash[:], idx[pos:])
+			pos += HashSize
+		}
 		off += int64(length)
 		totalPlanes += int(planes)
+	}
+	var root []byte
+	if version >= 2 {
+		if pos+HashSize > len(idx) {
+			return nil, fmt.Errorf("fzio: truncated stream index")
+		}
+		root = append([]byte(nil), idx[pos:pos+HashSize]...)
+		pos += HashSize
+		// The root must reproduce from the entries' own leaf hashes: a
+		// tampered trailer surfaces before any payload is trusted.
+		want, err := merkleRoot(chunks)
+		if err != nil {
+			return nil, err
+		}
+		if string(root) != string(want[:]) {
+			return nil, fmt.Errorf("%w: stream index root disagrees with entries", ErrProofMismatch)
+		}
 	}
 	if pos != len(idx) {
 		return nil, fmt.Errorf("fzio: stream index has %d trailing bytes", len(idx)-pos)
@@ -300,37 +399,39 @@ func fetchStreamIndex(f ChunkFetcher, size int64, prefix []byte) (*ContainerInde
 	if off+1 != idxStart {
 		return nil, fmt.Errorf("fzio: stream frames end at %d, index begins at %d", off+1, idxStart)
 	}
-	return finishIndex(FlavorStream, hdr, chunks, size), nil
+	return finishIndex(FlavorStream, hdr, chunks, root, size), nil
 }
 
 // parseStreamPrologue parses and CRC-verifies the FZMS prologue from a
-// prefix, returning the header and the prologue's byte length.
-func parseStreamPrologue(blob []byte) (ChunkedHeader, int, error) {
+// prefix, returning the header, the format version, and the prologue's
+// byte length.
+func parseStreamPrologue(blob []byte) (ChunkedHeader, int, int, error) {
 	var hdr ChunkedHeader
 	if len(blob) < 6 {
-		return hdr, 0, truncf("fzio: truncated stream prologue")
+		return hdr, 0, 0, truncf("fzio: truncated stream prologue")
 	}
 	if string(blob[:4]) != StreamMagic {
-		return hdr, 0, fmt.Errorf("fzio: not a streaming FZModules container")
+		return hdr, 0, 0, fmt.Errorf("fzio: not a streaming FZModules container")
 	}
-	if v := binary.LittleEndian.Uint16(blob[4:]); v != StreamVersion {
-		return hdr, 0, fmt.Errorf("fzio: unsupported stream version %d", v)
+	version := int(binary.LittleEndian.Uint16(blob[4:]))
+	if version != streamVersionLegacy && version != StreamVersion {
+		return hdr, 0, 0, fmt.Errorf("fzio: unsupported stream version %d", version)
 	}
 	pos := 6
 	var err error
 	if hdr.Pipeline, pos, err = readStringT(blob, pos); err != nil {
-		return hdr, 0, err
+		return hdr, 0, 0, err
 	}
 	dims := [3]uint64{}
 	nElems := uint64(1)
 	for i := range dims {
 		v, k := binary.Uvarint(blob[pos:])
 		if k <= 0 {
-			return hdr, 0, truncf("fzio: truncated stream dims")
+			return hdr, 0, 0, truncf("fzio: truncated stream dims")
 		}
 		dims[i], pos = v, pos+k
 		if v > maxFieldElems || (v > 0 && nElems > maxFieldElems/v) {
-			return hdr, 0, fmt.Errorf("fzio: declared field too large")
+			return hdr, 0, 0, fmt.Errorf("fzio: declared field too large")
 		}
 		if v > 0 {
 			nElems *= v
@@ -338,31 +439,31 @@ func parseStreamPrologue(blob []byte) (ChunkedHeader, int, error) {
 	}
 	hdr.Dims = grid.Dims{X: int(dims[0]), Y: int(dims[1]), Z: int(dims[2])}
 	if !hdr.Dims.Valid() {
-		return hdr, 0, fmt.Errorf("fzio: invalid dims %v", hdr.Dims)
+		return hdr, 0, 0, fmt.Errorf("fzio: invalid dims %v", hdr.Dims)
 	}
 	if pos+16 > len(blob) {
-		return hdr, 0, truncf("fzio: truncated stream prologue")
+		return hdr, 0, 0, truncf("fzio: truncated stream prologue")
 	}
 	hdr.EB = math.Float64frombits(binary.LittleEndian.Uint64(blob[pos:]))
 	hdr.RelEB = math.Float64frombits(binary.LittleEndian.Uint64(blob[pos+8:]))
 	pos += 16
 	nominal, k := binary.Uvarint(blob[pos:])
 	if k <= 0 {
-		return hdr, 0, truncf("fzio: truncated stream prologue")
+		return hdr, 0, 0, truncf("fzio: truncated stream prologue")
 	}
 	if nominal > maxFieldElems {
-		return hdr, 0, fmt.Errorf("fzio: bad nominal plane count")
+		return hdr, 0, 0, fmt.Errorf("fzio: bad nominal plane count")
 	}
 	hdr.Planes = int(nominal)
 	pos += k
 	if pos+4 > len(blob) {
-		return hdr, 0, truncf("fzio: truncated prologue CRC")
+		return hdr, 0, 0, truncf("fzio: truncated prologue CRC")
 	}
-	want := crc32.ChecksumIEEE(appendStreamPrologue(nil, hdr))
+	want := crc32.ChecksumIEEE(appendStreamPrologueV(nil, hdr, version))
 	if binary.LittleEndian.Uint32(blob[pos:]) != want {
-		return hdr, 0, fmt.Errorf("fzio: stream prologue CRC mismatch")
+		return hdr, 0, 0, fmt.Errorf("fzio: stream prologue CRC mismatch")
 	}
-	return hdr, pos + 4, nil
+	return hdr, version, pos + 4, nil
 }
 
 // fetchMonolithicIndex maps an FZMD container to a one-chunk index
@@ -385,7 +486,7 @@ func fetchMonolithicIndex(f ChunkFetcher, size int64, prefix []byte) (*Container
 		return nil, fmt.Errorf("fzio: monolithic artifact of %d bytes exceeds the single-chunk limit", size)
 	}
 	chunks := []ChunkRef{{Offset: 0, Length: int(size), Planes: hdr.Dims.SlowExtent()}}
-	return finishIndex(FlavorMonolithic, hdr, chunks, size), nil
+	return finishIndex(FlavorMonolithic, hdr, chunks, nil, size), nil
 }
 
 // parseMonolithicHeader reads the FZMD header fields shared with the
@@ -432,8 +533,8 @@ func parseMonolithicHeader(blob []byte) (ChunkedHeader, error) {
 }
 
 // finishIndex stamps the content key and artifact size onto an index.
-func finishIndex(flavor string, hdr ChunkedHeader, chunks []ChunkRef, size int64) *ContainerIndex {
-	ix := &ContainerIndex{Flavor: flavor, Header: hdr, Chunks: chunks, ArtifactSize: size}
+func finishIndex(flavor string, hdr ChunkedHeader, chunks []ChunkRef, root []byte, size int64) *ContainerIndex {
+	ix := &ContainerIndex{Flavor: flavor, Header: hdr, Chunks: chunks, Root: root, ArtifactSize: size}
 	ix.Key = contentKey(ix)
 	return ix
 }

@@ -1,0 +1,142 @@
+package fzio
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"testing"
+)
+
+func merklePayloads(n int) [][]byte {
+	ps := make([][]byte, n)
+	for i := range ps {
+		ps[i] = bytes.Repeat([]byte{byte(i + 1)}, 16+i*7)
+	}
+	return ps
+}
+
+func merkleLeaves(payloads [][]byte) [][HashSize]byte {
+	leaves := make([][HashSize]byte, len(payloads))
+	for i, p := range payloads {
+		leaves[i] = LeafHash(p)
+	}
+	return leaves
+}
+
+func buildTree(t *testing.T, leaves [][HashSize]byte) *MerkleTree {
+	t.Helper()
+	tree, err := NewMerkleTree(leaves)
+	if err != nil {
+		t.Fatalf("NewMerkleTree: %v", err)
+	}
+	return tree
+}
+
+func TestLeafHashDomainSeparation(t *testing.T) {
+	payload := []byte("abc")
+	// The leaf hash must NOT be the plain SHA-256 of the payload: the 0x00
+	// prefix separates leaves from interior nodes so serialized node pairs
+	// can never be replayed as leaves.
+	plain := sha256.Sum256(payload)
+	leaf := LeafHash(payload)
+	if leaf == plain {
+		t.Fatal("LeafHash equals plain SHA-256 — missing domain separation")
+	}
+	want := sha256.Sum256(append([]byte{0x00}, payload...))
+	if leaf != want {
+		t.Fatal("LeafHash diverges from SHA-256(0x00 || payload)")
+	}
+}
+
+func TestMerkleProofsVerify(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 9, 31} {
+		t.Run(fmt.Sprint(n), func(t *testing.T) {
+			payloads := merklePayloads(n)
+			tree := buildTree(t, merkleLeaves(payloads))
+			root := tree.Root()
+			if tree.NumLeaves() != n {
+				t.Fatalf("NumLeaves = %d, want %d", tree.NumLeaves(), n)
+			}
+			for i, p := range payloads {
+				proof, err := tree.Proof(i)
+				if err != nil {
+					t.Fatalf("Proof(%d): %v", i, err)
+				}
+				if !VerifyProof(LeafHash(p), proof, root) {
+					t.Fatalf("VerifyProof(%d) rejected a valid proof", i)
+				}
+			}
+			if _, err := tree.Proof(n); err == nil {
+				t.Fatal("Proof accepted out-of-range index")
+			}
+			if _, err := tree.Proof(-1); err == nil {
+				t.Fatal("Proof accepted negative index")
+			}
+		})
+	}
+}
+
+func TestMerkleProofRejectsTampering(t *testing.T) {
+	payloads := merklePayloads(8)
+	tree := buildTree(t, merkleLeaves(payloads))
+	root := tree.Root()
+	proof, err := tree.Proof(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tampered payload.
+	bad := append([]byte(nil), payloads[3]...)
+	bad[0] ^= 0x80
+	if VerifyProof(LeafHash(bad), proof, root) {
+		t.Fatal("tampered payload verified")
+	}
+	// Right payload, wrong position: a proof binds the leaf to its index,
+	// so chunk 4's proof must not vouch for chunk 3's bytes.
+	wrongPos, err := tree.Proof(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if VerifyProof(LeafHash(payloads[3]), wrongPos, root) {
+		t.Fatal("payload verified at the wrong position")
+	}
+	// Tampered proof step.
+	crooked := append([]ProofStep(nil), proof...)
+	crooked[1].Hash[0] ^= 0x01
+	if VerifyProof(LeafHash(payloads[3]), crooked, root) {
+		t.Fatal("tampered proof verified")
+	}
+	// Tampered root.
+	badRoot := root
+	badRoot[31] ^= 0xFF
+	if VerifyProof(LeafHash(payloads[3]), proof, badRoot) {
+		t.Fatal("proof verified against the wrong root")
+	}
+}
+
+// Odd-level duplication must not let [a b] and [a b b] collide — the
+// duplicated node changes the tree shape and therefore the root.
+func TestMerkleRootOddDuplication(t *testing.T) {
+	a, b := LeafHash([]byte("a")), LeafHash([]byte("b"))
+	two := buildTree(t, [][HashSize]byte{a, b}).Root()
+	three := buildTree(t, [][HashSize]byte{a, b, b}).Root()
+	if two == three {
+		t.Fatal("[a b] and [a b b] share a root")
+	}
+}
+
+func TestMerkleDeterministic(t *testing.T) {
+	payloads := merklePayloads(5)
+	r1 := buildTree(t, merkleLeaves(payloads)).Root()
+	r2 := buildTree(t, merkleLeaves(payloads)).Root()
+	if r1 != r2 {
+		t.Fatal("same leaves, different roots")
+	}
+	payloads[2][0] ^= 1
+	if r3 := buildTree(t, merkleLeaves(payloads)).Root(); r3 == r1 {
+		t.Fatal("changed leaf, unchanged root")
+	}
+	if _, err := NewMerkleTree(nil); err == nil {
+		t.Fatal("empty tree accepted")
+	}
+}

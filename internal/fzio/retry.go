@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"sync/atomic"
 	"time"
 )
@@ -37,16 +38,18 @@ var errAttemptTimeout = fmt.Errorf("%w: attempt timed out", ErrTransient)
 
 // Transient classifies err for the retry loop: true for faults a fresh
 // attempt may dodge — anything marked ErrTransient, HTTP 5xx answers,
-// network errors and timeouts, and short reads (io.ErrUnexpectedEOF) —
-// and false for everything that will fail identically on the next try:
-// HTTP 4xx, range violations, CRC mismatches, cancellation, and nil.
+// HTTP 429 (the server said "later", not "no"), network errors and
+// timeouts, and short reads (io.ErrUnexpectedEOF) — and false for
+// everything that will fail identically on the next try: other HTTP
+// 4xx, range violations, CRC mismatches, Merkle proof mismatches,
+// cancellation, and nil.
 func Transient(err error) bool {
 	if err == nil {
 		return false
 	}
 	// The definitive non-transient classes win even when wrapped alongside
 	// transient markers: wrong bytes and bad requests never heal.
-	if errors.Is(err, ErrCRCMismatch) || errors.Is(err, ErrRangeViolation) {
+	if errors.Is(err, ErrCRCMismatch) || errors.Is(err, ErrProofMismatch) || errors.Is(err, ErrRangeViolation) {
 		return false
 	}
 	if errors.Is(err, ErrTransient) || errors.Is(err, io.ErrUnexpectedEOF) {
@@ -54,7 +57,7 @@ func Transient(err error) bool {
 	}
 	var httpErr *HTTPStatusError
 	if errors.As(err, &httpErr) {
-		return httpErr.Code >= 500
+		return httpErr.Code >= 500 || httpErr.Code == http.StatusTooManyRequests
 	}
 	var netErr net.Error
 	return errors.As(err, &netErr)
@@ -172,6 +175,13 @@ func retry[T any](r *RetryFetcher, op func() (T, error)) (T, int, error) {
 			return zero, attempt, fmt.Errorf("fzio: %d attempts exhausted: %w", attempt, lastErr)
 		}
 		d := r.pol.delay(attempt)
+		// A Retry-After hint from the server (429/503 responses carry one)
+		// overrides the computed backoff: the server knows its own recovery
+		// horizon better than an exponential guess. The hint stays subject
+		// to the overall budget below.
+		if hint := retryAfterHint(err); hint > 0 {
+			d = hint
+		}
 		if !deadline.IsZero() && r.pol.Now().Add(d).After(deadline) {
 			r.exhausted.Add(1)
 			return zero, attempt, fmt.Errorf("fzio: retry budget %v exhausted after %d attempts: %w",
@@ -180,6 +190,16 @@ func retry[T any](r *RetryFetcher, op func() (T, error)) (T, int, error) {
 		r.retries.Add(1)
 		r.pol.Sleep(d)
 	}
+}
+
+// retryAfterHint extracts a server-provided Retry-After duration from
+// an HTTPStatusError chain, or 0 when the error carries none.
+func retryAfterHint(err error) time.Duration {
+	var httpErr *HTTPStatusError
+	if errors.As(err, &httpErr) {
+		return httpErr.RetryAfter
+	}
+	return 0
 }
 
 // runAttempt runs one attempt, bounding it by timeout when one is set. A
@@ -226,6 +246,9 @@ func (r *RetryFetcher) Size() (int64, error) {
 	size, _, err := retry(r, func() (int64, error) { return r.inner.Size() })
 	return size, err
 }
+
+// Inner returns the wrapped fetcher.
+func (r *RetryFetcher) Inner() ChunkFetcher { return r.inner }
 
 // Attempts returns the tries issued so far, first attempts included.
 func (r *RetryFetcher) Attempts() int64 { return r.attempts.Load() }

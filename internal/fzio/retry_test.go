@@ -1,10 +1,13 @@
 package fzio
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
@@ -56,11 +59,13 @@ func TestTransientTaxonomy(t *testing.T) {
 		{"short read", fmt.Errorf("short: %w", io.ErrUnexpectedEOF), true},
 		{"http 503", fmt.Errorf("range: %w", &HTTPStatusError{Code: 503, Status: "503 Service Unavailable"}), true},
 		{"http 500", &HTTPStatusError{Code: 500, Status: "500 Internal Server Error"}, true},
+		{"http 429", fmt.Errorf("range: %w", &HTTPStatusError{Code: 429, Status: "429 Too Many Requests"}), true},
 		{"http 404", &HTTPStatusError{Code: 404, Status: "404 Not Found"}, false},
 		{"http 416", &HTTPStatusError{Code: 416, Status: "416 Range Not Satisfiable"}, false},
 		{"net timeout", &net.DNSError{Err: "timeout", IsTimeout: true}, true},
 		{"range violation", fmt.Errorf("x: %w", ErrRangeViolation), false},
 		{"crc mismatch", fmt.Errorf("x: %w", ErrCRCMismatch), false},
+		{"proof mismatch", fmt.Errorf("x: %w", ErrProofMismatch), false},
 		{"crc beats transient mark", fmt.Errorf("%w: %w", ErrTransient, ErrCRCMismatch), false},
 		{"plain error", errors.New("nope"), false},
 	}
@@ -212,6 +217,87 @@ func TestRetryFetcherSize(t *testing.T) {
 	}
 	if r.Retries() != 1 {
 		t.Fatalf("Retries = %d, want 1", r.Retries())
+	}
+}
+
+// A server throttling with 429 is saying "later", not "no": the retry
+// layer must absorb it and succeed once the server relents.
+func TestRetryFetcherRecovers429(t *testing.T) {
+	blob := []byte("0123456789abcdef")
+	sleep, slept := noSleep(t)
+	flaky := &flakyFetcher{
+		inner:    NewBytesFetcher(blob),
+		err:      fmt.Errorf("range: %w", &HTTPStatusError{Code: 429, Status: "429 Too Many Requests"}),
+		failures: 1,
+	}
+	r := NewRetryFetcher(flaky, RetryPolicy{MaxAttempts: 4, BaseDelay: 10 * time.Millisecond, Sleep: sleep})
+	got, attempts, err := r.ReadRangeAttempts(10, 4)
+	if err != nil || string(got) != "abcd" {
+		t.Fatalf("ReadRangeAttempts = %q, %v", got, err)
+	}
+	if attempts != 2 || r.Retries() != 1 || len(*slept) != 1 {
+		t.Fatalf("attempts=%d retries=%d sleeps=%d, want 2/1/1", attempts, r.Retries(), len(*slept))
+	}
+}
+
+// The same recovery end to end: a real HTTP server answers the first
+// range request 429-with-Retry-After, then 200 — and the server's hint
+// overrides the policy's own backoff schedule.
+func TestRetryFetcherHTTP429ThenOK(t *testing.T) {
+	blob := []byte("0123456789abcdef")
+	var mu sync.Mutex
+	throttled := true
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodHead {
+			w.Header().Set("Content-Length", fmt.Sprint(len(blob)))
+			return
+		}
+		mu.Lock()
+		first := throttled
+		throttled = false
+		mu.Unlock()
+		if first {
+			w.Header().Set("Retry-After", "2")
+			http.Error(w, "slow down", http.StatusTooManyRequests)
+			return
+		}
+		http.ServeContent(w, r, "a.fzmc", time.Time{}, bytes.NewReader(blob))
+	}))
+	defer srv.Close()
+
+	sleep, slept := noSleep(t)
+	r := NewRetryFetcher(NewHTTPFetcher(srv.URL, srv.Client()),
+		RetryPolicy{MaxAttempts: 4, BaseDelay: 10 * time.Millisecond, Sleep: sleep})
+	got, attempts, err := r.ReadRangeAttempts(10, 4)
+	if err != nil || string(got) != "abcd" {
+		t.Fatalf("ReadRangeAttempts = %q, %v", got, err)
+	}
+	if attempts != 2 || r.Retries() != 1 {
+		t.Fatalf("attempts=%d retries=%d, want 2/1", attempts, r.Retries())
+	}
+	// Retry-After: 2 must win over the 10ms BaseDelay.
+	if len(*slept) != 1 || (*slept)[0] != 2*time.Second {
+		t.Fatalf("backoff = %v, want [2s] from the Retry-After header", *slept)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	if d := parseRetryAfter("7"); d != 7*time.Second {
+		t.Fatalf("parseRetryAfter(7) = %v", d)
+	}
+	if d := parseRetryAfter(""); d != 0 {
+		t.Fatalf("parseRetryAfter(empty) = %v", d)
+	}
+	if d := parseRetryAfter("-3"); d != 0 {
+		t.Fatalf("parseRetryAfter(-3) = %v", d)
+	}
+	if d := parseRetryAfter("garbage"); d != 0 {
+		t.Fatalf("parseRetryAfter(garbage) = %v", d)
+	}
+	// HTTP-date form: a date in the future yields a positive delay.
+	future := time.Now().Add(90 * time.Second).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(future); d < 80*time.Second || d > 91*time.Second {
+		t.Fatalf("parseRetryAfter(http-date) = %v, want ~90s", d)
 	}
 }
 

@@ -27,18 +27,30 @@ import (
 //	CRC32(prologue)                                        (prologue)
 //	{ uvarint length≥1 ‖ uvarint planes ‖ CRC32(payload) ‖ payload }*
 //	uvarint 0                                              (end marker)
-//	uvarint chunk count ‖ { uvarint length ‖ uvarint planes ‖ CRC32 }* ‖
+//	uvarint chunk count ‖
+//	{ uvarint length ‖ uvarint planes ‖ CRC32 ‖ hash (v≥2) }* ‖
+//	Merkle root (v≥2) ‖
 //	CRC32(trailer) ‖ u64 trailer length ‖ "FZME"           (trailer)
 //
 // The trailer CRC covers the bytes from the chunk count through the last
-// table entry; the u64 length counts the same span plus the trailer CRC,
-// so a consumer holding the tail can walk backwards to the table start.
+// table entry (and, for version ≥ 2, the per-chunk SHA-256 leaf hashes
+// and the 32-byte Merkle root that follow the entries); the u64 length
+// counts the same span plus the trailer CRC, so a consumer holding the
+// tail can walk backwards to the table start.
 
 // StreamMagic identifies streaming FZModules containers.
 const StreamMagic = "FZMS"
 
-// StreamVersion is the streaming container format version.
-const StreamVersion = 1
+// StreamVersion is the streaming container format version writers emit.
+// Version 2 extends each trailer entry with the chunk's SHA-256 leaf
+// hash and appends the Merkle root after the entries (see merkle.go and
+// docs/FORMAT.md §Integrity); readers accept versions 1 and 2, so v1
+// artifacts stay decodable everywhere.
+const StreamVersion = 2
+
+// streamVersionLegacy is the pre-integrity trailer layout (no hashes,
+// no root) still accepted by every parser.
+const streamVersionLegacy = 1
 
 // streamEndMagic terminates a well-formed stream.
 const streamEndMagic = "FZME"
@@ -126,7 +138,7 @@ func (sw *StreamWriter) WriteChunk(payload []byte, planes int) error {
 		return err
 	}
 	sw.planes += planes
-	sw.refs = append(sw.refs, ChunkRef{Length: len(payload), CRC: crc, Planes: planes})
+	sw.refs = append(sw.refs, ChunkRef{Length: len(payload), CRC: crc, Planes: planes, Hash: LeafHash(payload)})
 	return nil
 }
 
@@ -145,7 +157,10 @@ func (sw *StreamWriter) Close() error {
 	if err := sw.writeUvarint(0); err != nil { // end-of-chunks marker
 		return err
 	}
-	trailer := appendIndex(nil, sw.refs)
+	trailer, err := appendIndexV(nil, sw.refs, StreamVersion)
+	if err != nil {
+		return err
+	}
 	trailer = binary.LittleEndian.AppendUint32(trailer, crc32.ChecksumIEEE(trailer))
 	trailer = binary.LittleEndian.AppendUint64(trailer, uint64(len(trailer)))
 	trailer = append(trailer, streamEndMagic...)
@@ -164,11 +179,12 @@ func (sw *StreamWriter) NumChunks() int { return len(sw.refs) }
 // CRC as it is read and the index trailer once the end marker arrives, so
 // an io.EOF from Next means the whole stream checked out.
 type StreamReader struct {
-	r      *bufio.Reader
-	header ChunkedHeader
-	refs   []ChunkRef
-	planes int
-	done   bool
+	r       *bufio.Reader
+	header  ChunkedHeader
+	version int
+	refs    []ChunkRef
+	planes  int
+	done    bool
 }
 
 // NewStreamReader consumes and validates the stream prologue.
@@ -184,10 +200,11 @@ func NewStreamReader(r io.Reader) (*StreamReader, error) {
 	if string(magic[:4]) != StreamMagic {
 		return nil, fmt.Errorf("fzio: not a streaming FZModules container")
 	}
-	if v := binary.LittleEndian.Uint16(magic[4:]); v != StreamVersion {
-		return nil, fmt.Errorf("fzio: unsupported stream version %d", v)
+	version := int(binary.LittleEndian.Uint16(magic[4:]))
+	if version != streamVersionLegacy && version != StreamVersion {
+		return nil, fmt.Errorf("fzio: unsupported stream version %d", version)
 	}
-	sr := &StreamReader{r: br}
+	sr := &StreamReader{r: br, version: version}
 	pipeline, err := readStreamString(br)
 	if err != nil {
 		return nil, err
@@ -232,31 +249,45 @@ func NewStreamReader(r io.Reader) (*StreamReader, error) {
 	if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
 		return nil, fmt.Errorf("fzio: truncated prologue CRC")
 	}
-	want := crc32.ChecksumIEEE(appendStreamPrologue(nil, sr.header))
+	want := crc32.ChecksumIEEE(appendStreamPrologueV(nil, sr.header, sr.version))
 	if binary.LittleEndian.Uint32(crcBuf[:]) != want {
 		return nil, fmt.Errorf("fzio: stream prologue CRC mismatch")
 	}
 	return sr, nil
 }
 
-// appendIndex serializes the chunk-index table (count, then
-// length/planes/CRC per chunk) in its canonical encoding — the single
-// definition both the writer's trailer and the reader's verification use.
-func appendIndex(out []byte, refs []ChunkRef) []byte {
+// appendIndexV serializes the chunk-index table in its canonical
+// encoding for the given format version — the single definition the
+// writer's trailer, the reader's verification and the remote index
+// fetcher all share. Version 1 writes count, then length/planes/CRC per
+// chunk; version ≥ 2 additionally writes each chunk's leaf hash and,
+// after the entries, the Merkle root over them.
+func appendIndexV(out []byte, refs []ChunkRef, version int) ([]byte, error) {
 	out = binary.AppendUvarint(out, uint64(len(refs)))
 	for _, ref := range refs {
 		out = binary.AppendUvarint(out, uint64(ref.Length))
 		out = binary.AppendUvarint(out, uint64(ref.Planes))
 		out = binary.LittleEndian.AppendUint32(out, ref.CRC)
+		if version >= 2 {
+			out = append(out, ref.Hash[:]...)
+		}
 	}
-	return out
+	if version >= 2 {
+		root, err := merkleRoot(refs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, root[:]...)
+	}
+	return out, nil
 }
 
-// appendStreamPrologue serializes the prologue fields (everything the CRC
-// covers) in their canonical encoding.
-func appendStreamPrologue(out []byte, h ChunkedHeader) []byte {
+// appendStreamPrologueV serializes the prologue fields (everything the
+// CRC covers) in their canonical encoding, stamping the given format
+// version.
+func appendStreamPrologueV(out []byte, h ChunkedHeader, version int) []byte {
 	out = append(out, StreamMagic...)
-	out = binary.LittleEndian.AppendUint16(out, StreamVersion)
+	out = binary.LittleEndian.AppendUint16(out, uint16(version))
 	out = appendString(out, h.Pipeline)
 	out = binary.AppendUvarint(out, uint64(h.Dims.X))
 	out = binary.AppendUvarint(out, uint64(h.Dims.Y))
@@ -265,6 +296,12 @@ func appendStreamPrologue(out []byte, h ChunkedHeader) []byte {
 	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(h.RelEB))
 	out = binary.AppendUvarint(out, uint64(h.Planes))
 	return out
+}
+
+// appendStreamPrologue is appendStreamPrologueV at the version writers
+// emit.
+func appendStreamPrologue(out []byte, h ChunkedHeader) []byte {
+	return appendStreamPrologueV(out, h, StreamVersion)
 }
 
 // Header returns the stream's global metadata.
@@ -323,7 +360,14 @@ func (sr *StreamReader) Next(dst []byte) ([]byte, int, error) {
 		return nil, 0, fmt.Errorf("fzio: chunk %d CRC mismatch (corrupt stream)", len(sr.refs))
 	}
 	sr.planes += int(planes)
-	sr.refs = append(sr.refs, ChunkRef{Length: int(length), CRC: crc, Planes: int(planes)})
+	ref := ChunkRef{Length: int(length), CRC: crc, Planes: int(planes)}
+	if sr.version >= 2 {
+		// Hash what was actually read: a tampered frame whose CRC still
+		// matches (32 bits are forgeable) diverges from the trailer's leaf
+		// hash and Merkle root at verifyTrailer.
+		ref.Hash = LeafHash(payload)
+	}
+	sr.refs = append(sr.refs, ref)
 	return payload, int(planes), nil
 }
 
@@ -335,9 +379,14 @@ func (sr *StreamReader) verifyTrailer() error {
 		return fmt.Errorf("fzio: chunks cover %d planes, field has %d",
 			sr.planes, sr.header.Dims.SlowExtent())
 	}
-	// Re-serialize the expected table and compare byte-for-byte with what
-	// the stream carries; any divergence (count, entry, CRC) surfaces.
-	want := appendIndex(nil, sr.refs)
+	// Re-serialize the expected table — for v2 including the leaf hashes
+	// of the payloads actually read and the Merkle root over them — and
+	// compare byte-for-byte with what the stream carries; any divergence
+	// (count, entry, CRC, hash, root) surfaces.
+	want, err := appendIndexV(nil, sr.refs, sr.version)
+	if err != nil {
+		return err
+	}
 	got := make([]byte, len(want))
 	if _, err := io.ReadFull(sr.r, got); err != nil {
 		return fmt.Errorf("fzio: truncated stream trailer")

@@ -744,6 +744,10 @@ func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request, name strin
 	reg, err := core.OpenRegion(s.p, fzio.NewBytesFetcher(blob), core.RegionOpts{
 		Workers: lease.Workers(),
 		Cache:   s.cache,
+		// Stored objects are opaque tenant uploads; proof-check every
+		// chunk against the container's Merkle root (vacuous on v1 and
+		// monolithic artifacts, which carry none).
+		VerifyProofs: true,
 	})
 	if err != nil {
 		s.fail(w, err)
@@ -773,6 +777,8 @@ func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request, name strin
 		h.Set("X-Fzmod-Region-Cache-Hits", strconv.Itoa(rep.Region.CacheHits))
 		h.Set("X-Fzmod-Region-Dedup-Hits", strconv.Itoa(rep.Region.DedupHits))
 		h.Set("X-Fzmod-Region-Fetch-Attempts", strconv.FormatInt(rep.Region.FetchAttempts, 10))
+		h.Set("X-Fzmod-Region-Proof-Verified", strconv.FormatInt(rep.Region.ProofVerified, 10))
+		s.met.proofVerified.Add(rep.Region.ProofVerified)
 	}
 	s.writeField(w, vals, sel.Dims())
 }
